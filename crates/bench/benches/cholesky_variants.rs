@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the full tile Cholesky in the paper's three
+//! variants (locally measured counterpart of the simulated Figs. 10/11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use xgs_bench::sites;
+use xgs_cholesky::TiledFactor;
+use xgs_covariance::{Matern, MaternParams};
+use xgs_tile::{FlopKernelModel, SymTileMatrix, TlrConfig, Variant};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_cholesky");
+    group.sample_size(10);
+    let n = 768;
+    let nb = 64;
+    // Wide domain: the adaptive formats engage (see DESIGN.md §2).
+    let locs = sites(n, 10.0, 7);
+    let kernel = Matern::new(MaternParams::new(1.0, 0.17, 0.5));
+    let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+
+    for variant in [Variant::DenseF64, Variant::MpDense, Variant::MpDenseTlr] {
+        group.bench_with_input(
+            BenchmarkId::new("seq", variant.name()),
+            &variant,
+            |b, &variant| {
+                b.iter_batched(
+                    || {
+                        SymTileMatrix::generate(
+                            &kernel,
+                            &locs,
+                            TlrConfig::new(variant, nb),
+                            &model,
+                        )
+                    },
+                    |m| {
+                        let mut f = TiledFactor::from_matrix(m);
+                        f.factorize_seq().unwrap();
+                        f
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+
+    // Parallel engine (worker count = all cores; on single-core CI this
+    // measures runtime overhead, on real nodes the speedup).
+    group.bench_function("parallel/mp-dense-tlr", |b| {
+        b.iter_batched(
+            || {
+                SymTileMatrix::generate(
+                    &kernel,
+                    &locs,
+                    TlrConfig::new(Variant::MpDenseTlr, nb),
+                    &model,
+                )
+            },
+            |m| {
+                let f = Arc::new(TiledFactor::from_matrix(m));
+                let (res, _) = f.factorize_parallel(0);
+                res.unwrap();
+                f
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the TLR compression/rounding machinery:
+//! ACA vs SVD compression of covariance-like tiles, and the rounded
+//! addition at the heart of the TLR GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xgs_bench::random_buffer;
+use xgs_linalg::{LowRank, Matrix};
+
+/// Smooth displaced-kernel tile: the compressible structure real
+/// off-diagonal covariance tiles have.
+fn smooth_tile(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let x = i as f64 / n as f64;
+        let y = 3.0 + j as f64 / n as f64;
+        (-(x - y).abs()).exp()
+    })
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for n in [64usize, 128, 256] {
+        let tile = smooth_tile(n);
+        let tol = 1e-8 * tile.norm_fro();
+        group.bench_with_input(BenchmarkId::new("aca", n), &n, |b, _| {
+            b.iter(|| LowRank::compress_aca(&tile, tol));
+        });
+        group.bench_with_input(BenchmarkId::new("svd", n), &n, |b, _| {
+            b.iter(|| LowRank::compress_svd(&tile, tol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounded_addition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lr_add_rounded");
+    for (n, k) in [(128usize, 8usize), (128, 24), (256, 16)] {
+        let a = LowRank {
+            u: Matrix::from_vec(n, k, random_buffer(n * k, 1)),
+            v: Matrix::from_vec(n, k, random_buffer(n * k, 2)),
+        };
+        let b = LowRank {
+            u: Matrix::from_vec(n, k, random_buffer(n * k, 3)),
+            v: Matrix::from_vec(n, k, random_buffer(n * k, 4)),
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |bch, _| {
+                bch.iter(|| a.add_rounded(-1.0, &b, 1e-8));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors, bench_rounded_addition);
+criterion_main!(benches);

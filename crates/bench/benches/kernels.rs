@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the tile kernels (the per-task costs the
+//! performance model consumes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xgs_bench::random_buffer;
+use xgs_kernels::{demote_f64_to_f16, gemm, gemm_flops, potrf, shgemm, Half, Trans};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for n in [64usize, 128, 256] {
+        group.throughput(Throughput::Elements(gemm_flops(n, n, n) as u64));
+        let a = random_buffer(n * n, 1);
+        let b = random_buffer(n * n, 2);
+        let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        let mut a16 = vec![Half::ZERO; n * n];
+        let mut b16 = vec![Half::ZERO; n * n];
+        demote_f64_to_f16(&a, &mut a16);
+        demote_f64_to_f16(&b, &mut b16);
+
+        group.bench_with_input(BenchmarkId::new("fp64", n), &n, |bch, &n| {
+            let mut cbuf = vec![0f64; n * n];
+            bch.iter(|| {
+                gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut cbuf, n)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fp32", n), &n, |bch, &n| {
+            let mut cbuf = vec![0f32; n * n];
+            bch.iter(|| {
+                gemm(Trans::No, Trans::Yes, n, n, n, 1.0f32, &a32, n, &b32, n, 0.0, &mut cbuf, n)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("shgemm", n), &n, |bch, &n| {
+            let mut cbuf = vec![0f32; n * n];
+            bch.iter(|| {
+                shgemm(Trans::No, Trans::Yes, n, n, n, 1.0, &a16, n, &b16, n, 0.0, &mut cbuf, n)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_potrf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potrf");
+    for n in [64usize, 128, 256] {
+        // SPD tile: B B^T + n I.
+        let b = random_buffer(n * n, 3);
+        let mut spd = vec![0f64; n * n];
+        gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &b, n, &b, n, 0.0, &mut spd, n);
+        for i in 0..n {
+            spd[i + i * n] += n as f64;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut a = spd.clone();
+                potrf(n, &mut a, n).unwrap();
+                a
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_potrf);
+criterion_main!(benches);

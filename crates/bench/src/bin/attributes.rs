@@ -1,0 +1,9 @@
+//! Regenerates the paper's §II "Performance Attributes" table.
+//!
+//! ```text
+//! cargo run -p xgs-bench --release --bin attributes
+//! ```
+
+fn main() {
+    print!("{}", xgs_perfmodel::performance_attributes());
+}

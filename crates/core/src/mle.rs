@@ -1,0 +1,209 @@
+//! Maximum likelihood fitting: the modeling phase of the paper.
+
+use crate::likelihood::log_likelihood;
+use crate::model::ModelFamily;
+use crate::optimizer::neldermead::{nelder_mead, NelderMeadOptions};
+use crate::optimizer::pso::{particle_swarm, PsoOptions};
+use crate::optimizer::transform::{forward_all, inverse_all};
+use xgs_covariance::Location;
+use xgs_tile::{KernelTimeModel, TlrConfig};
+
+/// Optimizer selection for [`fit`].
+#[derive(Clone, Debug)]
+pub enum FitOptimizer {
+    NelderMead(NelderMeadOptions),
+    /// The paper's weak-scaling optimizer; bounds are in transformed space
+    /// around the starting point.
+    ParticleSwarm(PsoOptions),
+}
+
+/// Fit configuration.
+#[derive(Clone, Debug)]
+pub struct FitOptions {
+    pub optimizer: FitOptimizer,
+    /// Starting parameter vector (natural space); family default if `None`.
+    pub start: Option<Vec<f64>>,
+    /// Worker threads per likelihood evaluation (1 = sequential engine).
+    pub workers: usize,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            optimizer: FitOptimizer::NelderMead(NelderMeadOptions::default()),
+            start: None,
+            workers: 1,
+        }
+    }
+}
+
+/// Fit outcome.
+#[derive(Clone, Debug)]
+pub struct FitResult {
+    /// Estimated parameters (natural space).
+    pub theta: Vec<f64>,
+    /// Log-likelihood at the optimum.
+    pub llh: f64,
+    /// Objective evaluations spent.
+    pub evals: usize,
+    pub converged: bool,
+}
+
+/// Family-specific default starting point.
+fn default_start(family: ModelFamily, z: &[f64]) -> Vec<f64> {
+    let var = z.iter().map(|v| v * v).sum::<f64>() / z.len().max(1) as f64;
+    let var = var.max(1e-3);
+    match family {
+        ModelFamily::MaternSpace => vec![var, 0.1, 1.0],
+        ModelFamily::GneitingSpaceTime => vec![var, 0.5, 1.0, 0.5, 0.5, 0.3],
+    }
+}
+
+/// Maximize the Gaussian log-likelihood over the family's parameters.
+pub fn fit(
+    family: ModelFamily,
+    locs: &[Location],
+    z: &[f64],
+    cfg: &TlrConfig,
+    model: &dyn KernelTimeModel,
+    opts: &FitOptions,
+) -> FitResult {
+    let transforms = family.transforms();
+    let start_nat = opts.start.clone().unwrap_or_else(|| default_start(family, z));
+    assert_eq!(start_nat.len(), family.n_params());
+    let start = forward_all(&transforms, &start_nat);
+
+    let objective = |y: &[f64]| -> f64 {
+        let theta = inverse_all(&transforms, y);
+        let kernel = family.kernel(&theta);
+        match log_likelihood(kernel.as_ref(), locs, z, cfg, model, opts.workers) {
+            Ok(r) => -r.llh,
+            // Loss of positive definiteness = out-of-model region.
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    match &opts.optimizer {
+        FitOptimizer::NelderMead(nm) => {
+            let r = nelder_mead(objective, &start, nm);
+            FitResult {
+                theta: inverse_all(&transforms, &r.x),
+                llh: -r.f,
+                evals: r.evals,
+                converged: r.converged,
+            }
+        }
+        FitOptimizer::ParticleSwarm(pso) => {
+            // Box: +-2.5 in transformed space around the start (roughly one
+            // order of magnitude each way for log-transformed parameters).
+            let bounds: Vec<(f64, f64)> = start.iter().map(|&s| (s - 2.5, s + 2.5)).collect();
+            let r = particle_swarm(objective, &bounds, pso);
+            FitResult {
+                theta: inverse_all(&transforms, &r.x),
+                llh: -r.f,
+                evals: r.evals,
+                converged: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::simulate_field;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
+    use xgs_tile::{FlopKernelModel, Variant};
+
+    fn data(n: usize, params: MaternParams, seed: u64) -> (Vec<Location>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut locs = jittered_grid(n, &mut rng);
+        morton_order(&mut locs);
+        let z = simulate_field(&Matern::new(params), &locs, seed + 1000);
+        (locs, z)
+    }
+
+    #[test]
+    fn recovers_matern_parameters_dense() {
+        // Moderate n and a fixed smoothness-friendly setting: MLE should
+        // land near the truth (sampling noise allows generous bands).
+        let truth = MaternParams::new(1.0, 0.1, 0.5);
+        let (locs, z) = data(400, truth, 42);
+        let cfg = TlrConfig::new(Variant::DenseF64, 100);
+        let opts = FitOptions {
+            optimizer: FitOptimizer::NelderMead(NelderMeadOptions {
+                max_evals: 200,
+                f_tol: 1e-5,
+                initial_step: 0.4,
+            }),
+            start: Some(vec![0.8, 0.15, 0.7]),
+            workers: 1,
+        };
+        let r = fit(
+            ModelFamily::MaternSpace,
+            &locs,
+            &z,
+            &cfg,
+            &FlopKernelModel::default(),
+            &opts,
+        );
+        assert!(r.llh.is_finite());
+        assert!(
+            (0.4..2.5).contains(&r.theta[0]),
+            "variance {} far from 1.0",
+            r.theta[0]
+        );
+        assert!((0.03..0.3).contains(&r.theta[1]), "range {} far from 0.1", r.theta[1]);
+        assert!(
+            (0.25..1.1).contains(&r.theta[2]),
+            "smoothness {} far from 0.5",
+            r.theta[2]
+        );
+    }
+
+    #[test]
+    fn llh_at_estimate_beats_llh_at_start() {
+        let truth = MaternParams::new(1.0, 0.1, 0.5);
+        let (locs, z) = data(300, truth, 7);
+        let cfg = TlrConfig::new(Variant::MpDense, 75);
+        let model = FlopKernelModel::default();
+        let start = vec![2.0, 0.05, 1.5];
+        let start_llh = {
+            let k = ModelFamily::MaternSpace.kernel(&start);
+            crate::likelihood::log_likelihood(k.as_ref(), &locs, &z, &cfg, &model, 1)
+                .unwrap()
+                .llh
+        };
+        let opts = FitOptions {
+            optimizer: FitOptimizer::NelderMead(NelderMeadOptions {
+                max_evals: 120,
+                f_tol: 1e-5,
+                initial_step: 0.4,
+            }),
+            start: Some(start),
+            workers: 1,
+        };
+        let r = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);
+        assert!(r.llh > start_llh, "{} should beat {}", r.llh, start_llh);
+    }
+
+    #[test]
+    fn pso_fit_runs_and_is_deterministic() {
+        let truth = MaternParams::new(1.0, 0.1, 0.5);
+        let (locs, z) = data(200, truth, 9);
+        let cfg = TlrConfig::new(Variant::DenseF64, 100);
+        let model = FlopKernelModel::default();
+        let pso = PsoOptions { particles: 6, iterations: 6, parallel: true, ..Default::default() };
+        let opts = FitOptions {
+            optimizer: FitOptimizer::ParticleSwarm(pso),
+            start: Some(vec![1.0, 0.1, 0.5]),
+            workers: 1,
+        };
+        let a = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);
+        let b = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);
+        assert_eq!(a.theta, b.theta);
+        assert!(a.llh.is_finite());
+    }
+}

@@ -1,0 +1,105 @@
+//! Model families: the parameter-vector ↔ covariance-kernel mapping.
+
+use crate::optimizer::transform::ParamTransform;
+use xgs_covariance::{CovarianceKernel, GneitingSpaceTime, Matern, MaternParams, SpaceTimeParams};
+
+/// Which covariance model is being fitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelFamily {
+    /// 2D space, Matérn: `θ = (σ², a, ν)` (paper Table I / Fig. 6).
+    MaternSpace,
+    /// 2D space × time, Gneiting: `θ = (σ², a_s, ν, a_t, α, β)`
+    /// (paper Table II / Fig. 11).
+    GneitingSpaceTime,
+}
+
+impl ModelFamily {
+    pub fn n_params(self) -> usize {
+        match self {
+            ModelFamily::MaternSpace => 3,
+            ModelFamily::GneitingSpaceTime => 6,
+        }
+    }
+
+    /// Human-readable parameter names, in vector order (matching the
+    /// paper's table headers).
+    pub fn param_names(self) -> &'static [&'static str] {
+        match self {
+            ModelFamily::MaternSpace => &["variance", "range", "smoothness"],
+            ModelFamily::GneitingSpaceTime => &[
+                "variance",
+                "range-space",
+                "smoothness-space",
+                "range-time",
+                "smoothness-time",
+                "nonsep-param",
+            ],
+        }
+    }
+
+    /// Per-parameter transforms to unconstrained optimizer space.
+    pub fn transforms(self) -> Vec<ParamTransform> {
+        match self {
+            ModelFamily::MaternSpace => vec![
+                ParamTransform::LogPositive,
+                ParamTransform::LogPositive,
+                ParamTransform::LogPositive,
+            ],
+            ModelFamily::GneitingSpaceTime => vec![
+                ParamTransform::LogPositive,
+                ParamTransform::LogPositive,
+                ParamTransform::LogPositive,
+                ParamTransform::LogPositive,
+                // α ∈ (0,1] and β ∈ [0,1] live on the unit interval.
+                ParamTransform::LogitUnit,
+                ParamTransform::LogitUnit,
+            ],
+        }
+    }
+
+    /// Build the kernel for a (natural-space) parameter vector.
+    pub fn kernel(self, theta: &[f64]) -> Box<dyn CovarianceKernel> {
+        assert_eq!(theta.len(), self.n_params());
+        match self {
+            ModelFamily::MaternSpace => {
+                Box::new(Matern::new(MaternParams::new(theta[0], theta[1], theta[2])))
+            }
+            ModelFamily::GneitingSpaceTime => Box::new(GneitingSpaceTime::new(
+                SpaceTimeParams::new(theta[0], theta[1], theta[2], theta[3], theta[4], theta[5]),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgs_covariance::Location;
+
+    #[test]
+    fn matern_kernel_roundtrip() {
+        let k = ModelFamily::MaternSpace.kernel(&[1.5, 0.2, 0.7]);
+        assert_eq!(k.n_params(), 3);
+        assert!((k.variance() - 1.5).abs() < 1e-15);
+        let a = Location::new(0.1, 0.1);
+        let b = Location::new(0.3, 0.4);
+        assert!(k.cov(&a, &b) > 0.0 && k.cov(&a, &b) < 1.5);
+    }
+
+    #[test]
+    fn spacetime_kernel_roundtrip() {
+        let k = ModelFamily::GneitingSpaceTime.kernel(&[1.0, 0.5, 1.0, 0.3, 0.9, 0.2]);
+        assert_eq!(k.n_params(), 6);
+        let a = Location::new_st(0.1, 0.1, 1.0);
+        let b = Location::new_st(0.2, 0.2, 3.0);
+        assert!(k.cov(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn names_align_with_dimensions() {
+        for fam in [ModelFamily::MaternSpace, ModelFamily::GneitingSpaceTime] {
+            assert_eq!(fam.param_names().len(), fam.n_params());
+            assert_eq!(fam.transforms().len(), fam.n_params());
+        }
+    }
+}

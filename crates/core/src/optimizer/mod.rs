@@ -1,0 +1,11 @@
+//! Derivative-free optimizers for the MLE.
+//!
+//! The log-likelihood surface is smooth but every evaluation costs a full
+//! Cholesky, so the paper's toolchain uses derivative-free methods:
+//! Nelder–Mead for single-fit pipelines and particle-swarm optimization
+//! (PSO) when weak-scaling the training across independent likelihood
+//! evaluations (§VI-D).
+
+pub mod neldermead;
+pub mod pso;
+pub mod transform;

@@ -1,0 +1,214 @@
+//! Nelder–Mead downhill simplex (minimization).
+//!
+//! Standard reflection/expansion/contraction/shrink with the adaptive
+//! coefficients of Gao & Han for higher dimensions. Used on the *negative*
+//! log-likelihood in unconstrained (transformed) coordinates.
+
+/// Options for the simplex search.
+#[derive(Clone, Copy, Debug)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions { max_evals: 500, f_tol: 1e-7, initial_step: 0.5 }
+    }
+}
+
+/// Search outcome.
+#[derive(Clone, Debug)]
+pub struct NelderMeadResult {
+    pub x: Vec<f64>,
+    pub f: f64,
+    pub evals: usize,
+    pub converged: bool,
+}
+
+/// Minimize `f` starting from `x0`.
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> NelderMeadResult {
+    let n = x0.len();
+    assert!(n >= 1);
+    // Adaptive coefficients (Gao & Han 2012).
+    let nf = n as f64;
+    let alpha = 1.0;
+    let beta = 1.0 + 2.0 / nf;
+    let gamma = 0.75 - 1.0 / (2.0 * nf);
+    let delta = 1.0 - 1.0 / nf;
+
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus per-coordinate steps.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        xi[i] += opts.initial_step;
+        let fi = eval(&xi, &mut evals);
+        simplex.push((xi, fi));
+    }
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.f_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in simplex.iter().take(n) {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / nf;
+            }
+        }
+        let worst = simplex[n].clone();
+        let point = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + t * (c - w))
+                .collect()
+        };
+
+        // Reflect.
+        let xr = point(alpha);
+        let fr = eval(&xr, &mut evals);
+        if fr < simplex[0].1 {
+            // Expand.
+            let xe = point(beta);
+            let fe = eval(&xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+            continue;
+        }
+        if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+            continue;
+        }
+        // Contract (outside if the reflection improved on the worst).
+        let (xc, fc) = if fr < worst.1 {
+            let xc = point(gamma);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        } else {
+            let xc = point(-gamma);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        };
+        if fc < worst.1.min(fr) {
+            simplex[n] = (xc, fc);
+            continue;
+        }
+        // Shrink toward the best.
+        let best = simplex[0].0.clone();
+        for item in simplex.iter_mut().skip(1) {
+            let xnew: Vec<f64> = best
+                .iter()
+                .zip(&item.0)
+                .map(|(b, x)| b + delta * (x - b))
+                .collect();
+            let fnew = eval(&xnew, &mut evals);
+            *item = (xnew, fnew);
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    NelderMeadResult {
+        x: simplex[0].0.clone(),
+        f: simplex[0].1,
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let opts = NelderMeadOptions { max_evals: 4000, f_tol: 1e-12, initial_step: 0.5 };
+        let r = nelder_mead(
+            |x| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            },
+            &[-1.2, 1.0],
+            &opts,
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-2, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn handles_nan_objective_as_infinite() {
+        // A hole in the domain must not poison the search.
+        let r = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 2.0).powi(2)
+                }
+            },
+            &[1.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut count = 0usize;
+        let opts = NelderMeadOptions { max_evals: 50, f_tol: 0.0, initial_step: 1.0 };
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x.iter().map(|v| v * v).sum::<f64>()
+            },
+            &[5.0, 5.0, 5.0],
+            &opts,
+        );
+        assert!(count <= 50 + 4, "count {count}"); // small overshoot from shrink loop
+    }
+
+    #[test]
+    fn one_dimensional_case() {
+        let r = nelder_mead(|x| (x[0] - 0.5).abs(), &[10.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 0.5).abs() < 1e-3);
+    }
+}

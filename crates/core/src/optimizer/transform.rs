@@ -1,0 +1,90 @@
+//! Bound-handling parameter transforms.
+//!
+//! Optimizers work in unconstrained coordinates; each model parameter maps
+//! through one of these bijections so positivity (`σ², a, ν`) and
+//! unit-interval (`α, β`) constraints hold by construction.
+
+/// A scalar bijection between a constrained natural space and ℝ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamTransform {
+    /// `(0, ∞) ↔ ℝ` via `log` / `exp`.
+    LogPositive,
+    /// `(0, 1) ↔ ℝ` via logit / logistic (used for `(0,1]`-bounded
+    /// parameters; the open upper end is numerically immaterial).
+    LogitUnit,
+    /// Identity (unbounded parameters).
+    Identity,
+}
+
+impl ParamTransform {
+    /// Natural → unconstrained.
+    pub fn forward(self, x: f64) -> f64 {
+        match self {
+            ParamTransform::LogPositive => x.max(1e-300).ln(),
+            ParamTransform::LogitUnit => {
+                let c = x.clamp(1e-12, 1.0 - 1e-12);
+                (c / (1.0 - c)).ln()
+            }
+            ParamTransform::Identity => x,
+        }
+    }
+
+    /// Unconstrained → natural.
+    pub fn inverse(self, y: f64) -> f64 {
+        match self {
+            ParamTransform::LogPositive => y.exp(),
+            ParamTransform::LogitUnit => 1.0 / (1.0 + (-y).exp()),
+            ParamTransform::Identity => y,
+        }
+    }
+}
+
+/// Apply `forward` element-wise.
+pub fn forward_all(ts: &[ParamTransform], x: &[f64]) -> Vec<f64> {
+    ts.iter().zip(x).map(|(t, &v)| t.forward(v)).collect()
+}
+
+/// Apply `inverse` element-wise.
+pub fn inverse_all(ts: &[ParamTransform], y: &[f64]) -> Vec<f64> {
+    ts.iter().zip(y).map(|(t, &v)| t.inverse(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        for &t in &[ParamTransform::LogPositive, ParamTransform::LogitUnit, ParamTransform::Identity]
+        {
+            for &x in &[0.01, 0.3, 0.77, 0.99] {
+                let y = t.forward(x);
+                assert!((t.inverse(y) - x).abs() < 1e-12, "{t:?} at {x}");
+            }
+        }
+        // LogPositive handles large values too.
+        let t = ParamTransform::LogPositive;
+        assert!((t.inverse(t.forward(123.0)) - 123.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constraints_hold_for_any_unconstrained_value() {
+        for &y in &[-50.0, -1.0, 0.0, 1.0, 50.0] {
+            assert!(ParamTransform::LogPositive.inverse(y) > 0.0);
+            let u = ParamTransform::LogitUnit.inverse(y);
+            // Saturates to exactly 1.0 in f64 for large y, which the (0,1]
+            // model parameters accept.
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let ts = [ParamTransform::LogPositive, ParamTransform::LogitUnit];
+        let x = [2.0, 0.25];
+        let y = forward_all(&ts, &x);
+        let back = inverse_all(&ts, &y);
+        assert!((back[0] - 2.0).abs() < 1e-12);
+        assert!((back[1] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic Gaussian random field simulation.
+//!
+//! `Z = L ε` with `Σ = L Lᵀ` and `ε ~ N(0, I)` — the exact sampler
+//! ExaGeoStat uses for its synthetic datasets (paper §VII-A: "These sets of
+//! parameters combinations have been used to generate synthetic datasets
+//! using the ExaGeoStat software"). Exact dense Cholesky is fine at the
+//! scales we materialize (the sampler is not the bottleneck under study).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xgs_covariance::{covariance_matrix, CovarianceKernel, Location};
+use xgs_linalg::cholesky_in_place;
+
+/// Draw one field realization at `locs` under `kernel`, deterministic in
+/// `seed`.
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_field(kernel: &dyn CovarianceKernel, locs: &[Location], seed: u64) -> Vec<f64> {
+    let n = locs.len();
+    let mut c = covariance_matrix(kernel, locs);
+    cholesky_in_place(&mut c).expect("covariance must be SPD for simulation");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let eps: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+    // z = L * eps (lower triangular product).
+    let mut z = vec![0.0; n];
+    for j in 0..n {
+        let ej = eps[j];
+        if ej == 0.0 {
+            continue;
+        }
+        let col = c.col(j);
+        for (i, zi) in z.iter_mut().enumerate().skip(j) {
+            *zi += col[i] * ej;
+        }
+    }
+    z
+}
+
+/// `reps` independent realizations (seeds `seed..seed+reps`).
+#[allow(clippy::needless_range_loop)]
+pub fn simulate_fields(
+    kernel: &dyn CovarianceKernel,
+    locs: &[Location],
+    seed: u64,
+    reps: usize,
+) -> Vec<Vec<f64>> {
+    // Factor once, sample many.
+    let n = locs.len();
+    let mut c = covariance_matrix(kernel, locs);
+    cholesky_in_place(&mut c).expect("covariance must be SPD for simulation");
+    (0..reps)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(seed + r as u64);
+            let eps: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+            let mut z = vec![0.0; n];
+            for j in 0..n {
+                let ej = eps[j];
+                if ej == 0.0 {
+                    continue;
+                }
+                let col = c.col(j);
+                for (i, zi) in z.iter_mut().enumerate().skip(j) {
+                    *zi += col[i] * ej;
+                }
+            }
+            z
+        })
+        .collect()
+}
+
+/// Box–Muller standard normal.
+pub fn standard_normal<R: rand::Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random_range(0.0..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        if u1 > 1e-300 {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
+
+    fn locs(n: usize) -> Vec<Location> {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut l = jittered_grid(n, &mut rng);
+        morton_order(&mut l);
+        l
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let kernel = Matern::new(MaternParams::new(1.0, 0.1, 0.5));
+        let ls = locs(100);
+        let a = simulate_field(&kernel, &ls, 7);
+        let b = simulate_field(&kernel, &ls, 7);
+        let c = simulate_field(&kernel, &ls, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn marginal_variance_is_sigma2() {
+        // Average sample variance across many reps approaches sigma^2.
+        let sigma2 = 2.0;
+        let kernel = Matern::new(MaternParams::new(sigma2, 0.05, 0.5));
+        let ls = locs(150);
+        let fields = simulate_fields(&kernel, &ls, 1, 60);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for f in &fields {
+            for &v in f {
+                total += v * v;
+                count += 1;
+            }
+        }
+        let var = total / count as f64;
+        assert!(
+            (var - sigma2).abs() < 0.25 * sigma2,
+            "sample variance {var} vs {sigma2}"
+        );
+    }
+
+    #[test]
+    fn nearby_points_are_correlated() {
+        // With a long range the field must be smooth: neighbour differences
+        // much smaller than the marginal spread.
+        let kernel = Matern::new(MaternParams::new(1.0, 0.5, 1.5));
+        let ls = locs(200);
+        let fields = simulate_fields(&kernel, &ls, 3, 20);
+        let mut diff = 0.0;
+        let mut marg = 0.0;
+        for f in &fields {
+            for w in f.windows(2) {
+                diff += (w[1] - w[0]).powi(2);
+            }
+            for &v in f {
+                marg += v * v;
+            }
+        }
+        // Morton-adjacent points are spatially adjacent.
+        assert!(diff / marg < 0.2, "field not smooth: ratio {}", diff / marg);
+    }
+
+    #[test]
+    fn fields_are_independent_across_reps() {
+        let kernel = Matern::new(MaternParams::new(1.0, 0.1, 0.5));
+        let ls = locs(120);
+        let fields = simulate_fields(&kernel, &ls, 11, 2);
+        // Cross-correlation of two independent reps should be small.
+        let n = ls.len() as f64;
+        let dot: f64 = fields[0].iter().zip(&fields[1]).map(|(a, b)| a * b).sum();
+        let n0: f64 = fields[0].iter().map(|x| x * x).sum::<f64>().sqrt();
+        let n1: f64 = fields[1].iter().map(|x| x * x).sum::<f64>().sqrt();
+        let corr = dot / (n0 * n1);
+        assert!(corr.abs() < 3.5 / n.sqrt() * 3.0, "cross-corr {corr}");
+    }
+}

@@ -1,0 +1,193 @@
+//! The Matérn covariance family (paper §IV-A.3).
+//!
+//! Parametrized ExaGeoStat-style as `θ = (σ², a, ν)`: variance, spatial
+//! range, and smoothness, with
+//! `C(r) = σ² · 2^{1-ν}/Γ(ν) · (r/a)^ν · K_ν(r/a)` and `C(0) = σ²`.
+
+use crate::bessel::{bessel_k, ln_gamma};
+
+/// Matérn parameter vector `θ = (σ², a, ν)` — the three parameters the
+/// paper's Fig. 6 boxplots and Table I estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaternParams {
+    /// Variance `σ² = θ_0 > 0`.
+    pub sigma2: f64,
+    /// Spatial range `a = θ_1 > 0` (the paper's weak/medium/strong
+    /// correlations are `a = 0.03 / 0.1 / 0.3` on the unit square).
+    pub range: f64,
+    /// Smoothness `ν = θ_2 > 0` (field is `⌈ν⌉-1` times differentiable).
+    pub smoothness: f64,
+}
+
+impl MaternParams {
+    pub fn new(sigma2: f64, range: f64, smoothness: f64) -> MaternParams {
+        assert!(sigma2 > 0.0 && range > 0.0 && smoothness > 0.0);
+        MaternParams { sigma2, range, smoothness }
+    }
+
+    /// As a flat vector for the optimizer.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![self.sigma2, self.range, self.smoothness]
+    }
+
+    pub fn from_slice(v: &[f64]) -> MaternParams {
+        MaternParams::new(v[0], v[1], v[2])
+    }
+}
+
+/// The Matérn *correlation* `M_ν(t)` for normalized distance `t = r/a`
+/// (so `M_ν(0) = 1`). Closed forms for half-integer ν, Bessel otherwise.
+pub fn matern_correlation(nu: f64, t: f64) -> f64 {
+    debug_assert!(nu > 0.0);
+    if t == 0.0 {
+        return 1.0;
+    }
+    if !(0.0..f64::INFINITY).contains(&t) {
+        return f64::NAN;
+    }
+    // Fast paths: the classical closed forms.
+    if nu == 0.5 {
+        return (-t).exp();
+    }
+    if nu == 1.5 {
+        return (1.0 + t) * (-t).exp();
+    }
+    if nu == 2.5 {
+        return (1.0 + t + t * t / 3.0) * (-t).exp();
+    }
+    // General case: 2^{1-nu}/Γ(nu) t^nu K_nu(t), computed in log space for
+    // robustness at large t (K_nu underflows around t ~ 700).
+    let ln_coef = (1.0 - nu) * std::f64::consts::LN_2 - ln_gamma(nu) + nu * t.ln();
+    let k = bessel_k(nu, t);
+    if k == 0.0 {
+        return 0.0;
+    }
+    (ln_coef + k.ln()).exp()
+}
+
+/// [`matern_correlation`] with a precomputed `(1-ν)ln2 - lnΓ(ν)` prefactor
+/// (`NaN` selects the half-integer closed forms). Kernels that evaluate
+/// `O(n²)` correlations cache the prefactor through this entry point.
+#[inline]
+pub fn matern_correlation_with_coef(nu: f64, ln_coef: f64, t: f64) -> f64 {
+    if t == 0.0 {
+        return 1.0;
+    }
+    if ln_coef.is_nan() {
+        return matern_correlation(nu, t);
+    }
+    let k = bessel_k(nu, t);
+    if k == 0.0 {
+        return 0.0;
+    }
+    (ln_coef + nu * t.ln() + k.ln()).exp()
+}
+
+/// The cached prefactor for [`matern_correlation_with_coef`].
+#[inline]
+pub fn matern_ln_coef(nu: f64) -> f64 {
+    if nu == 0.5 || nu == 1.5 || nu == 2.5 {
+        f64::NAN
+    } else {
+        (1.0 - nu) * std::f64::consts::LN_2 - ln_gamma(nu)
+    }
+}
+
+/// A concrete Matérn kernel over 2D Euclidean distance.
+///
+/// Caches the `2^{1-ν}/Γ(ν)` prefactor (in log space): covariance assembly
+/// evaluates the kernel `O(n²)` times per likelihood call, and recomputing
+/// `ln Γ(ν)` per entry dominates the general-ν path otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct Matern {
+    pub params: MaternParams,
+    /// `(1-ν) ln 2 - ln Γ(ν)`, or NaN when a closed-form ν fast path applies.
+    ln_coef: f64,
+}
+
+impl Matern {
+    pub fn new(params: MaternParams) -> Matern {
+        Matern { params, ln_coef: matern_ln_coef(params.smoothness) }
+    }
+
+    /// Covariance at Euclidean distance `r`.
+    #[inline]
+    pub fn cov_at_distance(&self, r: f64) -> f64 {
+        let nu = self.params.smoothness;
+        let t = r / self.params.range;
+        if t == 0.0 {
+            return self.params.sigma2;
+        }
+        self.params.sigma2 * matern_correlation_with_coef(nu, self.ln_coef, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_is_one_at_zero_and_decays() {
+        for &nu in &[0.3f64, 0.5, 1.0, 1.5, 2.5, 3.7] {
+            assert_eq!(matern_correlation(nu, 0.0), 1.0);
+            let mut prev = 1.0;
+            for i in 1..60 {
+                let t = i as f64 * 0.25;
+                let c = matern_correlation(nu, t);
+                assert!(c > 0.0 && c < prev, "nu={nu} t={t}: {c} !< {prev}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn closed_forms_match_bessel_path() {
+        // Evaluate the generic Bessel formula at ν slightly off the
+        // half-integers and check continuity with the fast paths.
+        for &(nu, _) in &[(0.5f64, ()), (1.5, ()), (2.5, ())] {
+            for &t in &[0.1f64, 0.7, 2.0, 5.0] {
+                let exact = matern_correlation(nu, t);
+                let generic = {
+                    // Bypass the fast path by nudging nu by 1e-9.
+                    matern_correlation(nu + 1e-9, t)
+                };
+                assert!(
+                    (exact - generic).abs() < 1e-6,
+                    "nu={nu} t={t}: {exact} vs {generic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoother_fields_have_heavier_near_origin_correlation() {
+        // At small t, larger ν keeps correlation closer to 1.
+        let t = 0.3;
+        let c1 = matern_correlation(0.5, t);
+        let c2 = matern_correlation(1.5, t);
+        let c3 = matern_correlation(2.5, t);
+        assert!(c1 < c2 && c2 < c3);
+    }
+
+    #[test]
+    fn underflow_far_field_is_zero_not_nan() {
+        let c = matern_correlation(0.8, 1.0e4);
+        assert!((0.0..1e-300).contains(&c));
+        assert!(!c.is_nan());
+    }
+
+    #[test]
+    fn kernel_scales_by_variance_and_range() {
+        let k = Matern::new(MaternParams::new(2.5, 0.1, 0.5));
+        assert!((k.cov_at_distance(0.0) - 2.5).abs() < 1e-15);
+        // exp decay with range 0.1: C(r) = 2.5 exp(-r/0.1)
+        let r = 0.05;
+        assert!((k.cov_at_distance(r) - 2.5 * (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let p = MaternParams::new(0.67, 0.17, 0.44);
+        assert_eq!(MaternParams::from_slice(&p.to_vec()), p);
+    }
+}

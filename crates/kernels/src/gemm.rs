@@ -1,0 +1,386 @@
+//! General matrix-matrix multiply: `C <- alpha * op(A) * op(B) + beta * C`.
+//!
+//! Column-major with explicit leading dimensions, like BLAS `xGEMM`. The
+//! FP64/FP32 path is generic over [`Real`]; the FP16 path ([`shgemm`]) trims
+//! operands to binary16 and accumulates in FP32 (the paper's SHGEMM).
+
+use crate::half::Half;
+use crate::Real;
+
+/// Transposition flag for a GEMM operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    No,
+    Yes,
+}
+
+/// `C <- alpha * op(A) * op(B) + beta * C`.
+///
+/// * `m, n` — dimensions of `C`; `k` — inner dimension.
+/// * `op(A)` is `m x k`, `op(B)` is `k x n`.
+///
+/// Panics if a leading dimension is smaller than the operand's row count.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm<T: Real>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let (a_rows, a_cols) = match transa {
+        Trans::No => (m, k),
+        Trans::Yes => (k, m),
+    };
+    let (b_rows, b_cols) = match transb {
+        Trans::No => (k, n),
+        Trans::Yes => (n, k),
+    };
+    assert!(lda >= a_rows.max(1), "lda {lda} < rows of A {a_rows}");
+    assert!(ldb >= b_rows.max(1), "ldb {ldb} < rows of B {b_rows}");
+    assert!(ldc >= m.max(1), "ldc {ldc} < m {m}");
+    if a_cols > 0 && a_rows > 0 {
+        assert!(a.len() >= lda * (a_cols - 1) + a_rows);
+    }
+    if b_cols > 0 && b_rows > 0 {
+        assert!(b.len() >= ldb * (b_cols - 1) + b_rows);
+    }
+    if n > 0 {
+        assert!(c.len() >= ldc * (n - 1) + m);
+    }
+
+    // Scale C by beta first (also handles k == 0).
+    if beta != T::ONE {
+        for j in 0..n {
+            let col = &mut c[j * ldc..j * ldc + m];
+            if beta == T::ZERO {
+                for x in col.iter_mut() {
+                    *x = T::ZERO;
+                }
+            } else {
+                for x in col.iter_mut() {
+                    *x = *x * beta;
+                }
+            }
+        }
+    }
+    if k == 0 || m == 0 || n == 0 || alpha == T::ZERO {
+        return;
+    }
+
+    match (transa, transb) {
+        (Trans::No, Trans::No) => {
+            // C[:,j] += alpha * A[:,l] * B[l,j] — pure axpy over columns,
+            // vectorizes along m.
+            for j in 0..n {
+                for l in 0..k {
+                    let blj = alpha * b[l + j * ldb];
+                    if blj == T::ZERO {
+                        continue;
+                    }
+                    let acol = &a[l * lda..l * lda + m];
+                    let ccol = &mut c[j * ldc..j * ldc + m];
+                    for (ci, ai) in ccol.iter_mut().zip(acol) {
+                        *ci = ai.mul_add(blj, *ci);
+                    }
+                }
+            }
+        }
+        (Trans::No, Trans::Yes) => {
+            // C[:,j] += alpha * A[:,l] * B[j,l]; B accessed row-wise but the
+            // inner loop still streams columns of A and C.
+            for j in 0..n {
+                for l in 0..k {
+                    let blj = alpha * b[j + l * ldb];
+                    if blj == T::ZERO {
+                        continue;
+                    }
+                    let acol = &a[l * lda..l * lda + m];
+                    let ccol = &mut c[j * ldc..j * ldc + m];
+                    for (ci, ai) in ccol.iter_mut().zip(acol) {
+                        *ci = ai.mul_add(blj, *ci);
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::No) => {
+            // C[i,j] += alpha * dot(A[:,i], B[:,j]) — dot products down
+            // contiguous columns.
+            for j in 0..n {
+                let bcol = &b[j * ldb..j * ldb + k];
+                for i in 0..m {
+                    let acol = &a[i * lda..i * lda + k];
+                    let mut s = T::ZERO;
+                    for (ai, bi) in acol.iter().zip(bcol) {
+                        s = ai.mul_add(*bi, s);
+                    }
+                    c[i + j * ldc] += alpha * s;
+                }
+            }
+        }
+        (Trans::Yes, Trans::Yes) => {
+            // C[i,j] += alpha * sum_l A[l,i] * B[j,l].
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = &a[i * lda..i * lda + k];
+                    let mut s = T::ZERO;
+                    for (l, ai) in acol.iter().enumerate() {
+                        s = ai.mul_add(b[j + l * ldb], s);
+                    }
+                    c[i + j * ldc] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper for the common `C <- beta*C + alpha*A*B` case.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_notrans<T: Real>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    gemm(Trans::No, Trans::No, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+/// SHGEMM: `C(f32) <- alpha * op(f16(A)) * op(f16(B)) + beta * C`.
+///
+/// Operands arrive already trimmed to binary16 tiles; every product
+/// `a_il * b_lj` is computed on the exact `f32` values of the halves and
+/// accumulated in `f32`, reproducing the mixed-precision HGEMM-with-FP32-
+/// accumulation the paper obtains from BLIS on A64FX (Fig. 8) and from
+/// trimmed SGEMM on Shaheen II.
+#[allow(clippy::too_many_arguments)]
+pub fn shgemm(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[Half],
+    lda: usize,
+    b: &[Half],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    // Promote operand panels once (exact), then run the f32 kernel. This is
+    // precisely "call an SGEMM BLAS routine to accumulate in FP32".
+    let (a_rows, a_cols) = match transa {
+        Trans::No => (m, k),
+        Trans::Yes => (k, m),
+    };
+    let (b_rows, b_cols) = match transb {
+        Trans::No => (k, n),
+        Trans::Yes => (n, k),
+    };
+    let mut af = vec![0f32; a_rows * a_cols.max(1)];
+    for j in 0..a_cols {
+        for i in 0..a_rows {
+            af[i + j * a_rows] = a[i + j * lda].to_f32();
+        }
+    }
+    let mut bf = vec![0f32; b_rows * b_cols.max(1)];
+    for j in 0..b_cols {
+        for i in 0..b_rows {
+            bf[i + j * b_rows] = b[i + j * ldb].to_f32();
+        }
+    }
+    gemm(
+        transa,
+        transb,
+        m,
+        n,
+        k,
+        alpha,
+        &af,
+        a_rows.max(1),
+        &bf,
+        b_rows.max(1),
+        beta,
+        c,
+        ldc,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unoptimized triple loop used as the oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_ref(
+        transa: Trans,
+        transb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        a: &[f64],
+        lda: usize,
+        b: &[f64],
+        ldb: usize,
+        beta: f64,
+        c: &mut [f64],
+        ldc: usize,
+    ) {
+        for j in 0..n {
+            for i in 0..m {
+                let mut s = 0.0;
+                for l in 0..k {
+                    let av = match transa {
+                        Trans::No => a[i + l * lda],
+                        Trans::Yes => a[l + i * lda],
+                    };
+                    let bv = match transb {
+                        Trans::No => b[l + j * ldb],
+                        Trans::Yes => b[j + l * ldb],
+                    };
+                    s += av * bv;
+                }
+                c[i + j * ldc] = alpha * s + beta * c[i + j * ldc];
+            }
+        }
+    }
+
+    fn fill(n: usize, seed: u64) -> Vec<f64> {
+        // Tiny deterministic LCG so the kernel crate stays dependency-free.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_reference() {
+        let (m, n, k) = (13, 7, 9);
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (ar, ac) = if ta == Trans::No { (m, k) } else { (k, m) };
+            let (br, bc) = if tb == Trans::No { (k, n) } else { (n, k) };
+            let a = fill(ar * ac, 1);
+            let b = fill(br * bc, 2);
+            let mut c1 = fill(m * n, 3);
+            let mut c2 = c1.clone();
+            gemm(ta, tb, m, n, k, 0.7, &a, ar, &b, br, -1.3, &mut c1, m);
+            gemm_ref(ta, tb, m, n, k, 0.7, &a, ar, &b, br, -1.3, &mut c2, m);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() < 1e-12, "{ta:?} {tb:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_leading_dimension_padding() {
+        let (m, n, k) = (4, 3, 5);
+        let (lda, ldb, ldc) = (7, 8, 6);
+        let a = fill(lda * k, 4);
+        let b = fill(ldb * n, 5);
+        let mut c = fill(ldc * n, 6);
+        let c_orig = c.clone();
+        let mut cref = c.clone();
+        gemm(Trans::No, Trans::No, m, n, k, 1.0, &a, lda, &b, ldb, 0.5, &mut c, ldc);
+        gemm_ref(Trans::No, Trans::No, m, n, k, 1.0, &a, lda, &b, ldb, 0.5, &mut cref, ldc);
+        for j in 0..n {
+            for i in 0..ldc {
+                let idx = i + j * ldc;
+                if i < m {
+                    assert!((c[idx] - cref[idx]).abs() < 1e-12);
+                } else {
+                    // Padding rows between columns must be untouched.
+                    assert_eq!(c[idx], c_orig[idx]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_even_nan() {
+        let a = [1.0f64, 0.0, 0.0, 1.0];
+        let b = [2.0f64, 3.0, 4.0, 5.0];
+        let mut c = [f64::NAN; 4];
+        gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        assert_eq!(c, [2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn k_zero_is_a_scaling() {
+        let a: [f64; 0] = [];
+        let b: [f64; 0] = [];
+        let mut c = [1.0f64, 2.0, 3.0, 4.0];
+        gemm(Trans::No, Trans::No, 2, 2, 0, 1.0, &a, 2, &b, 1, 2.0, &mut c, 2);
+        assert_eq!(c, [2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn f32_kernel_matches_f64_within_single_precision() {
+        let (m, n, k) = (16, 16, 16);
+        let a = fill(m * k, 7);
+        let b = fill(k * n, 8);
+        let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        let mut c64 = vec![0f64; m * n];
+        let mut c32 = vec![0f32; m * n];
+        gemm(Trans::No, Trans::Yes, m, n, k, 1.0, &a, m, &b, n, 0.0, &mut c64, m);
+        gemm(Trans::No, Trans::Yes, m, n, k, 1.0f32, &a32, m, &b32, n, 0.0, &mut c32, m);
+        for (x, y) in c64.iter().zip(&c32) {
+            assert!((x - *y as f64).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shgemm_accumulates_in_f32_not_f16() {
+        // Sum of 1000 copies of 0.001: pure f16 accumulation would stall far
+        // from 1.0 (0.001 rounds to ~0.0010004, and adding tiny increments to
+        // a growing sum loses them); f32 accumulation stays within ~1e-4.
+        let k = 1000;
+        let a: Vec<Half> = (0..k).map(|_| Half::from_f32(0.001)).collect();
+        let b: Vec<Half> = (0..k).map(|_| Half::ONE).collect();
+        let mut c = [0f32];
+        shgemm(Trans::Yes, Trans::No, 1, 1, k, 1.0, &a, k, &b, k, 0.0, &mut c, 1);
+        assert!((c[0] - 1.0).abs() < 5e-4, "got {}", c[0]);
+    }
+
+    #[test]
+    fn shgemm_matches_promoted_sgemm() {
+        let (m, n, k) = (8, 5, 6);
+        let af = fill(m * k, 10);
+        let bf = fill(n * k, 11);
+        let a: Vec<Half> = af.iter().map(|&x| Half::from_f64(x)).collect();
+        let b: Vec<Half> = bf.iter().map(|&x| Half::from_f64(x)).collect();
+        let mut c = vec![0f32; m * n];
+        shgemm(Trans::No, Trans::Yes, m, n, k, 1.0, &a, m, &b, n, 0.0, &mut c, m);
+        // Oracle: promote halves exactly, run f32 gemm.
+        let ap: Vec<f32> = a.iter().map(|h| h.to_f32()).collect();
+        let bp: Vec<f32> = b.iter().map(|h| h.to_f32()).collect();
+        let mut cref = vec![0f32; m * n];
+        gemm(Trans::No, Trans::Yes, m, n, k, 1.0f32, &ap, m, &bp, n, 0.0f32, &mut cref, m);
+        assert_eq!(c, cref);
+    }
+}

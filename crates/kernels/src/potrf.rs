@@ -1,0 +1,187 @@
+//! Cholesky factorization of a single tile (`POTRF`).
+//!
+//! `A = L * L^T` with `A` symmetric positive definite; only the lower
+//! triangle of `A` is read and it is overwritten by `L`. Right-looking
+//! unblocked algorithm — tiles are small enough (hundreds) that blocking
+//! within the tile buys nothing once the tile algorithm blocks above it.
+
+use crate::Real;
+
+/// Failure of a tile Cholesky: the matrix is not (numerically) positive
+/// definite. Carries the 0-based index of the offending pivot, like
+/// LAPACK's `info`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PotrfError {
+    /// Index of the first non-positive pivot.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for PotrfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite: leading minor {} is not positive",
+            self.pivot + 1
+        )
+    }
+}
+
+impl std::error::Error for PotrfError {}
+
+/// Factor the lower triangle in place: `A <- L` with `A = L L^T`.
+pub fn potrf<T: Real>(n: usize, a: &mut [T], lda: usize) -> Result<(), PotrfError> {
+    assert!(lda >= n.max(1));
+    if n > 0 {
+        assert!(a.len() >= lda * (n - 1) + n);
+    }
+    for j in 0..n {
+        // d = A[j,j] - sum_{p<j} L[j,p]^2
+        let mut d = a[j + j * lda];
+        for p in 0..j {
+            let ljp = a[j + p * lda];
+            d = (-ljp).mul_add(ljp, d);
+        }
+        // NaN must fail too, hence the negated comparison (not `d <= 0`).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(d > T::ZERO) || !d.to_f64().is_finite() {
+            return Err(PotrfError { pivot: j });
+        }
+        let ljj = d.sqrt();
+        a[j + j * lda] = ljj;
+        let inv = T::ONE / ljj;
+        // Column below the pivot: L[i,j] = (A[i,j] - sum L[i,p] L[j,p]) / L[j,j]
+        for p in 0..j {
+            let ljp = a[j + p * lda];
+            if ljp == T::ZERO {
+                continue;
+            }
+            // a[j+1.., j] -= ljp * a[j+1.., p]; columns are disjoint.
+            let (lo, hi) = a.split_at_mut(j * lda);
+            let pcol = &lo[p * lda + j + 1..p * lda + n];
+            let jcol = &mut hi[j + 1..n];
+            for (x, y) in jcol.iter_mut().zip(pcol) {
+                *x = (-ljp).mul_add(*y, *x);
+            }
+        }
+        for i in j + 1..n {
+            let idx = i + j * lda;
+            a[idx] = a[idx] * inv;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Trans};
+
+    fn fill(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Random SPD matrix: B B^T + n*I.
+    fn spd(n: usize, seed: u64) -> Vec<f64> {
+        let b = fill(n * n, seed);
+        let mut a = vec![0f64; n * n];
+        gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &b, n, &b, n, 0.0, &mut a, n);
+        for i in 0..n {
+            a[i + i * n] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs_spd_matrix() {
+        let n = 12;
+        let a = spd(n, 1);
+        let mut l = a.clone();
+        potrf(n, &mut l, n).unwrap();
+        // Zero the strict upper triangle of L before forming L L^T (potrf
+        // leaves the original upper half in place).
+        for j in 0..n {
+            for i in 0..j {
+                l[i + j * n] = 0.0;
+            }
+        }
+        let mut rec = vec![0f64; n * n];
+        gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &l, n, &l, n, 0.0, &mut rec, n);
+        for j in 0..n {
+            for i in j..n {
+                assert!(
+                    (rec[i + j * n] - a[i + j * n]).abs() < 1e-10,
+                    "({i},{j}): {} vs {}",
+                    rec[i + j * n],
+                    a[i + j * n]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_indefinite_matrix() {
+        // Diagonal with a negative entry at position 2.
+        let n = 4;
+        let mut a = vec![0f64; n * n];
+        for i in 0..n {
+            a[i + i * n] = 1.0;
+        }
+        a[2 + 2 * n] = -1.0;
+        let err = potrf(n, &mut a, n).unwrap_err();
+        assert_eq!(err.pivot, 2);
+    }
+
+    #[test]
+    fn detects_nan() {
+        let n = 3;
+        let mut a = vec![0f64; n * n];
+        for i in 0..n {
+            a[i + i * n] = 1.0;
+        }
+        a[1 + n] = f64::NAN;
+        assert!(potrf(n, &mut a, n).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let mut a = [4.0f64];
+        potrf(1, &mut a, 1).unwrap();
+        assert_eq!(a[0], 2.0);
+        let mut bad = [-1.0f64];
+        assert!(potrf(1, &mut bad, 1).is_err());
+    }
+
+    #[test]
+    fn identity_is_its_own_factor() {
+        let n = 5;
+        let mut a = vec![0f64; n * n];
+        for i in 0..n {
+            a[i + i * n] = 1.0;
+        }
+        potrf(n, &mut a, n).unwrap();
+        for i in 0..n {
+            assert_eq!(a[i + i * n], 1.0);
+        }
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let n = 8;
+        let a64 = spd(n, 2);
+        let mut a32: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+        potrf(n, &mut a32, n).unwrap();
+        let mut ref64 = a64.clone();
+        potrf(n, &mut ref64, n).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                assert!((a32[i + j * n] as f64 - ref64[i + j * n]).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Symmetric rank-k update, the `SYRK` kernel of Algorithm 1.
+//!
+//! In the tile Cholesky, `SYRK` updates a diagonal tile with a panel tile:
+//! `C <- alpha * A * A^T + beta * C`, touching only the lower triangle of
+//! `C` (the covariance matrix is symmetric, so only the lower half is ever
+//! stored or updated).
+
+use crate::Real;
+
+/// `C <- alpha * A * A^T + beta * C`, lower triangle only.
+///
+/// * `n` — order of `C`; `k` — number of columns of `A`.
+/// * The strict upper triangle of `C` is left untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_lower_notrans<T: Real>(
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    assert!(lda >= n.max(1));
+    assert!(ldc >= n.max(1));
+    if k > 0 {
+        assert!(a.len() >= lda * (k - 1) + n);
+    }
+    if n > 0 {
+        assert!(c.len() >= ldc * (n - 1) + n);
+    }
+
+    if beta != T::ONE {
+        for j in 0..n {
+            for i in j..n {
+                let idx = i + j * ldc;
+                c[idx] = if beta == T::ZERO { T::ZERO } else { c[idx] * beta };
+            }
+        }
+    }
+    if k == 0 || alpha == T::ZERO {
+        return;
+    }
+    // Column-j of the update: C[j.., j] += alpha * A[j.., l] * A[j, l].
+    for j in 0..n {
+        for l in 0..k {
+            let ajl = alpha * a[j + l * lda];
+            if ajl == T::ZERO {
+                continue;
+            }
+            let acol = &a[l * lda + j..l * lda + n];
+            let ccol = &mut c[j * ldc + j..j * ldc + n];
+            for (ci, ai) in ccol.iter_mut().zip(acol) {
+                *ci = ai.mul_add(ajl, *ci);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Trans};
+
+    fn fill(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_full_gemm_on_lower_triangle() {
+        let (n, k) = (9, 6);
+        let a = fill(n * k, 1);
+        let mut c_syrk = fill(n * n, 2);
+        // Symmetrize the seed so the GEMM oracle agrees on the lower part.
+        let mut c_full = c_syrk.clone();
+        gemm(Trans::No, Trans::Yes, n, n, k, 0.9, &a, n, &a, n, 0.4, &mut c_full, n);
+        syrk_lower_notrans(n, k, 0.9, &a, n, 0.4, &mut c_syrk, n);
+        for j in 0..n {
+            for i in j..n {
+                assert!((c_syrk[i + j * n] - c_full[i + j * n]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_triangle_untouched() {
+        let (n, k) = (5, 3);
+        let a = fill(n * k, 3);
+        let mut c = fill(n * n, 4);
+        let before = c.clone();
+        syrk_lower_notrans(n, k, 1.0, &a, n, -2.0, &mut c, n);
+        for j in 0..n {
+            for i in 0..j {
+                assert_eq!(c[i + j * n], before[i + j * n]);
+            }
+        }
+    }
+
+    #[test]
+    fn produces_positive_semidefinite_update() {
+        // C = A A^T must have nonnegative diagonal.
+        let (n, k) = (8, 4);
+        let a = fill(n * k, 5);
+        let mut c = vec![0f64; n * n];
+        syrk_lower_notrans(n, k, 1.0, &a, n, 0.0, &mut c, n);
+        for i in 0..n {
+            assert!(c[i + i * n] >= 0.0);
+        }
+    }
+}

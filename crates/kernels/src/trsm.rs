@@ -1,0 +1,235 @@
+//! Triangular solves, the `TRSM` kernels of the tile Cholesky and the
+//! kriging forward/backward substitutions.
+//!
+//! Only the variants the application needs are implemented (all with a
+//! *lower* triangular, non-unit-diagonal `L` coming out of `POTRF`):
+//!
+//! * [`trsm_right_lower_trans`] — `B <- B * L^{-T}`: the panel update of the
+//!   tile Cholesky (Algorithm 1's `TRSM`).
+//! * [`trsm_left_lower_notrans`] — `B <- L^{-1} B`: forward substitution for
+//!   the log-likelihood quadratic form and the prediction solves.
+//! * [`trsm_left_lower_trans`] — `B <- L^{-T} B`: backward substitution.
+
+use crate::Real;
+
+/// `B <- alpha * B * L^{-T}` with `L` lower triangular `n x n`, `B` `m x n`.
+pub fn trsm_right_lower_trans<T: Real>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    l: &[T],
+    ldl: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(ldl >= n.max(1));
+    assert!(ldb >= m.max(1));
+    if n > 0 {
+        assert!(l.len() >= ldl * (n - 1) + n);
+        assert!(b.len() >= ldb * (n - 1) + m);
+    }
+    // Solve X * L^T = alpha * B column by column of X (j increasing):
+    // X[:,j] = (alpha*B[:,j] - sum_{p<j} X[:,p] * L[j,p]) / L[j,j].
+    for j in 0..n {
+        if alpha != T::ONE {
+            for i in 0..m {
+                let idx = i + j * ldb;
+                b[idx] = b[idx] * alpha;
+            }
+        }
+        for p in 0..j {
+            let ljp = l[j + p * ldl];
+            if ljp == T::ZERO {
+                continue;
+            }
+            // b[:,j] -= ljp * b[:,p] ... need two disjoint columns.
+            let (lo, hi) = b.split_at_mut(j * ldb);
+            let xcol = &lo[p * ldb..p * ldb + m];
+            let bcol = &mut hi[..m];
+            for (bi, xi) in bcol.iter_mut().zip(xcol) {
+                *bi = (-ljp).mul_add(*xi, *bi);
+            }
+        }
+        let inv = T::ONE / l[j + j * ldl];
+        for i in 0..m {
+            let idx = i + j * ldb;
+            b[idx] = b[idx] * inv;
+        }
+    }
+}
+
+/// `B <- alpha * L^{-1} B` with `L` lower triangular `m x m`, `B` `m x n`
+/// (forward substitution).
+pub fn trsm_left_lower_notrans<T: Real>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    l: &[T],
+    ldl: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(ldl >= m.max(1));
+    assert!(ldb >= m.max(1));
+    if m > 0 && n > 0 {
+        assert!(l.len() >= ldl * (m - 1) + m);
+        assert!(b.len() >= ldb * (n - 1) + m);
+    }
+    for j in 0..n {
+        let col = &mut b[j * ldb..j * ldb + m];
+        if alpha != T::ONE {
+            for x in col.iter_mut() {
+                *x = *x * alpha;
+            }
+        }
+        for i in 0..m {
+            let xi = col[i] / l[i + i * ldl];
+            col[i] = xi;
+            if xi == T::ZERO {
+                continue;
+            }
+            let lcol = &l[i * ldl + i + 1..i * ldl + m];
+            let (_, rest) = col.split_at_mut(i + 1);
+            for (bk, lk) in rest.iter_mut().zip(lcol) {
+                *bk = (-xi).mul_add(*lk, *bk);
+            }
+        }
+    }
+}
+
+/// `B <- alpha * L^{-T} B` with `L` lower triangular `m x m`, `B` `m x n`
+/// (backward substitution).
+pub fn trsm_left_lower_trans<T: Real>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    l: &[T],
+    ldl: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(ldl >= m.max(1));
+    assert!(ldb >= m.max(1));
+    if m > 0 && n > 0 {
+        assert!(l.len() >= ldl * (m - 1) + m);
+        assert!(b.len() >= ldb * (n - 1) + m);
+    }
+    for j in 0..n {
+        let col = &mut b[j * ldb..j * ldb + m];
+        if alpha != T::ONE {
+            for x in col.iter_mut() {
+                *x = *x * alpha;
+            }
+        }
+        for i in (0..m).rev() {
+            // x_i = (b_i - sum_{k>i} L[k,i] x_k) / L[i,i]
+            let lcol = &l[i * ldl + i + 1..i * ldl + m];
+            let mut s = col[i];
+            for (lk, xk) in lcol.iter().zip(&col[i + 1..]) {
+                s = (-*lk).mul_add(*xk, s);
+            }
+            col[i] = s / l[i + i * ldl];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Trans};
+
+    fn fill(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Well-conditioned random lower triangle (unit-ish diagonal).
+    fn lower(n: usize, seed: u64) -> Vec<f64> {
+        let mut l = fill(n * n, seed);
+        for j in 0..n {
+            for i in 0..j {
+                l[i + j * n] = 0.0;
+            }
+            l[j + j * n] = 2.0 + l[j + j * n].abs();
+        }
+        l
+    }
+
+    #[test]
+    fn right_lower_trans_inverts_multiplication() {
+        let (m, n) = (6, 5);
+        let l = lower(n, 1);
+        let x = fill(m * n, 2);
+        // B = X * L^T, then solving must return X.
+        let mut b = vec![0f64; m * n];
+        gemm(Trans::No, Trans::Yes, m, n, n, 1.0, &x, m, &l, n, 0.0, &mut b, m);
+        trsm_right_lower_trans(m, n, 1.0, &l, n, &mut b, m);
+        for (bi, xi) in b.iter().zip(&x) {
+            assert!((bi - xi).abs() < 1e-12, "{bi} vs {xi}");
+        }
+    }
+
+    #[test]
+    fn left_lower_notrans_inverts_multiplication() {
+        let (m, n) = (7, 3);
+        let l = lower(m, 3);
+        let x = fill(m * n, 4);
+        let mut b = vec![0f64; m * n];
+        gemm(Trans::No, Trans::No, m, n, m, 1.0, &l, m, &x, m, 0.0, &mut b, m);
+        trsm_left_lower_notrans(m, n, 1.0, &l, m, &mut b, m);
+        for (bi, xi) in b.iter().zip(&x) {
+            assert!((bi - xi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn left_lower_trans_inverts_multiplication() {
+        let (m, n) = (8, 2);
+        let l = lower(m, 5);
+        let x = fill(m * n, 6);
+        let mut b = vec![0f64; m * n];
+        gemm(Trans::Yes, Trans::No, m, n, m, 1.0, &l, m, &x, m, 0.0, &mut b, m);
+        trsm_left_lower_trans(m, n, 1.0, &l, m, &mut b, m);
+        for (bi, xi) in b.iter().zip(&x) {
+            assert!((bi - xi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_scales_solution() {
+        let (m, n) = (4, 4);
+        let l = lower(m, 7);
+        let b0 = fill(m * n, 8);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        trsm_left_lower_notrans(m, n, 2.0, &l, m, &mut b1, m);
+        trsm_left_lower_notrans(m, n, 1.0, &l, m, &mut b2, m);
+        for (x1, x2) in b1.iter().zip(&b2) {
+            assert!((x1 - 2.0 * x2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_then_backward_solves_normal_equations() {
+        // L L^T x = b  <=>  x = L^{-T} (L^{-1} b).
+        let m = 6;
+        let l = lower(m, 9);
+        let xtrue = fill(m, 10);
+        // b = L L^T xtrue
+        let mut tmp = xtrue.clone();
+        // tmp = L^T x
+        let mut t2 = vec![0f64; m];
+        gemm(Trans::Yes, Trans::No, m, 1, m, 1.0, &l, m, &tmp, m, 0.0, &mut t2, m);
+        gemm(Trans::No, Trans::No, m, 1, m, 1.0, &l, m, &t2, m, 0.0, &mut tmp, m);
+        trsm_left_lower_notrans(m, 1, 1.0, &l, m, &mut tmp, m);
+        trsm_left_lower_trans(m, 1, 1.0, &l, m, &mut tmp, m);
+        for (xi, ti) in xtrue.iter().zip(&tmp) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+}

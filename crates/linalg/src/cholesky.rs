@@ -1,0 +1,133 @@
+//! Reference dense Cholesky on [`Matrix`] — the FP64 oracle every tile
+//! variant is validated against, and the exact solver used for moderate-size
+//! synthetic data generation.
+
+use crate::matrix::Matrix;
+use xgs_kernels::{potrf, trsm_left_lower_notrans, trsm_left_lower_trans, PotrfError};
+
+/// Error from the dense Cholesky path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CholeskyError(pub PotrfError);
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Factor a symmetric positive definite matrix in place (lower triangle);
+/// the strict upper triangle is zeroed so the result is a clean `L`.
+pub fn cholesky_in_place(a: &mut Matrix) -> Result<(), CholeskyError> {
+    let (n, m) = a.shape();
+    assert_eq!(n, m, "Cholesky needs a square matrix");
+    potrf(n, a.as_mut_slice(), n).map_err(CholeskyError)?;
+    for j in 0..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// `log det(A) = 2 * sum_i log L_ii` given the factor `L`.
+pub fn cholesky_logdet(l: &Matrix) -> f64 {
+    let n = l.rows();
+    (0..n).map(|i| l[(i, i)].ln()).sum::<f64>() * 2.0
+}
+
+/// Solve `A x = b` given the factor `L` (two substitutions); `b` is
+/// overwritten by `x`.
+pub fn cholesky_solve(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(b.len() % n, 0, "b must hold whole RHS columns");
+    let nrhs = b.len() / n;
+    trsm_left_lower_notrans(n, nrhs, 1.0, l.as_slice(), n, b, n);
+    trsm_left_lower_trans(n, nrhs, 1.0, l.as_slice(), n, b, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let b = rnd(n, n, seed);
+        let mut a = b.matmul_t(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_and_reconstruct() {
+        let a = spd(15, 1);
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        let rec = l.matmul_t(&l);
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let n = 12;
+        let a = spd(n, 2);
+        let x = rnd(n, 1, 3);
+        let mut b = a.matvec(x.as_slice());
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        cholesky_solve(&l, &mut b);
+        for (bi, xi) in b.iter().zip(x.as_slice()) {
+            assert!((bi - xi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn logdet_matches_product_of_eigen_like_diagonal() {
+        // For a diagonal matrix logdet is the sum of logs.
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        let mut expect = 0.0;
+        for i in 0..n {
+            let d = (i + 1) as f64 * 0.7;
+            a[(i, i)] = d;
+            expect += d.ln();
+        }
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        assert!((cholesky_logdet(&l) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = Matrix::identity(4);
+        a[(2, 2)] = -3.0;
+        assert!(cholesky_in_place(&mut a).is_err());
+    }
+
+    #[test]
+    fn multiple_rhs() {
+        let n = 8;
+        let a = spd(n, 4);
+        let xs = rnd(n, 3, 5);
+        let bm = a.matmul(&xs);
+        let mut b = bm.as_slice().to_vec();
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        cholesky_solve(&l, &mut b);
+        for (bi, xi) in b.iter().zip(xs.as_slice()) {
+            assert!((bi - xi).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Randomized SVD (Halko–Martinsson–Tropp) — the third compressor of the
+//! HiCMA family (alongside deterministic SVD and ACA).
+//!
+//! Range-finding with a Gaussian sketch plus power iterations, then an
+//! exact SVD of the small projected matrix. For tiles whose spectrum decays
+//! (the TLR regime) this costs `O(m n (k + p))` with tiny constants and is
+//! embarrassingly cache-friendly; the adaptive variant doubles the sketch
+//! until the tolerance certifies.
+
+use crate::matrix::Matrix;
+use crate::qr::householder_qr;
+use crate::svd::jacobi_svd;
+
+/// Deterministic xorshift Gaussian sketch (Box–Muller over a counter-based
+/// stream) — keeps the crate dependency-free and runs reproducible.
+fn gaussian_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f64 = next().max(1e-300);
+        let u2: f64 = next();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    })
+}
+
+/// Fixed-rank randomized SVD: returns `(U*S, V)` factors of rank at most
+/// `k` with oversampling `p` and `q` power iterations.
+pub fn rsvd_fixed_rank(a: &Matrix, k: usize, p: usize, q: usize, seed: u64) -> (Matrix, Matrix) {
+    let (m, n) = a.shape();
+    let l = (k + p).min(n).min(m);
+    if l == 0 {
+        return (Matrix::zeros(m, 0), Matrix::zeros(n, 0));
+    }
+    // Range finder: Y = (A A^T)^q A Ω.
+    let omega = gaussian_matrix(n, l, seed);
+    let mut y = a.matmul(&omega);
+    for _ in 0..q {
+        // Orthogonalize between powers for numerical stability.
+        let qy = householder_qr(&y).q;
+        let z = a.t_matmul(&qy);
+        let qz = householder_qr(&z).q;
+        y = a.matmul(&qz);
+    }
+    let qy = householder_qr(&y).q; // m x l
+    // Project: B = Q^T A  (l x n); SVD of B.
+    let b = qy.t_matmul(a);
+    let svd = jacobi_svd(&b);
+    let keep = k.min(svd.s.len());
+    let mut us = svd.u.truncate_cols(keep);
+    for j in 0..keep {
+        let sj = svd.s[j];
+        for x in us.col_mut(j) {
+            *x *= sj;
+        }
+    }
+    (qy.matmul(&us), svd.v.truncate_cols(keep))
+}
+
+/// Adaptive randomized compression to absolute Frobenius tolerance: doubles
+/// the sketch size until the residual certifies `||A - U V^T||_F <= tol`,
+/// falling back to full rank if the spectrum refuses to decay.
+pub fn rsvd_adaptive(a: &Matrix, tol: f64, seed: u64) -> (Matrix, Matrix, usize) {
+    let (m, n) = a.shape();
+    let maxk = m.min(n);
+    let mut k = 8.min(maxk.max(1));
+    loop {
+        let (u, v) = rsvd_fixed_rank(a, k, 8, 2, seed);
+        let err = a.add_scaled(-1.0, &u.matmul_t(&v)).norm_fro();
+        if err <= tol || k >= maxk {
+            // Trim trailing negligible columns (u carries the singular value
+            // scaling, so column norms expose the spectrum). Budget-aware:
+            // dropped columns add their norms in quadrature to the residual,
+            // so only trim while the combined error stays within tol.
+            let mut keep = u.cols();
+            let mut budget_sq = (tol * tol - err * err).max(0.0);
+            while keep > 0 {
+                let col_norm = crate::matrix::norm2_scaled(u.col(keep - 1));
+                if col_norm * col_norm > budget_sq {
+                    break;
+                }
+                budget_sq -= col_norm * col_norm;
+                keep -= 1;
+            }
+            let rank = if err <= tol { keep } else { u.cols() };
+            return (u.truncate_cols(rank), v.truncate_cols(rank), rank);
+        }
+        k = (k * 2).min(maxk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn low_rank_matrix(m: usize, n: usize, k: usize, seed: u64) -> Matrix {
+        rnd(m, k, seed).matmul_t(&rnd(n, k, seed + 7))
+    }
+
+    #[test]
+    fn recovers_exact_low_rank() {
+        let a = low_rank_matrix(40, 30, 5, 1);
+        let (u, v) = rsvd_fixed_rank(&a, 5, 8, 2, 42);
+        let err = a.add_scaled(-1.0, &u.matmul_t(&v)).norm_fro();
+        assert!(err < 1e-9 * a.norm_fro(), "err {err}");
+    }
+
+    #[test]
+    fn fixed_rank_matches_optimal_up_to_oversampling_slack() {
+        // Compare against the truncated (optimal) SVD on a decaying matrix.
+        let base = Matrix::from_fn(32, 32, |i, j| {
+            0.5f64.powi((i as i32 - j as i32).abs()) // exponential decay
+        });
+        let k = 6;
+        let (u, v) = rsvd_fixed_rank(&base, k, 8, 2, 3);
+        let rand_err = base.add_scaled(-1.0, &u.matmul_t(&v)).norm_fro();
+        let svd = jacobi_svd(&base);
+        let opt_err: f64 = svd.s[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!(
+            rand_err <= 3.0 * opt_err + 1e-12,
+            "randomized {rand_err} vs optimal {opt_err}"
+        );
+    }
+
+    #[test]
+    fn adaptive_meets_tolerance() {
+        let a = Matrix::from_fn(48, 48, |i, j| {
+            1.0 / (1.0 + (i as f64 / 48.0 - 3.0 - j as f64 / 48.0).abs())
+        });
+        let tol = 1e-8 * a.norm_fro();
+        let (u, v, rank) = rsvd_adaptive(&a, tol, 11);
+        let err = a.add_scaled(-1.0, &u.matmul_t(&v)).norm_fro();
+        assert!(err <= tol, "err {err} > tol {tol}");
+        assert!(rank < 24, "rank {rank} did not compress");
+        assert_eq!(u.cols(), rank);
+        assert_eq!(v.cols(), rank);
+    }
+
+    #[test]
+    fn adaptive_full_rank_fallback_on_random_matrix() {
+        let a = rnd(16, 16, 9);
+        let tol = 1e-12 * a.norm_fro();
+        let (u, v, rank) = rsvd_adaptive(&a, tol, 13);
+        assert_eq!(rank, 16);
+        let err = a.add_scaled(-1.0, &u.matmul_t(&v)).norm_fro();
+        assert!(err <= 1e-9 * a.norm_fro(), "err {err}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = low_rank_matrix(20, 20, 4, 5);
+        let (u1, v1) = rsvd_fixed_rank(&a, 4, 4, 1, 99);
+        let (u2, v2) = rsvd_fixed_rank(&a, 4, 4, 1, 99);
+        assert_eq!(u1.as_slice(), u2.as_slice());
+        assert_eq!(v1.as_slice(), v2.as_slice());
+    }
+
+    #[test]
+    fn zero_rank_request() {
+        let a = rnd(10, 8, 2);
+        let (u, v) = rsvd_fixed_rank(&a, 0, 0, 0, 1);
+        assert_eq!(u.cols(), 0);
+        assert_eq!(v.cols(), 0);
+    }
+}

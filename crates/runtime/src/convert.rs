@@ -1,0 +1,107 @@
+//! Global counters for on-demand precision conversions.
+//!
+//! Algorithm 1 marks the precision-lead operand of each kernel with `+`;
+//! PaRSEC "will move and convert on-the-fly the operands with the `*` sign
+//! to match the precision at the receiver side". The solver calls
+//! [`count_conversion`] every time it performs such a cast, so runs can
+//! report how much conversion traffic the adaptive format mix generated.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use xgs_kernels::Precision;
+
+static F64_TO_F32: AtomicU64 = AtomicU64::new(0);
+static F64_TO_F16: AtomicU64 = AtomicU64::new(0);
+static F32_TO_F64: AtomicU64 = AtomicU64::new(0);
+static F32_TO_F16: AtomicU64 = AtomicU64::new(0);
+static F16_TO_F32: AtomicU64 = AtomicU64::new(0);
+static F16_TO_F64: AtomicU64 = AtomicU64::new(0);
+
+/// Record a conversion of `elements` scalars from `from` to `to`.
+/// Same-precision "conversions" are ignored.
+pub fn count_conversion(from: Precision, to: Precision, elements: u64) {
+    let counter = match (from, to) {
+        (Precision::F64, Precision::F32) => &F64_TO_F32,
+        (Precision::F64, Precision::F16) => &F64_TO_F16,
+        (Precision::F32, Precision::F64) => &F32_TO_F64,
+        (Precision::F32, Precision::F16) => &F32_TO_F16,
+        (Precision::F16, Precision::F32) => &F16_TO_F32,
+        (Precision::F16, Precision::F64) => &F16_TO_F64,
+        _ => return,
+    };
+    counter.fetch_add(elements, Ordering::Relaxed);
+}
+
+/// Snapshot of all conversion counters (elements converted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConversionCounts {
+    pub f64_to_f32: u64,
+    pub f64_to_f16: u64,
+    pub f32_to_f64: u64,
+    pub f32_to_f16: u64,
+    pub f16_to_f32: u64,
+    pub f16_to_f64: u64,
+}
+
+impl ConversionCounts {
+    pub fn total(&self) -> u64 {
+        self.f64_to_f32
+            + self.f64_to_f16
+            + self.f32_to_f64
+            + self.f32_to_f16
+            + self.f16_to_f32
+            + self.f16_to_f64
+    }
+
+    /// Total demotions (information-losing casts).
+    pub fn demotions(&self) -> u64 {
+        self.f64_to_f32 + self.f64_to_f16 + self.f32_to_f16
+    }
+
+    /// Total promotions (exact casts).
+    pub fn promotions(&self) -> u64 {
+        self.f32_to_f64 + self.f16_to_f32 + self.f16_to_f64
+    }
+}
+
+/// Read the current counters.
+pub fn conversion_counts() -> ConversionCounts {
+    ConversionCounts {
+        f64_to_f32: F64_TO_F32.load(Ordering::Relaxed),
+        f64_to_f16: F64_TO_F16.load(Ordering::Relaxed),
+        f32_to_f64: F32_TO_F64.load(Ordering::Relaxed),
+        f32_to_f16: F32_TO_F16.load(Ordering::Relaxed),
+        f16_to_f32: F16_TO_F32.load(Ordering::Relaxed),
+        f16_to_f64: F16_TO_F64.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero all counters (start of a measured region).
+pub fn reset_conversion_counts() {
+    F64_TO_F32.store(0, Ordering::Relaxed);
+    F64_TO_F16.store(0, Ordering::Relaxed);
+    F32_TO_F64.store(0, Ordering::Relaxed);
+    F32_TO_F16.store(0, Ordering::Relaxed);
+    F16_TO_F32.store(0, Ordering::Relaxed);
+    F16_TO_F64.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_reset() {
+        reset_conversion_counts();
+        count_conversion(Precision::F64, Precision::F32, 100);
+        count_conversion(Precision::F16, Precision::F64, 7);
+        count_conversion(Precision::F64, Precision::F64, 999); // ignored
+        let c = conversion_counts();
+        assert_eq!(c.f64_to_f32, 100);
+        assert_eq!(c.f16_to_f64, 7);
+        assert_eq!(c.total(), 107);
+        assert_eq!(c.demotions(), 100);
+        assert_eq!(c.promotions(), 7);
+        reset_conversion_counts();
+        assert_eq!(conversion_counts().total(), 0);
+    }
+}

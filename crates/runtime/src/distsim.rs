@@ -1,0 +1,194 @@
+//! Distributed-memory discrete-event simulation of a task DAG.
+//!
+//! The paper's headline figures run on 1k–48k Fugaku nodes. We reproduce
+//! their *shape* by replaying the very same tile-Cholesky DAG against a
+//! machine model: tiles are distributed 2D-block-cyclically over nodes
+//! (PaRSEC's default for dense factorizations), a task executes on the node
+//! owning its output tile, and consuming a remote predecessor's output pays
+//! `latency + bytes/bandwidth`. Greedy in-order list scheduling over
+//! per-node core pools approximates the dynamic runtime's behaviour well at
+//! these task counts.
+
+/// Machine model for the simulation (defaults modeled on an A64FX node,
+/// see `xgs-perfmodel` for the calibrated constants).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineSpec {
+    pub nodes: usize,
+    pub cores_per_node: usize,
+    /// Network injection bandwidth per node, bytes/s.
+    pub net_bandwidth: f64,
+    /// Per-message latency, seconds.
+    pub net_latency: f64,
+}
+
+/// One task of the simulated DAG. Tasks must be listed in topological
+/// order (every predecessor index smaller than the task's own index).
+#[derive(Clone, Debug)]
+pub struct SimTask {
+    /// Execution time on one core, seconds.
+    pub cost: f64,
+    /// Node that executes the task (owner of its output tile).
+    pub owner: usize,
+    /// Predecessors: `(task index, message bytes if remote)`.
+    pub preds: Vec<(usize, f64)>,
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct SimResult {
+    /// Simulated end-to-end time, seconds.
+    pub makespan: f64,
+    /// Total bytes crossing node boundaries.
+    pub comm_bytes: f64,
+    /// Sum of task costs (compute seconds).
+    pub busy_seconds: f64,
+    /// busy / (makespan * nodes * cores): parallel efficiency.
+    pub efficiency: f64,
+}
+
+/// Owner of tile `(i, j)` under a `p x q` 2D block-cyclic distribution.
+#[inline]
+pub fn block_cyclic_owner(i: usize, j: usize, p: usize, q: usize) -> usize {
+    (i % p) * q + (j % q)
+}
+
+/// Run the event-driven replay.
+pub fn simulate(tasks: &[SimTask], machine: &MachineSpec) -> SimResult {
+    assert!(machine.nodes >= 1 && machine.cores_per_node >= 1);
+    let mut finish = vec![0.0f64; tasks.len()];
+    // Per-node core pool: sorted free times (small vectors; cores/node is
+    // bounded, we keep a simple min-select).
+    let mut cores: Vec<Vec<f64>> = vec![vec![0.0; machine.cores_per_node]; machine.nodes];
+    let mut comm_bytes = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    for (idx, t) in tasks.iter().enumerate() {
+        assert!(t.owner < machine.nodes, "owner {} out of range", t.owner);
+        let mut ready = 0.0f64;
+        for &(p, bytes) in &t.preds {
+            debug_assert!(p < idx, "tasks must be topologically ordered");
+            let mut avail = finish[p];
+            if bytes > 0.0 {
+                avail += machine.net_latency + bytes / machine.net_bandwidth;
+                comm_bytes += bytes;
+            }
+            ready = ready.max(avail);
+        }
+        // Earliest-free core on the owner node.
+        let pool = &mut cores[t.owner];
+        let (core_idx, &free_at) = pool
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let start = ready.max(free_at);
+        let end = start + t.cost;
+        pool[core_idx] = end;
+        finish[idx] = end;
+        busy += t.cost;
+        makespan = makespan.max(end);
+    }
+
+    let denom = makespan * (machine.nodes * machine.cores_per_node) as f64;
+    SimResult {
+        makespan,
+        comm_bytes,
+        busy_seconds: busy,
+        efficiency: if denom > 0.0 { busy / denom } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(nodes: usize, cores: usize) -> MachineSpec {
+        MachineSpec {
+            nodes,
+            cores_per_node: cores,
+            net_bandwidth: 1.0e9,
+            net_latency: 1.0e-6,
+        }
+    }
+
+    #[test]
+    fn serial_chain_on_one_core() {
+        let tasks: Vec<SimTask> = (0..10)
+            .map(|i| SimTask {
+                cost: 1.0,
+                owner: 0,
+                preds: if i == 0 { vec![] } else { vec![(i - 1, 0.0)] },
+            })
+            .collect();
+        let r = simulate(&tasks, &machine(1, 1));
+        assert_eq!(r.makespan, 10.0);
+        assert!((r.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_fan_scales_with_cores() {
+        let tasks: Vec<SimTask> =
+            (0..32).map(|_| SimTask { cost: 1.0, owner: 0, preds: vec![] }).collect();
+        let r1 = simulate(&tasks, &machine(1, 1));
+        let r8 = simulate(&tasks, &machine(1, 8));
+        assert_eq!(r1.makespan, 32.0);
+        assert_eq!(r8.makespan, 4.0);
+    }
+
+    #[test]
+    fn remote_edges_pay_communication() {
+        // Task 1 on node 1 consumes 1 GB from task 0 on node 0.
+        let tasks = vec![
+            SimTask { cost: 1.0, owner: 0, preds: vec![] },
+            SimTask { cost: 1.0, owner: 1, preds: vec![(0, 1.0e9)] },
+        ];
+        let r = simulate(&tasks, &machine(2, 1));
+        // 1s compute + 1s transfer + latency + 1s compute.
+        assert!((r.makespan - 3.0).abs() < 1e-3, "makespan {}", r.makespan);
+        assert_eq!(r.comm_bytes, 1.0e9);
+
+        // Same DAG colocated: no transfer.
+        let tasks_local = vec![
+            SimTask { cost: 1.0, owner: 0, preds: vec![] },
+            SimTask { cost: 1.0, owner: 0, preds: vec![(0, 0.0)] },
+        ];
+        let rl = simulate(&tasks_local, &machine(2, 1));
+        assert!((rl.makespan - 2.0).abs() < 1e-9);
+        assert_eq!(rl.comm_bytes, 0.0);
+    }
+
+    #[test]
+    fn more_nodes_reduce_makespan_until_critical_path() {
+        // Two waves of 64 independent tasks with a barrier task between.
+        let mut tasks = Vec::new();
+        for i in 0..64 {
+            tasks.push(SimTask { cost: 1.0, owner: i % 4, preds: vec![] });
+        }
+        tasks.push(SimTask {
+            cost: 0.0,
+            owner: 0,
+            preds: (0..64).map(|i| (i, 0.0)).collect(),
+        });
+        for i in 0..64 {
+            tasks.push(SimTask { cost: 1.0, owner: i % 4, preds: vec![(64, 0.0)] });
+        }
+        let r2 = simulate(&tasks, &machine(4, 2));
+        let r8 = simulate(&tasks, &machine(4, 8));
+        assert!(r8.makespan < r2.makespan);
+        // Lower bound: 2 waves of 16 tasks per node / 8 cores = 2+2.
+        assert!(r8.makespan >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn block_cyclic_covers_all_nodes_evenly() {
+        let (p, q) = (4, 3);
+        let mut counts = vec![0usize; p * q];
+        for i in 0..24 {
+            for j in 0..24 {
+                counts[block_cyclic_owner(i, j, p, q)] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 24 * 24 / (p * q)));
+    }
+}

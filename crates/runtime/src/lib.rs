@@ -1,0 +1,31 @@
+//! A PaRSEC-style dynamic task-based runtime.
+//!
+//! The paper relies on PaRSEC to (a) schedule the heterogeneous tasks of the
+//! MP+dense/TLR Cholesky asynchronously, (b) convert operand precisions
+//! on demand as data flows between tasks of different formats, and (c)
+//! absorb the load imbalance the adaptive tile formats create. This crate
+//! reproduces those roles:
+//!
+//! * [`graph::TaskGraph`] — tasks declare read/write accesses on abstract
+//!   data handles; dependencies (RAW/WAR/WAW) are inferred in insertion
+//!   order, exactly like a superscalar/dataflow runtime unrolling a DAG.
+//! * [`exec`] — a multi-worker executor with critical-path priorities and
+//!   per-worker execution traces (busy time, task counts, imbalance).
+//! * [`convert`] — global counters for the on-demand precision conversions
+//!   ("PaRSEC will move and convert on-the-fly the operands ... to match
+//!   the precision at the receiver side").
+//! * [`distsim`] — a distributed-memory discrete-event simulator: the same
+//!   DAG, mapped 2D-block-cyclically over `P` nodes with a machine model,
+//!   yields the simulated makespans behind the Fugaku-scale figures.
+
+pub mod convert;
+pub mod distsim;
+pub mod exec;
+pub mod graph;
+pub mod stats;
+
+pub use convert::{conversion_counts, count_conversion, reset_conversion_counts, ConversionCounts};
+pub use distsim::{block_cyclic_owner, simulate, MachineSpec, SimResult, SimTask};
+pub use exec::{execute, execute_with_policy, ExecReport, SchedPolicy};
+pub use graph::{Access, AccessMode, DataId, TaskGraph, TaskId};
+pub use stats::{chrome_trace_json, kind_summary, TraceEvent};

@@ -1,0 +1,151 @@
+//! Algorithm 2 of the paper: auto-tuning `band_size_dense`.
+//!
+//! After generation/compression, the rank distribution is globalized and the
+//! dense band grows sub-diagonal by sub-diagonal while executing that
+//! sub-diagonal's TRSM+GEMM work in dense format is still cheaper than in
+//! low-rank format (with a `fluctuation` safety factor). Ranks are highest
+//! near the diagonal, so the loop terminates at the point where TLR starts
+//! paying off — establishing the band structure of Fig. 3(b).
+
+use crate::decisions::KernelTimeModel;
+use xgs_kernels::Precision;
+
+/// Tolerated fluctuation in the dense-vs-TLR comparison (Algorithm 2's
+/// `fluctuation`): dense keeps winning while
+/// `time_dense < FLUCTUATION * time_tlr`.
+pub const FLUCTUATION: f64 = 1.0;
+
+/// Auto-tune the dense band width.
+///
+/// * `ranks` — `(i, j, rank)` of every compressed candidate tile (the
+///   "globalized rank distribution" of Algorithm 2 step 2),
+/// * `nt` — tiles per dimension,
+/// * `nb` — tile size,
+/// * `model` — kernel time model.
+///
+/// Returns the number of sub-diagonals (including the main diagonal) to
+/// keep dense; at least 1 (the diagonal itself always is).
+pub fn auto_tune_band_size(
+    ranks: &[(usize, usize, usize)],
+    nt: usize,
+    nb: usize,
+    model: &dyn KernelTimeModel,
+) -> usize {
+    // Index ranks by sub-diagonal offset d = i - j.
+    let mut by_offset: Vec<Vec<usize>> = vec![Vec::new(); nt];
+    for &(i, j, r) in ranks {
+        if i > j {
+            by_offset[i - j].push(r);
+        }
+    }
+
+    let mut id = 1usize;
+    loop {
+        id += 1;
+        if id > nt.saturating_sub(1) + 1 {
+            // Whole matrix would be dense.
+            return nt.max(1);
+        }
+        let sub = &by_offset[id - 1];
+        if sub.is_empty() {
+            // No compressed candidates on this sub-diagonal (edge case for
+            // tiny matrices): stop growing.
+            return id - 1;
+        }
+        // Each tile on sub-diagonal d participates in O(nt - d) TRSM+GEMM
+        // kernels over the factorization; the count is common to both
+        // formats so comparing per-tile sums is equivalent (Algorithm 2
+        // compares totals).
+        let mut t_dense = 0.0;
+        let mut t_tlr = 0.0;
+        for &r in sub {
+            // Dense side may run in FP64/FP32/FP16; the band candidates sit
+            // near the diagonal where norms are large, so FP64 is the
+            // representative dense precision (the paper lists all three).
+            t_dense +=
+                model.dense_gemm_time(nb, Precision::F64) + model.dense_trsm_time(nb, Precision::F64);
+            // TLR side runs FP64/FP32; use FP64 for symmetry.
+            t_tlr += model.tlr_gemm_time(nb, r, Precision::F64)
+                + model.tlr_trsm_time(nb, r, Precision::F64);
+        }
+        if t_dense < FLUCTUATION * t_tlr {
+            continue;
+        }
+        return id - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::FlopKernelModel;
+
+    /// Synthetic rank profile: rank decays geometrically with sub-diagonal
+    /// distance, the shape Morton-ordered covariance matrices produce.
+    fn decaying_ranks(nt: usize, nb: usize, near_rank: usize) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for j in 0..nt {
+            for i in j + 1..nt {
+                let d = i - j;
+                let r = ((near_rank as f64) * 0.5f64.powi(d as i32 - 1)).max(2.0) as usize;
+                out.push((i, j, r.min(nb)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn high_near_diagonal_ranks_grow_the_band() {
+        let model = FlopKernelModel::default();
+        let nb = 512;
+        let nt = 16;
+        // First sub-diagonal at essentially full rank: dense wins there.
+        let ranks = decaying_ranks(nt, nb, 400);
+        let band = auto_tune_band_size(&ranks, nt, nb, &model);
+        assert!(band >= 2, "band {band} should include the first sub-diagonal");
+        assert!(band < nt, "band {band} must not swallow the whole matrix");
+    }
+
+    #[test]
+    fn low_ranks_everywhere_keep_band_minimal() {
+        let model = FlopKernelModel::default();
+        let nb = 512;
+        let nt = 16;
+        let ranks: Vec<_> = (0..nt)
+            .flat_map(|j| (j + 1..nt).map(move |i| (i, j, 8usize)))
+            .collect();
+        let band = auto_tune_band_size(&ranks, nt, nb, &model);
+        assert_eq!(band, 1, "rank-8 tiles should all stay TLR");
+    }
+
+    #[test]
+    fn full_rank_everywhere_makes_everything_dense() {
+        let model = FlopKernelModel::default();
+        let nb = 256;
+        let nt = 8;
+        let ranks: Vec<_> = (0..nt)
+            .flat_map(|j| (j + 1..nt).map(move |i| (i, j, nb)))
+            .collect();
+        let band = auto_tune_band_size(&ranks, nt, nb, &model);
+        assert_eq!(band, nt);
+    }
+
+    #[test]
+    fn band_monotone_in_near_rank() {
+        let model = FlopKernelModel::default();
+        let nb = 512;
+        let nt = 12;
+        let mut prev = 1;
+        for near in [8, 64, 200, 400, 512] {
+            let band = auto_tune_band_size(&decaying_ranks(nt, nb, near), nt, nb, &model);
+            assert!(band >= prev, "band must grow with near-diagonal rank");
+            prev = band;
+        }
+    }
+
+    #[test]
+    fn empty_rank_list_returns_diagonal_only() {
+        let model = FlopKernelModel::default();
+        assert_eq!(auto_tune_band_size(&[], 10, 256, &model), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulated Fugaku-scale runs: the shapes of paper Figs. 10 and 11.
+//!
+//! Replays the tile-Cholesky DAG of each solver variant against the
+//! calibrated A64FX machine model at the paper's node counts, printing a
+//! Fig. 10-style table (time-to-solution vs matrix size per variant and
+//! correlation strength) and the headline MP+TLR speedup.
+//!
+//! ```text
+//! cargo run --release --example fugaku_scale
+//! ```
+
+use exageostat_rs::prelude::*;
+
+fn main() {
+    let nb = 800; // the paper's Fig. 7 tile size
+    let variants = [
+        SolverVariant::DenseF64,
+        SolverVariant::MpDense,
+        SolverVariant::MpDenseTlr,
+    ];
+
+    println!("simulated Matérn 2D space Cholesky on modeled A64FX nodes (tile {nb})\n");
+    for corr in [Correlation::Weak, Correlation::Medium, Correlation::Strong] {
+        println!("-- {} correlation (a = {}) --", corr.name(), corr.range());
+        println!(
+            "{:>10} {:>7} | {:>14} {:>14} {:>14} | {:>8}",
+            "n", "nodes", "dense-fp64 (s)", "mp-dense (s)", "mp+tlr (s)", "speedup"
+        );
+        for (n, nodes) in [
+            (1_000_000usize, 2048usize),
+            (2_000_000, 4096),
+            (4_000_000, 8192),
+            (9_000_000, 16384),
+        ] {
+            let mut times = Vec::new();
+            let mut fits = Vec::new();
+            for v in variants {
+                let p = project(&ScaleConfig::new(n, nb, nodes, corr, v));
+                times.push(p.makespan);
+                fits.push(p.fits_in_memory);
+            }
+            println!(
+                "{:>10} {:>7} | {:>14.1} {:>14.1} {:>14.1} | {:>7.1}x{}",
+                n,
+                nodes,
+                times[0],
+                times[1],
+                times[2],
+                times[0] / times[2],
+                if fits[0] { "" } else { "  (dense FP64 exceeds node memory: hypothetical)" }
+            );
+        }
+        println!();
+    }
+
+    println!("-- space-time, strong correlation (paper Fig. 11) --");
+    for (n, nodes) in [(4_000_000usize, 4096usize), (10_000_000, 48384)] {
+        let d = project(&ScaleConfig::new(
+            n,
+            nb,
+            nodes,
+            Correlation::Strong,
+            SolverVariant::DenseF64,
+        ));
+        let t = project(&ScaleConfig::new(
+            n,
+            nb,
+            nodes,
+            Correlation::Strong,
+            SolverVariant::MpDenseTlr,
+        ));
+        println!(
+            "n = {n:>9}, {nodes:>5} nodes: dense {:.0}s vs MP+TLR {:.0}s -> {:.1}x (footprint {:.0} GB vs {:.0} GB)",
+            d.makespan,
+            t.makespan,
+            d.makespan / t.makespan,
+            d.footprint_bytes / 1e9,
+            t.footprint_bytes / 1e9
+        );
+    }
+}

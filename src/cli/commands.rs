@@ -1,0 +1,543 @@
+//! CLI subcommand implementations.
+//!
+//! Each command is a thin orchestration over the library crates and returns
+//! its report as a `String` (so the logic is unit-testable without touching
+//! stdout).
+
+use crate::cli::args::{ArgError, Args};
+use crate::cli::io;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xgs_core::mle::{FitOptimizer, FitOptions};
+use xgs_core::{
+    krige, log_likelihood, mspe, simulate_field, ModelFamily, NelderMeadOptions, PsoOptions,
+};
+use xgs_covariance::{jittered_grid, morton_order, spacetime_grid, CovarianceKernel};
+use xgs_perfmodel::{project, Correlation, ScaleConfig, SolverVariant};
+use xgs_tile::{decision_heatmap, FlopKernelModel, PrecisionRule, SymTileMatrix, TlrConfig,
+               Variant};
+
+/// Top-level command error.
+#[derive(Debug)]
+pub enum CmdError {
+    Arg(ArgError),
+    Io(io::IoError),
+    Run(String),
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Arg(e) => write!(f, "{e}"),
+            CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Run(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError::Arg(e)
+    }
+}
+
+impl From<io::IoError> for CmdError {
+    fn from(e: io::IoError) -> Self {
+        CmdError::Io(e)
+    }
+}
+
+pub const USAGE: &str = "\
+exageostat — geostatistical modeling & prediction with the MP+TLR tile Cholesky
+
+USAGE: exageostat <command> [--flag value ...]
+
+COMMANDS:
+  simulate  generate a synthetic dataset
+            --n <sites> --params <θ,..> [--kernel matern|gneiting]
+            [--slots <t>] [--domain <d>] [--seed <s>] --out <csv>
+  fit       maximum-likelihood estimation
+            --data <csv> [--kernel matern|gneiting] [--variant dense|mp|mp-tlr]
+            [--tile <nb>] [--start <θ,..>] [--max-evals <k>]
+            [--optimizer nm|pso] [--workers <w>] [--precision-rule adaptive|band]
+            [--se]  (append observed-information standard errors)
+  predict   kriging at target sites
+            --data <csv> --targets <csv> --theta <θ,..> [--kernel ...]
+            [--variant ...] [--tile <nb>] [--uncertainty] [--out <csv>]
+  maps      per-tile format decision map (Fig. 9 style)
+            --data <csv> --theta <θ,..> [--kernel ...] [--variant ...] [--tile <nb>]
+  scale     simulated Fugaku-scale run (Figs. 7/10/11 style)
+            --n <size> --nodes <p> [--nb <tile>] [--corr weak|medium|strong|st-strong]
+            [--variant dense|fp32|mp|mp-tlr]
+  bayes     posterior sampling over the covariance parameters (MCMC)
+            --data <csv> --start <θ,..> [--kernel ...] [--variant ...]
+            [--iterations <k>] [--burn-in <k>] [--seed <s>]
+";
+
+fn parse_family(args: &Args) -> Result<ModelFamily, CmdError> {
+    match args.str_or("kernel", "matern").as_str() {
+        "matern" => Ok(ModelFamily::MaternSpace),
+        "gneiting" => Ok(ModelFamily::GneitingSpaceTime),
+        other => Err(CmdError::Arg(ArgError(format!(
+            "unknown kernel '{other}' (matern|gneiting)"
+        )))),
+    }
+}
+
+/// Validate a user-supplied parameter vector against the family's arity.
+fn check_theta_len(family: ModelFamily, theta: &[f64], flag: &str) -> Result<(), CmdError> {
+    if theta.len() != family.n_params() {
+        return Err(CmdError::Arg(ArgError(format!(
+            "--{flag} expects {} values for this kernel, got {}",
+            family.n_params(),
+            theta.len()
+        ))));
+    }
+    Ok(())
+}
+
+fn parse_variant(args: &Args) -> Result<Variant, CmdError> {
+    match args.str_or("variant", "mp-tlr").as_str() {
+        "dense" => Ok(Variant::DenseF64),
+        "mp" => Ok(Variant::MpDense),
+        "mp-tlr" => Ok(Variant::MpDenseTlr),
+        other => Err(CmdError::Arg(ArgError(format!(
+            "unknown variant '{other}' (dense|mp|mp-tlr)"
+        )))),
+    }
+}
+
+fn tile_config(args: &Args, variant: Variant, n: usize) -> Result<TlrConfig, CmdError> {
+    let nb = args.usize_or("tile", (n / 10).clamp(32, 512))?;
+    let mut cfg = TlrConfig::new(variant, nb);
+    match args.str_or("precision-rule", "adaptive").as_str() {
+        "adaptive" => {}
+        "band" => {
+            cfg.precision_rule = PrecisionRule::Band {
+                f64_band: args.usize_or("f64-band", 3)?,
+                f32_band: args.usize_or("f32-band", 8)?,
+            };
+        }
+        other => {
+            return Err(CmdError::Arg(ArgError(format!(
+                "unknown precision rule '{other}' (adaptive|band)"
+            ))))
+        }
+    }
+    Ok(cfg)
+}
+
+/// The kernel-time model used by the CLI: TLR-friendly at small tiles,
+/// calibrated behaviour at paper-scale tiles (the penalty only matters for
+/// the structure decision, see DESIGN.md).
+fn cli_model(nb: usize) -> FlopKernelModel {
+    if nb >= 512 {
+        FlopKernelModel::default()
+    } else {
+        FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 }
+    }
+}
+
+/// `simulate` — synthesize a dataset and write it to CSV.
+pub fn cmd_simulate(args: &Args) -> Result<String, CmdError> {
+    let family = parse_family(args)?;
+    let n = args.usize_or("n", 1000)?;
+    let slots = args.usize_or("slots", 1)?;
+    let domain = args.f64_or("domain", 1.0)?;
+    let seed = args.usize_or("seed", 0)? as u64;
+    let theta = args
+        .f64_list("params")?
+        .ok_or_else(|| ArgError("missing required flag --params".to_string()))?;
+    check_theta_len(family, &theta, "params")?;
+    let out = args.require("out")?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut locs = match family {
+        ModelFamily::MaternSpace => jittered_grid(n, &mut rng),
+        ModelFamily::GneitingSpaceTime => {
+            let spatial = jittered_grid(n.div_ceil(slots.max(1)), &mut rng);
+            let mut st = spacetime_grid(&spatial, slots.max(1));
+            st.truncate(n);
+            st
+        }
+    };
+    for l in &mut locs {
+        l.x *= domain;
+        l.y *= domain;
+    }
+    morton_order(&mut locs);
+    let kernel = family.kernel(&theta);
+    let z = simulate_field(kernel.as_ref(), &locs, seed + 1);
+    io::save(out, &locs, &[("z", &z)], family == ModelFamily::GneitingSpaceTime)?;
+    Ok(format!(
+        "wrote {n} sites to {out} (kernel {:?}, θ = {theta:?}, seed {seed})",
+        family
+    ))
+}
+
+/// `fit` — MLE on a CSV dataset.
+pub fn cmd_fit(args: &Args) -> Result<String, CmdError> {
+    let family = parse_family(args)?;
+    let variant = parse_variant(args)?;
+    let ds = io::load(args.require("data")?)?;
+    let z = ds
+        .z
+        .as_ref()
+        .ok_or_else(|| CmdError::Run("dataset has no 'z' column to fit".into()))?;
+    let cfg = tile_config(args, variant, ds.locs.len())?;
+    let model = cli_model(cfg.tile_size);
+
+    let max_evals = args.usize_or("max-evals", 200)?;
+    let workers = args.usize_or("workers", 0)?;
+    let optimizer = match args.str_or("optimizer", "nm").as_str() {
+        "nm" => FitOptimizer::NelderMead(NelderMeadOptions {
+            max_evals,
+            f_tol: 1e-6,
+            initial_step: 0.35,
+        }),
+        "pso" => FitOptimizer::ParticleSwarm(PsoOptions {
+            particles: args.usize_or("particles", 12)?,
+            iterations: (max_evals / 12).max(1),
+            ..Default::default()
+        }),
+        other => {
+            return Err(CmdError::Arg(ArgError(format!(
+                "unknown optimizer '{other}' (nm|pso)"
+            ))))
+        }
+    };
+    let start = args.f64_list("start")?;
+    if let Some(st) = &start {
+        check_theta_len(family, st, "start")?;
+    }
+    let opts = FitOptions { optimizer, start, workers };
+
+    let (r, secs) = {
+        let t = std::time::Instant::now();
+        let r = xgs_core::fit(family, &ds.locs, z, &cfg, &model, &opts);
+        (r, t.elapsed().as_secs_f64())
+    };
+    let names = family.param_names();
+    let mut out = format!(
+        "fitted {} ({} sites, variant {}, tile {}):\n",
+        match family {
+            ModelFamily::MaternSpace => "Matérn space model",
+            ModelFamily::GneitingSpaceTime => "Gneiting space-time model",
+        },
+        ds.locs.len(),
+        variant.name(),
+        cfg.tile_size
+    );
+    for (name, v) in names.iter().zip(&r.theta) {
+        out.push_str(&format!("  {name:<18} = {v:.6}\n"));
+    }
+    out.push_str(&format!(
+        "  log-likelihood     = {:.4}\n  evaluations        = {}\n  wall seconds       = {:.2}\n",
+        r.llh, r.evals, secs
+    ));
+    if args.bool("se") {
+        match xgs_core::fisher_information(
+            family, &ds.locs, z, &cfg, &model, &r.theta, 5e-3, workers,
+        ) {
+            Ok(fi) => {
+                out.push_str("observed-information standard errors (95% Wald CI):\n");
+                for ((name, se), (lo, hi)) in
+                    names.iter().zip(&fi.std_errors).zip(&fi.ci95)
+                {
+                    out.push_str(&format!(
+                        "  {name:<18} se {se:.4}   [{lo:.4}, {hi:.4}]\n"
+                    ));
+                }
+            }
+            Err(e) => out.push_str(&format!("standard errors unavailable: {e}\n")),
+        }
+    }
+    Ok(out)
+}
+
+/// `predict` — kriging with optional uncertainty, written to CSV.
+pub fn cmd_predict(args: &Args) -> Result<String, CmdError> {
+    let family = parse_family(args)?;
+    let variant = parse_variant(args)?;
+    let train = io::load(args.require("data")?)?;
+    let z = train
+        .z
+        .as_ref()
+        .ok_or_else(|| CmdError::Run("training data has no 'z' column".into()))?;
+    let targets = io::load(args.require("targets")?)?;
+    let theta = args
+        .f64_list("theta")?
+        .ok_or_else(|| ArgError("missing required flag --theta".to_string()))?;
+    check_theta_len(family, &theta, "theta")?;
+    let cfg = tile_config(args, variant, train.locs.len())?;
+    let model = cli_model(cfg.tile_size);
+    let kernel = family.kernel(&theta);
+
+    let rep = log_likelihood(kernel.as_ref(), &train.locs, z, &cfg, &model, 0)
+        .map_err(|e| CmdError::Run(format!("factorization failed: {e}")))?;
+    let pred = krige(
+        kernel.as_ref(),
+        &train.locs,
+        z,
+        &rep.factor,
+        &targets.locs,
+        args.bool("uncertainty"),
+    );
+
+    let mut summary = format!(
+        "predicted {} targets from {} observations (llh at θ: {:.4})\n",
+        targets.locs.len(),
+        train.locs.len(),
+        rep.llh
+    );
+    if let Some(truth) = &targets.z {
+        summary.push_str(&format!("MSPE vs target file's z column: {:.6}\n", mspe(&pred.mean, truth)));
+    }
+    if let Some(out) = args.get("out") {
+        let mut cols: Vec<(&str, &[f64])> = vec![("pred", &pred.mean)];
+        if let Some(u) = &pred.uncertainty {
+            cols.push(("variance", u));
+        }
+        io::save(out, &targets.locs, &cols, targets.has_time)?;
+        summary.push_str(&format!("wrote predictions to {out}\n"));
+    }
+    Ok(summary)
+}
+
+/// `maps` — render the decision heat-map for a dataset at given θ.
+pub fn cmd_maps(args: &Args) -> Result<String, CmdError> {
+    let family = parse_family(args)?;
+    let variant = parse_variant(args)?;
+    let ds = io::load(args.require("data")?)?;
+    let theta = args
+        .f64_list("theta")?
+        .ok_or_else(|| ArgError("missing required flag --theta".to_string()))?;
+    check_theta_len(family, &theta, "theta")?;
+    let cfg = tile_config(args, variant, ds.locs.len())?;
+    let model = cli_model(cfg.tile_size);
+    let kernel: Box<dyn CovarianceKernel> = family.kernel(&theta);
+    let m = SymTileMatrix::generate(kernel.as_ref(), &ds.locs, cfg, &model);
+    let map = decision_heatmap(&m);
+    Ok(format!(
+        "variant {}, tile {}, band_size_dense {}\n{}",
+        variant.name(),
+        cfg.tile_size,
+        m.band_size_dense,
+        map.render()
+    ))
+}
+
+/// `scale` — paper-scale projection.
+pub fn cmd_scale(args: &Args) -> Result<String, CmdError> {
+    let n = args.usize_or("n", 1_000_000)?;
+    let nodes = args.usize_or("nodes", 2048)?;
+    let nb = args.usize_or("nb", 800)?;
+    let corr = match args.str_or("corr", "weak").as_str() {
+        "weak" => Correlation::Weak,
+        "medium" => Correlation::Medium,
+        "strong" => Correlation::Strong,
+        "st-strong" => Correlation::SpaceTimeStrong,
+        other => {
+            return Err(CmdError::Arg(ArgError(format!(
+                "unknown correlation '{other}' (weak|medium|strong|st-strong)"
+            ))))
+        }
+    };
+    let variant = match args.str_or("variant", "mp-tlr").as_str() {
+        "dense" => SolverVariant::DenseF64,
+        "fp32" => SolverVariant::DenseF32,
+        "mp" => SolverVariant::MpDense,
+        "mp-tlr" => SolverVariant::MpDenseTlr,
+        other => {
+            return Err(CmdError::Arg(ArgError(format!(
+                "unknown variant '{other}' (dense|fp32|mp|mp-tlr)"
+            ))))
+        }
+    };
+    let p = project(&ScaleConfig::new(n, nb, nodes, corr, variant));
+    Ok(format!(
+        "n = {n}, {nodes} modeled A64FX nodes, tile {nb}, {} correlation, {}:\n\
+         time-to-solution {:.1}s | {:.1} Tflop/s (dense-equivalent) | footprint {:.0} GB | \
+         efficiency {:.0}% | engine: {}{}",
+        corr.name(),
+        variant.name(),
+        p.makespan,
+        p.flops / 1e12,
+        p.footprint_bytes / 1e9,
+        p.efficiency * 100.0,
+        if p.event_simulated { "event" } else { "analytic" },
+        if p.fits_in_memory { "" } else { " | EXCEEDS aggregate node memory" }
+    ))
+}
+
+/// `bayes` — MCMC posterior over the model parameters (paper §VIII
+/// extension).
+pub fn cmd_bayes(args: &Args) -> Result<String, CmdError> {
+    use xgs_core::bayes::{posterior_sample, McmcOptions};
+    let family = parse_family(args)?;
+    let variant = parse_variant(args)?;
+    let ds = io::load(args.require("data")?)?;
+    let z = ds
+        .z
+        .as_ref()
+        .ok_or_else(|| CmdError::Run("dataset has no 'z' column".into()))?;
+    let start = args
+        .f64_list("start")?
+        .ok_or_else(|| ArgError("missing required flag --start".to_string()))?;
+    check_theta_len(family, &start, "start")?;
+    let cfg = tile_config(args, variant, ds.locs.len())?;
+    let model = cli_model(cfg.tile_size);
+    let opts = McmcOptions {
+        iterations: args.usize_or("iterations", 500)?,
+        burn_in: args.usize_or("burn-in", 100)?,
+        seed: args.usize_or("seed", 0xBA7E5)? as u64,
+        workers: args.usize_or("workers", 0)?,
+        ..Default::default()
+    };
+    let r = posterior_sample(family, &ds.locs, z, &cfg, &model, &start, &opts)
+        .map_err(CmdError::Run)?;
+    let mut out = format!(
+        "posterior from {} draws (acceptance {:.0}%):
+",
+        r.samples.len(),
+        r.acceptance * 100.0
+    );
+    for (i, name) in family.param_names().iter().enumerate() {
+        let (lo, hi) = r.ci90[i];
+        out.push_str(&format!(
+            "  {name:<18} mean {:.4}   90% CI [{lo:.4}, {hi:.4}]
+",
+            r.mean[i]
+        ));
+    }
+    Ok(out)
+}
+
+/// Dispatch.
+pub fn run(args: &Args) -> Result<String, CmdError> {
+    match args.command.as_str() {
+        "simulate" => cmd_simulate(args),
+        "fit" => cmd_fit(args),
+        "predict" => cmd_predict(args),
+        "maps" => cmd_maps(args),
+        "scale" => cmd_scale(args),
+        "bayes" => cmd_bayes(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CmdError::Arg(ArgError(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        )))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn scale_command_runs_without_files() {
+        let out = run(&argv(
+            "scale --n 1000000 --nodes 2048 --corr weak --variant mp-tlr",
+        ))
+        .unwrap();
+        assert!(out.contains("time-to-solution"));
+        assert!(out.contains("weak"));
+    }
+
+    #[test]
+    fn simulate_fit_predict_pipeline_via_tempfiles() {
+        let dir = std::env::temp_dir().join(format!("xgs-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let data_s = data.to_str().unwrap();
+
+        let out = run(&argv(&format!(
+            "simulate --n 300 --params 1.0,0.1,0.5 --seed 3 --out {data_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote 300 sites"));
+
+        let fit_out = run(&argv(&format!(
+            "fit --data {data_s} --variant mp --tile 60 --max-evals 30 --start 1.0,0.1,0.5"
+        )))
+        .unwrap();
+        assert!(fit_out.contains("log-likelihood"), "{fit_out}");
+
+        let pred_csv = dir.join("pred.csv");
+        let pred_out = run(&argv(&format!(
+            "predict --data {data_s} --targets {data_s} --theta 1.0,0.1,0.5 --tile 60 \
+             --uncertainty --out {}",
+            pred_csv.to_str().unwrap()
+        )))
+        .unwrap();
+        assert!(pred_out.contains("MSPE"), "{pred_out}");
+        // Predicting the training set itself: MSPE ~ 0 (exact interpolation).
+        let ms: f64 = pred_out
+            .lines()
+            .find(|l| l.contains("MSPE"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(ms < 1e-6, "self-prediction MSPE {ms}");
+
+        let maps_out = run(&argv(&format!(
+            "maps --data {data_s} --theta 1.0,0.1,0.5 --tile 60"
+        )))
+        .unwrap();
+        assert!(maps_out.contains("legend"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bayes_command_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("xgs-bayes-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.csv");
+        let data_s = data.to_str().unwrap();
+        run(&argv(&format!(
+            "simulate --n 150 --params 1.0,0.1,0.5 --seed 8 --out {data_s}"
+        )))
+        .unwrap();
+        let out = run(&argv(&format!(
+            "bayes --data {data_s} --start 1.0,0.1,0.5 --iterations 30 --burn-in 10 --tile 50 --variant dense"
+        )))
+        .unwrap();
+        assert!(out.contains("90% CI"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&argv("fit")).is_err()); // missing --data
+        assert!(run(&argv("simulate --n 10 --params 1.0 --out /tmp/x.csv")).is_err()); // wrong θ len
+        // Wrong arity must be a clean error everywhere, not a panic.
+        let dir = std::env::temp_dir().join(format!("xgs-arity-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.join("d.csv");
+        let ds = d.to_str().unwrap();
+        run(&argv(&format!("simulate --n 60 --params 1.0,0.1,0.5 --out {ds}"))).unwrap();
+        for cmd in [
+            format!("predict --data {ds} --targets {ds} --theta 1.0,0.1"),
+            format!("maps --data {ds} --theta 1.0"),
+            format!("fit --data {ds} --start 1.0,0.1 --max-evals 5"),
+            format!("bayes --data {ds} --start 1.0 --iterations 5 --burn-in 1"),
+        ] {
+            let args = Args::parse(&cmd.split_whitespace().map(String::from).collect::<Vec<_>>())
+                .unwrap();
+            match run(&args) {
+                Err(CmdError::Arg(e)) => assert!(e.0.contains("values"), "{e}"),
+                other => panic!("expected arity error for '{cmd}', got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        let help = run(&argv("help")).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Command-line interface of the `exageostat` binary — the high-level
+//! front-end role the paper's framework exposes through the R package.
+
+pub mod args;
+pub mod commands;
+pub mod io;

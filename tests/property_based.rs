@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) on the numerical core's invariants.
+
+use exageostat_rs::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn half_roundtrip_never_increases_magnitude_error_beyond_unit_roundoff(
+        x in -60000.0f64..60000.0
+    ) {
+        let r = Half::from_f64(x).to_f64();
+        // For normal-range values the relative error is bounded by u16.
+        if x.abs() >= 6.104e-5 {
+            prop_assert!(((r - x) / x).abs() <= 4.8828125e-4);
+        } else {
+            // Subnormal/underflow: absolute error bounded by the smallest
+            // subnormal step.
+            prop_assert!((r - x).abs() <= 5.97e-8);
+        }
+    }
+
+    #[test]
+    fn gemm_is_linear_in_alpha(a in finite_matrix(6, 4), b in finite_matrix(4, 5)) {
+        let c1 = a.matmul(&b);
+        let mut a2 = a.clone();
+        a2.scale(2.0);
+        let c2 = a2.matmul(&b);
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            prop_assert!((2.0 * x - y).abs() <= 1e-9 * (x.abs().max(1.0)));
+        }
+    }
+
+    #[test]
+    fn svd_reconstruction_and_ordering(a in finite_matrix(8, 6)) {
+        let svd = xgs_linalg::jacobi_svd(&a);
+        let rec = svd.reconstruct();
+        let err = rec.add_scaled(-1.0, &a).norm_fro();
+        prop_assert!(err <= 1e-9 * a.norm_fro().max(1e-12), "err {}", err);
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // Eckart-Young sanity: Frobenius norm identity.
+        let s_norm: f64 = svd.s.iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((s_norm - a.norm_fro()).abs() <= 1e-9 * a.norm_fro().max(1e-12));
+    }
+
+    #[test]
+    fn aca_respects_any_tolerance(a in finite_matrix(10, 10), tol_frac in 0.001f64..0.5) {
+        let tol = tol_frac * a.norm_fro().max(1e-12);
+        let (u, v) = xgs_linalg::aca(&a, tol, 10);
+        let err = a.add_scaled(-1.0, &u.matmul_t(&v)).norm_fro();
+        prop_assert!(err <= tol * (1.0 + 1e-9), "err {} tol {}", err, tol);
+    }
+
+    #[test]
+    fn lowrank_rounded_addition_error_is_bounded(
+        seed in 0u64..1000,
+        tol_frac in 0.0001f64..0.01,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rnd = |rows: usize, cols: usize, rng: &mut StdRng| {
+            use rand::RngExt;
+            Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0))
+        };
+        let a = LowRank { u: rnd(12, 3, &mut rng), v: rnd(9, 3, &mut rng) };
+        let b = LowRank { u: rnd(12, 2, &mut rng), v: rnd(9, 2, &mut rng) };
+        let exact = a.reconstruct().add_scaled(-1.0, &b.reconstruct());
+        let tol = tol_frac * exact.norm_fro().max(1e-12);
+        let sum = a.add_rounded(-1.0, &b, tol);
+        let err = sum.reconstruct().add_scaled(-1.0, &exact).norm_fro();
+        prop_assert!(err <= tol * (1.0 + 1e-6), "err {} tol {}", err, tol);
+    }
+
+    #[test]
+    fn matern_is_a_valid_correlation(nu in 0.11f64..4.0, t in 0.0f64..40.0) {
+        let c = matern_correlation(nu, t);
+        prop_assert!((0.0..=1.0).contains(&c), "M_{}({}) = {}", nu, t, c);
+    }
+
+    #[test]
+    fn bessel_recurrence_property(nu in 1.01f64..4.0, x in 0.05f64..15.0) {
+        let lhs = bessel_k(nu + 1.0, x);
+        let rhs = bessel_k(nu - 1.0, x) + 2.0 * nu / x * bessel_k(nu, x);
+        prop_assert!(((lhs - rhs) / lhs).abs() < 1e-8, "nu={} x={}", nu, x);
+    }
+
+    #[test]
+    fn precision_rule_respects_its_bound(
+        tile_norm in 1e-20f64..1e3,
+        global_norm in 1e-3f64..1e6,
+        nt in 2usize..500,
+    ) {
+        let p = xgs_tile::precision_for_tile(10, 0, 1, tile_norm, global_norm, nt, true);
+        if p != Precision::F64 {
+            // If demoted, the tile's worst-case storage error stays within
+            // its share of the global budget.
+            let u_high = Precision::F64.unit_roundoff();
+            let err = p.unit_roundoff() * tile_norm;
+            prop_assert!(err <= u_high * global_norm / nt as f64 * (1.0 + 1e-12));
+        }
+    }
+}
+
+proptest! {
+    // Heavier cases: fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tile_cholesky_reconstructs_random_spd_matrices(seed in 0u64..10_000) {
+        use xgs_cholesky::TiledFactor;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut locs = jittered_grid(180, &mut rng);
+        morton_order(&mut locs);
+        // Random-but-valid Matérn parameters.
+        use rand::RngExt;
+        let params = MaternParams::new(
+            rng.random_range(0.3..3.0),
+            rng.random_range(0.02..0.4),
+            rng.random_range(0.3..2.4),
+        );
+        let kernel = Matern::new(params);
+        let exact = xgs_covariance::covariance_matrix(&kernel, &locs);
+        let m = SymTileMatrix::generate(
+            &kernel,
+            &locs,
+            TlrConfig::new(Variant::DenseF64, 45),
+            &FlopKernelModel::default(),
+        );
+        let mut f = TiledFactor::from_matrix(m);
+        f.factorize_seq().unwrap();
+        let l = f.to_dense_lower();
+        let rec = l.matmul_t(&l);
+        let mut err = 0.0f64;
+        for j in 0..exact.cols() {
+            for i in j..exact.rows() {
+                let d: f64 = rec[(i, j)] - exact[(i, j)];
+                err += d * d * if i == j { 1.0 } else { 2.0 };
+            }
+        }
+        prop_assert!(
+            err.sqrt() <= 1e-9 * exact.norm_fro(),
+            "residual {} for params {:?}",
+            err.sqrt(),
+            params
+        );
+    }
+
+    #[test]
+    fn runtime_schedules_random_dags_sequentially_consistently(seed in 0u64..10_000) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        fn build(seed: u64, cells: Arc<Vec<AtomicU64>>) -> TaskGraph {
+            let mut g = TaskGraph::new();
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            for _ in 0..120 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = ((s >> 8) % 8) as usize;
+                let b = ((s >> 16) % 8) as usize;
+                let c = cells.clone();
+                g.insert(
+                    "mix",
+                    vec![Access::read(DataId(a as u64)), Access::write(DataId(b as u64))],
+                    ((s >> 24) % 5) as i64,
+                    0.0,
+                    move || {
+                        let x = c[a].load(Ordering::SeqCst);
+                        let y = c[b].load(Ordering::SeqCst);
+                        c[b].store(y.wrapping_mul(1099511628211).wrapping_add(x), Ordering::SeqCst);
+                    },
+                );
+            }
+            g
+        }
+        let seq: Arc<Vec<AtomicU64>> = Arc::new((0..8).map(AtomicU64::new).collect());
+        execute(build(seed, seq.clone()), 1, false);
+        let par: Arc<Vec<AtomicU64>> = Arc::new((0..8).map(AtomicU64::new).collect());
+        execute(build(seed, par.clone()), 4, false);
+        for i in 0..8 {
+            prop_assert_eq!(
+                seq[i].load(std::sync::atomic::Ordering::SeqCst),
+                par[i].load(std::sync::atomic::Ordering::SeqCst)
+            );
+        }
+    }
+}
