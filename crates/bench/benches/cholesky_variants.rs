@@ -16,7 +16,10 @@ fn bench_variants(c: &mut Criterion) {
     // Wide domain: the adaptive formats engage (see DESIGN.md §2).
     let locs = sites(n, 10.0, 7);
     let kernel = Matern::new(MaternParams::new(1.0, 0.17, 0.5));
-    let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+    let model = FlopKernelModel {
+        dense_rate: 45.0e9,
+        mem_factor: 1.0,
+    };
 
     for variant in [Variant::DenseF64, Variant::MpDense, Variant::MpDenseTlr] {
         group.bench_with_input(
@@ -24,14 +27,7 @@ fn bench_variants(c: &mut Criterion) {
             &variant,
             |b, &variant| {
                 b.iter_batched(
-                    || {
-                        SymTileMatrix::generate(
-                            &kernel,
-                            &locs,
-                            TlrConfig::new(variant, nb),
-                            &model,
-                        )
-                    },
+                    || SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(variant, nb), &model),
                     |m| {
                         let mut f = TiledFactor::from_matrix(m);
                         f.factorize_seq().unwrap();

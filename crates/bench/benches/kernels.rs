@@ -21,19 +21,61 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fp64", n), &n, |bch, &n| {
             let mut cbuf = vec![0f64; n * n];
             bch.iter(|| {
-                gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &a, n, &b, n, 0.0, &mut cbuf, n)
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    &a,
+                    n,
+                    &b,
+                    n,
+                    0.0,
+                    &mut cbuf,
+                    n,
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("fp32", n), &n, |bch, &n| {
             let mut cbuf = vec![0f32; n * n];
             bch.iter(|| {
-                gemm(Trans::No, Trans::Yes, n, n, n, 1.0f32, &a32, n, &b32, n, 0.0, &mut cbuf, n)
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    n,
+                    n,
+                    n,
+                    1.0f32,
+                    &a32,
+                    n,
+                    &b32,
+                    n,
+                    0.0,
+                    &mut cbuf,
+                    n,
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("shgemm", n), &n, |bch, &n| {
             let mut cbuf = vec![0f32; n * n];
             bch.iter(|| {
-                shgemm(Trans::No, Trans::Yes, n, n, n, 1.0, &a16, n, &b16, n, 0.0, &mut cbuf, n)
+                shgemm(
+                    Trans::No,
+                    Trans::Yes,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    &a16,
+                    n,
+                    &b16,
+                    n,
+                    0.0,
+                    &mut cbuf,
+                    n,
+                )
             });
         });
     }
@@ -46,7 +88,21 @@ fn bench_potrf(c: &mut Criterion) {
         // SPD tile: B B^T + n I.
         let b = random_buffer(n * n, 3);
         let mut spd = vec![0f64; n * n];
-        gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &b, n, &b, n, 0.0, &mut spd, n);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            n,
+            n,
+            n,
+            1.0,
+            &b,
+            n,
+            &b,
+            n,
+            0.0,
+            &mut spd,
+            n,
+        );
         for i in 0..n {
             spd[i + i * n] += n as f64;
         }

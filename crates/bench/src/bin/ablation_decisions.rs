@@ -73,12 +73,7 @@ fn tolerance_panel(n: usize) {
         cfg.allow_fp16 = false; // isolate the TLR error from precision error
         let m = SymTileMatrix::generate(&kernel, &locs, cfg, &model);
         let err = m.to_dense().add_scaled(-1.0, &exact).norm_fro() / exact.norm_fro();
-        let max_rank = m
-            .tiles
-            .iter()
-            .filter_map(|t| t.rank())
-            .max()
-            .unwrap_or(0);
+        let max_rank = m.tiles.iter().filter_map(|t| t.rank()).max().unwrap_or(0);
         println!(
             "{tol:>10.0e} | {:>10.1} MB {:>14.2e} {:>10}",
             m.footprint_bytes() as f64 / 1e6,

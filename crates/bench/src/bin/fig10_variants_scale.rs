@@ -13,7 +13,6 @@
 
 use xgs_perfmodel::{project, Correlation, Projection, ScaleConfig, SolverVariant};
 
-#[derive(serde::Serialize)]
 struct Row {
     correlation: &'static str,
     n: usize,
@@ -22,11 +21,28 @@ struct Row {
     projection: Projection,
 }
 
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"correlation\":\"{}\",\"n\":{},\"nodes\":{},\"variant\":\"{}\",\"projection\":{}}}",
+            self.correlation,
+            self.n,
+            self.nodes,
+            self.variant,
+            self.projection.to_json()
+        )
+    }
+}
+
 fn main() {
     let mut json_rows: Vec<Row> = Vec::new();
     let nb = 800;
-    let cases: [(usize, usize); 4] =
-        [(1_000_000, 2048), (2_000_000, 4096), (4_000_000, 8192), (9_000_000, 16384)];
+    let cases: [(usize, usize); 4] = [
+        (1_000_000, 2048),
+        (2_000_000, 4096),
+        (4_000_000, 8192),
+        (9_000_000, 16384),
+    ];
 
     for corr in [Correlation::Weak, Correlation::Medium, Correlation::Strong] {
         println!(
@@ -39,11 +55,35 @@ fn main() {
             "n", "nodes", "fp64 (s)", "mp (s)", "mp+tlr (s)", "speedup", "tlr footprint"
         );
         for (n, nodes) in cases {
-            let d = project(&ScaleConfig::new(n, nb, nodes, corr, SolverVariant::DenseF64));
-            let m = project(&ScaleConfig::new(n, nb, nodes, corr, SolverVariant::MpDense));
-            let t = project(&ScaleConfig::new(n, nb, nodes, corr, SolverVariant::MpDenseTlr));
+            let d = project(&ScaleConfig::new(
+                n,
+                nb,
+                nodes,
+                corr,
+                SolverVariant::DenseF64,
+            ));
+            let m = project(&ScaleConfig::new(
+                n,
+                nb,
+                nodes,
+                corr,
+                SolverVariant::MpDense,
+            ));
+            let t = project(&ScaleConfig::new(
+                n,
+                nb,
+                nodes,
+                corr,
+                SolverVariant::MpDenseTlr,
+            ));
             for (variant, p) in [("dense-fp64", d), ("mp-dense", m), ("mp-dense-tlr", t)] {
-                json_rows.push(Row { correlation: corr.name(), n, nodes, variant, projection: p });
+                json_rows.push(Row {
+                    correlation: corr.name(),
+                    n,
+                    nodes,
+                    variant,
+                    projection: p,
+                });
             }
             println!(
                 "{:>10} {:>7} | {:>11.1} {:>11.1} {:>11.1} | {:>7.1}x {:>13.0} GB{}",
@@ -54,7 +94,11 @@ fn main() {
                 t.makespan,
                 d.makespan / t.makespan,
                 t.footprint_bytes / 1e9,
-                if d.fits_in_memory { "" } else { "   [fp64 hypothetical: exceeds memory]" }
+                if d.fits_in_memory {
+                    ""
+                } else {
+                    "   [fp64 hypothetical: exceeds memory]"
+                }
             );
         }
         println!();
@@ -63,10 +107,16 @@ fn main() {
     println!("gain shrinks with stronger correlation (higher ranks, fewer low-precision tiles).");
 
     // Machine-readable dump for plotting.
-    if let Ok(json) = serde_json::to_string_pretty(&json_rows) {
-        let path = "results/fig10.json";
-        if std::fs::create_dir_all("results").is_ok() && std::fs::write(path, json).is_ok() {
-            println!("\n(wrote {path})");
-        }
+    let json = format!(
+        "[\n  {}\n]\n",
+        json_rows
+            .iter()
+            .map(Row::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    let path = "results/fig10.json";
+    if std::fs::create_dir_all("results").is_ok() && std::fs::write(path, json).is_ok() {
+        println!("\n(wrote {path})");
     }
 }

@@ -24,7 +24,11 @@ fn main() {
         "n", "nodes", "fp64 (s)", "mp+tlr (s)", "speedup", "efficiency", "mem cut"
     );
     let mut speedups = Vec::new();
-    for (n, nodes) in [(4_000_000usize, 4096usize), (4_000_000, 48_384), (10_000_000, 48_384)] {
+    for (n, nodes) in [
+        (4_000_000usize, 4096usize),
+        (4_000_000, 48_384),
+        (10_000_000, 48_384),
+    ] {
         let d = project(&ScaleConfig::new(
             n,
             nb,

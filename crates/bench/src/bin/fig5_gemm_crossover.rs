@@ -24,7 +24,10 @@ use xgs_tile::{auto_tune_band_size, KernelTimeModel};
 
 fn measured_panel(nb: usize) {
     println!("-- measured on this machine, tile size {nb}, accuracy-1e-8-style ranks --");
-    println!("{:>6} {:>14} {:>14} {:>8}", "rank", "dense (ms)", "tlr (ms)", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "rank", "dense (ms)", "tlr (ms)", "ratio"
+    );
     let a = Matrix::from_vec(nb, nb, random_buffer(nb * nb, 1));
     let b = Matrix::from_vec(nb, nb, random_buffer(nb * nb, 2));
     let mut c = Matrix::from_vec(nb, nb, random_buffer(nb * nb, 3));
@@ -83,12 +86,21 @@ fn modeled_panel() {
     let model = A64fxKernelModel::default();
     let nb = 2700;
     println!("-- modeled A64FX core, tile size {nb} (the paper's Fig. 5 setting) --");
-    println!("{:>6} {:>14} {:>14} {:>8}", "rank", "dense (s)", "tlr (s)", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "rank", "dense (s)", "tlr (s)", "ratio"
+    );
     let dense = model.dense_gemm_time(nb, Precision::F64);
     let mut crossover = None;
     for rank in [20usize, 50, 100, 150, 200, 250, 300, 400, 600] {
         let tlr = model.tlr_gemm_time(nb, rank, Precision::F64);
-        println!("{:>6} {:>14.4} {:>14.4} {:>8.2}", rank, dense, tlr, dense / tlr);
+        println!(
+            "{:>6} {:>14.4} {:>14.4} {:>8.2}",
+            rank,
+            dense,
+            tlr,
+            dense / tlr
+        );
         if crossover.is_none() && tlr >= dense {
             crossover = Some(rank);
         }

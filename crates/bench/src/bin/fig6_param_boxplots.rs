@@ -29,9 +29,7 @@ fn main() {
     let model = xgs_bench::demo_model();
     let variants = [Variant::DenseF64, Variant::MpDense, Variant::MpDenseTlr];
 
-    println!(
-        "Fig. 6 reproduction: {reps} synthetic datasets x {n} locations (paper: 100 x 50K)\n"
-    );
+    println!("Fig. 6 reproduction: {reps} synthetic datasets x {n} locations (paper: 100 x 50K)\n");
 
     for (label, range) in [("weak", 0.03), ("medium", 0.1), ("strong", 0.3)] {
         // The paper's per-panel truths: sigma^2 = 1, nu = 0.5, range varies.

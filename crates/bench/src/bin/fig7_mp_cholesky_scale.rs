@@ -23,9 +23,19 @@ fn main() {
     );
     for n in [200_000usize, 400_000, 800_000, 1_200_000, 1_600_000] {
         let mut res = Vec::new();
-        for v in [SolverVariant::DenseF64, SolverVariant::DenseF32, SolverVariant::MpDense] {
+        for v in [
+            SolverVariant::DenseF64,
+            SolverVariant::DenseF32,
+            SolverVariant::MpDense,
+        ] {
             // Weak correlation = the most low-precision-friendly panel.
-            res.push(project(&ScaleConfig::new(n, nb, nodes, Correlation::Weak, v)));
+            res.push(project(&ScaleConfig::new(
+                n,
+                nb,
+                nodes,
+                Correlation::Weak,
+                v,
+            )));
         }
         println!(
             "{:>10} | {:>12.2} {:>12.2} {:>12.2} | {:>9.1} {:>9.1}",
@@ -41,7 +51,13 @@ fn main() {
     // Scaling efficiency cross-check (paper: 94% of single-node rate for
     // FP64 at 1024 nodes).
     let n = 1_600_000;
-    let full = project(&ScaleConfig::new(n, nb, nodes, Correlation::Weak, SolverVariant::DenseF64));
+    let full = project(&ScaleConfig::new(
+        n,
+        nb,
+        nodes,
+        Correlation::Weak,
+        SolverVariant::DenseF64,
+    ));
     println!(
         "\nmodeled parallel efficiency at {nodes} nodes (n = {n}): {:.0}% (paper reports 94%)",
         full.efficiency * 100.0

@@ -16,7 +16,10 @@ use xgs_kernels::{demote_f64_to_f16, gemm, gemm_flops, shgemm, Half, Trans};
 
 fn main() {
     println!("GEMM throughput on this machine (column: Gflop/s, best of 3)\n");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>14}", "n", "dgemm", "sgemm", "shgemm", "shgemm/sgemm");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>14}",
+        "n", "dgemm", "sgemm", "shgemm", "shgemm/sgemm"
+    );
     for n in [64usize, 128, 256, 384, 512] {
         let a64 = random_buffer(n * n, 1);
         let b64 = random_buffer(n * n, 2);
@@ -32,7 +35,21 @@ fn main() {
         let mut t_d = f64::INFINITY;
         for _ in 0..3 {
             let (_, s) = timed(|| {
-                gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &a64, n, &b64, n, 0.0, &mut c64, n)
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    &a64,
+                    n,
+                    &b64,
+                    n,
+                    0.0,
+                    &mut c64,
+                    n,
+                )
             });
             t_d = t_d.min(s);
         }
@@ -41,7 +58,21 @@ fn main() {
         let mut t_s = f64::INFINITY;
         for _ in 0..3 {
             let (_, s) = timed(|| {
-                gemm(Trans::No, Trans::Yes, n, n, n, 1.0f32, &a32, n, &b32, n, 0.0, &mut c32, n)
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    n,
+                    n,
+                    n,
+                    1.0f32,
+                    &a32,
+                    n,
+                    &b32,
+                    n,
+                    0.0,
+                    &mut c32,
+                    n,
+                )
             });
             t_s = t_s.min(s);
         }
@@ -50,7 +81,21 @@ fn main() {
         let mut t_h = f64::INFINITY;
         for _ in 0..3 {
             let (_, s) = timed(|| {
-                shgemm(Trans::No, Trans::Yes, n, n, n, 1.0, &a16, n, &b16, n, 0.0, &mut ch, n)
+                shgemm(
+                    Trans::No,
+                    Trans::Yes,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    &a16,
+                    n,
+                    &b16,
+                    n,
+                    0.0,
+                    &mut ch,
+                    n,
+                )
             });
             t_h = t_h.min(s);
         }

@@ -71,7 +71,9 @@ fn measured_panel() {
     // Demo-size tiles need the TLR-friendly kernel-time model; see the
     // decision_maps example for why (crossover scales with nb).
     let model = xgs_bench::demo_model();
-    println!("-- measured maps: n = {n}, tile {nb} (glyphs: D/s/h dense 64/32/16, L/l low-rank) --");
+    println!(
+        "-- measured maps: n = {n}, tile {nb} (glyphs: D/s/h dense 64/32/16, L/l low-rank) --"
+    );
     for (label, range) in [("weak", 0.01), ("strong", 0.3)] {
         let kernel = Matern::new(MaternParams::new(1.0, range, 0.5));
         for variant in [Variant::MpDense, Variant::MpDenseTlr] {

@@ -56,4 +56,25 @@ fn main() {
     println!("  Dense FP64    0.6720 0.1730 0.4358  llh -52185.7336  MSPE 0.0330");
     println!("  MP+dense      0.6751 0.1740 0.4357  llh -52185.7643  MSPE 0.0330");
     println!("  MP+dense/TLR  0.6621 0.1882 0.3921  llh -52188.2341  MSPE 0.0332");
+
+    // `--metrics <path>` (or XGS_METRICS): runtime metrics merged over
+    // every factorization of every variant's fit.
+    if let Some(path) = xgs_bench::metrics_path() {
+        let mut merged: Option<xgs_runtime::MetricsReport> = None;
+        for row in &report.rows {
+            if let Some(m) = &row.fit.metrics {
+                match merged.as_mut() {
+                    Some(total) => total.merge(m),
+                    None => merged = Some(m.clone()),
+                }
+            }
+        }
+        match merged {
+            Some(m) => xgs_bench::write_metrics(&path, &m),
+            None => eprintln!(
+                "--metrics: no runtime metrics collected (sequential engine; \
+                 set XGS_WORKERS > 1)"
+            ),
+        }
+    }
 }

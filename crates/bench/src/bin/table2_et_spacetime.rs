@@ -54,9 +54,15 @@ fn main() {
     let report = run_pipeline(&cfg, &model);
     println!("{}", report.render(ModelFamily::GneitingSpaceTime));
     println!("paper Table II (for reference):");
-    println!("  Dense FP64    1.0087 3.7904 0.3164 0.0101 3.4941 0.1860  llh -136675.1  MSPE 0.9345");
-    println!("  MP+dense      0.9428 3.8795 0.3072 0.0102 3.5858 0.1857  llh -136529.0  MSPE 0.9348");
-    println!("  MP+dense/TLR  0.9247 3.7736 0.3068 0.0102 3.5858 0.1857  llh -136541.8  MSPE 0.9428");
+    println!(
+        "  Dense FP64    1.0087 3.7904 0.3164 0.0101 3.4941 0.1860  llh -136675.1  MSPE 0.9345"
+    );
+    println!(
+        "  MP+dense      0.9428 3.8795 0.3072 0.0102 3.5858 0.1857  llh -136529.0  MSPE 0.9348"
+    );
+    println!(
+        "  MP+dense/TLR  0.9247 3.7736 0.3068 0.0102 3.5858 0.1857  llh -136541.8  MSPE 0.9428"
+    );
     println!("\nnote: the paper's strong spatial correlation regime means fewer");
     println!("low-precision/low-rank opportunities — visible here as a footprint");
     println!("closer to dense than in the Table I scenario.");

@@ -34,7 +34,10 @@ fn main() {
     let cfg = TlrConfig::new(Variant::MpDenseTlr, (n / 6).max(32));
 
     println!("-- measured: PSO training on this machine (n = {n}) --");
-    println!("{:>10} {:>12} {:>14}", "particles", "iterations", "wall (s)");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "particles", "iterations", "wall (s)"
+    );
     for particles in [4usize, 8, 16] {
         let opts = FitOptions {
             optimizer: FitOptimizer::ParticleSwarm(PsoOptions {
@@ -57,9 +60,17 @@ fn main() {
     println!(
         "one PSO iteration = one MLE Cholesky per group; groups of 2048 nodes, 1M matrix, weak corr."
     );
-    println!("{:>8} {:>12} {:>18} {:>12}", "groups", "nodes", "iter time (s)", "efficiency");
-    let per_group =
-        project(&ScaleConfig::new(1_000_000, 800, 2048, Correlation::Weak, SolverVariant::MpDenseTlr));
+    println!(
+        "{:>8} {:>12} {:>18} {:>12}",
+        "groups", "nodes", "iter time (s)", "efficiency"
+    );
+    let per_group = project(&ScaleConfig::new(
+        1_000_000,
+        800,
+        2048,
+        Correlation::Weak,
+        SolverVariant::MpDenseTlr,
+    ));
     for groups in [1usize, 2, 4, 8, 16, 23] {
         // Weak scaling: each group works independently; the loose
         // synchronization is one small all-reduce of 3-6 scalars (lat +

@@ -24,6 +24,24 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// `--metrics <path>` from the binary's own argv (bench binaries take no
+/// other arguments), with `XGS_METRICS=<path>` as the env-style spelling.
+pub fn metrics_path() -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| argv.get(i + 1).cloned())
+        .or_else(|| std::env::var("XGS_METRICS").ok())
+}
+
+/// Write a runtime metrics report as JSON, with a console note.
+pub fn write_metrics(path: &str, report: &xgs_runtime::MetricsReport) {
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote runtime metrics to {path}"),
+        Err(e) => eprintln!("could not write metrics to {path}: {e}"),
+    }
+}
+
 /// Deterministic Morton-ordered site set, optionally on a widened domain
 /// (see `PipelineConfig::domain_size`).
 pub fn sites(n: usize, domain: f64, seed: u64) -> Vec<Location> {
@@ -44,7 +62,9 @@ pub fn random_buffer(len: usize, seed: u64) -> Vec<f64> {
     let mut state = seed | 1;
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
         .collect()
@@ -52,7 +72,7 @@ pub fn random_buffer(len: usize, seed: u64) -> Vec<f64> {
 
 /// Median/quartiles of a sample (for the Fig. 6 boxplot tables).
 pub fn quartiles(xs: &mut [f64]) -> (f64, f64, f64) {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.total_cmp(b));
     let q = |f: f64| -> f64 {
         let pos = f * (xs.len() - 1) as f64;
         let lo = pos.floor() as usize;
@@ -68,7 +88,10 @@ pub fn quartiles(xs: &mut [f64]) -> (f64, f64, f64) {
 /// calibrated A64FX crossover ~nb/13.5 correctly rejects TLR for small
 /// tiles; see DESIGN.md §5a).
 pub fn demo_model() -> xgs_tile::FlopKernelModel {
-    xgs_tile::FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 }
+    xgs_tile::FlopKernelModel {
+        dense_rate: 45.0e9,
+        mem_factor: 1.0,
+    }
 }
 
 /// Wall-time a closure, returning (result, seconds).

@@ -77,11 +77,11 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
     let mut total_cost = 0.0f64;
 
     let push = |tasks: &mut Vec<SimTask>,
-                    last_writer: &mut HashMap<(usize, usize), usize>,
-                    cost: f64,
-                    write: (usize, usize),
-                    reads: &[(usize, usize)],
-                    total_cost: &mut f64| {
+                last_writer: &mut HashMap<(usize, usize), usize>,
+                cost: f64,
+                write: (usize, usize),
+                reads: &[(usize, usize)],
+                total_cost: &mut f64| {
         let own = owner(write.0, write.1);
         let mut preds: Vec<(usize, f64)> = Vec::with_capacity(reads.len() + 1);
         if let Some(&w) = last_writer.get(&write) {
@@ -104,7 +104,11 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
             }
         }
         let id = tasks.len();
-        tasks.push(SimTask { cost, owner: own, preds });
+        tasks.push(SimTask {
+            cost,
+            owner: own,
+            preds,
+        });
         last_writer.insert(write, id);
         *total_cost += cost;
         id
@@ -113,7 +117,14 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
     for k in 0..nt {
         // POTRF on the FP64 diagonal: nb^3/3 flops = 1/6 of a dense GEMM.
         let c_potrf = model.dense_gemm_time(nb, Precision::F64) / 6.0;
-        push(&mut tasks, &mut last_writer, c_potrf, (k, k), &[], &mut total_cost);
+        push(
+            &mut tasks,
+            &mut last_writer,
+            c_potrf,
+            (k, k),
+            &[],
+            &mut total_cost,
+        );
 
         for i in k + 1..nt {
             let c = if meta.is_dense(i, k) {
@@ -121,7 +132,14 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
             } else {
                 model.tlr_trsm_time(nb, meta.rank(i, k), lr_precision(meta.precision(i, k)))
             };
-            push(&mut tasks, &mut last_writer, c, (i, k), &[(k, k)], &mut total_cost);
+            push(
+                &mut tasks,
+                &mut last_writer,
+                c,
+                (i, k),
+                &[(k, k)],
+                &mut total_cost,
+            );
         }
 
         for i in k + 1..nt {
@@ -133,7 +151,14 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
                     } else {
                         0.5 * model.tlr_gemm_time(nb, meta.rank(i, k), Precision::F64)
                     };
-                    push(&mut tasks, &mut last_writer, c, (i, i), &[(i, k)], &mut total_cost);
+                    push(
+                        &mut tasks,
+                        &mut last_writer,
+                        c,
+                        (i, i),
+                        &[(i, k)],
+                        &mut total_cost,
+                    );
                 } else {
                     // GEMM led by C_ij's format.
                     let c = if meta.is_dense(i, j) {
@@ -142,8 +167,16 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
                         // Product rank is bounded by the smaller LR operand
                         // (dense x LR stays at the LR operand's rank); the
                         // rounded addition works at max(product, C) rank.
-                        let ra = if meta.is_dense(i, k) { nb } else { meta.rank(i, k) };
-                        let rb = if meta.is_dense(j, k) { nb } else { meta.rank(j, k) };
+                        let ra = if meta.is_dense(i, k) {
+                            nb
+                        } else {
+                            meta.rank(i, k)
+                        };
+                        let rb = if meta.is_dense(j, k) {
+                            nb
+                        } else {
+                            meta.rank(j, k)
+                        };
                         let r_prod = ra.min(rb);
                         if r_prod >= nb {
                             // Dense x dense into a low-rank tile: full GEMM
@@ -168,7 +201,11 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
     }
 
     let n = (nt * nb) as f64;
-    let stats = DagStats { tasks: tasks.len(), total_cost, nominal_flops: n * n * n / 3.0 };
+    let stats = DagStats {
+        tasks: tasks.len(),
+        total_cost,
+        nominal_flops: n * n * n / 3.0,
+    };
     (tasks, stats)
 }
 
@@ -197,7 +234,12 @@ mod tests {
     use xgs_tile::FlopKernelModel;
 
     fn machine(nodes: usize) -> MachineSpec {
-        MachineSpec { nodes, cores_per_node: 4, net_bandwidth: 6.8e9, net_latency: 1e-6 }
+        MachineSpec {
+            nodes,
+            cores_per_node: 4,
+            net_bandwidth: 6.8e9,
+            net_latency: 1e-6,
+        }
     }
 
     struct BandMeta {
@@ -223,12 +265,20 @@ mod tests {
 
     #[test]
     fn task_count_matches_closed_form() {
-        let meta = UniformMeta { precision_of: |_, _| Precision::F64 };
+        let meta = UniformMeta {
+            precision_of: |_, _| Precision::F64,
+        };
         let model = FlopKernelModel::default();
         let nt = 12;
         let (tasks, stats) = cholesky_dag(
             &meta,
-            &DagOptions { nt, nb: 256, grid_p: 2, grid_q: 2, model: &model },
+            &DagOptions {
+                nt,
+                nb: 256,
+                grid_p: 2,
+                grid_q: 2,
+                model: &model,
+            },
         );
         let expect = nt + nt * (nt - 1) / 2 + (nt * nt * nt - nt) / 6;
         assert_eq!(tasks.len(), expect);
@@ -238,11 +288,19 @@ mod tests {
 
     #[test]
     fn tasks_are_topologically_ordered() {
-        let meta = UniformMeta { precision_of: |_, _| Precision::F64 };
+        let meta = UniformMeta {
+            precision_of: |_, _| Precision::F64,
+        };
         let model = FlopKernelModel::default();
         let (tasks, _) = cholesky_dag(
             &meta,
-            &DagOptions { nt: 10, nb: 128, grid_p: 2, grid_q: 1, model: &model },
+            &DagOptions {
+                nt: 10,
+                nb: 128,
+                grid_p: 2,
+                grid_q: 1,
+                model: &model,
+            },
         );
         for (idx, t) in tasks.iter().enumerate() {
             for &(p, _) in &t.preds {
@@ -254,9 +312,17 @@ mod tests {
     #[test]
     fn tlr_dag_costs_less_than_dense() {
         let model = FlopKernelModel::default();
-        let dense = UniformMeta { precision_of: |_, _| Precision::F64 };
+        let dense = UniformMeta {
+            precision_of: |_, _| Precision::F64,
+        };
         let tlr = BandMeta { band: 2, rank: 20 };
-        let opts = DagOptions { nt: 16, nb: 1024, grid_p: 2, grid_q: 2, model: &model };
+        let opts = DagOptions {
+            nt: 16,
+            nb: 1024,
+            grid_p: 2,
+            grid_q: 2,
+            model: &model,
+        };
         let (_, sd) = cholesky_dag(&dense, &opts);
         let (_, st) = cholesky_dag(&tlr, &opts);
         assert!(
@@ -270,14 +336,33 @@ mod tests {
     #[test]
     fn more_nodes_shrink_simulated_makespan() {
         let model = FlopKernelModel::default();
-        let meta = UniformMeta { precision_of: |_, _| Precision::F64 };
-        let opts1 = DagOptions { nt: 20, nb: 512, grid_p: 1, grid_q: 1, model: &model };
+        let meta = UniformMeta {
+            precision_of: |_, _| Precision::F64,
+        };
+        let opts1 = DagOptions {
+            nt: 20,
+            nb: 512,
+            grid_p: 1,
+            grid_q: 1,
+            model: &model,
+        };
         let (t1, _) = cholesky_dag(&meta, &opts1);
-        let opts4 = DagOptions { nt: 20, nb: 512, grid_p: 2, grid_q: 2, model: &model };
+        let opts4 = DagOptions {
+            nt: 20,
+            nb: 512,
+            grid_p: 2,
+            grid_q: 2,
+            model: &model,
+        };
         let (t4, _) = cholesky_dag(&meta, &opts4);
         let r1 = simulate(&t1, &machine(1));
         let r4 = simulate(&t4, &machine(4));
-        assert!(r4.makespan < r1.makespan, "{} vs {}", r4.makespan, r1.makespan);
+        assert!(
+            r4.makespan < r1.makespan,
+            "{} vs {}",
+            r4.makespan,
+            r1.makespan
+        );
         assert!(r4.comm_bytes > 0.0);
         assert_eq!(r1.comm_bytes, 0.0);
     }
@@ -285,7 +370,9 @@ mod tests {
     #[test]
     fn mixed_precision_dag_is_faster_than_fp64() {
         let model = FlopKernelModel::default();
-        let fp64 = UniformMeta { precision_of: |_, _| Precision::F64 };
+        let fp64 = UniformMeta {
+            precision_of: |_, _| Precision::F64,
+        };
         // Band-of-3 precision layout like Fig. 2(c).
         let mp = UniformMeta {
             precision_of: |i, j| {
@@ -299,7 +386,13 @@ mod tests {
                 }
             },
         };
-        let opts = DagOptions { nt: 24, nb: 800, grid_p: 2, grid_q: 2, model: &model };
+        let opts = DagOptions {
+            nt: 24,
+            nb: 800,
+            grid_p: 2,
+            grid_q: 2,
+            model: &model,
+        };
         let (t64, _) = cholesky_dag(&fp64, &opts);
         let (tmp, _) = cholesky_dag(&mp, &opts);
         let r64 = simulate(&t64, &machine(4));

@@ -4,7 +4,7 @@ use crate::kernels::{gemm_update, potrf_diag, syrk_diag, trsm_panel};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
-use xgs_runtime::{execute, Access, DataId, ExecReport, TaskGraph};
+use xgs_runtime::{execute_opts, Access, DataId, ExecOptions, ExecReport, TaskGraph};
 use xgs_tile::{SymTileMatrix, Tile, TileLayout};
 
 /// Factorization failure.
@@ -55,11 +55,18 @@ impl TiledFactor {
             .tiles
             .into_iter()
             .map(|t| {
-                let tol = (tol_rel * t.norm_fro()).max(floor * 1e-6).max(f64::MIN_POSITIVE);
+                let tol = (tol_rel * t.norm_fro())
+                    .max(floor * 1e-6)
+                    .max(f64::MIN_POSITIVE);
                 (Mutex::new(t), tol)
             })
             .unzip();
-        TiledFactor { layout, tiles, tols, band_size_dense: band }
+        TiledFactor {
+            layout,
+            tiles,
+            tols,
+            band_size_dense: band,
+        }
     }
 
     #[inline]
@@ -154,6 +161,19 @@ impl TiledFactor {
         self: &Arc<Self>,
         workers: usize,
     ) -> (Result<(), FactorError>, ExecReport) {
+        // Default options: schedule validation on under `cfg(debug_assertions)`
+        // (so every test factorization is checked), metrics always on.
+        self.factorize_parallel_opts(workers, ExecOptions::default())
+    }
+
+    /// [`factorize_parallel`](TiledFactor::factorize_parallel) with explicit
+    /// runtime options (tracing, scheduling policy, schedule validation,
+    /// metrics).
+    pub fn factorize_parallel_opts(
+        self: &Arc<Self>,
+        workers: usize,
+        opts: ExecOptions,
+    ) -> (Result<(), FactorError>, ExecReport) {
         let nt = self.nt();
         let mut g = TaskGraph::new();
         let data = |i: usize, j: usize| DataId(self.layout.stored_index(i, j) as u64);
@@ -165,8 +185,9 @@ impl TiledFactor {
             {
                 let me = Arc::clone(self);
                 let failed = Arc::clone(&failed);
-                g.insert(
+                g.insert_at(
                     "potrf",
+                    (k as u32, k as u32),
                     vec![Access::write(data(k, k))],
                     prio_base + 3,
                     0.0,
@@ -201,8 +222,9 @@ impl TiledFactor {
             for i in k + 1..nt {
                 let me = Arc::clone(self);
                 let failed = Arc::clone(&failed);
-                g.insert(
+                g.insert_at(
                     "trsm",
+                    (i as u32, k as u32),
                     vec![Access::read(data(k, k)), Access::write(data(i, k))],
                     prio_base + 2,
                     0.0,
@@ -221,8 +243,9 @@ impl TiledFactor {
                     let me = Arc::clone(self);
                     let failed = Arc::clone(&failed);
                     if i == j {
-                        g.insert(
+                        g.insert_at(
                             "syrk",
+                            (i as u32, i as u32),
                             vec![Access::read(data(i, k)), Access::write(data(i, i))],
                             prio_base + 1,
                             0.0,
@@ -236,8 +259,9 @@ impl TiledFactor {
                             },
                         );
                     } else {
-                        g.insert(
+                        g.insert_at(
                             "gemm",
+                            (i as u32, j as u32),
                             vec![
                                 Access::read(data(i, k)),
                                 Access::read(data(j, k)),
@@ -261,7 +285,7 @@ impl TiledFactor {
             }
         }
 
-        let report = execute(g, workers, false);
+        let report = execute_opts(g, workers, opts);
         let res = match failed.load(Ordering::Acquire) {
             p if p >= 0 => Err(FactorError::NotPositiveDefinite { pivot: p as usize }),
             _ => Ok(()),
@@ -278,13 +302,21 @@ mod tests {
     use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
     use xgs_tile::{FlopKernelModel, TlrConfig, Variant};
 
-    fn build(n: usize, nb: usize, variant: Variant, range: f64) -> (SymTileMatrix, xgs_linalg::Matrix) {
+    fn build(
+        n: usize,
+        nb: usize,
+        variant: Variant,
+        range: f64,
+    ) -> (SymTileMatrix, xgs_linalg::Matrix) {
         let mut rng = StdRng::seed_from_u64(11);
         let mut locs = jittered_grid(n, &mut rng);
         morton_order(&mut locs);
         let kernel = Matern::new(MaternParams::new(1.0, range, 0.5));
         let exact = xgs_covariance::covariance_matrix(&kernel, &locs);
-        let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+        let model = FlopKernelModel {
+            dense_rate: 45.0e9,
+            mem_factor: 1.0,
+        };
         let m = SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(variant, nb), &model);
         (m, exact)
     }
@@ -387,6 +419,48 @@ mod tests {
         }
         let f = Arc::new(f);
         let (res, _) = f.factorize_parallel(4);
-        assert_eq!(res.unwrap_err(), FactorError::NotPositiveDefinite { pivot: 0 });
+        assert_eq!(
+            res.unwrap_err(),
+            FactorError::NotPositiveDefinite { pivot: 0 }
+        );
+    }
+
+    #[test]
+    fn parallel_run_is_validated_and_metered() {
+        let (m, _) = build(300, 50, Variant::MpDense, 0.05);
+        let f = Arc::new(TiledFactor::from_matrix(m));
+        let (res, report) = f.factorize_parallel_opts(
+            4,
+            xgs_runtime::ExecOptions {
+                validate: true,
+                trace: true,
+                ..Default::default()
+            },
+        );
+        res.unwrap();
+        let m = report.metrics.as_ref().expect("metrics on by default");
+        let v = m.validation.expect("validator was requested");
+        // 6x6 tiles. Right-looking tile Cholesky carries RAW (kernel reads
+        // the panel/diagonal) and WAW (updates then factor) hazards; WAR
+        // never occurs because each tile's last write precedes all reads.
+        assert!(v.raw_edges > 0 && v.waw_edges > 0, "{v:?}");
+        assert_eq!(v.war_edges, 0, "{v:?}");
+        let kinds: Vec<&str> = m.kernels.iter().map(|k| k.kind).collect();
+        for kind in ["potrf", "trsm", "syrk", "gemm"] {
+            assert!(kinds.contains(&kind), "missing kernel stats for {kind}");
+        }
+        assert_eq!(
+            m.kernels.iter().map(|k| k.count).sum::<u64>() as usize,
+            report.tasks
+        );
+        // Tile coordinates flow into the trace: the first potrf is (0,0)
+        // and every gemm sits strictly below its diagonal.
+        let potrf = report.trace.iter().find(|e| e.kind == "potrf").unwrap();
+        assert_eq!(potrf.coords, Some((0, 0)));
+        assert!(report
+            .trace
+            .iter()
+            .filter(|e| e.kind == "gemm")
+            .all(|e| matches!(e.coords, Some((i, j)) if i > j)));
     }
 }

@@ -15,8 +15,9 @@
 //! HiCMA shapes: TRSM solves against the `V` factor; GEMM forms low-rank
 //! products and adds them with QR+SVD rounding.
 
-use xgs_kernels::{gemm, syrk_lower_notrans, trsm_left_lower_notrans, trsm_right_lower_trans,
-                  Precision, Trans};
+use xgs_kernels::{
+    gemm, syrk_lower_notrans, trsm_left_lower_notrans, trsm_right_lower_trans, Precision, Trans,
+};
 use xgs_linalg::{LowRank, Matrix};
 use xgs_runtime::count_conversion;
 use xgs_tile::{Tile, TileStorage};
@@ -190,13 +191,19 @@ pub fn gemm_update(a_ik: &Tile, b_jk: &Tile, c_ij: &mut Tile, tol: f64) {
                     note_operand_conversion(a_ik, p);
                     note_operand_conversion(b_jk, p);
                     // (U V^T) B^T = U (B V)^T.
-                    LowRank { u: a.u.clone(), v: b.matmul(&a.v) }
+                    LowRank {
+                        u: a.u.clone(),
+                        v: b.matmul(&a.v),
+                    }
                 }
                 (TileStorage::Dense(a), TileStorage::LowRank(b)) => {
                     note_operand_conversion(a_ik, p);
                     note_operand_conversion(b_jk, p);
                     // A (U V^T)^T = A V U^T = (A V) U^T.
-                    LowRank { u: a.matmul(&b.v), v: b.u.clone() }
+                    LowRank {
+                        u: a.matmul(&b.v),
+                        v: b.u.clone(),
+                    }
                 }
                 (TileStorage::Dense(a), TileStorage::Dense(b)) => {
                     // Dense x dense hitting a low-rank tile: form the dense
@@ -255,7 +262,21 @@ fn gemm_into_dense(a_ik: &Tile, b_jk: &Tile, c: &mut Matrix, p: Precision) {
                 trim_f32_through_f16(&mut af);
                 trim_f32_through_f16(&mut bf);
             }
-            gemm(Trans::No, Trans::Yes, m, n, k, -1.0f32, &af, m, &bf, n, 1.0f32, &mut cf, m);
+            gemm(
+                Trans::No,
+                Trans::Yes,
+                m,
+                n,
+                k,
+                -1.0f32,
+                &af,
+                m,
+                &bf,
+                n,
+                1.0f32,
+                &mut cf,
+                m,
+            );
             from_f32_buf(&cf, c);
         }
     }
@@ -286,7 +307,9 @@ mod tests {
     fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed | 1;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
     }
@@ -423,7 +446,10 @@ mod tests {
                 .to_dense()
                 .add_scaled(-1.0, &ta.to_dense().matmul_t(&tb.to_dense()));
             let err = c.to_dense().add_scaled(-1.0, &oracle).norm_fro();
-            assert!(err < 1e-8 * oracle.norm_fro().max(1.0), "{label}: err {err}");
+            assert!(
+                err < 1e-8 * oracle.norm_fro().max(1.0),
+                "{label}: err {err}"
+            );
         }
     }
 

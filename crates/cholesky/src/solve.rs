@@ -198,7 +198,10 @@ mod tests {
         morton_order(&mut locs);
         let kernel = Matern::new(MaternParams::new(1.2, 0.05, 0.5));
         let exact = xgs_covariance::covariance_matrix(&kernel, &locs);
-        let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+        let model = FlopKernelModel {
+            dense_rate: 45.0e9,
+            mem_factor: 1.0,
+        };
         let m = SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(variant, nb), &model);
         let mut f = TiledFactor::from_matrix(m);
         f.factorize_seq().unwrap();

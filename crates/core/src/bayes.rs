@@ -141,7 +141,7 @@ pub fn posterior_sample(
     let mut ci90 = Vec::with_capacity(dim);
     for d in 0..dim {
         let mut col: Vec<f64> = samples.iter().map(|s| s[d]).collect();
-        col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        col.sort_by(|a, b| a.total_cmp(b));
         let q = |f: f64| col[((f * (col.len() - 1) as f64) as usize).min(col.len() - 1)];
         ci90.push((q(0.05), q(0.95)));
     }
@@ -175,7 +175,11 @@ mod tests {
     fn chain_runs_and_brackets_truth() {
         let (locs, z) = data(250);
         let cfg = TlrConfig::new(Variant::MpDense, 50);
-        let opts = McmcOptions { iterations: 240, burn_in: 60, ..Default::default() };
+        let opts = McmcOptions {
+            iterations: 240,
+            burn_in: 60,
+            ..Default::default()
+        };
         let r = posterior_sample(
             ModelFamily::MaternSpace,
             &locs,
@@ -187,7 +191,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.samples.len(), 180);
-        assert!(r.acceptance > 0.05 && r.acceptance < 0.95, "acc {}", r.acceptance);
+        assert!(
+            r.acceptance > 0.05 && r.acceptance < 0.95,
+            "acc {}",
+            r.acceptance
+        );
         // The variance posterior should bracket a plausible neighbourhood
         // of the truth.
         let (lo, hi) = r.ci90[0];
@@ -201,7 +209,11 @@ mod tests {
     fn deterministic_under_seed() {
         let (locs, z) = data(150);
         let cfg = TlrConfig::new(Variant::DenseF64, 50);
-        let opts = McmcOptions { iterations: 60, burn_in: 20, ..Default::default() };
+        let opts = McmcOptions {
+            iterations: 60,
+            burn_in: 20,
+            ..Default::default()
+        };
         let run = || {
             posterior_sample(
                 ModelFamily::MaternSpace,
@@ -236,7 +248,11 @@ mod tests {
             &cfg,
             &FlopKernelModel::default(),
             &[1.0, 0.1, 0.5],
-            &McmcOptions { iterations: 10, burn_in: 2, ..Default::default() },
+            &McmcOptions {
+                iterations: 10,
+                burn_in: 2,
+                ..Default::default()
+            },
         );
         assert!(res.is_err());
     }
@@ -245,7 +261,11 @@ mod tests {
     fn llh_trace_is_recorded_per_iteration() {
         let (locs, z) = data(120);
         let cfg = TlrConfig::new(Variant::DenseF64, 60);
-        let opts = McmcOptions { iterations: 30, burn_in: 10, ..Default::default() };
+        let opts = McmcOptions {
+            iterations: 30,
+            burn_in: 10,
+            ..Default::default()
+        };
         let r = posterior_sample(
             ModelFamily::MaternSpace,
             &locs,

@@ -79,7 +79,13 @@ mod tests {
     use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
     use xgs_tile::{FlopKernelModel, TlrConfig, Variant};
 
-    fn setup() -> (Matern, Vec<Location>, Vec<f64>, Vec<Location>, std::sync::Arc<TiledFactor>) {
+    fn setup() -> (
+        Matern,
+        Vec<Location>,
+        Vec<f64>,
+        Vec<Location>,
+        std::sync::Arc<TiledFactor>,
+    ) {
         let mut rng = StdRng::seed_from_u64(3);
         let mut locs = jittered_grid(280, &mut rng);
         morton_order(&mut locs);
@@ -87,9 +93,22 @@ mod tests {
         let z = simulate_field(&kernel, &locs, 10);
         let (train, test) = locs.split_at(240);
         let cfg = TlrConfig::new(Variant::DenseF64, 60);
-        let rep = log_likelihood(&kernel, train, &z[..240], &cfg, &FlopKernelModel::default(), 1)
-            .unwrap();
-        (kernel, train.to_vec(), z[..240].to_vec(), test.to_vec(), rep.factor)
+        let rep = log_likelihood(
+            &kernel,
+            train,
+            &z[..240],
+            &cfg,
+            &FlopKernelModel::default(),
+            1,
+        )
+        .unwrap();
+        (
+            kernel,
+            train.to_vec(),
+            z[..240].to_vec(),
+            test.to_vec(),
+            rep.factor,
+        )
     }
 
     #[test]

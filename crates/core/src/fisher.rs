@@ -114,7 +114,11 @@ pub fn fisher_information(
         ci95.push((lo.min(hi), lo.max(hi)));
     }
 
-    Ok(FisherReport { std_errors, ci95, covariance: cov })
+    Ok(FisherReport {
+        std_errors,
+        ci95,
+        covariance: cov,
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +150,10 @@ mod tests {
             &z,
             &cfg,
             &model,
-            &FitOptions { start: Some(vec![1.0, 0.1, 0.5]), ..Default::default() },
+            &FitOptions {
+                start: Some(vec![1.0, 0.1, 0.5]),
+                ..Default::default()
+            },
         );
         let rep = fisher_information(
             ModelFamily::MaternSpace,
@@ -163,7 +170,11 @@ mod tests {
         for (k, &se) in rep.std_errors.iter().enumerate() {
             assert!(se > 0.0 && se.is_finite(), "param {k}: se {se}");
             // SEs should be a modest fraction of the estimate at n=300.
-            assert!(se < 3.0 * mle.theta[k] + 1.0, "param {k}: se {se} vs {}", mle.theta[k]);
+            assert!(
+                se < 3.0 * mle.theta[k] + 1.0,
+                "param {k}: se {se} vs {}",
+                mle.theta[k]
+            );
         }
         // CIs bracket the estimate and stay in the valid domain.
         for (k, &(lo, hi)) in rep.ci95.iter().enumerate() {

@@ -103,7 +103,15 @@ mod tests {
         let ld = xgs_linalg::cholesky_logdet(&c);
         let mut w = z.to_vec();
         // Only forward substitution: quad = || L^{-1} z ||^2.
-        xgs_kernels::trsm_left_lower_notrans(z.len(), 1, 1.0, c.as_slice(), z.len(), &mut w, z.len());
+        xgs_kernels::trsm_left_lower_notrans(
+            z.len(),
+            1,
+            1.0,
+            c.as_slice(),
+            z.len(),
+            &mut w,
+            z.len(),
+        );
         let quad: f64 = w.iter().map(|x| x * x).sum();
         -0.5 * z.len() as f64 * (2.0 * std::f64::consts::PI).ln() - 0.5 * ld - 0.5 * quad
     }
@@ -130,13 +138,21 @@ mod tests {
         let seq = log_likelihood(&kernel, &locs, &z, &cfg, &model, 1).unwrap();
         let par = log_likelihood(&kernel, &locs, &z, &cfg, &model, 4).unwrap();
         assert_eq!(seq.llh, par.llh, "engines must agree bitwise");
-        assert!(par.exec.is_some());
+        let exec = par.exec.expect("parallel engine reports");
+        // The runtime's observability layer rides along: metrics always,
+        // schedule validation by default under debug (i.e. in this test).
+        let m = exec.metrics.expect("metrics on by default");
+        assert_eq!(m.tasks, exec.tasks);
+        assert!(m.validation.expect("validated in debug").edges_checked > 0);
     }
 
     #[test]
     fn approximate_variants_stay_close() {
         let (kernel, locs, z) = setup(300);
-        let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+        let model = FlopKernelModel {
+            dense_rate: 45.0e9,
+            mem_factor: 1.0,
+        };
         let exact = log_likelihood(
             &kernel,
             &locs,
@@ -147,8 +163,8 @@ mod tests {
         )
         .unwrap();
         for variant in [Variant::MpDense, Variant::MpDenseTlr] {
-            let r =
-                log_likelihood(&kernel, &locs, &z, &TlrConfig::new(variant, 50), &model, 1).unwrap();
+            let r = log_likelihood(&kernel, &locs, &z, &TlrConfig::new(variant, 50), &model, 1)
+                .unwrap();
             let drift = (r.llh - exact.llh).abs() / exact.llh.abs();
             assert!(drift < 1e-4, "{variant:?} drifted {drift}");
         }
@@ -160,7 +176,8 @@ mod tests {
         let cfg = TlrConfig::new(Variant::DenseF64, 50);
         let r = log_likelihood(&kernel, &locs, &z, &cfg, &FlopKernelModel::default(), 1).unwrap();
         let n = locs.len() as f64;
-        let recomposed = -0.5 * n * (2.0 * std::f64::consts::PI).ln() - 0.5 * r.logdet - 0.5 * r.quad;
+        let recomposed =
+            -0.5 * n * (2.0 * std::f64::consts::PI).ln() - 0.5 * r.logdet - 0.5 * r.quad;
         assert!((recomposed - r.llh).abs() < 1e-12);
         assert!(r.quad > 0.0);
         assert!(r.footprint_bytes > 0);

@@ -5,7 +5,9 @@ use crate::model::ModelFamily;
 use crate::optimizer::neldermead::{nelder_mead, NelderMeadOptions};
 use crate::optimizer::pso::{particle_swarm, PsoOptions};
 use crate::optimizer::transform::{forward_all, inverse_all};
+use parking_lot::Mutex;
 use xgs_covariance::Location;
+use xgs_runtime::MetricsReport;
 use xgs_tile::{KernelTimeModel, TlrConfig};
 
 /// Optimizer selection for [`fit`].
@@ -47,6 +49,13 @@ pub struct FitResult {
     /// Objective evaluations spent.
     pub evals: usize,
     pub converged: bool,
+    /// Successful runtime factorizations behind the evaluations (0 with
+    /// the sequential engine).
+    pub factorizations: usize,
+    /// Runtime metrics merged over every factorization of the
+    /// optimization; `None` when every evaluation used the sequential
+    /// engine (`workers == 1`).
+    pub metrics: Option<MetricsReport>,
 }
 
 /// Family-specific default starting point.
@@ -69,42 +78,57 @@ pub fn fit(
     opts: &FitOptions,
 ) -> FitResult {
     let transforms = family.transforms();
-    let start_nat = opts.start.clone().unwrap_or_else(|| default_start(family, z));
+    let start_nat = opts
+        .start
+        .clone()
+        .unwrap_or_else(|| default_start(family, z));
     assert_eq!(start_nat.len(), family.n_params());
     let start = forward_all(&transforms, &start_nat);
 
+    // Per-factorization runtime metrics, merged across every evaluation
+    // the optimizer makes (PSO may evaluate from several threads).
+    let accum: Mutex<(usize, Option<MetricsReport>)> = Mutex::new((0, None));
     let objective = |y: &[f64]| -> f64 {
         let theta = inverse_all(&transforms, y);
         let kernel = family.kernel(&theta);
         match log_likelihood(kernel.as_ref(), locs, z, cfg, model, opts.workers) {
-            Ok(r) => -r.llh,
+            Ok(r) => {
+                if let Some(m) = r.exec.as_ref().and_then(|e| e.metrics.as_ref()) {
+                    let mut acc = accum.lock();
+                    acc.0 += 1;
+                    match acc.1.as_mut() {
+                        Some(total) => total.merge(m),
+                        None => acc.1 = Some(m.clone()),
+                    }
+                }
+                -r.llh
+            }
             // Loss of positive definiteness = out-of-model region.
             Err(_) => f64::INFINITY,
         }
     };
 
-    match &opts.optimizer {
+    let (theta, llh, evals, converged) = match &opts.optimizer {
         FitOptimizer::NelderMead(nm) => {
             let r = nelder_mead(objective, &start, nm);
-            FitResult {
-                theta: inverse_all(&transforms, &r.x),
-                llh: -r.f,
-                evals: r.evals,
-                converged: r.converged,
-            }
+            (inverse_all(&transforms, &r.x), -r.f, r.evals, r.converged)
         }
         FitOptimizer::ParticleSwarm(pso) => {
             // Box: +-2.5 in transformed space around the start (roughly one
             // order of magnitude each way for log-transformed parameters).
             let bounds: Vec<(f64, f64)> = start.iter().map(|&s| (s - 2.5, s + 2.5)).collect();
             let r = particle_swarm(objective, &bounds, pso);
-            FitResult {
-                theta: inverse_all(&transforms, &r.x),
-                llh: -r.f,
-                evals: r.evals,
-                converged: true,
-            }
+            (inverse_all(&transforms, &r.x), -r.f, r.evals, true)
         }
+    };
+    let (factorizations, metrics) = accum.into_inner();
+    FitResult {
+        theta,
+        llh,
+        evals,
+        converged,
+        factorizations,
+        metrics,
     }
 }
 
@@ -155,7 +179,11 @@ mod tests {
             "variance {} far from 1.0",
             r.theta[0]
         );
-        assert!((0.03..0.3).contains(&r.theta[1]), "range {} far from 0.1", r.theta[1]);
+        assert!(
+            (0.03..0.3).contains(&r.theta[1]),
+            "range {} far from 0.1",
+            r.theta[1]
+        );
         assert!(
             (0.25..1.1).contains(&r.theta[2]),
             "smoothness {} far from 0.5",
@@ -190,12 +218,78 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fit_surfaces_merged_runtime_metrics() {
+        let truth = MaternParams::new(1.0, 0.1, 0.5);
+        let (locs, z) = data(200, truth, 3);
+        let cfg = TlrConfig::new(Variant::MpDense, 50);
+        let opts = FitOptions {
+            optimizer: FitOptimizer::NelderMead(NelderMeadOptions {
+                max_evals: 20,
+                f_tol: 1e-4,
+                initial_step: 0.3,
+            }),
+            start: Some(vec![1.0, 0.1, 0.5]),
+            workers: 2,
+        };
+        let r = fit(
+            ModelFamily::MaternSpace,
+            &locs,
+            &z,
+            &cfg,
+            &FlopKernelModel::default(),
+            &opts,
+        );
+        assert!(r.factorizations > 0);
+        assert!(r.factorizations <= r.evals);
+        let m = r.metrics.expect("parallel engine collects metrics");
+        // 4x4 tiles, 20 tasks per factorization, one factorization per
+        // successful evaluation.
+        assert_eq!(m.tasks, 20 * r.factorizations);
+        assert!(m.kernels.iter().any(|k| k.kind == "potrf"));
+        // Tests run in debug: the default options validate every schedule.
+        let v = m.validation.expect("validation on by default in debug");
+        assert!(v.edges_checked > 0);
+        assert!(m.to_json().contains("\"validation\":{"));
+    }
+
+    #[test]
+    fn sequential_fit_has_no_runtime_metrics() {
+        let truth = MaternParams::new(1.0, 0.1, 0.5);
+        let (locs, z) = data(150, truth, 4);
+        let cfg = TlrConfig::new(Variant::DenseF64, 75);
+        let opts = FitOptions {
+            optimizer: FitOptimizer::NelderMead(NelderMeadOptions {
+                max_evals: 10,
+                f_tol: 1e-4,
+                initial_step: 0.3,
+            }),
+            start: Some(vec![1.0, 0.1, 0.5]),
+            workers: 1,
+        };
+        let r = fit(
+            ModelFamily::MaternSpace,
+            &locs,
+            &z,
+            &cfg,
+            &FlopKernelModel::default(),
+            &opts,
+        );
+        assert_eq!(r.factorizations, 0);
+        assert!(r.metrics.is_none());
+    }
+
+    #[test]
     fn pso_fit_runs_and_is_deterministic() {
         let truth = MaternParams::new(1.0, 0.1, 0.5);
         let (locs, z) = data(200, truth, 9);
         let cfg = TlrConfig::new(Variant::DenseF64, 100);
         let model = FlopKernelModel::default();
-        let pso = PsoOptions { particles: 6, iterations: 6, parallel: true, ..Default::default() };
+        let pso = PsoOptions {
+            particles: 6,
+            iterations: 6,
+            parallel: true,
+            ..Default::default()
+        };
         let opts = FitOptions {
             optimizer: FitOptimizer::ParticleSwarm(pso),
             start: Some(vec![1.0, 0.1, 0.5]),

@@ -17,7 +17,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        NelderMeadOptions { max_evals: 500, f_tol: 1e-7, initial_step: 0.5 }
+        NelderMeadOptions {
+            max_evals: 500,
+            f_tol: 1e-7,
+            initial_step: 0.5,
+        }
     }
 }
 
@@ -69,7 +73,7 @@ pub fn nelder_mead(
 
     let mut converged = false;
     while evals < opts.max_evals {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let spread = simplex[n].1 - simplex[0].1;
         if spread.abs() < opts.f_tol {
             converged = true;
@@ -133,7 +137,7 @@ pub fn nelder_mead(
         }
     }
 
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     NelderMeadResult {
         x: simplex[0].0.clone(),
         f: simplex[0].1,
@@ -160,7 +164,11 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let opts = NelderMeadOptions { max_evals: 4000, f_tol: 1e-12, initial_step: 0.5 };
+        let opts = NelderMeadOptions {
+            max_evals: 4000,
+            f_tol: 1e-12,
+            initial_step: 0.5,
+        };
         let r = nelder_mead(
             |x| {
                 let a = 1.0 - x[0];
@@ -194,7 +202,11 @@ mod tests {
     #[test]
     fn respects_eval_budget() {
         let mut count = 0usize;
-        let opts = NelderMeadOptions { max_evals: 50, f_tol: 0.0, initial_step: 1.0 };
+        let opts = NelderMeadOptions {
+            max_evals: 50,
+            f_tol: 0.0,
+            initial_step: 1.0,
+        };
         let _ = nelder_mead(
             |x| {
                 count += 1;
@@ -208,7 +220,11 @@ mod tests {
 
     #[test]
     fn one_dimensional_case() {
-        let r = nelder_mead(|x| (x[0] - 0.5).abs(), &[10.0], &NelderMeadOptions::default());
+        let r = nelder_mead(
+            |x| (x[0] - 0.5).abs(),
+            &[10.0],
+            &NelderMeadOptions::default(),
+        );
         assert!((r.x[0] - 0.5).abs() < 1e-3);
     }
 }

@@ -105,7 +105,7 @@ pub fn particle_swarm(
     let (mut gbest_idx, _) = pbest_f
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .unwrap();
     let mut gbest = pbest[gbest_idx].clone();
     let mut gbest_f = pbest_f[gbest_idx];
@@ -141,7 +141,7 @@ pub fn particle_swarm(
         let (idx, &best) = pbest_f
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         if best < gbest_f {
             gbest_f = best;
@@ -151,7 +151,12 @@ pub fn particle_swarm(
         history.push(gbest_f);
     }
 
-    PsoResult { x: gbest, f: gbest_f, evals, history }
+    PsoResult {
+        x: gbest,
+        f: gbest_f,
+        evals,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +169,10 @@ mod tests {
         let r = particle_swarm(
             |x| x.iter().map(|v| v * v).sum(),
             &bounds,
-            &PsoOptions { iterations: 120, ..Default::default() },
+            &PsoOptions {
+                iterations: 120,
+                ..Default::default()
+            },
         );
         assert!(r.f < 1e-3, "f = {}", r.f);
         for xi in &r.x {
@@ -189,8 +197,22 @@ mod tests {
     fn deterministic_under_seed() {
         let bounds = vec![(-1.0, 1.0); 2];
         let obj = |x: &[f64]| (x[0] * x[0] + x[1] * x[1] - 0.3f64).abs();
-        let a = particle_swarm(obj, &bounds, &PsoOptions { parallel: false, ..Default::default() });
-        let b = particle_swarm(obj, &bounds, &PsoOptions { parallel: false, ..Default::default() });
+        let a = particle_swarm(
+            obj,
+            &bounds,
+            &PsoOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let b = particle_swarm(
+            obj,
+            &bounds,
+            &PsoOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.x, b.x);
         assert_eq!(a.f, b.f);
     }
@@ -201,8 +223,22 @@ mod tests {
         // trajectory (RNG draws happen sequentially either way).
         let bounds = vec![(-3.0, 3.0); 2];
         let obj = |x: &[f64]| (x[0] - 0.7).powi(2) + (x[1] - 0.2).powi(2);
-        let seq = particle_swarm(obj, &bounds, &PsoOptions { parallel: false, ..Default::default() });
-        let par = particle_swarm(obj, &bounds, &PsoOptions { parallel: true, ..Default::default() });
+        let seq = particle_swarm(
+            obj,
+            &bounds,
+            &PsoOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let par = particle_swarm(
+            obj,
+            &bounds,
+            &PsoOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(seq.x, par.x);
     }
 
@@ -228,7 +264,10 @@ mod tests {
                 }
             },
             &bounds,
-            &PsoOptions { iterations: 80, ..Default::default() },
+            &PsoOptions {
+                iterations: 80,
+                ..Default::default()
+            },
         );
         assert!(r.f < 1e-2, "f = {}", r.f);
     }

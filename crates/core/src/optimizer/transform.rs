@@ -55,8 +55,11 @@ mod tests {
 
     #[test]
     fn roundtrips() {
-        for &t in &[ParamTransform::LogPositive, ParamTransform::LogitUnit, ParamTransform::Identity]
-        {
+        for &t in &[
+            ParamTransform::LogPositive,
+            ParamTransform::LogitUnit,
+            ParamTransform::Identity,
+        ] {
             for &x in &[0.01, 0.3, 0.77, 0.99] {
                 let y = t.forward(x);
                 assert!((t.inverse(y) - x).abs() < 1e-12, "{t:?} at {x}");

@@ -133,14 +133,27 @@ pub fn run_pipeline(cfg: &PipelineConfig, model: &dyn KernelTimeModel) -> Pipeli
     for &variant in &cfg.variants {
         let tile_cfg = TlrConfig::new(variant, cfg.tile_size);
         let t0 = std::time::Instant::now();
-        let fit_res = fit(cfg.family, &train_locs, &z_train, &tile_cfg, model, &cfg.fit);
+        let fit_res = fit(
+            cfg.family,
+            &train_locs,
+            &z_train,
+            &tile_cfg,
+            model,
+            &cfg.fit,
+        );
         let fit_seconds = t0.elapsed().as_secs_f64();
 
         // Refactorize at the estimate for prediction + footprint report.
         let kernel = cfg.family.kernel(&fit_res.theta);
-        let llh_rep =
-            log_likelihood(kernel.as_ref(), &train_locs, &z_train, &tile_cfg, model, cfg.fit.workers)
-                .expect("estimate must be inside the SPD region");
+        let llh_rep = log_likelihood(
+            kernel.as_ref(),
+            &train_locs,
+            &z_train,
+            &tile_cfg,
+            model,
+            cfg.fit.workers,
+        )
+        .expect("estimate must be inside the SPD region");
         let pred = krige(
             kernel.as_ref(),
             &train_locs,
@@ -158,14 +171,18 @@ pub fn run_pipeline(cfg: &PipelineConfig, model: &dyn KernelTimeModel) -> Pipeli
         });
     }
 
-    PipelineReport { rows, n_train: train_locs.len(), n_test: test_locs.len() }
+    PipelineReport {
+        rows,
+        n_train: train_locs.len(),
+        n_test: test_locs.len(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::neldermead::NelderMeadOptions;
     use crate::mle::FitOptimizer;
+    use crate::optimizer::neldermead::NelderMeadOptions;
     use xgs_tile::FlopKernelModel;
 
     fn quick_fit() -> FitOptions {
@@ -191,7 +208,10 @@ mod tests {
             domain_size: 1.0,
             tile_size: 75,
             variants: vec![Variant::DenseF64, Variant::MpDense, Variant::MpDenseTlr],
-            fit: FitOptions { start: Some(vec![1.0, 0.1, 0.5]), ..quick_fit() },
+            fit: FitOptions {
+                start: Some(vec![1.0, 0.1, 0.5]),
+                ..quick_fit()
+            },
             seed: 5,
         };
         let report = run_pipeline(&cfg, &FlopKernelModel::default());

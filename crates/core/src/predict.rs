@@ -40,7 +40,11 @@ pub fn krige(
 
     let m = test_locs.len();
     let mut mean = vec![0.0; m];
-    let mut unc = if with_uncertainty { Some(vec![0.0; m]) } else { None };
+    let mut unc = if with_uncertainty {
+        Some(vec![0.0; m])
+    } else {
+        None
+    };
     let sigma2 = kernel.variance();
 
     const BLOCK: usize = 64;
@@ -69,7 +73,10 @@ pub fn krige(
         start = end;
     }
 
-    PredictionResult { mean, uncertainty: unc }
+    PredictionResult {
+        mean,
+        uncertainty: unc,
+    }
 }
 
 /// Mean squared prediction error against held-out truth (the paper's MSPE
@@ -100,7 +107,14 @@ mod tests {
         n_train: usize,
         n_test: usize,
         params: MaternParams,
-    ) -> (Matern, Vec<Location>, Vec<f64>, Vec<Location>, Vec<f64>, TiledFactor) {
+    ) -> (
+        Matern,
+        Vec<Location>,
+        Vec<f64>,
+        Vec<Location>,
+        Vec<f64>,
+        TiledFactor,
+    ) {
         let mut rng = StdRng::seed_from_u64(77);
         let mut all = jittered_grid(n_train + n_test, &mut rng);
         morton_order(&mut all);

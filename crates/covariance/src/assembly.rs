@@ -154,6 +154,9 @@ mod tests {
         let block = cov_block(&kernel, &ls[0..64], &ls[192..256]);
         let tol = 1e-8 * block.norm_fro().max(1e-300);
         let (_, _, rank) = xgs_linalg::truncated_svd(&block, tol);
-        assert!(rank < 48, "distant tile should be numerically low-rank, got {rank}");
+        assert!(
+            rank < 48,
+            "distant tile should be numerically low-rank, got {rank}"
+        );
     }
 }

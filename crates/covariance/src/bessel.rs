@@ -105,7 +105,11 @@ fn temme_series(mu: f64, x: f64) -> (f64, f64) {
     let pi = std::f64::consts::PI;
     let x2 = 0.5 * x;
     let pimu = pi * mu;
-    let fact = if pimu.abs() < EPS { 1.0 } else { pimu / pimu.sin() };
+    let fact = if pimu.abs() < EPS {
+        1.0
+    } else {
+        pimu / pimu.sin()
+    };
     let d = -x2.ln();
     let e = mu * d;
     let fact2 = if e.abs() < EPS { 1.0 } else { e.sinh() / e };
@@ -207,7 +211,10 @@ mod tests {
         for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 20.0] {
             let expect = (std::f64::consts::PI / (2.0 * x)).sqrt() * (-x).exp();
             let got = bessel_k(0.5, x);
-            assert!(((got - expect) / expect).abs() < 1e-12, "x={x}: {got} vs {expect}");
+            assert!(
+                ((got - expect) / expect).abs() < 1e-12,
+                "x={x}: {got} vs {expect}"
+            );
         }
         // K_{3/2}(x) = sqrt(pi/(2x)) e^{-x} (1 + 1/x)
         for &x in &[0.3, 1.0, 3.0, 10.0] {

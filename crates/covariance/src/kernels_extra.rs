@@ -21,8 +21,15 @@ pub struct PoweredExponential {
 impl PoweredExponential {
     pub fn new(sigma2: f64, range: f64, power: f64) -> PoweredExponential {
         assert!(sigma2 > 0.0 && range > 0.0);
-        assert!(power > 0.0 && power <= 2.0, "power must be in (0, 2] for validity");
-        PoweredExponential { sigma2, range, power }
+        assert!(
+            power > 0.0 && power <= 2.0,
+            "power must be in (0, 2] for validity"
+        );
+        PoweredExponential {
+            sigma2,
+            range,
+            power,
+        }
     }
 }
 
@@ -55,7 +62,12 @@ impl GeneralizedCauchy {
     pub fn new(sigma2: f64, range: f64, power: f64, tail: f64) -> GeneralizedCauchy {
         assert!(sigma2 > 0.0 && range > 0.0 && tail > 0.0);
         assert!(power > 0.0 && power <= 2.0);
-        GeneralizedCauchy { sigma2, range, power, tail }
+        GeneralizedCauchy {
+            sigma2,
+            range,
+            power,
+            tail,
+        }
     }
 }
 

@@ -52,8 +52,7 @@ impl Location {
         let (lat2, lon2) = (other.y.to_radians(), other.x.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * R_EARTH_KM * a.sqrt().min(1.0).asin()
     }
 }

@@ -22,7 +22,11 @@ pub struct MaternParams {
 impl MaternParams {
     pub fn new(sigma2: f64, range: f64, smoothness: f64) -> MaternParams {
         assert!(sigma2 > 0.0 && range > 0.0 && smoothness > 0.0);
-        MaternParams { sigma2, range, smoothness }
+        MaternParams {
+            sigma2,
+            range,
+            smoothness,
+        }
     }
 
     /// As a flat vector for the optimizer.
@@ -107,7 +111,10 @@ pub struct Matern {
 
 impl Matern {
     pub fn new(params: MaternParams) -> Matern {
-        Matern { params, ln_coef: matern_ln_coef(params.smoothness) }
+        Matern {
+            params,
+            ln_coef: matern_ln_coef(params.smoothness),
+        }
     }
 
     /// Covariance at Euclidean distance `r`.

@@ -80,7 +80,10 @@ pub struct GneitingSpaceTime {
 
 impl GneitingSpaceTime {
     pub fn new(params: SpaceTimeParams) -> GneitingSpaceTime {
-        GneitingSpaceTime { params, ln_coef: matern_ln_coef(params.smoothness_space) }
+        GneitingSpaceTime {
+            params,
+            ln_coef: matern_ln_coef(params.smoothness_space),
+        }
     }
 
     /// Covariance at spatial distance `h >= 0` and temporal lag `u`.

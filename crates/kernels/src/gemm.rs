@@ -157,7 +157,21 @@ pub fn gemm_notrans<T: Real>(
     c: &mut [T],
     ldc: usize,
 ) {
-    gemm(Trans::No, Trans::No, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+    gemm(
+        Trans::No,
+        Trans::No,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+    )
 }
 
 /// SHGEMM: `C(f32) <- alpha * op(f16(A)) * op(f16(B)) + beta * C`.
@@ -267,7 +281,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             })
             .collect()
@@ -305,8 +321,36 @@ mod tests {
         let mut c = fill(ldc * n, 6);
         let c_orig = c.clone();
         let mut cref = c.clone();
-        gemm(Trans::No, Trans::No, m, n, k, 1.0, &a, lda, &b, ldb, 0.5, &mut c, ldc);
-        gemm_ref(Trans::No, Trans::No, m, n, k, 1.0, &a, lda, &b, ldb, 0.5, &mut cref, ldc);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            lda,
+            &b,
+            ldb,
+            0.5,
+            &mut c,
+            ldc,
+        );
+        gemm_ref(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            lda,
+            &b,
+            ldb,
+            0.5,
+            &mut cref,
+            ldc,
+        );
         for j in 0..n {
             for i in 0..ldc {
                 let idx = i + j * ldc;
@@ -325,7 +369,21 @@ mod tests {
         let a = [1.0f64, 0.0, 0.0, 1.0];
         let b = [2.0f64, 3.0, 4.0, 5.0];
         let mut c = [f64::NAN; 4];
-        gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        gemm(
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            2,
+            &b,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
         assert_eq!(c, [2.0, 3.0, 4.0, 5.0]);
     }
 
@@ -334,7 +392,21 @@ mod tests {
         let a: [f64; 0] = [];
         let b: [f64; 0] = [];
         let mut c = [1.0f64, 2.0, 3.0, 4.0];
-        gemm(Trans::No, Trans::No, 2, 2, 0, 1.0, &a, 2, &b, 1, 2.0, &mut c, 2);
+        gemm(
+            Trans::No,
+            Trans::No,
+            2,
+            2,
+            0,
+            1.0,
+            &a,
+            2,
+            &b,
+            1,
+            2.0,
+            &mut c,
+            2,
+        );
         assert_eq!(c, [2.0, 4.0, 6.0, 8.0]);
     }
 
@@ -347,8 +419,36 @@ mod tests {
         let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
         let mut c64 = vec![0f64; m * n];
         let mut c32 = vec![0f32; m * n];
-        gemm(Trans::No, Trans::Yes, m, n, k, 1.0, &a, m, &b, n, 0.0, &mut c64, m);
-        gemm(Trans::No, Trans::Yes, m, n, k, 1.0f32, &a32, m, &b32, n, 0.0, &mut c32, m);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            m,
+            &b,
+            n,
+            0.0,
+            &mut c64,
+            m,
+        );
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            m,
+            n,
+            k,
+            1.0f32,
+            &a32,
+            m,
+            &b32,
+            n,
+            0.0,
+            &mut c32,
+            m,
+        );
         for (x, y) in c64.iter().zip(&c32) {
             assert!((x - *y as f64).abs() < 1e-5);
         }
@@ -363,7 +463,21 @@ mod tests {
         let a: Vec<Half> = (0..k).map(|_| Half::from_f32(0.001)).collect();
         let b: Vec<Half> = (0..k).map(|_| Half::ONE).collect();
         let mut c = [0f32];
-        shgemm(Trans::Yes, Trans::No, 1, 1, k, 1.0, &a, k, &b, k, 0.0, &mut c, 1);
+        shgemm(
+            Trans::Yes,
+            Trans::No,
+            1,
+            1,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            k,
+            0.0,
+            &mut c,
+            1,
+        );
         assert!((c[0] - 1.0).abs() < 5e-4, "got {}", c[0]);
     }
 
@@ -375,12 +489,40 @@ mod tests {
         let a: Vec<Half> = af.iter().map(|&x| Half::from_f64(x)).collect();
         let b: Vec<Half> = bf.iter().map(|&x| Half::from_f64(x)).collect();
         let mut c = vec![0f32; m * n];
-        shgemm(Trans::No, Trans::Yes, m, n, k, 1.0, &a, m, &b, n, 0.0, &mut c, m);
+        shgemm(
+            Trans::No,
+            Trans::Yes,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            m,
+            &b,
+            n,
+            0.0,
+            &mut c,
+            m,
+        );
         // Oracle: promote halves exactly, run f32 gemm.
         let ap: Vec<f32> = a.iter().map(|h| h.to_f32()).collect();
         let bp: Vec<f32> = b.iter().map(|h| h.to_f32()).collect();
         let mut cref = vec![0f32; m * n];
-        gemm(Trans::No, Trans::Yes, m, n, k, 1.0f32, &ap, m, &bp, n, 0.0f32, &mut cref, m);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            m,
+            n,
+            k,
+            1.0f32,
+            &ap,
+            m,
+            &bp,
+            n,
+            0.0f32,
+            &mut cref,
+            m,
+        );
         assert_eq!(c, cref);
     }
 }

@@ -80,7 +80,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+                state = state
+                    .wrapping_mul(0x5851F42D4C957F2D)
+                    .wrapping_add(0x14057B7EF767814F);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             })
             .collect()
@@ -90,7 +92,21 @@ mod tests {
     fn spd(n: usize, seed: u64) -> Vec<f64> {
         let b = fill(n * n, seed);
         let mut a = vec![0f64; n * n];
-        gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &b, n, &b, n, 0.0, &mut a, n);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            n,
+            n,
+            n,
+            1.0,
+            &b,
+            n,
+            &b,
+            n,
+            0.0,
+            &mut a,
+            n,
+        );
         for i in 0..n {
             a[i + i * n] += n as f64;
         }
@@ -111,7 +127,21 @@ mod tests {
             }
         }
         let mut rec = vec![0f64; n * n];
-        gemm(Trans::No, Trans::Yes, n, n, n, 1.0, &l, n, &l, n, 0.0, &mut rec, n);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            n,
+            n,
+            n,
+            1.0,
+            &l,
+            n,
+            &l,
+            n,
+            0.0,
+            &mut rec,
+            n,
+        );
         for j in 0..n {
             for i in j..n {
                 assert!(

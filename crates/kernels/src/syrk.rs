@@ -35,7 +35,11 @@ pub fn syrk_lower_notrans<T: Real>(
         for j in 0..n {
             for i in j..n {
                 let idx = i + j * ldc;
-                c[idx] = if beta == T::ZERO { T::ZERO } else { c[idx] * beta };
+                c[idx] = if beta == T::ZERO {
+                    T::ZERO
+                } else {
+                    c[idx] * beta
+                };
             }
         }
     }
@@ -64,10 +68,14 @@ mod tests {
     use crate::gemm::{gemm, Trans};
 
     fn fill(n: usize, seed: u64) -> Vec<f64> {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             })
             .collect()
@@ -80,7 +88,21 @@ mod tests {
         let mut c_syrk = fill(n * n, 2);
         // Symmetrize the seed so the GEMM oracle agrees on the lower part.
         let mut c_full = c_syrk.clone();
-        gemm(Trans::No, Trans::Yes, n, n, k, 0.9, &a, n, &a, n, 0.4, &mut c_full, n);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            n,
+            n,
+            k,
+            0.9,
+            &a,
+            n,
+            &a,
+            n,
+            0.4,
+            &mut c_full,
+            n,
+        );
         syrk_lower_notrans(n, k, 0.9, &a, n, 0.4, &mut c_syrk, n);
         for j in 0..n {
             for i in j..n {

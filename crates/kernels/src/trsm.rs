@@ -142,7 +142,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+                state = state
+                    .wrapping_mul(0x5851F42D4C957F2D)
+                    .wrapping_add(0x14057B7EF767814F);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             })
             .collect()
@@ -167,7 +169,21 @@ mod tests {
         let x = fill(m * n, 2);
         // B = X * L^T, then solving must return X.
         let mut b = vec![0f64; m * n];
-        gemm(Trans::No, Trans::Yes, m, n, n, 1.0, &x, m, &l, n, 0.0, &mut b, m);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            m,
+            n,
+            n,
+            1.0,
+            &x,
+            m,
+            &l,
+            n,
+            0.0,
+            &mut b,
+            m,
+        );
         trsm_right_lower_trans(m, n, 1.0, &l, n, &mut b, m);
         for (bi, xi) in b.iter().zip(&x) {
             assert!((bi - xi).abs() < 1e-12, "{bi} vs {xi}");
@@ -180,7 +196,21 @@ mod tests {
         let l = lower(m, 3);
         let x = fill(m * n, 4);
         let mut b = vec![0f64; m * n];
-        gemm(Trans::No, Trans::No, m, n, m, 1.0, &l, m, &x, m, 0.0, &mut b, m);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            m,
+            1.0,
+            &l,
+            m,
+            &x,
+            m,
+            0.0,
+            &mut b,
+            m,
+        );
         trsm_left_lower_notrans(m, n, 1.0, &l, m, &mut b, m);
         for (bi, xi) in b.iter().zip(&x) {
             assert!((bi - xi).abs() < 1e-12);
@@ -193,7 +223,21 @@ mod tests {
         let l = lower(m, 5);
         let x = fill(m * n, 6);
         let mut b = vec![0f64; m * n];
-        gemm(Trans::Yes, Trans::No, m, n, m, 1.0, &l, m, &x, m, 0.0, &mut b, m);
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            m,
+            n,
+            m,
+            1.0,
+            &l,
+            m,
+            &x,
+            m,
+            0.0,
+            &mut b,
+            m,
+        );
         trsm_left_lower_trans(m, n, 1.0, &l, m, &mut b, m);
         for (bi, xi) in b.iter().zip(&x) {
             assert!((bi - xi).abs() < 1e-12);
@@ -224,8 +268,36 @@ mod tests {
         let mut tmp = xtrue.clone();
         // tmp = L^T x
         let mut t2 = vec![0f64; m];
-        gemm(Trans::Yes, Trans::No, m, 1, m, 1.0, &l, m, &tmp, m, 0.0, &mut t2, m);
-        gemm(Trans::No, Trans::No, m, 1, m, 1.0, &l, m, &t2, m, 0.0, &mut tmp, m);
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            m,
+            1,
+            m,
+            1.0,
+            &l,
+            m,
+            &tmp,
+            m,
+            0.0,
+            &mut t2,
+            m,
+        );
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            1,
+            m,
+            1.0,
+            &l,
+            m,
+            &t2,
+            m,
+            0.0,
+            &mut tmp,
+            m,
+        );
         trsm_left_lower_notrans(m, 1, 1.0, &l, m, &mut tmp, m);
         trsm_left_lower_trans(m, 1, 1.0, &l, m, &mut tmp, m);
         for (xi, ti) in xtrue.iter().zip(&tmp) {

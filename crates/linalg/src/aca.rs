@@ -85,7 +85,9 @@ mod tests {
     fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed | 1;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
     }

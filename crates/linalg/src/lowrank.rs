@@ -38,7 +38,10 @@ impl LowRank {
 
     /// Exact zero block of the given shape (rank 0).
     pub fn zero(m: usize, n: usize) -> LowRank {
-        LowRank { u: Matrix::zeros(m, 0), v: Matrix::zeros(n, 0) }
+        LowRank {
+            u: Matrix::zeros(m, 0),
+            v: Matrix::zeros(n, 0),
+        }
     }
 
     #[inline]
@@ -101,7 +104,10 @@ impl LowRank {
             }
         }
         let vc = svd.v.truncate_cols(r);
-        LowRank { u: qu.q.matmul(&uc), v: qv.q.matmul(&vc) }
+        LowRank {
+            u: qu.q.matmul(&uc),
+            v: qv.q.matmul(&vc),
+        }
     }
 
     /// Rounded addition `self + alpha * other`, recompressed to `tol`.
@@ -114,11 +120,18 @@ impl LowRank {
         if self.rank() == 0 {
             let mut u = other.u.clone();
             u.scale(alpha);
-            return LowRank { u, v: other.v.clone() }.recompress(tol);
+            return LowRank {
+                u,
+                v: other.v.clone(),
+            }
+            .recompress(tol);
         }
         let mut ou = other.u.clone();
         ou.scale(alpha);
-        let stacked = LowRank { u: self.u.hcat(&ou), v: self.v.hcat(&other.v) };
+        let stacked = LowRank {
+            u: self.u.hcat(&ou),
+            v: self.v.hcat(&other.v),
+        };
         stacked.recompress(tol)
     }
 
@@ -126,20 +139,30 @@ impl LowRank {
     pub fn matmul_dense(&self, b: &Matrix) -> LowRank {
         assert_eq!(self.cols(), b.rows());
         // (U V^T) B = U (B^T V)^T.
-        LowRank { u: self.u.clone(), v: b.t_matmul(&self.v) }
+        LowRank {
+            u: self.u.clone(),
+            v: b.t_matmul(&self.v),
+        }
     }
 
     /// `A * (U V^T)` for dense `A` — stays low-rank with the same `V`.
     pub fn dense_matmul(a: &Matrix, lr: &LowRank) -> LowRank {
         assert_eq!(a.cols(), lr.rows());
-        LowRank { u: a.matmul(&lr.u), v: lr.v.clone() }
+        LowRank {
+            u: a.matmul(&lr.u),
+            v: lr.v.clone(),
+        }
     }
 
     /// `(U1 V1^T) * (U2 V2^T)^T = U1 (V1^T V2) U2^T` — low-rank times
     /// transposed low-rank, the core product of the TLR GEMM in the Cholesky
     /// trailing update (`C -= A_ik * A_jk^T`).
     pub fn matmul_lr_transposed(&self, other: &LowRank) -> LowRank {
-        assert_eq!(self.cols(), other.cols(), "inner dims (original columns) must match");
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "inner dims (original columns) must match"
+        );
         let k1 = self.rank();
         let k2 = other.rank();
         if k1 == 0 || k2 == 0 {
@@ -148,9 +171,15 @@ impl LowRank {
         let core = self.v.t_matmul(&other.v); // k1 x k2
         if k1 <= k2 {
             // Fold the core into the right factor: U1 * (U2 core^T)^T.
-            LowRank { u: self.u.clone(), v: other.u.matmul(&core.transpose()) }
+            LowRank {
+                u: self.u.clone(),
+                v: other.u.matmul(&core.transpose()),
+            }
         } else {
-            LowRank { u: self.u.matmul(&core), v: other.u.clone() }
+            LowRank {
+                u: self.u.matmul(&core),
+                v: other.u.clone(),
+            }
         }
     }
 
@@ -201,13 +230,18 @@ mod tests {
     fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed | 1;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
     }
 
     fn lowrank(m: usize, n: usize, k: usize, seed: u64) -> LowRank {
-        LowRank { u: rnd(m, k, seed), v: rnd(n, k, seed + 100) }
+        LowRank {
+            u: rnd(m, k, seed),
+            v: rnd(n, k, seed + 100),
+        }
     }
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
@@ -255,15 +289,27 @@ mod tests {
     fn add_rounded_handles_zero_ranks() {
         let z = LowRank::zero(6, 5);
         let a = lowrank(6, 5, 2, 5);
-        assert_close(&z.add_rounded(1.0, &a, 1e-12).reconstruct(), &a.reconstruct(), 1e-10);
-        assert_close(&a.add_rounded(1.0, &z, 1e-12).reconstruct(), &a.reconstruct(), 1e-10);
+        assert_close(
+            &z.add_rounded(1.0, &a, 1e-12).reconstruct(),
+            &a.reconstruct(),
+            1e-10,
+        );
+        assert_close(
+            &a.add_rounded(1.0, &z, 1e-12).reconstruct(),
+            &a.reconstruct(),
+            1e-10,
+        );
     }
 
     #[test]
     fn products_match_dense_oracle() {
         let a = lowrank(9, 7, 2, 6);
         let b = rnd(7, 5, 7);
-        assert_close(&a.matmul_dense(&b).reconstruct(), &a.reconstruct().matmul(&b), 1e-10);
+        assert_close(
+            &a.matmul_dense(&b).reconstruct(),
+            &a.reconstruct().matmul(&b),
+            1e-10,
+        );
 
         let c = rnd(4, 9, 8);
         assert_close(

@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -202,7 +206,11 @@ impl Matrix {
             .zip(&other.data)
             .map(|(a, b)| a + alpha * b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale every entry in place.
@@ -233,7 +241,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.rows * (self.cols + other.cols));
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows, cols: self.cols + other.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols + other.cols,
+            data,
+        }
     }
 
     /// Mirror the lower triangle onto the upper (for symmetric matrices kept
@@ -405,7 +417,13 @@ mod tests {
 
     #[test]
     fn symmetrize_mirrors_lower() {
-        let mut m = Matrix::from_fn(3, 3, |i, j| if i >= j { (i + 1) as f64 * (j + 1) as f64 } else { 0.0 });
+        let mut m = Matrix::from_fn(3, 3, |i, j| {
+            if i >= j {
+                (i + 1) as f64 * (j + 1) as f64
+            } else {
+                0.0
+            }
+        });
         m.symmetrize_from_lower();
         assert_eq!(m[(0, 2)], m[(2, 0)]);
         assert_eq!(m[(1, 2)], m[(2, 1)]);

@@ -47,7 +47,7 @@ pub fn rsvd_fixed_rank(a: &Matrix, k: usize, p: usize, q: usize, seed: u64) -> (
         y = a.matmul(&qz);
     }
     let qy = householder_qr(&y).q; // m x l
-    // Project: B = Q^T A  (l x n); SVD of B.
+                                   // Project: B = Q^T A  (l x n); SVD of B.
     let b = qy.t_matmul(a);
     let svd = jacobi_svd(&b);
     let keep = k.min(svd.s.len());
@@ -100,7 +100,9 @@ mod tests {
     fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed | 1;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
     }

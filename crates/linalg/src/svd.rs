@@ -58,10 +58,18 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     if m < n {
         // Work on the transpose and swap U/V.
         let svd = jacobi_svd(&a.transpose());
-        return Svd { u: svd.v, s: svd.s, v: svd.u };
+        return Svd {
+            u: svd.v,
+            s: svd.s,
+            v: svd.u,
+        };
     }
     if n == 0 {
-        return Svd { u: Matrix::zeros(m, 0), s: vec![], v: Matrix::zeros(0, 0) };
+        return Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(0, 0),
+        };
     }
 
     // QR preconditioning: A = Q R, SVD of R (n x n), U = Q * U_r.
@@ -105,7 +113,7 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     // Column norms are the singular values; normalize to get U_r.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = (0..n).map(|j| norm2_scaled(w.col(j))).collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
 
     let mut s = Vec::with_capacity(n);
     let mut ur = Matrix::zeros(n, n);
@@ -122,7 +130,11 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
         vs.col_mut(new_j).copy_from_slice(v.col(old_j));
     }
 
-    Svd { u: qr.q.matmul(&ur), s, v: vs }
+    Svd {
+        u: qr.q.matmul(&ur),
+        s,
+        v: vs,
+    }
 }
 
 fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
@@ -173,7 +185,9 @@ mod tests {
     fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed | 1;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
     }

@@ -115,7 +115,11 @@ impl KernelTimeModel for A64fxKernelModel {
         let k = (rank.max(1)) as f64;
         // LR product + QR/SVD rounding of the 2k-wide stacked factors.
         let flops = 36.0 * nb * k * k + 36.0 * k * k * k;
-        let p = if precision == Precision::F16 { Precision::F32 } else { precision };
+        let p = if precision == Precision::F16 {
+            Precision::F32
+        } else {
+            precision
+        };
         flops * self.mem_factor / (self.dense_rate * self.speedup(p))
     }
 }
@@ -173,7 +177,10 @@ mod tests {
             m.dense_gemm_time(512, Precision::F32)
         );
         // Hypothetical native hardware doubles it again.
-        let native = A64fxKernelModel { fp16_speedup: 4.0, ..m };
+        let native = A64fxKernelModel {
+            fp16_speedup: 4.0,
+            ..m
+        };
         assert!(
             native.dense_gemm_time(512, Precision::F16)
                 < native.dense_gemm_time(512, Precision::F32)

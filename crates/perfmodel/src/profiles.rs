@@ -14,7 +14,7 @@ use xgs_kernels::Precision;
 
 /// Correlation strength of the underlying field (paper: a = 0.03 / 0.1 /
 /// 0.3 on the unit square).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Correlation {
     Weak,
     Medium,
@@ -218,8 +218,14 @@ mod tests {
         };
         let (r_st, n_st) = avg_rank(&st);
         let (r_sc, n_sc) = avg_rank(&sc);
-        assert!(n_st > n_sc, "space-time must have more LR tiles: {n_st} vs {n_sc}");
-        assert!(r_st < r_sc, "space-time ranks must be lower: {r_st} vs {r_sc}");
+        assert!(
+            n_st > n_sc,
+            "space-time must have more LR tiles: {n_st} vs {n_sc}"
+        );
+        assert!(
+            r_st < r_sc,
+            "space-time ranks must be lower: {r_st} vs {r_sc}"
+        );
         // Precision maps match (both are strong-correlation regimes).
         assert_eq!(st.u_f64, sc.u_f64);
     }

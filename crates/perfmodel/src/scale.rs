@@ -20,7 +20,7 @@ use xgs_tile::KernelTimeModel;
 
 /// Which solver variant to project (mirrors `xgs_tile::Variant` but owned
 /// here so the projector has no dependency on generated matrices).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SolverVariant {
     DenseF64,
     /// Pure FP32 dense (a Fig. 7 baseline).
@@ -92,13 +92,16 @@ impl ScaleConfig {
                 p
             }
             SolverVariant::MpDense => TileFormatProfile::new(self.correlation, nt, self.nb, false),
-            SolverVariant::MpDenseTlr => TileFormatProfile::new(self.correlation, nt, self.nb, true),
+            SolverVariant::MpDenseTlr => {
+                TileFormatProfile::new(self.correlation, nt, self.nb, true)
+            }
         }
     }
 }
 
-/// Projection outcome (serializable for downstream plotting).
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+/// Projection outcome (serializable for downstream plotting via
+/// [`Projection::to_json`]).
+#[derive(Clone, Copy, Debug)]
 pub struct Projection {
     pub nt: usize,
     /// Simulated time-to-solution of one Cholesky, seconds.
@@ -114,6 +117,26 @@ pub struct Projection {
     pub event_simulated: bool,
     /// Parallel efficiency: compute work / (makespan * total cores).
     pub efficiency: f64,
+}
+
+impl Projection {
+    /// One JSON object (no trailing newline); the benches embed this in
+    /// their machine-readable result dumps.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"nt\":{},\"makespan\":{},\"flops\":{},\"footprint_bytes\":{},",
+                "\"fits_in_memory\":{},\"event_simulated\":{},\"efficiency\":{}}}"
+            ),
+            self.nt,
+            self.makespan,
+            self.flops,
+            self.footprint_bytes,
+            self.fits_in_memory,
+            self.event_simulated,
+            self.efficiency
+        )
+    }
 }
 
 /// Storage footprint of the profile's format assignment (closed form over
@@ -174,7 +197,13 @@ fn process_grid(nodes: usize) -> (usize, usize) {
 
 fn event_makespan(cfg: &ScaleConfig, profile: &TileFormatProfile, nt: usize) -> (f64, f64) {
     let (p, q) = process_grid(cfg.nodes);
-    let opts = DagOptions { nt, nb: cfg.nb, grid_p: p, grid_q: q, model: &cfg.model };
+    let opts = DagOptions {
+        nt,
+        nb: cfg.nb,
+        grid_p: p,
+        grid_q: q,
+        model: &cfg.model,
+    };
     let (tasks, _stats) = cholesky_dag(profile, &opts);
     let machine = cfg.node.machine(p * q);
     let r = simulate(&tasks, &machine);
@@ -190,7 +219,13 @@ const ANALYTIC_OVERHEAD: f64 = 1.12;
 fn analytic_makespan(cfg: &ScaleConfig, meta: &TileFormatProfile, nt: usize) -> (f64, f64) {
     let model = &cfg.model;
     let nb = cfg.nb;
-    let lrp = |p: Precision| if p == Precision::F16 { Precision::F32 } else { p };
+    let lrp = |p: Precision| {
+        if p == Precision::F16 {
+            Precision::F32
+        } else {
+            p
+        }
+    };
 
     // Representative per-sub-diagonal kernel costs.
     let trsm_cost = |d: usize| -> f64 {
@@ -215,8 +250,16 @@ fn analytic_makespan(cfg: &ScaleConfig, meta: &TileFormatProfile, nt: usize) -> 
         if c_dense {
             model.dense_gemm_time(nb, meta.precision(b, 0))
         } else {
-            let ra = if meta.is_dense(a, 0) { nb } else { meta.rank(a, 0) };
-            let rb = if meta.is_dense(a - b, 0) { nb } else { meta.rank(a - b, 0) };
+            let ra = if meta.is_dense(a, 0) {
+                nb
+            } else {
+                meta.rank(a, 0)
+            };
+            let rb = if meta.is_dense(a - b, 0) {
+                nb
+            } else {
+                meta.rank(a - b, 0)
+            };
             let r_prod = ra.min(rb);
             if r_prod >= nb {
                 2.0 * model.dense_gemm_time(nb, Precision::F64)
@@ -303,7 +346,10 @@ mod tests {
             tlr_gb < mp_gb,
             "TLR footprint {tlr_gb:.0} GB should beat MP {mp_gb:.0} GB"
         );
-        assert!(tlr_gb > 50.0, "TLR footprint suspiciously small: {tlr_gb:.0} GB");
+        assert!(
+            tlr_gb > 50.0,
+            "TLR footprint suspiciously small: {tlr_gb:.0} GB"
+        );
     }
 
     #[test]
@@ -330,7 +376,13 @@ mod tests {
         let weak = project(&cfg(n, 4096, Correlation::Weak, SolverVariant::DenseF64)).makespan
             / project(&cfg(n, 4096, Correlation::Weak, SolverVariant::MpDenseTlr)).makespan;
         let strong = project(&cfg(n, 4096, Correlation::Strong, SolverVariant::DenseF64)).makespan
-            / project(&cfg(n, 4096, Correlation::Strong, SolverVariant::MpDenseTlr)).makespan;
+            / project(&cfg(
+                n,
+                4096,
+                Correlation::Strong,
+                SolverVariant::MpDenseTlr,
+            ))
+            .makespan;
         assert!(
             weak > strong,
             "weak gain {weak:.1}x must exceed strong gain {strong:.1}x"
@@ -362,19 +414,46 @@ mod tests {
         // cannot host it, while MP+TLR's footprint fits far smaller systems
         // — the paper's "allowing to handle larger problem sizes for the
         // same allocated resources".
-        let dense = project(&cfg(10_000_000, 1024, Correlation::Weak, SolverVariant::DenseF64));
+        let dense = project(&cfg(
+            10_000_000,
+            1024,
+            Correlation::Weak,
+            SolverVariant::DenseF64,
+        ));
         assert!(!dense.fits_in_memory);
-        let tlr = project(&cfg(10_000_000, 16384, Correlation::Weak, SolverVariant::MpDenseTlr));
+        let tlr = project(&cfg(
+            10_000_000,
+            16384,
+            Correlation::Weak,
+            SolverVariant::MpDenseTlr,
+        ));
         assert!(tlr.fits_in_memory);
     }
 
     #[test]
     fn strong_scaling_reduces_time_with_diminishing_returns() {
         let n = 2_000_000;
-        let t2048 = project(&cfg(n, 2048, Correlation::Medium, SolverVariant::MpDenseTlr)).makespan;
-        let t4096 = project(&cfg(n, 4096, Correlation::Medium, SolverVariant::MpDenseTlr)).makespan;
-        let t16384 =
-            project(&cfg(n, 16384, Correlation::Medium, SolverVariant::MpDenseTlr)).makespan;
+        let t2048 = project(&cfg(
+            n,
+            2048,
+            Correlation::Medium,
+            SolverVariant::MpDenseTlr,
+        ))
+        .makespan;
+        let t4096 = project(&cfg(
+            n,
+            4096,
+            Correlation::Medium,
+            SolverVariant::MpDenseTlr,
+        ))
+        .makespan;
+        let t16384 = project(&cfg(
+            n,
+            16384,
+            Correlation::Medium,
+            SolverVariant::MpDenseTlr,
+        ))
+        .makespan;
         assert!(t4096 < t2048);
         assert!(t16384 <= t4096);
         // Efficiency decays: 8x nodes from 2048 -> 16384 gains < 8x.

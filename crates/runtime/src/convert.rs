@@ -61,6 +61,20 @@ impl ConversionCounts {
     pub fn promotions(&self) -> u64 {
         self.f32_to_f64 + self.f16_to_f32 + self.f16_to_f64
     }
+
+    /// Counter growth since `baseline` (a snapshot taken earlier in the
+    /// same process). Saturating, so a [`reset_conversion_counts`]
+    /// between the snapshots yields zeros rather than wrap-around.
+    pub fn since(&self, baseline: &ConversionCounts) -> ConversionCounts {
+        ConversionCounts {
+            f64_to_f32: self.f64_to_f32.saturating_sub(baseline.f64_to_f32),
+            f64_to_f16: self.f64_to_f16.saturating_sub(baseline.f64_to_f16),
+            f32_to_f64: self.f32_to_f64.saturating_sub(baseline.f32_to_f64),
+            f32_to_f16: self.f32_to_f16.saturating_sub(baseline.f32_to_f16),
+            f16_to_f32: self.f16_to_f32.saturating_sub(baseline.f16_to_f32),
+            f16_to_f64: self.f16_to_f64.saturating_sub(baseline.f16_to_f64),
+        }
+    }
 }
 
 /// Read the current counters.

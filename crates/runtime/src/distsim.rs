@@ -80,7 +80,7 @@ pub fn simulate(tasks: &[SimTask], machine: &MachineSpec) -> SimResult {
         let (core_idx, &free_at) = pool
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         let start = ready.max(free_at);
         let end = start + t.cost;
@@ -128,8 +128,13 @@ mod tests {
 
     #[test]
     fn independent_fan_scales_with_cores() {
-        let tasks: Vec<SimTask> =
-            (0..32).map(|_| SimTask { cost: 1.0, owner: 0, preds: vec![] }).collect();
+        let tasks: Vec<SimTask> = (0..32)
+            .map(|_| SimTask {
+                cost: 1.0,
+                owner: 0,
+                preds: vec![],
+            })
+            .collect();
         let r1 = simulate(&tasks, &machine(1, 1));
         let r8 = simulate(&tasks, &machine(1, 8));
         assert_eq!(r1.makespan, 32.0);
@@ -140,8 +145,16 @@ mod tests {
     fn remote_edges_pay_communication() {
         // Task 1 on node 1 consumes 1 GB from task 0 on node 0.
         let tasks = vec![
-            SimTask { cost: 1.0, owner: 0, preds: vec![] },
-            SimTask { cost: 1.0, owner: 1, preds: vec![(0, 1.0e9)] },
+            SimTask {
+                cost: 1.0,
+                owner: 0,
+                preds: vec![],
+            },
+            SimTask {
+                cost: 1.0,
+                owner: 1,
+                preds: vec![(0, 1.0e9)],
+            },
         ];
         let r = simulate(&tasks, &machine(2, 1));
         // 1s compute + 1s transfer + latency + 1s compute.
@@ -150,8 +163,16 @@ mod tests {
 
         // Same DAG colocated: no transfer.
         let tasks_local = vec![
-            SimTask { cost: 1.0, owner: 0, preds: vec![] },
-            SimTask { cost: 1.0, owner: 0, preds: vec![(0, 0.0)] },
+            SimTask {
+                cost: 1.0,
+                owner: 0,
+                preds: vec![],
+            },
+            SimTask {
+                cost: 1.0,
+                owner: 0,
+                preds: vec![(0, 0.0)],
+            },
         ];
         let rl = simulate(&tasks_local, &machine(2, 1));
         assert!((rl.makespan - 2.0).abs() < 1e-9);
@@ -163,7 +184,11 @@ mod tests {
         // Two waves of 64 independent tasks with a barrier task between.
         let mut tasks = Vec::new();
         for i in 0..64 {
-            tasks.push(SimTask { cost: 1.0, owner: i % 4, preds: vec![] });
+            tasks.push(SimTask {
+                cost: 1.0,
+                owner: i % 4,
+                preds: vec![],
+            });
         }
         tasks.push(SimTask {
             cost: 0.0,
@@ -171,7 +196,11 @@ mod tests {
             preds: (0..64).map(|i| (i, 0.0)).collect(),
         });
         for i in 0..64 {
-            tasks.push(SimTask { cost: 1.0, owner: i % 4, preds: vec![(64, 0.0)] });
+            tasks.push(SimTask {
+                cost: 1.0,
+                owner: i % 4,
+                preds: vec![(64, 0.0)],
+            });
         }
         let r2 = simulate(&tasks, &machine(4, 2));
         let r8 = simulate(&tasks, &machine(4, 8));

@@ -5,12 +5,23 @@
 //! edges from the graph this is observationally equivalent to the
 //! sequential insertion order while exploiting all available concurrency —
 //! the runtime contract the paper's solver is built on.
+//!
+//! That contract is *checked*, not assumed: every run records per-task
+//! start/end sequence numbers, and [`crate::validate`] re-derives the
+//! hazard edges from the declared accesses and asserts the schedule
+//! respected each one. Validation is on by default in debug builds (so
+//! every `cargo test` execution is validated) and opt-in in release via
+//! [`ExecOptions::validate`]. Runs also aggregate a [`MetricsReport`]
+//! (per-kernel timings, queue depth, worker balance, conversion traffic).
 
+use crate::convert::conversion_counts;
 use crate::graph::{TaskGraph, TaskId};
+use crate::metrics::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
 use crate::stats::TraceEvent;
+use crate::validate::{check_schedule, describe_violations, TaskOrder};
 use parking_lot::{Condvar, Mutex};
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Outcome of a graph execution.
@@ -26,10 +37,18 @@ pub struct ExecReport {
     pub busy_seconds: Vec<f64>,
     /// Execution trace (one event per task) when tracing was requested.
     pub trace: Vec<TraceEvent>,
+    /// Aggregated execution metrics (when [`ExecOptions::metrics`] was on,
+    /// the default).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ExecReport {
-    /// Load imbalance: `max(busy) / mean(busy)` (1.0 = perfectly balanced).
+    /// Load imbalance: `max(busy) / mean(busy)` (1.0 = perfectly
+    /// balanced).
+    ///
+    /// NaN-free by construction: when no busy time was recorded (empty
+    /// graph, or all tasks were too fast to measure) the ratio is
+    /// undefined and the *balanced* sentinel `1.0` is returned.
     pub fn imbalance(&self) -> f64 {
         let max = self.busy_seconds.iter().cloned().fold(0.0f64, f64::max);
         let mean = self.busy_seconds.iter().sum::<f64>() / self.busy_seconds.len().max(1) as f64;
@@ -41,6 +60,11 @@ impl ExecReport {
     }
 
     /// Parallel efficiency: total busy time / (wall * workers).
+    ///
+    /// NaN-free by construction: if the denominator is zero (a graph so
+    /// small the wall clock did not advance) there was no opportunity to
+    /// waste worker time and the ideal sentinel `1.0` is returned; a
+    /// positive wall with zero busy time yields `0.0` naturally.
     pub fn efficiency(&self) -> f64 {
         let busy: f64 = self.busy_seconds.iter().sum();
         let denom = self.wall_seconds * self.workers as f64;
@@ -62,6 +86,33 @@ pub enum SchedPolicy {
     Fifo,
     /// Newest ready task first (depth-first; maximizes locality).
     Lifo,
+}
+
+/// Execution knobs for [`execute_opts`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Record per-task start/end times into [`ExecReport::trace`].
+    pub trace: bool,
+    /// Ready-task ordering policy.
+    pub policy: SchedPolicy,
+    /// Run the post-hoc schedule validator ([`crate::validate`]) and panic
+    /// on any violated hazard edge. Defaults to on in debug builds (every
+    /// test execution is checked) and off in release; set explicitly to
+    /// force either way.
+    pub validate: bool,
+    /// Aggregate a [`MetricsReport`] onto the report (cheap; default on).
+    pub metrics: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            trace: false,
+            policy: SchedPolicy::Priority,
+            validate: cfg!(debug_assertions),
+            metrics: true,
+        }
+    }
 }
 
 #[derive(PartialEq, Eq)]
@@ -96,11 +147,28 @@ fn effective_priority(policy: SchedPolicy, priority: i64, idx: usize) -> i64 {
     }
 }
 
-#[allow(clippy::type_complexity)]
+/// Ready queue plus its depth census, updated under the same lock.
+struct QueueState {
+    heap: BinaryHeap<ReadyTask>,
+    depth: QueueDepthStats,
+}
+
 struct Shared {
-    queue: Mutex<BinaryHeap<ReadyTask>>,
+    queue: Mutex<QueueState>,
     available: Condvar,
     remaining: AtomicUsize,
+    /// Global event counter behind the validator's total order; every task
+    /// start and end draws one tick.
+    seq: AtomicU64,
+}
+
+/// Worker-thread-local accumulation, merged after the pool joins.
+struct WorkerScratch {
+    busy: f64,
+    tasks: u64,
+    parks: u64,
+    kernels: HashMap<&'static str, KernelStats>,
+    trace: Vec<TraceEvent>,
 }
 
 /// Execute a task graph on `workers` threads (0 = all logical CPUs) with
@@ -108,35 +176,76 @@ struct Shared {
 ///
 /// `trace` records per-task start/end times (adds a little overhead).
 pub fn execute(graph: TaskGraph, workers: usize, trace: bool) -> ExecReport {
-    execute_with_policy(graph, workers, trace, SchedPolicy::Priority)
+    execute_opts(
+        graph,
+        workers,
+        ExecOptions {
+            trace,
+            ..ExecOptions::default()
+        },
+    )
 }
 
 /// [`execute`] with an explicit [`SchedPolicy`].
-#[allow(clippy::needless_range_loop)]
 pub fn execute_with_policy(
     graph: TaskGraph,
     workers: usize,
     trace: bool,
     policy: SchedPolicy,
 ) -> ExecReport {
-    let workers = if workers == 0 { num_cpus::get() } else { workers };
+    execute_opts(
+        graph,
+        workers,
+        ExecOptions {
+            trace,
+            policy,
+            ..ExecOptions::default()
+        },
+    )
+}
+
+/// Execute a task graph with full control over tracing, scheduling policy,
+/// schedule validation, and metrics collection.
+///
+/// # Panics
+///
+/// When [`ExecOptions::validate`] is set and the realized schedule
+/// violated a hazard edge — that is a runtime bug, never a user error, so
+/// it is fatal by design.
+#[allow(clippy::needless_range_loop)]
+pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> ExecReport {
+    let workers = if workers == 0 {
+        num_cpus::get()
+    } else {
+        workers
+    };
     let n = graph.len();
+    let conversions_before = conversion_counts();
 
     // Unpack the graph into shared, lock-free-readable structures.
     let mut closures: Vec<Option<Box<dyn FnOnce() + Send>>> = Vec::with_capacity(n);
     let mut dependents: Vec<Vec<TaskId>> = Vec::with_capacity(n);
     let mut kinds: Vec<&'static str> = Vec::with_capacity(n);
+    let mut coords: Vec<Option<(u32, u32)>> = Vec::with_capacity(n);
     let mut priorities: Vec<i64> = Vec::with_capacity(n);
     let mut dep_counts: Vec<AtomicUsize> = Vec::with_capacity(n);
+    let mut accesses = Vec::with_capacity(if opts.validate { n } else { 0 });
     let mut initial_ready: Vec<ReadyTask> = Vec::new();
     for (idx, mut t) in graph.tasks.into_iter().enumerate() {
         closures.push(t.closure.take());
         dependents.push(std::mem::take(&mut t.dependents));
         kinds.push(t.kind);
+        coords.push(t.coords);
         priorities.push(t.priority);
         dep_counts.push(AtomicUsize::new(t.n_deps));
+        if opts.validate {
+            accesses.push(std::mem::take(&mut t.accesses));
+        }
         if t.n_deps == 0 {
-            initial_ready.push(ReadyTask { priority: effective_priority(policy, t.priority, idx), id: TaskId(idx) });
+            initial_ready.push(ReadyTask {
+                priority: effective_priority(opts.policy, t.priority, idx),
+                id: TaskId(idx),
+            });
         }
     }
     // Closures must be callable from any worker; wrap in per-task Mutex-free
@@ -146,16 +255,31 @@ pub fn execute_with_policy(
         closures.into_iter().map(Mutex::new).collect();
 
     let shared = Shared {
-        queue: Mutex::new(initial_ready.into_iter().collect()),
+        queue: Mutex::new(QueueState {
+            heap: initial_ready.into_iter().collect(),
+            depth: QueueDepthStats::default(),
+        }),
         available: Condvar::new(),
         remaining: AtomicUsize::new(n),
+        seq: AtomicU64::new(0),
+    };
+    // Per-task (start_seq, end_seq) slots; every task runs exactly once so
+    // each slot is written once. Relaxed suffices: both draws sit inside
+    // the happens-before chain the dependency release already establishes,
+    // and a single atomic's modification order is consistent with it.
+    let order: Vec<(AtomicU64, AtomicU64)> = if opts.validate {
+        (0..n)
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect()
+    } else {
+        Vec::new()
     };
 
     let start = Instant::now();
-    let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
-    let traces: Vec<Mutex<Vec<TraceEvent>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let mut scratches: Vec<WorkerScratch> = Vec::with_capacity(workers);
 
     std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let shared = &shared;
             let closures = &closures;
@@ -163,33 +287,62 @@ pub fn execute_with_policy(
             let dep_counts = &dep_counts;
             let priorities = &priorities;
             let kinds = &kinds;
-            let busy = &busy;
-            let traces = &traces;
-            scope.spawn(move || {
-                loop {
+            let coords = &coords;
+            let order = &order;
+            handles.push(scope.spawn(move || {
+                let mut scratch = WorkerScratch {
+                    busy: 0.0,
+                    tasks: 0,
+                    parks: 0,
+                    kernels: HashMap::new(),
+                    trace: Vec::new(),
+                };
+                'run: loop {
                     // Grab the best ready task or wait for one.
                     let task = {
                         let mut q = shared.queue.lock();
                         loop {
                             if shared.remaining.load(Ordering::Acquire) == 0 {
-                                return;
+                                break 'run;
                             }
-                            if let Some(t) = q.pop() {
+                            if let Some(t) = q.heap.pop() {
+                                let depth = q.heap.len();
+                                q.depth.sample(depth);
                                 break t;
                             }
+                            scratch.parks += 1;
                             shared.available.wait(&mut q);
                         }
                     };
+                    let start_seq = shared.seq.fetch_add(1, Ordering::Relaxed);
                     let t0 = start.elapsed().as_secs_f64();
                     if let Some(f) = closures[task.id.0].lock().take() {
                         f();
                     }
                     let t1 = start.elapsed().as_secs_f64();
-                    *busy[w].lock() += t1 - t0;
-                    if trace {
-                        traces[w].lock().push(TraceEvent {
+                    // The end tick must be drawn before dependents are
+                    // released, or a successor could legitimately start
+                    // "before" its predecessor finished.
+                    let end_seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+                    if let Some((s, e)) = order.get(task.id.0) {
+                        s.store(start_seq, Ordering::Relaxed);
+                        e.store(end_seq, Ordering::Relaxed);
+                    }
+                    scratch.busy += t1 - t0;
+                    scratch.tasks += 1;
+                    let kind = kinds[task.id.0];
+                    if opts.metrics {
+                        scratch
+                            .kernels
+                            .entry(kind)
+                            .or_insert_with(|| KernelStats::new(kind))
+                            .record(t1 - t0);
+                    }
+                    if opts.trace {
+                        scratch.trace.push(TraceEvent {
                             task: task.id,
-                            kind: kinds[task.id.0],
+                            kind,
+                            coords: coords[task.id.0],
                             worker: w,
                             start: t0,
                             end: t1,
@@ -201,7 +354,7 @@ pub fn execute_with_policy(
                     for &dep in &dependents[task.id.0] {
                         if dep_counts[dep.0].fetch_sub(1, Ordering::AcqRel) == 1 {
                             newly_ready.push(ReadyTask {
-                                priority: effective_priority(policy, priorities[dep.0], dep.0),
+                                priority: effective_priority(opts.policy, priorities[dep.0], dep.0),
                                 id: dep,
                             });
                         }
@@ -210,8 +363,10 @@ pub fn execute_with_policy(
                     if !newly_ready.is_empty() {
                         let mut q = shared.queue.lock();
                         for r in newly_ready {
-                            q.push(r);
+                            q.heap.push(r);
                         }
+                        let depth = q.heap.len();
+                        q.depth.sample(depth);
                         drop(q);
                         shared.available.notify_all();
                     }
@@ -222,22 +377,98 @@ pub fn execute_with_policy(
                         // notification) — no lost wakeup.
                         drop(shared.queue.lock());
                         shared.available.notify_all();
-                        return;
+                        break 'run;
                     }
                 }
-            });
+                scratch
+            }));
+        }
+        for h in handles {
+            scratches.push(h.join().expect("worker thread panicked"));
         }
     });
 
     let wall = start.elapsed().as_secs_f64();
-    let busy_seconds: Vec<f64> = busy.iter().map(|b| *b.lock()).collect();
-    let mut trace_events: Vec<TraceEvent> = traces
-        .iter()
-        .flat_map(|t| t.lock().drain(..).collect::<Vec<_>>())
-        .collect();
-    trace_events.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
 
-    ExecReport { wall_seconds: wall, tasks: n, workers, busy_seconds, trace: trace_events }
+    let validation = if opts.validate {
+        let order: Vec<TaskOrder> = order
+            .iter()
+            .map(|(s, e)| TaskOrder {
+                start_seq: s.load(Ordering::Relaxed),
+                end_seq: e.load(Ordering::Relaxed),
+            })
+            .collect();
+        match check_schedule(&accesses, &order) {
+            Ok(summary) => Some(summary),
+            Err(violations) => {
+                let labels: Vec<String> = kinds
+                    .iter()
+                    .zip(&coords)
+                    .map(|(k, c)| match c {
+                        Some((i, j)) => format!("{k}[{i},{j}]"),
+                        None => (*k).to_string(),
+                    })
+                    .collect();
+                panic!(
+                    "executor bug under {:?} policy with {} worker(s): {}",
+                    opts.policy,
+                    workers,
+                    describe_violations(&violations, &labels)
+                );
+            }
+        }
+    } else {
+        None
+    };
+
+    let busy_seconds: Vec<f64> = scratches.iter().map(|s| s.busy).collect();
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
+    if opts.trace {
+        for s in &mut scratches {
+            trace_events.append(&mut s.trace);
+        }
+        trace_events.sort_by(|a, b| a.start.total_cmp(&b.start));
+    }
+
+    let metrics = opts.metrics.then(|| {
+        let mut kernels: HashMap<&'static str, KernelStats> = HashMap::new();
+        for s in &scratches {
+            for (kind, ks) in &s.kernels {
+                kernels
+                    .entry(kind)
+                    .or_insert_with(|| KernelStats::new(kind))
+                    .merge(ks);
+            }
+        }
+        let mut kernels: Vec<KernelStats> = kernels.into_values().collect();
+        kernels.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+        MetricsReport {
+            wall_seconds: wall,
+            tasks: n,
+            workers,
+            kernels,
+            queue_depth: shared.queue.into_inner().depth,
+            worker_stats: scratches
+                .iter()
+                .map(|s| WorkerStats {
+                    busy_seconds: s.busy,
+                    tasks: s.tasks,
+                    parks: s.parks,
+                })
+                .collect(),
+            conversions: conversion_counts().since(&conversions_before),
+            validation,
+        }
+    });
+
+    ExecReport {
+        wall_seconds: wall,
+        tasks: n,
+        workers,
+        busy_seconds,
+        trace: trace_events,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -253,9 +484,15 @@ mod tests {
         let mut g = TaskGraph::new();
         for i in 0..500 {
             let c = counter.clone();
-            g.insert("inc", vec![Access::write(DataId(i % 7))], 0, 0.0, move || {
-                c.fetch_add(1, AOrd::Relaxed);
-            });
+            g.insert(
+                "inc",
+                vec![Access::write(DataId(i % 7))],
+                0,
+                0.0,
+                move || {
+                    c.fetch_add(1, AOrd::Relaxed);
+                },
+            );
         }
         let report = execute(g, 4, false);
         assert_eq!(counter.load(AOrd::Relaxed), 500);
@@ -297,7 +534,10 @@ mod tests {
                 let v = values.clone();
                 g.insert(
                     "mix",
-                    vec![Access::read(DataId(a as u64)), Access::write(DataId(b as u64))],
+                    vec![
+                        Access::read(DataId(a as u64)),
+                        Access::write(DataId(b as u64)),
+                    ],
                     0,
                     0.0,
                     move || {
@@ -314,7 +554,11 @@ mod tests {
         let par: Arc<Vec<AtomicU64>> = Arc::new((0..16).map(AtomicU64::new).collect());
         execute(build(par.clone()), 8, false);
         for i in 0..16 {
-            assert_eq!(seq[i].load(AOrd::SeqCst), par[i].load(AOrd::SeqCst), "cell {i}");
+            assert_eq!(
+                seq[i].load(AOrd::SeqCst),
+                par[i].load(AOrd::SeqCst),
+                "cell {i}"
+            );
         }
     }
 
@@ -352,6 +596,52 @@ mod tests {
         let r = execute(TaskGraph::new(), 2, true);
         assert_eq!(r.tasks, 0);
         assert!(r.trace.is_empty());
+        // Sentinel contract: no NaNs out of the degenerate report.
+        assert_eq!(r.imbalance(), 1.0);
+        let e = r.efficiency();
+        assert!(e.is_finite() && (0.0..=1.0).contains(&e), "efficiency {e}");
+    }
+
+    #[test]
+    fn zero_busy_report_has_sentinel_ratios() {
+        // Hand-built report: positive wall, no recorded busy time.
+        let r = ExecReport {
+            wall_seconds: 1.0,
+            tasks: 0,
+            workers: 4,
+            busy_seconds: vec![0.0; 4],
+            trace: Vec::new(),
+            metrics: None,
+        };
+        assert_eq!(r.imbalance(), 1.0);
+        assert_eq!(r.efficiency(), 0.0);
+        // And the fully degenerate case: zero wall, zero workers.
+        let z = ExecReport {
+            wall_seconds: 0.0,
+            tasks: 0,
+            workers: 0,
+            busy_seconds: Vec::new(),
+            trace: Vec::new(),
+            metrics: None,
+        };
+        assert_eq!(z.imbalance(), 1.0);
+        assert_eq!(z.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn single_worker_report_is_balanced() {
+        let mut g = TaskGraph::new();
+        for i in 0..20 {
+            g.insert("t", vec![Access::write(DataId(i))], 0, 0.0, || {
+                std::hint::black_box((0..100u64).sum::<u64>());
+            });
+        }
+        let r = execute(g, 1, false);
+        assert_eq!(r.workers, 1);
+        // One worker: max == mean, imbalance exactly 1.0 (or the zero-busy
+        // sentinel, also 1.0).
+        assert_eq!(r.imbalance(), 1.0);
+        assert!(r.efficiency().is_finite());
     }
 
     #[test]
@@ -367,13 +657,123 @@ mod tests {
             });
         }
         let r = execute(g, 8, true);
-        let distinct: std::collections::HashSet<usize> =
-            r.trace.iter().map(|e| e.worker).collect();
-        assert!(distinct.len() >= 2, "only {} worker(s) ran tasks", distinct.len());
+        let distinct: std::collections::HashSet<usize> = r.trace.iter().map(|e| e.worker).collect();
+        assert!(
+            distinct.len() >= 2,
+            "only {} worker(s) ran tasks",
+            distinct.len()
+        );
         assert!(
             r.wall_seconds < 0.100,
             "no parallelism observed: {}s for 128ms of serial sleeps",
             r.wall_seconds
         );
+    }
+
+    #[test]
+    fn metrics_cover_kernels_workers_and_queue() {
+        let mut g = TaskGraph::new();
+        let d = DataId(0);
+        for i in 0..40u64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            g.insert(
+                kind,
+                vec![Access::write(DataId(i % 5)), Access::read(d)],
+                0,
+                0.0,
+                || {
+                    std::hint::black_box((0..500u64).sum::<u64>());
+                },
+            );
+        }
+        let r = execute_opts(
+            g,
+            3,
+            ExecOptions {
+                validate: true,
+                ..ExecOptions::default()
+            },
+        );
+        let m = r.metrics.expect("metrics on by default");
+        assert_eq!(m.tasks, 40);
+        assert_eq!(m.workers, 3);
+        assert_eq!(m.worker_stats.len(), 3);
+        assert_eq!(m.kernels.iter().map(|k| k.count).sum::<u64>(), 40);
+        let kinds: Vec<&str> = m.kernels.iter().map(|k| k.kind).collect();
+        assert!(kinds.contains(&"even") && kinds.contains(&"odd"));
+        assert_eq!(m.worker_stats.iter().map(|w| w.tasks).sum::<u64>(), 40);
+        assert!(m.queue_depth.samples > 0);
+        let v = m.validation.expect("validator requested");
+        assert!(v.edges_checked > 0, "shared read datum must create edges");
+        // The JSON export round-trips the structure without NaNs.
+        let json = m.to_json();
+        assert!(json.contains("\"tasks\":40"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn metrics_opt_out_leaves_report_lean() {
+        let mut g = TaskGraph::new();
+        g.insert("t", vec![Access::write(DataId(0))], 0, 0.0, || {});
+        let r = execute_opts(
+            g,
+            1,
+            ExecOptions {
+                metrics: false,
+                validate: false,
+                ..ExecOptions::default()
+            },
+        );
+        assert!(r.metrics.is_none());
+    }
+
+    #[test]
+    fn validator_runs_on_every_policy() {
+        for policy in [SchedPolicy::Priority, SchedPolicy::Fifo, SchedPolicy::Lifo] {
+            let mut g = TaskGraph::new();
+            let d = DataId(9);
+            for i in 0..100u64 {
+                g.insert(
+                    "t",
+                    vec![Access::write(DataId(i % 11)), Access::read(d)],
+                    (i % 3) as i64,
+                    0.0,
+                    || {},
+                );
+                if i % 10 == 0 {
+                    g.insert("w", vec![Access::write(d)], 0, 0.0, || {});
+                }
+            }
+            let r = execute_opts(
+                g,
+                4,
+                ExecOptions {
+                    policy,
+                    validate: true,
+                    ..ExecOptions::default()
+                },
+            );
+            let v = r.metrics.unwrap().validation.unwrap();
+            assert!(v.edges_checked > 0, "{policy:?}: no edges checked");
+        }
+    }
+
+    #[test]
+    fn coords_flow_into_the_trace() {
+        let mut g = TaskGraph::new();
+        g.insert_at(
+            "potrf",
+            (2, 2),
+            vec![Access::write(DataId(0))],
+            0,
+            0.0,
+            || {},
+        );
+        g.insert("aux", vec![Access::write(DataId(1))], 0, 0.0, || {});
+        let r = execute(g, 1, true);
+        let potrf = r.trace.iter().find(|e| e.kind == "potrf").unwrap();
+        assert_eq!(potrf.coords, Some((2, 2)));
+        let aux = r.trace.iter().find(|e| e.kind == "aux").unwrap();
+        assert_eq!(aux.coords, None);
     }
 }

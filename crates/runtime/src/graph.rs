@@ -34,16 +34,25 @@ pub struct Access {
 
 impl Access {
     pub fn read(data: DataId) -> Access {
-        Access { data, mode: AccessMode::Read }
+        Access {
+            data,
+            mode: AccessMode::Read,
+        }
     }
 
     pub fn write(data: DataId) -> Access {
-        Access { data, mode: AccessMode::Write }
+        Access {
+            data,
+            mode: AccessMode::Write,
+        }
     }
 }
 
 pub(crate) struct TaskNode {
     pub kind: &'static str,
+    /// Tile coordinates `(i, j)` for kernels that act on a tile; carried
+    /// into traces and validator diagnostics.
+    pub coords: Option<(u32, u32)>,
     pub closure: Option<Box<dyn FnOnce() + Send>>,
     /// Tasks that must run after this one.
     pub dependents: Vec<TaskId>,
@@ -88,6 +97,33 @@ impl TaskGraph {
     pub fn insert(
         &mut self,
         kind: &'static str,
+        accesses: Vec<Access>,
+        priority: i64,
+        cost: f64,
+        closure: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        self.insert_task(kind, None, accesses, priority, cost, closure)
+    }
+
+    /// [`insert`](TaskGraph::insert) for a kernel acting on tile `(i, j)`;
+    /// the coordinates flow into execution traces and schedule-validator
+    /// diagnostics.
+    pub fn insert_at(
+        &mut self,
+        kind: &'static str,
+        coords: (u32, u32),
+        accesses: Vec<Access>,
+        priority: i64,
+        cost: f64,
+        closure: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        self.insert_task(kind, Some(coords), accesses, priority, cost, closure)
+    }
+
+    fn insert_task(
+        &mut self,
+        kind: &'static str,
+        coords: Option<(u32, u32)>,
         accesses: Vec<Access>,
         priority: i64,
         cost: f64,
@@ -140,6 +176,7 @@ impl TaskGraph {
 
         self.tasks.push(TaskNode {
             kind,
+            coords,
             closure: Some(Box::new(closure)),
             dependents: Vec::new(),
             n_deps,
@@ -196,7 +233,9 @@ impl TaskGraph {
             "gemm" => "#9467bd",
             _ => "#7f7f7f",
         };
-        let mut out = String::from("digraph tasks {\n  rankdir=TB;\n  node [style=filled, fontcolor=white];\n");
+        let mut out = String::from(
+            "digraph tasks {\n  rankdir=TB;\n  node [style=filled, fontcolor=white];\n",
+        );
         for (i, t) in self.tasks.iter().enumerate() {
             out.push_str(&format!(
                 "  t{i} [label=\"{}#{i}\", fillcolor=\"{}\"];\n",

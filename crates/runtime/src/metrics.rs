@@ -1,0 +1,428 @@
+//! Lightweight execution metrics.
+//!
+//! The paper's performance story lives in runtime observability: which
+//! kernel class dominates, how deep the ready queue stays (starvation vs.
+//! saturation), how evenly the adaptive tile formats load the workers, and
+//! how much precision-conversion traffic the format mix generates. This
+//! module aggregates those signals during a [`crate::exec`] run into a
+//! [`MetricsReport`] that serializes to JSON next to the Chrome trace
+//! export ([`crate::stats::chrome_trace_json`]).
+//!
+//! Collection is cheap by construction: workers accumulate into
+//! thread-local scratch merged once at the end, and queue depth is sampled
+//! inside the queue mutex that is already held.
+
+use crate::convert::ConversionCounts;
+use crate::validate::ValidationSummary;
+
+/// Number of log-scale duration buckets in [`TimeHistogram`].
+pub const HIST_BUCKETS: usize = 24;
+
+/// Log₂-scale histogram of task durations.
+///
+/// Bucket 0 holds durations under 1 µs; bucket `i >= 1` holds
+/// `[2^(i-1), 2^i)` µs; the last bucket is open-ended (≈ 84 min and up).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimeHistogram {
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl TimeHistogram {
+    pub fn record(&mut self, seconds: f64) {
+        self.buckets[Self::bucket_index(seconds)] += 1;
+    }
+
+    /// Bucket a duration falls into (NaN and negatives clamp to bucket 0).
+    pub fn bucket_index(seconds: f64) -> usize {
+        let us = seconds * 1e6;
+        if us.is_nan() || us < 1.0 {
+            return 0;
+        }
+        let exp = (us as u64).ilog2() as usize + 1;
+        exp.min(HIST_BUCKETS - 1)
+    }
+
+    pub fn merge(&mut self, other: &TimeHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Aggregated timing of one kernel class ("potrf", "gemm", ...).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelStats {
+    pub kind: &'static str,
+    pub count: u64,
+    pub total_seconds: f64,
+    pub min_seconds: f64,
+    pub max_seconds: f64,
+    pub histogram: TimeHistogram,
+}
+
+impl KernelStats {
+    pub fn new(kind: &'static str) -> KernelStats {
+        KernelStats {
+            kind,
+            count: 0,
+            total_seconds: 0.0,
+            min_seconds: f64::INFINITY,
+            max_seconds: 0.0,
+            histogram: TimeHistogram::default(),
+        }
+    }
+
+    pub fn record(&mut self, seconds: f64) {
+        self.count += 1;
+        self.total_seconds += seconds;
+        self.min_seconds = self.min_seconds.min(seconds);
+        self.max_seconds = self.max_seconds.max(seconds);
+        self.histogram.record(seconds);
+    }
+
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.count += other.count;
+        self.total_seconds += other.total_seconds;
+        self.min_seconds = self.min_seconds.min(other.min_seconds);
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+        self.histogram.merge(&other.histogram);
+    }
+
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+}
+
+/// Ready-queue depth, sampled at every pop and push batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueDepthStats {
+    pub samples: u64,
+    pub sum: u64,
+    pub max: usize,
+}
+
+impl QueueDepthStats {
+    pub fn sample(&mut self, depth: usize) {
+        self.samples += 1;
+        self.sum += depth as u64;
+        self.max = self.max.max(depth);
+    }
+
+    pub fn merge(&mut self, other: &QueueDepthStats) {
+        self.samples += other.samples;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sampled depth (0.0 with no samples).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Per-worker execution counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    pub busy_seconds: f64,
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Times this worker parked waiting for the queue.
+    pub parks: u64,
+}
+
+/// Everything the runtime observed about one graph execution.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsReport {
+    pub wall_seconds: f64,
+    pub tasks: usize,
+    pub workers: usize,
+    /// Per kernel class, sorted by descending total time.
+    pub kernels: Vec<KernelStats>,
+    pub queue_depth: QueueDepthStats,
+    pub worker_stats: Vec<WorkerStats>,
+    /// Precision conversions performed during the run (delta of the
+    /// process-global [`crate::convert`] counters).
+    pub conversions: ConversionCounts,
+    /// Present when the schedule validator ran (and passed).
+    pub validation: Option<ValidationSummary>,
+}
+
+impl MetricsReport {
+    /// Accumulate another run's metrics into this one (e.g. to summarize
+    /// all factorizations of an MLE optimization). Wall time, task counts,
+    /// conversions, and validation censuses add; per-kernel and per-worker
+    /// stats merge element-wise; worker count takes the maximum.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        self.wall_seconds += other.wall_seconds;
+        self.tasks += other.tasks;
+        self.workers = self.workers.max(other.workers);
+        for ok in &other.kernels {
+            match self.kernels.iter_mut().find(|k| k.kind == ok.kind) {
+                Some(k) => k.merge(ok),
+                None => self.kernels.push(*ok),
+            }
+        }
+        self.kernels
+            .sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+        self.queue_depth.merge(&other.queue_depth);
+        if self.worker_stats.len() < other.worker_stats.len() {
+            self.worker_stats
+                .resize(other.worker_stats.len(), WorkerStats::default());
+        }
+        for (w, ow) in self.worker_stats.iter_mut().zip(&other.worker_stats) {
+            w.busy_seconds += ow.busy_seconds;
+            w.tasks += ow.tasks;
+            w.parks += ow.parks;
+        }
+        let c = &other.conversions;
+        self.conversions.f64_to_f32 += c.f64_to_f32;
+        self.conversions.f64_to_f16 += c.f64_to_f16;
+        self.conversions.f32_to_f64 += c.f32_to_f64;
+        self.conversions.f32_to_f16 += c.f32_to_f16;
+        self.conversions.f16_to_f32 += c.f16_to_f32;
+        self.conversions.f16_to_f64 += c.f16_to_f64;
+        match (&mut self.validation, &other.validation) {
+            (Some(a), Some(b)) => a.add(b),
+            (None, Some(b)) => self.validation = Some(*b),
+            _ => {}
+        }
+    }
+
+    /// Serialize to a JSON object (schema documented in the repository
+    /// README under "Metrics JSON"). Hand-rolled like
+    /// [`crate::stats::chrome_trace_json`]; all values are finite.
+    pub fn to_json(&self) -> String {
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let hist = k
+                    .histogram
+                    .buckets
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    concat!(
+                        "{{\"kind\":\"{}\",\"count\":{},\"total_seconds\":{},",
+                        "\"mean_seconds\":{},\"min_seconds\":{},\"max_seconds\":{},",
+                        "\"histogram_log2us\":[{}]}}"
+                    ),
+                    k.kind,
+                    k.count,
+                    k.total_seconds,
+                    k.mean_seconds(),
+                    if k.count == 0 { 0.0 } else { k.min_seconds },
+                    k.max_seconds,
+                    hist
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let workers = self
+            .worker_stats
+            .iter()
+            .enumerate()
+            .map(|(w, s)| {
+                format!(
+                    "{{\"worker\":{},\"busy_seconds\":{},\"tasks\":{},\"parks\":{}}}",
+                    w, s.busy_seconds, s.tasks, s.parks
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let c = &self.conversions;
+        let validation = match &self.validation {
+            Some(v) => format!(
+                concat!(
+                    "{{\"edges_checked\":{},\"raw_edges\":{},",
+                    "\"war_edges\":{},\"waw_edges\":{}}}"
+                ),
+                v.edges_checked, v.raw_edges, v.war_edges, v.waw_edges
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"wall_seconds\":{},\"tasks\":{},\"workers\":{},",
+                "\"kernels\":[{}],",
+                "\"queue_depth\":{{\"samples\":{},\"max\":{},\"mean\":{}}},",
+                "\"worker_stats\":[{}],",
+                "\"conversions\":{{\"f64_to_f32\":{},\"f64_to_f16\":{},\"f32_to_f64\":{},",
+                "\"f32_to_f16\":{},\"f16_to_f32\":{},\"f16_to_f64\":{},\"total\":{},",
+                "\"demotions\":{},\"promotions\":{}}},",
+                "\"validation\":{}}}"
+            ),
+            self.wall_seconds,
+            self.tasks,
+            self.workers,
+            kernels,
+            self.queue_depth.samples,
+            self.queue_depth.max,
+            self.queue_depth.mean(),
+            workers,
+            c.f64_to_f32,
+            c.f64_to_f16,
+            c.f32_to_f64,
+            c.f32_to_f16,
+            c.f16_to_f32,
+            c.f16_to_f64,
+            c.total(),
+            c.demotions(),
+            c.promotions(),
+            validation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(TimeHistogram::bucket_index(0.0), 0);
+        assert_eq!(TimeHistogram::bucket_index(-1.0), 0);
+        assert_eq!(TimeHistogram::bucket_index(f64::NAN), 0);
+        assert_eq!(TimeHistogram::bucket_index(0.9e-6), 0);
+        assert_eq!(TimeHistogram::bucket_index(1.0e-6), 1); // [1, 2) µs
+        assert_eq!(TimeHistogram::bucket_index(1.9e-6), 1);
+        assert_eq!(TimeHistogram::bucket_index(2.0e-6), 2); // [2, 4) µs
+        assert_eq!(TimeHistogram::bucket_index(1.0e-3), 10); // [512, 1024) µs
+        assert_eq!(TimeHistogram::bucket_index(1e9), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = TimeHistogram::default();
+        a.record(1.5e-6);
+        a.record(3e-6);
+        let mut b = TimeHistogram::default();
+        b.record(1.2e-6);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets[1], 2);
+        assert_eq!(a.buckets[2], 1);
+    }
+
+    #[test]
+    fn kernel_stats_track_extremes() {
+        let mut k = KernelStats::new("gemm");
+        k.record(2e-3);
+        k.record(1e-3);
+        k.record(5e-3);
+        assert_eq!(k.count, 3);
+        assert!((k.total_seconds - 8e-3).abs() < 1e-12);
+        assert_eq!(k.min_seconds, 1e-3);
+        assert_eq!(k.max_seconds, 5e-3);
+        assert!((k.mean_seconds() - 8e-3 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_kernel_stats_have_no_nans() {
+        let k = KernelStats::new("potrf");
+        assert_eq!(k.mean_seconds(), 0.0);
+        let mut m = MetricsReport::default();
+        m.kernels.push(k);
+        let json = m.to_json();
+        assert!(!json.contains("NaN"));
+        assert!(!json.contains("inf"));
+        assert!(json.contains("\"min_seconds\":0"));
+    }
+
+    #[test]
+    fn queue_depth_mean_is_sample_weighted() {
+        let mut q = QueueDepthStats::default();
+        q.sample(2);
+        q.sample(6);
+        assert_eq!(q.samples, 2);
+        assert_eq!(q.max, 6);
+        assert_eq!(q.mean(), 4.0);
+        assert_eq!(QueueDepthStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let mut m = MetricsReport {
+            wall_seconds: 0.5,
+            tasks: 3,
+            workers: 2,
+            worker_stats: vec![WorkerStats::default(); 2],
+            validation: Some(ValidationSummary {
+                edges_checked: 4,
+                raw_edges: 2,
+                war_edges: 1,
+                waw_edges: 1,
+            }),
+            ..MetricsReport::default()
+        };
+        let mut k = KernelStats::new("trsm");
+        k.record(1e-3);
+        m.kernels.push(k);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"kind\":\"trsm\""));
+        assert!(json.contains("\"edges_checked\":4"));
+        assert!(json.contains("\"worker\":1"));
+        assert!(json.contains("\"histogram_log2us\":["));
+        // Balanced braces — cheap structural sanity for the hand-rolled JSON.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn merge_accumulates_across_runs() {
+        let mk = |kind, secs: f64, tasks| {
+            let mut k = KernelStats::new(kind);
+            k.record(secs);
+            MetricsReport {
+                wall_seconds: secs,
+                tasks,
+                workers: 2,
+                kernels: vec![k],
+                worker_stats: vec![
+                    WorkerStats {
+                        busy_seconds: secs,
+                        tasks: tasks as u64,
+                        parks: 1,
+                    },
+                    WorkerStats::default(),
+                ],
+                validation: Some(ValidationSummary {
+                    edges_checked: 3,
+                    ..Default::default()
+                }),
+                ..MetricsReport::default()
+            }
+        };
+        let mut a = mk("gemm", 1.0, 10);
+        a.merge(&mk("gemm", 2.0, 5));
+        a.merge(&mk("trsm", 0.5, 1));
+        assert_eq!(a.tasks, 16);
+        assert!((a.wall_seconds - 3.5).abs() < 1e-12);
+        assert_eq!(a.kernels.len(), 2);
+        let gemm = a.kernels.iter().find(|k| k.kind == "gemm").unwrap();
+        assert_eq!(gemm.count, 2);
+        assert_eq!(a.kernels[0].kind, "gemm", "sorted by total time");
+        assert_eq!(a.worker_stats[0].parks, 3);
+        assert_eq!(a.validation.unwrap().edges_checked, 9);
+    }
+
+    #[test]
+    fn json_validation_null_when_not_run() {
+        let m = MetricsReport::default();
+        assert!(m.to_json().contains("\"validation\":null"));
+    }
+}

@@ -7,6 +7,9 @@ use crate::graph::TaskId;
 pub struct TraceEvent {
     pub task: TaskId,
     pub kind: &'static str,
+    /// Tile coordinates `(i, j)` when the task was inserted with
+    /// [`crate::TaskGraph::insert_at`].
+    pub coords: Option<(u32, u32)>,
     pub worker: usize,
     /// Seconds since execution start.
     pub start: f64,
@@ -27,14 +30,19 @@ impl TraceEvent {
 pub fn chrome_trace_json(trace: &[TraceEvent]) -> String {
     let mut out = String::from("[\n");
     for (i, e) in trace.iter().enumerate() {
+        let tile = match e.coords {
+            Some((r, c)) => format!(", \"tile\": [{r}, {c}]"),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "  {{\"name\": \"{}\", \"cat\": \"task\", \"ph\": \"X\", \"ts\": {:.3}, \
-             \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"task\": {}}}}}{}\n",
+             \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"task\": {}{}}}}}{}\n",
             e.kind,
             e.start * 1e6,
             e.duration() * 1e6,
             e.worker,
             e.task.0,
+            tile,
             if i + 1 == trace.len() { "" } else { "," }
         ));
     }
@@ -54,7 +62,7 @@ pub fn kind_summary(trace: &[TraceEvent]) -> Vec<(&'static str, usize, f64)> {
             None => out.push((e.kind, 1, e.duration())),
         }
     }
-    out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    out.sort_by(|a, b| b.2.total_cmp(&a.2));
     out
 }
 
@@ -62,19 +70,40 @@ pub fn kind_summary(trace: &[TraceEvent]) -> Vec<(&'static str, usize, f64)> {
 mod tests {
     use super::*;
 
+    fn ev(task: usize, kind: &'static str, worker: usize, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            task: TaskId(task),
+            kind,
+            coords: None,
+            worker,
+            start,
+            end,
+        }
+    }
+
     #[test]
     fn chrome_trace_is_valid_shape() {
         let trace = vec![
-            TraceEvent { task: TaskId(0), kind: "potrf", worker: 0, start: 0.0, end: 0.5e-3 },
-            TraceEvent { task: TaskId(1), kind: "gemm", worker: 1, start: 0.2e-3, end: 1.0e-3 },
+            TraceEvent {
+                task: TaskId(0),
+                kind: "potrf",
+                coords: Some((3, 3)),
+                worker: 0,
+                start: 0.0,
+                end: 0.5e-3,
+            },
+            ev(1, "gemm", 1, 0.2e-3, 1.0e-3),
         ];
         let json = chrome_trace_json(&trace);
         assert!(json.starts_with('['));
         assert!(json.ends_with(']'));
         assert!(json.contains("\"name\": \"potrf\""));
+        assert!(json.contains("\"tile\": [3, 3]"));
         assert!(json.contains("\"tid\": 1"));
         // Two events, one comma between them.
         assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+        // The coordinate-less event carries no tile annotation.
+        assert_eq!(json.matches("\"tile\"").count(), 1);
     }
 
     #[test]
@@ -85,9 +114,9 @@ mod tests {
     #[test]
     fn summary_groups_and_sorts() {
         let trace = vec![
-            TraceEvent { task: TaskId(0), kind: "gemm", worker: 0, start: 0.0, end: 2.0 },
-            TraceEvent { task: TaskId(1), kind: "trsm", worker: 1, start: 0.0, end: 1.0 },
-            TraceEvent { task: TaskId(2), kind: "gemm", worker: 0, start: 2.0, end: 5.0 },
+            ev(0, "gemm", 0, 0.0, 2.0),
+            ev(1, "trsm", 1, 0.0, 1.0),
+            ev(2, "gemm", 0, 2.0, 5.0),
         ];
         let s = kind_summary(&trace);
         assert_eq!(s[0], ("gemm", 2, 5.0));

@@ -1,0 +1,316 @@
+//! Post-hoc schedule validation.
+//!
+//! The executor's only correctness obligation is that every data-hazard
+//! edge implied by the declared accesses (RAW, WAR, WAW in insertion
+//! order) is respected by the realized schedule. This module checks that
+//! obligation *independently*: it re-derives the hazard edges from the
+//! access lists alone — deliberately not reusing [`crate::graph`]'s
+//! dependency tables, so a bookkeeping bug there cannot hide itself — and
+//! compares them against per-task start/end sequence numbers recorded
+//! during execution.
+//!
+//! An edge `pred -> succ` is respected iff `pred` finished before `succ`
+//! started: `end_seq(pred) < start_seq(succ)`. Sequence numbers come from
+//! a single atomic counter, so they give a total order on observable
+//! start/end events regardless of wall-clock resolution.
+//!
+//! The executor runs this check automatically in debug builds (i.e. under
+//! `cargo test`) and on request in release builds — see
+//! [`crate::exec::ExecOptions::validate`].
+
+use crate::graph::{Access, AccessMode, DataId, TaskId};
+use std::collections::HashMap;
+
+/// When each task started and ended, in ticks of one global counter.
+///
+/// Both fields are draws from the same atomic counter, so all starts and
+/// ends across all workers are totally ordered and `start_seq < end_seq`
+/// for every executed task.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskOrder {
+    pub start_seq: u64,
+    pub end_seq: u64,
+}
+
+/// Hazard class of a dependency edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hazard {
+    /// Read-after-write: reader must wait for the writer.
+    Raw,
+    /// Write-after-read: writer must wait for earlier readers.
+    War,
+    /// Write-after-write: writer must wait for the previous writer.
+    Waw,
+}
+
+impl Hazard {
+    pub fn name(self) -> &'static str {
+        match self {
+            Hazard::Raw => "RAW",
+            Hazard::War => "WAR",
+            Hazard::Waw => "WAW",
+        }
+    }
+}
+
+/// One hazard edge the schedule failed to respect.
+#[derive(Clone, Copy, Debug)]
+pub struct Violation {
+    /// The task that had to finish first (earlier in insertion order).
+    pub pred: TaskId,
+    /// The task that started before `pred` finished.
+    pub succ: TaskId,
+    /// The datum carrying the hazard.
+    pub data: DataId,
+    pub hazard: Hazard,
+}
+
+/// Outcome of a successful schedule check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidationSummary {
+    /// Distinct hazard edges checked (an edge carried by several data or
+    /// hazard classes is counted once per class/datum pair).
+    pub edges_checked: u64,
+    pub raw_edges: u64,
+    pub war_edges: u64,
+    pub waw_edges: u64,
+}
+
+impl ValidationSummary {
+    /// Accumulate another (passed) run's census into this one.
+    pub fn add(&mut self, other: &ValidationSummary) {
+        self.edges_checked += other.edges_checked;
+        self.raw_edges += other.raw_edges;
+        self.war_edges += other.war_edges;
+        self.waw_edges += other.waw_edges;
+    }
+}
+
+/// Re-derive every hazard edge from the access lists (insertion order) and
+/// check each against the recorded schedule. `accesses[i]` and `order[i]`
+/// describe the task inserted `i`-th; the two slices must be equally long.
+///
+/// Returns the edge census on success, or every violated edge (in
+/// insertion order of the violating successor) on failure.
+pub fn check_schedule(
+    accesses: &[Vec<Access>],
+    order: &[TaskOrder],
+) -> Result<ValidationSummary, Vec<Violation>> {
+    assert_eq!(
+        accesses.len(),
+        order.len(),
+        "schedule check needs one order record per task"
+    );
+
+    let mut last_writer: HashMap<DataId, TaskId> = HashMap::new();
+    let mut readers: HashMap<DataId, Vec<TaskId>> = HashMap::new();
+    let mut summary = ValidationSummary::default();
+    let mut violations = Vec::new();
+
+    let mut check = |pred: TaskId, succ: TaskId, data: DataId, hazard: Hazard| {
+        summary.edges_checked += 1;
+        match hazard {
+            Hazard::Raw => summary.raw_edges += 1,
+            Hazard::War => summary.war_edges += 1,
+            Hazard::Waw => summary.waw_edges += 1,
+        }
+        if order[pred.0].end_seq >= order[succ.0].start_seq {
+            violations.push(Violation {
+                pred,
+                succ,
+                data,
+                hazard,
+            });
+        }
+    };
+
+    for (idx, accs) in accesses.iter().enumerate() {
+        let id = TaskId(idx);
+        for acc in accs {
+            match acc.mode {
+                AccessMode::Read => {
+                    if let Some(&w) = last_writer.get(&acc.data) {
+                        check(w, id, acc.data, Hazard::Raw);
+                    }
+                }
+                AccessMode::Write => {
+                    if let Some(&w) = last_writer.get(&acc.data) {
+                        check(w, id, acc.data, Hazard::Waw);
+                    }
+                    for &r in readers.get(&acc.data).into_iter().flatten() {
+                        if r != id {
+                            check(r, id, acc.data, Hazard::War);
+                        }
+                    }
+                }
+            }
+        }
+        for acc in accs {
+            match acc.mode {
+                AccessMode::Read => readers.entry(acc.data).or_default().push(id),
+                AccessMode::Write => {
+                    last_writer.insert(acc.data, id);
+                    readers.insert(acc.data, Vec::new());
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Human-readable digest of a violation list (first few edges), used by
+/// the executor's panic message and available for custom reporting.
+/// `labels` names each task (kind, optionally with tile coordinates).
+pub fn describe_violations<S: AsRef<str>>(violations: &[Violation], labels: &[S]) -> String {
+    let shown = violations.len().min(5);
+    let mut out = format!(
+        "schedule violated {} hazard edge(s); first {shown}:",
+        violations.len()
+    );
+    let label = |id: TaskId| {
+        labels
+            .get(id.0)
+            .map(|s| s.as_ref())
+            .unwrap_or("?")
+            .to_string()
+    };
+    for v in &violations[..shown] {
+        out.push_str(&format!(
+            "\n  {} on data {}: task {}({}) must precede task {}({})",
+            v.hazard.name(),
+            v.data.0,
+            v.pred.0,
+            label(v.pred),
+            v.succ.0,
+            label(v.succ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(d: u64) -> Vec<Access> {
+        vec![Access::write(DataId(d))]
+    }
+
+    fn r(d: u64) -> Vec<Access> {
+        vec![Access::read(DataId(d))]
+    }
+
+    /// Order records for tasks run back-to-back in the given permutation.
+    fn serial_order(n: usize, perm: &[usize]) -> Vec<TaskOrder> {
+        let mut order = vec![TaskOrder::default(); n];
+        let mut seq = 0u64;
+        for &i in perm {
+            order[i] = TaskOrder {
+                start_seq: seq,
+                end_seq: seq + 1,
+            };
+            seq += 2;
+        }
+        order
+    }
+
+    #[test]
+    fn insertion_order_always_passes() {
+        let accesses = vec![w(0), r(0), r(0), w(0), w(1)];
+        let order = serial_order(5, &[0, 1, 2, 3, 4]);
+        let s = check_schedule(&accesses, &order).expect("sequential order is valid");
+        // RAW w0->r1, RAW w0->r2, WAW w0->w3, WAR r1->w3, WAR r2->w3.
+        assert_eq!(s.raw_edges, 2);
+        assert_eq!(s.war_edges, 2);
+        assert_eq!(s.waw_edges, 1);
+        assert_eq!(s.edges_checked, 5);
+    }
+
+    #[test]
+    fn independent_tasks_may_run_in_any_order() {
+        let accesses = vec![w(0), w(1), w(2)];
+        let order = serial_order(3, &[2, 0, 1]);
+        let s = check_schedule(&accesses, &order).unwrap();
+        assert_eq!(s.edges_checked, 0);
+    }
+
+    #[test]
+    fn raw_violation_detected() {
+        let accesses = vec![w(7), r(7)];
+        let order = serial_order(2, &[1, 0]); // reader ran first
+        let violations = check_schedule(&accesses, &order).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        let v = violations[0];
+        assert_eq!(v.hazard, Hazard::Raw);
+        assert_eq!((v.pred, v.succ, v.data), (TaskId(0), TaskId(1), DataId(7)));
+    }
+
+    #[test]
+    fn war_violation_detected() {
+        // read d, then write d: swapping them is a WAR violation.
+        let accesses = vec![w(3), r(3), w(3)];
+        let order = serial_order(3, &[0, 2, 1]);
+        let violations = check_schedule(&accesses, &order).unwrap_err();
+        assert!(violations
+            .iter()
+            .any(|v| v.hazard == Hazard::War && v.pred == TaskId(1) && v.succ == TaskId(2)));
+    }
+
+    #[test]
+    fn waw_violation_detected() {
+        let accesses = vec![w(5), w(5)];
+        let order = serial_order(2, &[1, 0]);
+        let violations = check_schedule(&accesses, &order).unwrap_err();
+        assert!(violations.iter().any(|v| v.hazard == Hazard::Waw));
+    }
+
+    #[test]
+    fn overlapping_execution_of_dependent_tasks_fails() {
+        // succ started (seq 1) before pred ended (seq 2): violation even
+        // though pred started first.
+        let accesses = vec![w(0), r(0)];
+        let order = vec![
+            TaskOrder {
+                start_seq: 0,
+                end_seq: 2,
+            },
+            TaskOrder {
+                start_seq: 1,
+                end_seq: 3,
+            },
+        ];
+        assert!(check_schedule(&accesses, &order).is_err());
+    }
+
+    #[test]
+    fn overlapping_execution_of_independent_tasks_passes() {
+        let accesses = vec![w(0), w(1)];
+        let order = vec![
+            TaskOrder {
+                start_seq: 0,
+                end_seq: 2,
+            },
+            TaskOrder {
+                start_seq: 1,
+                end_seq: 3,
+            },
+        ];
+        assert!(check_schedule(&accesses, &order).is_ok());
+    }
+
+    #[test]
+    fn describe_names_the_kinds() {
+        let accesses = vec![w(1), r(1)];
+        let order = serial_order(2, &[1, 0]);
+        let violations = check_schedule(&accesses, &order).unwrap_err();
+        let msg = describe_violations(&violations, &["potrf", "trsm"]);
+        assert!(msg.contains("RAW"));
+        assert!(msg.contains("potrf"));
+        assert!(msg.contains("trsm"));
+    }
+}

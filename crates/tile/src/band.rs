@@ -62,8 +62,8 @@ pub fn auto_tune_band_size(
             // Dense side may run in FP64/FP32/FP16; the band candidates sit
             // near the diagonal where norms are large, so FP64 is the
             // representative dense precision (the paper lists all three).
-            t_dense +=
-                model.dense_gemm_time(nb, Precision::F64) + model.dense_trsm_time(nb, Precision::F64);
+            t_dense += model.dense_gemm_time(nb, Precision::F64)
+                + model.dense_trsm_time(nb, Precision::F64);
             // TLR side runs FP64/FP32; use FP64 for symmetry.
             t_tlr += model.tlr_gemm_time(nb, r, Precision::F64)
                 + model.tlr_trsm_time(nb, r, Precision::F64);
@@ -102,7 +102,10 @@ mod tests {
         // First sub-diagonal at essentially full rank: dense wins there.
         let ranks = decaying_ranks(nt, nb, 400);
         let band = auto_tune_band_size(&ranks, nt, nb, &model);
-        assert!(band >= 2, "band {band} should include the first sub-diagonal");
+        assert!(
+            band >= 2,
+            "band {band} should include the first sub-diagonal"
+        );
         assert!(band < nt, "band {band} must not swallow the whole matrix");
     }
 

@@ -144,7 +144,10 @@ impl Default for FlopKernelModel {
         // Single A64FX core, SSL without sector cache (paper §VI): ~65% of
         // the ~70 Gflop/s FP64 core peak. TLR kernels observed an order of
         // magnitude lower per-flop efficiency (memory-bound).
-        FlopKernelModel { dense_rate: 45.0e9, mem_factor: 9.0 }
+        FlopKernelModel {
+            dense_rate: 45.0e9,
+            mem_factor: 9.0,
+        }
     }
 }
 
@@ -236,7 +239,10 @@ mod tests {
 
     #[test]
     fn band_rule_ignores_norms() {
-        let rule = PrecisionRule::Band { f64_band: 2, f32_band: 5 };
+        let rule = PrecisionRule::Band {
+            f64_band: 2,
+            f32_band: 5,
+        };
         // Huge-norm tile far from the diagonal still demoted by the band
         // rule (the failure mode the adaptive rule fixes).
         assert_eq!(

@@ -110,7 +110,11 @@ impl DecisionMap {
             for j in 0..self.nt {
                 let c = self.cells[i * self.nt + j];
                 let r = self.ranks[i * self.nt + j];
-                let rank = if r == usize::MAX { String::from("dense") } else { r.to_string() };
+                let rank = if r == usize::MAX {
+                    String::from("dense")
+                } else {
+                    r.to_string()
+                };
                 out.push_str(&format!("{i},{j},{},{rank}\n", c.label().replace(' ', "-")));
             }
         }

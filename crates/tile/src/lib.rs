@@ -28,8 +28,10 @@ pub mod matrix;
 pub mod tile;
 
 pub use band::auto_tune_band_size;
-pub use decisions::{precision_for_tile, precision_for_tile_with_rule, FlopKernelModel,
-                    KernelTimeModel, PrecisionRule};
+pub use decisions::{
+    precision_for_tile, precision_for_tile_with_rule, FlopKernelModel, KernelTimeModel,
+    PrecisionRule,
+};
 pub use heatmap::{decision_heatmap, DecisionMap};
 pub use layout::TileLayout;
 pub use matrix::{Compressor, SymTileMatrix, TileCensus, TlrConfig, Variant};

@@ -9,8 +9,9 @@
 //! factorization starts".
 
 use crate::band::auto_tune_band_size;
-use crate::decisions::{precision_for_tile_with_rule, tile_prefers_dense, KernelTimeModel,
-                       PrecisionRule};
+use crate::decisions::{
+    precision_for_tile_with_rule, tile_prefers_dense, KernelTimeModel, PrecisionRule,
+};
 use crate::layout::TileLayout;
 use crate::tile::{Tile, TileStorage};
 use rayon::prelude::*;
@@ -222,7 +223,13 @@ impl SymTileMatrix {
         // Free the generation blocks before returning (they can be huge).
         blocks.clear();
 
-        SymTileMatrix { layout, tiles, global_norm, band_size_dense: band, config }
+        SymTileMatrix {
+            layout,
+            tiles,
+            global_norm,
+            band_size_dense: band,
+            config,
+        }
     }
 
     #[inline]
@@ -379,7 +386,10 @@ mod tests {
     /// test tiles dense, which is correct behaviour but not what these
     /// plumbing tests exercise).
     fn tlr_friendly_model() -> FlopKernelModel {
-        FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 }
+        FlopKernelModel {
+            dense_rate: 45.0e9,
+            mem_factor: 1.0,
+        }
     }
 
     #[test]
@@ -428,9 +438,14 @@ mod tests {
             TlrConfig::new(Variant::DenseF64, 32),
             &model,
         );
-        let mp = SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(Variant::MpDense, 32), &model);
-        let tlr =
-            SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(Variant::MpDenseTlr, 32), &model);
+        let mp =
+            SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(Variant::MpDense, 32), &model);
+        let tlr = SymTileMatrix::generate(
+            &kernel,
+            &locs,
+            TlrConfig::new(Variant::MpDenseTlr, 32),
+            &model,
+        );
         let fd = dense.footprint_bytes();
         assert_eq!(fd, dense.dense_f64_footprint_bytes());
         let fm = mp.footprint_bytes();

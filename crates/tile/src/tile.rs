@@ -29,7 +29,12 @@ impl Tile {
     pub fn dense(mut data: Matrix, precision: Precision) -> Tile {
         let (rows, cols) = data.shape();
         round_through(data.as_mut_slice(), precision);
-        Tile { storage: TileStorage::Dense(data), precision, rows, cols }
+        Tile {
+            storage: TileStorage::Dense(data),
+            precision,
+            rows,
+            cols,
+        }
     }
 
     /// Low-rank tile; rounds both factors through `precision`.
@@ -37,7 +42,12 @@ impl Tile {
         let (rows, cols) = (lr.rows(), lr.cols());
         round_through(lr.u.as_mut_slice(), precision);
         round_through(lr.v.as_mut_slice(), precision);
-        Tile { storage: TileStorage::LowRank(lr), precision, rows, cols }
+        Tile {
+            storage: TileStorage::LowRank(lr),
+            precision,
+            rows,
+            cols,
+        }
     }
 
     #[inline]
@@ -119,7 +129,9 @@ mod tests {
     fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed | 1;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
     }
@@ -145,7 +157,10 @@ mod tests {
 
     #[test]
     fn low_rank_tile_footprint() {
-        let lr = LowRank { u: rnd(32, 5, 3), v: rnd(24, 5, 4) };
+        let lr = LowRank {
+            u: rnd(32, 5, 3),
+            v: rnd(24, 5, 4),
+        };
         let t = Tile::low_rank(lr, Precision::F32);
         assert_eq!(t.rank(), Some(5));
         assert_eq!(t.footprint_bytes(), 5 * (32 + 24) * 4);

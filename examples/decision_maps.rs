@@ -23,17 +23,15 @@ fn main() {
     // nb = 64 that crossover is rank ~5, which no real covariance tile
     // beats, so for the illustration we drop the TLR memory-bound penalty;
     // paper-scale maps use the calibrated model (see the fig9 bench).
-    let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+    let model = FlopKernelModel {
+        dense_rate: 45.0e9,
+        mem_factor: 1.0,
+    };
 
     for (label, range) in [("weak (a=0.01)", 0.01), ("strong (a=0.3)", 0.3)] {
         let kernel = Matern::new(MaternParams::new(1.0, range, 0.5));
         for variant in [Variant::MpDense, Variant::MpDenseTlr] {
-            let m = SymTileMatrix::generate(
-                &kernel,
-                &locs,
-                TlrConfig::new(variant, nb),
-                &model,
-            );
+            let m = SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(variant, nb), &model);
             let map = decision_heatmap(&m);
             println!(
                 "== {label} correlation, {} (band_size_dense = {}) ==",

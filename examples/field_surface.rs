@@ -33,11 +33,22 @@ fn main() {
     // Regular 40x40 prediction grid.
     let g = 40usize;
     let grid: Vec<Location> = (0..g * g)
-        .map(|i| Location::new((i % g) as f64 / (g - 1) as f64, (i / g) as f64 / (g - 1) as f64))
+        .map(|i| {
+            Location::new(
+                (i % g) as f64 / (g - 1) as f64,
+                (i / g) as f64 / (g - 1) as f64,
+            )
+        })
         .collect();
 
     let pred = krige(&kernel, &obs, &z, &rep.factor, &grid, true);
-    let sd: Vec<f64> = pred.uncertainty.as_ref().unwrap().iter().map(|u| u.sqrt()).collect();
+    let sd: Vec<f64> = pred
+        .uncertainty
+        .as_ref()
+        .unwrap()
+        .iter()
+        .map(|u| u.sqrt())
+        .collect();
 
     // Exceedance probability P(Z > 1) from a conditional ensemble.
     let n_draws = 30;

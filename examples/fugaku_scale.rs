@@ -47,7 +47,11 @@ fn main() {
                 times[1],
                 times[2],
                 times[0] / times[2],
-                if fits[0] { "" } else { "  (dense FP64 exceeds node memory: hypothetical)" }
+                if fits[0] {
+                    ""
+                } else {
+                    "  (dense FP64 exceeds node memory: hypothetical)"
+                }
             );
         }
         println!();

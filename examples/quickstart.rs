@@ -51,8 +51,7 @@ fn main() {
         true,
     );
     let err = mspe(&pred.mean, &z[800..]);
-    let avg_unc =
-        pred.uncertainty.as_ref().unwrap().iter().sum::<f64>() / pred.mean.len() as f64;
+    let avg_unc = pred.uncertainty.as_ref().unwrap().iter().sum::<f64>() / pred.mean.len() as f64;
     println!("kriging MSPE on 100 held-out sites: {err:.4} (avg predicted variance {avg_unc:.4})");
     println!(
         "matrix footprint under MP+TLR formats: {:.2} MB (dense FP64 tiles: {:.2} MB)",

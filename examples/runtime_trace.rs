@@ -26,8 +26,16 @@ fn build_matrix() -> SymTileMatrix {
     }
     morton_order(&mut locs);
     let kernel = Matern::new(MaternParams::new(1.0, 0.17, 0.5));
-    let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
-    SymTileMatrix::generate(&kernel, &locs, TlrConfig::new(Variant::MpDenseTlr, 64), &model)
+    let model = FlopKernelModel {
+        dense_rate: 45.0e9,
+        mem_factor: 1.0,
+    };
+    SymTileMatrix::generate(
+        &kernel,
+        &locs,
+        TlrConfig::new(Variant::MpDenseTlr, 64),
+        &model,
+    )
 }
 
 fn main() {
@@ -71,7 +79,11 @@ fn main() {
                 let kind = if i == j { "syrk" } else { "gemm" };
                 graph.insert(
                     kind,
-                    vec![Access::read(d(i, k)), Access::read(d(j, k)), Access::write(d(i, j))],
+                    vec![
+                        Access::read(d(i, k)),
+                        Access::read(d(j, k)),
+                        Access::write(d(i, j)),
+                    ],
                     1,
                     0.0,
                     || {
@@ -89,7 +101,10 @@ fn main() {
     let json = chrome_trace_json(&traced.trace);
     let path = "target/cholesky_trace.json";
     std::fs::write(path, json).expect("write trace");
-    println!("wrote Chrome trace to {path} ({} events)", traced.trace.len());
+    println!(
+        "wrote Chrome trace to {path} ({} events)",
+        traced.trace.len()
+    );
 
     // --- scheduler policy comparison ---------------------------------------
     println!("\nscheduler policies on the same DAG (wall seconds):");
@@ -97,9 +112,15 @@ fn main() {
         let mut g = TaskGraph::new();
         for k in 0..nt {
             let d = |i: usize, j: usize| DataId((i * nt + j) as u64);
-            g.insert("potrf", vec![Access::write(d(k, k))], (nt - k) as i64 * 4 + 3, 0.0, || {
-                std::hint::black_box(busy_work(40_000));
-            });
+            g.insert(
+                "potrf",
+                vec![Access::write(d(k, k))],
+                (nt - k) as i64 * 4 + 3,
+                0.0,
+                || {
+                    std::hint::black_box(busy_work(40_000));
+                },
+            );
             for i in k + 1..nt {
                 g.insert(
                     "trsm",
@@ -131,7 +152,11 @@ fn main() {
             }
         }
         let r = execute_with_policy(g, 0, false, policy);
-        println!("  {policy:?}: {:.3}s (efficiency {:.0}%)", r.wall_seconds, r.efficiency() * 100.0);
+        println!(
+            "  {policy:?}: {:.3}s (efficiency {:.0}%)",
+            r.wall_seconds,
+            r.efficiency() * 100.0
+        );
     }
 }
 

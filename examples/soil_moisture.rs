@@ -57,7 +57,10 @@ fn main() {
     // but hides the TLR machinery at reduced scale; drop the memory-bound
     // penalty so the structure decision engages (paper-scale studies use the
     // calibrated model in xgs-perfmodel).
-    let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+    let model = FlopKernelModel {
+        dense_rate: 45.0e9,
+        mem_factor: 1.0,
+    };
     let report = xgs_core::run_pipeline(&cfg, &model);
     println!("{}", report.render(ModelFamily::MaternSpace));
 

@@ -51,7 +51,10 @@ fn main() {
     // but hides the TLR machinery at reduced scale; drop the memory-bound
     // penalty so the structure decision engages (paper-scale studies use the
     // calibrated model in xgs-perfmodel).
-    let model = FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 };
+    let model = FlopKernelModel {
+        dense_rate: 45.0e9,
+        mem_factor: 1.0,
+    };
     let report = run_pipeline(&cfg, &model);
     println!("{}", report.render(ModelFamily::GneitingSpaceTime));
 

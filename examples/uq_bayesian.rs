@@ -44,7 +44,12 @@ fn main() {
     );
 
     // 2. Posterior sampling around it.
-    let opts = McmcOptions { iterations: 400, burn_in: 100, workers: 0, ..Default::default() };
+    let opts = McmcOptions {
+        iterations: 400,
+        burn_in: 100,
+        workers: 0,
+        ..Default::default()
+    };
     let post = posterior_sample(
         ModelFamily::MaternSpace,
         &locs,

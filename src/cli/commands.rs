@@ -14,8 +14,9 @@ use xgs_core::{
 };
 use xgs_covariance::{jittered_grid, morton_order, spacetime_grid, CovarianceKernel};
 use xgs_perfmodel::{project, Correlation, ScaleConfig, SolverVariant};
-use xgs_tile::{decision_heatmap, FlopKernelModel, PrecisionRule, SymTileMatrix, TlrConfig,
-               Variant};
+use xgs_tile::{
+    decision_heatmap, FlopKernelModel, PrecisionRule, SymTileMatrix, TlrConfig, Variant,
+};
 
 /// Top-level command error.
 #[derive(Debug)]
@@ -63,9 +64,11 @@ COMMANDS:
             [--tile <nb>] [--start <θ,..>] [--max-evals <k>]
             [--optimizer nm|pso] [--workers <w>] [--precision-rule adaptive|band]
             [--se]  (append observed-information standard errors)
+            [--metrics <json>]  (write merged runtime metrics, see README)
   predict   kriging at target sites
             --data <csv> --targets <csv> --theta <θ,..> [--kernel ...]
             [--variant ...] [--tile <nb>] [--uncertainty] [--out <csv>]
+            [--metrics <json>]  (write the factorization's runtime metrics)
   maps      per-tile format decision map (Fig. 9 style)
             --data <csv> --theta <θ,..> [--kernel ...] [--variant ...] [--tile <nb>]
   scale     simulated Fugaku-scale run (Figs. 7/10/11 style)
@@ -129,6 +132,29 @@ fn tile_config(args: &Args, variant: Variant, n: usize) -> Result<TlrConfig, Cmd
     Ok(cfg)
 }
 
+/// `--metrics <path>`: dump a runtime metrics report as JSON, or note why
+/// there is none (the sequential engine collects nothing).
+fn write_metrics(
+    args: &Args,
+    metrics: Option<&xgs_runtime::MetricsReport>,
+    out: &mut String,
+) -> Result<(), CmdError> {
+    let Some(path) = args.get("metrics") else {
+        return Ok(());
+    };
+    match metrics {
+        Some(m) => {
+            std::fs::write(path, m.to_json())
+                .map_err(|e| CmdError::Run(format!("could not write metrics to {path}: {e}")))?;
+            out.push_str(&format!("wrote runtime metrics to {path}\n"));
+        }
+        None => out.push_str(
+            "no runtime metrics to write: the sequential engine ran (use --workers != 1)\n",
+        ),
+    }
+    Ok(())
+}
+
 /// The kernel-time model used by the CLI: TLR-friendly at small tiles,
 /// calibrated behaviour at paper-scale tiles (the penalty only matters for
 /// the structure decision, see DESIGN.md).
@@ -136,7 +162,10 @@ fn cli_model(nb: usize) -> FlopKernelModel {
     if nb >= 512 {
         FlopKernelModel::default()
     } else {
-        FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 }
+        FlopKernelModel {
+            dense_rate: 45.0e9,
+            mem_factor: 1.0,
+        }
     }
 }
 
@@ -170,7 +199,12 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CmdError> {
     morton_order(&mut locs);
     let kernel = family.kernel(&theta);
     let z = simulate_field(kernel.as_ref(), &locs, seed + 1);
-    io::save(out, &locs, &[("z", &z)], family == ModelFamily::GneitingSpaceTime)?;
+    io::save(
+        out,
+        &locs,
+        &[("z", &z)],
+        family == ModelFamily::GneitingSpaceTime,
+    )?;
     Ok(format!(
         "wrote {n} sites to {out} (kernel {:?}, θ = {theta:?}, seed {seed})",
         family
@@ -182,10 +216,9 @@ pub fn cmd_fit(args: &Args) -> Result<String, CmdError> {
     let family = parse_family(args)?;
     let variant = parse_variant(args)?;
     let ds = io::load(args.require("data")?)?;
-    let z = ds
-        .z
-        .as_ref()
-        .ok_or_else(|| CmdError::Run("dataset has no 'z' column to fit".into()))?;
+    let z =
+        ds.z.as_ref()
+            .ok_or_else(|| CmdError::Run("dataset has no 'z' column to fit".into()))?;
     let cfg = tile_config(args, variant, ds.locs.len())?;
     let model = cli_model(cfg.tile_size);
 
@@ -212,7 +245,11 @@ pub fn cmd_fit(args: &Args) -> Result<String, CmdError> {
     if let Some(st) = &start {
         check_theta_len(family, st, "start")?;
     }
-    let opts = FitOptions { optimizer, start, workers };
+    let opts = FitOptions {
+        optimizer,
+        start,
+        workers,
+    };
 
     let (r, secs) = {
         let t = std::time::Instant::now();
@@ -237,18 +274,27 @@ pub fn cmd_fit(args: &Args) -> Result<String, CmdError> {
         "  log-likelihood     = {:.4}\n  evaluations        = {}\n  wall seconds       = {:.2}\n",
         r.llh, r.evals, secs
     ));
+    if let Some(m) = &r.metrics {
+        out.push_str(&format!(
+            "  runtime            = {} factorizations, {} tasks on {} workers{}\n",
+            r.factorizations,
+            m.tasks,
+            m.workers,
+            match &m.validation {
+                Some(v) => format!(", {} hazard edges validated", v.edges_checked),
+                None => String::new(),
+            }
+        ));
+    }
+    write_metrics(args, r.metrics.as_ref(), &mut out)?;
     if args.bool("se") {
         match xgs_core::fisher_information(
             family, &ds.locs, z, &cfg, &model, &r.theta, 5e-3, workers,
         ) {
             Ok(fi) => {
                 out.push_str("observed-information standard errors (95% Wald CI):\n");
-                for ((name, se), (lo, hi)) in
-                    names.iter().zip(&fi.std_errors).zip(&fi.ci95)
-                {
-                    out.push_str(&format!(
-                        "  {name:<18} se {se:.4}   [{lo:.4}, {hi:.4}]\n"
-                    ));
+                for ((name, se), (lo, hi)) in names.iter().zip(&fi.std_errors).zip(&fi.ci95) {
+                    out.push_str(&format!("  {name:<18} se {se:.4}   [{lo:.4}, {hi:.4}]\n"));
                 }
             }
             Err(e) => out.push_str(&format!("standard errors unavailable: {e}\n")),
@@ -293,8 +339,16 @@ pub fn cmd_predict(args: &Args) -> Result<String, CmdError> {
         rep.llh
     );
     if let Some(truth) = &targets.z {
-        summary.push_str(&format!("MSPE vs target file's z column: {:.6}\n", mspe(&pred.mean, truth)));
+        summary.push_str(&format!(
+            "MSPE vs target file's z column: {:.6}\n",
+            mspe(&pred.mean, truth)
+        ));
     }
+    write_metrics(
+        args,
+        rep.exec.as_ref().and_then(|e| e.metrics.as_ref()),
+        &mut summary,
+    )?;
     if let Some(out) = args.get("out") {
         let mut cols: Vec<(&str, &[f64])> = vec![("pred", &pred.mean)];
         if let Some(u) = &pred.uncertainty {
@@ -367,8 +421,16 @@ pub fn cmd_scale(args: &Args) -> Result<String, CmdError> {
         p.flops / 1e12,
         p.footprint_bytes / 1e9,
         p.efficiency * 100.0,
-        if p.event_simulated { "event" } else { "analytic" },
-        if p.fits_in_memory { "" } else { " | EXCEEDS aggregate node memory" }
+        if p.event_simulated {
+            "event"
+        } else {
+            "analytic"
+        },
+        if p.fits_in_memory {
+            ""
+        } else {
+            " | EXCEEDS aggregate node memory"
+        }
     ))
 }
 
@@ -379,10 +441,9 @@ pub fn cmd_bayes(args: &Args) -> Result<String, CmdError> {
     let family = parse_family(args)?;
     let variant = parse_variant(args)?;
     let ds = io::load(args.require("data")?)?;
-    let z = ds
-        .z
-        .as_ref()
-        .ok_or_else(|| CmdError::Run("dataset has no 'z' column".into()))?;
+    let z =
+        ds.z.as_ref()
+            .ok_or_else(|| CmdError::Run("dataset has no 'z' column".into()))?;
     let start = args
         .f64_list("start")?
         .ok_or_else(|| ArgError("missing required flag --start".to_string()))?;
@@ -462,11 +523,22 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote 300 sites"));
 
+        let metrics = dir.join("metrics.json");
+        let metrics_s = metrics.to_str().unwrap();
         let fit_out = run(&argv(&format!(
-            "fit --data {data_s} --variant mp --tile 60 --max-evals 30 --start 1.0,0.1,0.5"
+            "fit --data {data_s} --variant mp --tile 60 --max-evals 30 --start 1.0,0.1,0.5 \
+             --workers 2 --metrics {metrics_s}"
         )))
         .unwrap();
         assert!(fit_out.contains("log-likelihood"), "{fit_out}");
+        assert!(fit_out.contains("factorizations"), "{fit_out}");
+        assert!(fit_out.contains("wrote runtime metrics"), "{fit_out}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"kernels\":["), "{json}");
+        assert!(json.contains("\"tasks\":"), "{json}");
+        if cfg!(debug_assertions) {
+            assert!(json.contains("\"validation\":{"), "{json}");
+        }
 
         let pred_csv = dir.join("pred.csv");
         let pred_out = run(&argv(&format!(
@@ -517,20 +589,23 @@ mod tests {
         assert!(run(&argv("frobnicate")).is_err());
         assert!(run(&argv("fit")).is_err()); // missing --data
         assert!(run(&argv("simulate --n 10 --params 1.0 --out /tmp/x.csv")).is_err()); // wrong θ len
-        // Wrong arity must be a clean error everywhere, not a panic.
+                                                                                       // Wrong arity must be a clean error everywhere, not a panic.
         let dir = std::env::temp_dir().join(format!("xgs-arity-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let d = dir.join("d.csv");
         let ds = d.to_str().unwrap();
-        run(&argv(&format!("simulate --n 60 --params 1.0,0.1,0.5 --out {ds}"))).unwrap();
+        run(&argv(&format!(
+            "simulate --n 60 --params 1.0,0.1,0.5 --out {ds}"
+        )))
+        .unwrap();
         for cmd in [
             format!("predict --data {ds} --targets {ds} --theta 1.0,0.1"),
             format!("maps --data {ds} --theta 1.0"),
             format!("fit --data {ds} --start 1.0,0.1 --max-evals 5"),
             format!("bayes --data {ds} --start 1.0 --iterations 5 --burn-in 1"),
         ] {
-            let args = Args::parse(&cmd.split_whitespace().map(String::from).collect::<Vec<_>>())
-                .unwrap();
+            let args =
+                Args::parse(&cmd.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap();
             match run(&args) {
                 Err(CmdError::Arg(e)) => assert!(e.0.contains("values"), "{e}"),
                 other => panic!("expected arity error for '{cmd}', got {other:?}"),

@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn roundtrip_spacetime_dataset() {
-        let locs = vec![Location::new_st(0.1, 0.2, 1.0), Location::new_st(0.3, 0.4, 2.0)];
+        let locs = vec![
+            Location::new_st(0.1, 0.2, 1.0),
+            Location::new_st(0.3, 0.4, 2.0),
+        ];
         let mut buf = Vec::new();
         write_dataset(&mut buf, &locs, &[], true).unwrap();
         let ds = read_dataset(std::io::Cursor::new(buf)).unwrap();

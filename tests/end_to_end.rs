@@ -18,7 +18,10 @@ fn dataset(n: usize, params: MaternParams, seed: u64) -> (Vec<Location>, Vec<f64
 /// crossover at nb/13.5 would keep tiny test tiles dense — correct, but
 /// not what integration tests need to exercise).
 fn tlr_model() -> FlopKernelModel {
-    FlopKernelModel { dense_rate: 45.0e9, mem_factor: 1.0 }
+    FlopKernelModel {
+        dense_rate: 45.0e9,
+        mem_factor: 1.0,
+    }
 }
 
 #[test]
@@ -46,7 +49,10 @@ fn three_variants_agree_on_likelihood_and_prediction() {
             (llhs[i] - llhs[0]).abs() / llhs[0].abs() < 1e-3,
             "llh drift: {llhs:?}"
         );
-        assert!((errs[i] - errs[0]).abs() / errs[0] < 0.05, "mspe drift: {errs:?}");
+        assert!(
+            (errs[i] - errs[0]).abs() / errs[0] < 0.05,
+            "mspe drift: {errs:?}"
+        );
     }
 }
 
@@ -82,10 +88,21 @@ fn mle_recovers_parameters_with_adaptive_solver() {
         ),
         workers: 0,
     };
-    let r = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &tlr_model(), &opts);
+    let r = fit(
+        ModelFamily::MaternSpace,
+        &locs,
+        &z,
+        &cfg,
+        &tlr_model(),
+        &opts,
+    );
     assert!((0.4..2.5).contains(&r.theta[0]), "variance {}", r.theta[0]);
     assert!((0.03..0.35).contains(&r.theta[1]), "range {}", r.theta[1]);
-    assert!((0.2..1.2).contains(&r.theta[2]), "smoothness {}", r.theta[2]);
+    assert!(
+        (0.2..1.2).contains(&r.theta[2]),
+        "smoothness {}",
+        r.theta[2]
+    );
 }
 
 #[test]
@@ -106,7 +123,10 @@ fn spacetime_model_fits_and_predicts() {
     let pred = krige(&kernel, train, ztr, &rep.factor, test, true);
     let err = mspe(&pred.mean, zte);
     let trivial = mspe(&vec![0.0; zte.len()], zte);
-    assert!(err < trivial, "space-time kriging must beat the mean predictor");
+    assert!(
+        err < trivial,
+        "space-time kriging must beat the mean predictor"
+    );
     for &u in pred.uncertainty.as_ref().unwrap() {
         assert!((0.0..=1.0 + 1e-9).contains(&u));
     }
@@ -133,10 +153,27 @@ fn scale_projection_consistent_with_local_execution_ordering() {
     // qualitatively: MP+TLR does less work than MP dense, which does less
     // than dense FP64.
     let n = 1_000_000;
-    let dense = project(&ScaleConfig::new(n, 800, 2048, Correlation::Weak, SolverVariant::DenseF64));
-    let mp = project(&ScaleConfig::new(n, 800, 2048, Correlation::Weak, SolverVariant::MpDense));
-    let tlr =
-        project(&ScaleConfig::new(n, 800, 2048, Correlation::Weak, SolverVariant::MpDenseTlr));
+    let dense = project(&ScaleConfig::new(
+        n,
+        800,
+        2048,
+        Correlation::Weak,
+        SolverVariant::DenseF64,
+    ));
+    let mp = project(&ScaleConfig::new(
+        n,
+        800,
+        2048,
+        Correlation::Weak,
+        SolverVariant::MpDense,
+    ));
+    let tlr = project(&ScaleConfig::new(
+        n,
+        800,
+        2048,
+        Correlation::Weak,
+        SolverVariant::MpDenseTlr,
+    ));
     assert!(mp.makespan < dense.makespan);
     assert!(tlr.makespan < mp.makespan);
     assert!(tlr.footprint_bytes < mp.footprint_bytes);

@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal benchmark harness exposing the criterion API surface the
+//! workspace's benches use (`criterion_group!`/`criterion_main!`, groups,
+//! `iter`, `iter_batched`, throughput annotation). Each benchmark is
+//! warmed up once, then timed over enough iterations to fill a short
+//! measurement window; mean time (and derived throughput) is printed.
+//! No statistics, plots, or baselines — this exists so `cargo bench`
+//! works in a registry-less container.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim runs one setup per
+/// iteration regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time and iteration count of the last `iter*` call.
+    elapsed: Duration,
+    iterations: u64,
+    measurement_window: Duration,
+}
+
+impl Bencher {
+    fn new(measurement_window: Duration) -> Bencher {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            measurement_window,
+        }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warmup
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement_window {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iters.max(1);
+    }
+
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warmup
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let window_start = Instant::now();
+        while window_start.elapsed() < self.measurement_window {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.elapsed = measured;
+        self.iterations = iters.max(1);
+    }
+}
+
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("XGS_BENCH_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measurement_window: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.to_string(), self.measurement_window, None, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion tunes its statistics with this; the shim has none.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_one(
+            &format!("  {id}"),
+            self.criterion.measurement_window,
+            self.throughput,
+            f,
+        );
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(
+            &format!("  {}", id.id),
+            self.criterion.measurement_window,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    window: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(window);
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:.3} Gelem/s", n as f64 / per_iter / 1e9)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:.3} GB/s", n as f64 / per_iter / 1e9)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label}: {} ({} iters){rate}",
+        format_time(per_iter),
+        b.iterations
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measurement_window: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            });
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `num_cpus`, backed by
+//! [`std::thread::available_parallelism`].
+
+/// Logical CPUs available to this process (at least 1).
+pub fn get() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Physical core count is not exposed by std; report the logical count,
+/// which is what the workspace's worker-pool sizing wants anyway.
+pub fn get_physical() -> usize {
+    get()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn at_least_one() {
+        assert!(super::get() >= 1);
+        assert!(super::get_physical() >= 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The `par_iter`/`par_chunks_mut` entry points return plain std
+//! iterators, so downstream adaptor chains (`map`, `enumerate`,
+//! `for_each`, `collect`) compile unchanged but execute sequentially.
+//! This container is single-core (`available_parallelism() == 1`), so the
+//! fallback costs nothing here; on multi-core hosts swap in real rayon or
+//! upgrade this shim to scoped threads (tracked in ROADMAP.md).
+
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// `par_iter()` on slices and anything derefing to one (e.g. `Vec`).
+pub trait IntoParallelRefIterator<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = [1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut data = vec![0usize; 6];
+        data.par_chunks_mut(2).enumerate().for_each(|(j, chunk)| {
+            for c in chunk {
+                *c = j;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+    }
+}
