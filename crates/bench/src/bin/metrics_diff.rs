@@ -1,0 +1,139 @@
+//! Compare two `--metrics` JSON exports kernel by kernel.
+//!
+//! Every metrics producer in the workspace — the shared-memory executor,
+//! the distributed event simulator (`exageostat scale --metrics`), and the
+//! prediction server (`loadgen --metrics`) — writes the same schema, so
+//! any pair of runs can be diffed: before/after a code change, measured vs
+//! simulated, FP64 vs mixed precision.
+//!
+//! ```text
+//! cargo run -p xgs-bench --release --bin metrics_diff -- base.json new.json
+//! ```
+//!
+//! For each kernel kind: task count, total seconds and mean seconds in
+//! both runs, plus the relative change of the total. Kernels present in
+//! only one file show `-` on the missing side. Exit code 2 on unreadable
+//! or unparsable input.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+use xgs_runtime::MetricsReport;
+
+fn load(path: &str) -> Result<MetricsReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    MetricsReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn mean(total: f64, count: u64) -> f64 {
+    if count > 0 {
+        total / count as f64
+    } else {
+        0.0
+    }
+}
+
+fn rel_change(base: f64, new: f64) -> String {
+    if base > 0.0 {
+        format!("{:+.1}%", 100.0 * (new - base) / base)
+    } else if new > 0.0 {
+        "new".to_string()
+    } else {
+        "-".to_string()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.len() != 2 {
+        eprintln!("usage: metrics_diff <baseline.json> <candidate.json>");
+        return ExitCode::from(2);
+    }
+    let (base, cand) = match (load(paths[0]), load(paths[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            for r in [a.err(), b.err()].into_iter().flatten() {
+                eprintln!("metrics_diff: {r}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "wall      {:>12.6}s -> {:>12.6}s  ({})",
+        base.wall_seconds,
+        cand.wall_seconds,
+        rel_change(base.wall_seconds, cand.wall_seconds)
+    );
+    let _ = writeln!(
+        out,
+        "tasks     {:>12} -> {:>12}  workers {} -> {}",
+        base.tasks, cand.tasks, base.workers, cand.workers
+    );
+
+    // Union of kernel kinds, baseline order first, then candidate-only.
+    let mut kinds: Vec<&str> = base.kernels.iter().map(|k| k.kind).collect();
+    for k in &cand.kernels {
+        if !kinds.contains(&k.kind) {
+            kinds.push(k.kind);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:>12} | {:>10} {:>10} | {:>12} {:>12} | {:>12} {:>12} | {:>8}",
+        "kernel",
+        "count A",
+        "count B",
+        "total A (s)",
+        "total B (s)",
+        "mean A (s)",
+        "mean B (s)",
+        "d total"
+    );
+    for kind in kinds {
+        let a = base.kernels.iter().find(|k| k.kind == kind);
+        let b = cand.kernels.iter().find(|k| k.kind == kind);
+        let fmt_count = |k: Option<&xgs_runtime::KernelStats>| match k {
+            Some(k) => format!("{}", k.count),
+            None => "-".to_string(),
+        };
+        let fmt_total = |k: Option<&xgs_runtime::KernelStats>| match k {
+            Some(k) => format!("{:.6}", k.total_seconds),
+            None => "-".to_string(),
+        };
+        let fmt_mean = |k: Option<&xgs_runtime::KernelStats>| match k {
+            Some(k) => format!("{:.3e}", mean(k.total_seconds, k.count)),
+            None => "-".to_string(),
+        };
+        let delta = rel_change(
+            a.map_or(0.0, |k| k.total_seconds),
+            b.map_or(0.0, |k| k.total_seconds),
+        );
+        let _ = writeln!(
+            out,
+            "{:>12} | {:>10} {:>10} | {:>12} {:>12} | {:>12} {:>12} | {:>8}",
+            kind,
+            fmt_count(a),
+            fmt_count(b),
+            fmt_total(a),
+            fmt_total(b),
+            fmt_mean(a),
+            fmt_mean(b),
+            delta
+        );
+    }
+
+    if let (Some(va), Some(vb)) = (&base.validation, &cand.validation) {
+        let _ = writeln!(
+            out,
+            "validation  edges {} -> {}  skipped {} -> {}",
+            va.edges_checked, vb.edges_checked, va.edges_skipped, vb.edges_skipped
+        );
+    }
+    // Best-effort write: a reader that hangs up early (| head) is fine.
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}

@@ -78,6 +78,7 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
 
     let push = |tasks: &mut Vec<SimTask>,
                 last_writer: &mut HashMap<(usize, usize), usize>,
+                kind: &'static str,
                 cost: f64,
                 write: (usize, usize),
                 reads: &[(usize, usize)],
@@ -105,6 +106,7 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
         }
         let id = tasks.len();
         tasks.push(SimTask {
+            kind,
             cost,
             owner: own,
             preds,
@@ -120,6 +122,7 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
         push(
             &mut tasks,
             &mut last_writer,
+            "potrf",
             c_potrf,
             (k, k),
             &[],
@@ -135,6 +138,7 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
             push(
                 &mut tasks,
                 &mut last_writer,
+                "trsm",
                 c,
                 (i, k),
                 &[(k, k)],
@@ -154,6 +158,7 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
                     push(
                         &mut tasks,
                         &mut last_writer,
+                        "syrk",
                         c,
                         (i, i),
                         &[(i, k)],
@@ -190,6 +195,7 @@ pub fn cholesky_dag(meta: &dyn TileMetaSource, opts: &DagOptions) -> (Vec<SimTas
                     push(
                         &mut tasks,
                         &mut last_writer,
+                        "gemm",
                         c,
                         (i, j),
                         &[(i, k), (j, k)],

@@ -39,14 +39,13 @@ pub fn solve_lower(f: &TiledFactor, x: &mut [f64], nrhs: usize) {
                 apply_tile(t, x, n, nrhs, rj.start, rk.start, rk.len());
             });
         }
-        // x_j <- L_jj^{-1} x_j.
+        // x_j <- L_jj^{-1} x_j: all right-hand sides in one strided call
+        // (ldb = n walks from column to column). Each column is solved
+        // independently, so this is bitwise identical to a per-column loop.
         f.with_tile(j, j, |t| {
             let l = t.to_dense();
             let m = l.rows();
-            for c in 0..nrhs {
-                let seg = &mut x[c * n + rj.start..c * n + rj.start + m];
-                trsm_left_lower_notrans(m, 1, 1.0, l.as_slice(), m, seg, m);
-            }
+            trsm_left_lower_notrans(m, nrhs, 1.0, l.as_slice(), m, &mut x[rj.start..], n);
         });
     }
 }
@@ -69,10 +68,7 @@ pub fn solve_lower_transpose(f: &TiledFactor, x: &mut [f64], nrhs: usize) {
         f.with_tile(j, j, |t| {
             let l = t.to_dense();
             let m = l.rows();
-            for c in 0..nrhs {
-                let seg = &mut x[c * n + rj.start..c * n + rj.start + m];
-                trsm_left_lower_trans(m, 1, 1.0, l.as_slice(), m, seg, m);
-            }
+            trsm_left_lower_trans(m, nrhs, 1.0, l.as_slice(), m, &mut x[rj.start..], n);
         });
     }
 }
@@ -245,6 +241,30 @@ mod tests {
         solve_lower_transpose(&f, &mut b, nrhs);
         for (got, want) in b.iter().zip(&xs) {
             assert!((got - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_solve_is_bitwise_identical_to_per_column() {
+        // The batched prediction path leans on this: solving k right-hand
+        // sides together must give exactly the floats of k single solves,
+        // for every storage variant.
+        for variant in [Variant::DenseF64, Variant::MpDense, Variant::MpDenseTlr] {
+            let (f, exact) = factored(256, 32, variant);
+            let n = exact.rows();
+            let nrhs = 5;
+            let b0: Vec<f64> = (0..n * nrhs).map(|i| ((i as f64) * 0.19).sin()).collect();
+            let mut batched = b0.clone();
+            solve_lower(&f, &mut batched, nrhs);
+            solve_lower_transpose(&f, &mut batched, nrhs);
+            for c in 0..nrhs {
+                let mut single = b0[c * n..(c + 1) * n].to_vec();
+                solve_lower(&f, &mut single, 1);
+                solve_lower_transpose(&f, &mut single, 1);
+                for (a, b) in batched[c * n..(c + 1) * n].iter().zip(&single) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{variant:?} col {c}");
+                }
+            }
         }
     }
 

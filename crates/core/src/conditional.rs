@@ -16,7 +16,7 @@
 //! All solves run through the adaptive MP+TLR factor, so the ensembles
 //! inherit the paper's approximation guarantees.
 
-use crate::predict::krige;
+use crate::predict::{query_batch, solve_weights};
 use crate::synthetic::simulate_field;
 use xgs_cholesky::TiledFactor;
 use xgs_covariance::{CovarianceKernel, Location};
@@ -47,8 +47,10 @@ pub fn conditional_simulation(
     assert_eq!(z.len(), n);
     assert_eq!(factor.n(), n);
 
-    // Conditional mean once.
-    let mean = krige(kernel, train_locs, z, factor, test_locs, false).mean;
+    // Conditional mean once, through the plan/query split (weights solve +
+    // batch query) — the same code path the prediction service batches.
+    let wz = solve_weights(factor, z);
+    let mean = query_batch(kernel, train_locs, &wz, factor, test_locs, false).mean;
 
     // Joint site list for the unconditional draws.
     let mut joint: Vec<Location> = Vec::with_capacity(n + test_locs.len());
@@ -59,7 +61,8 @@ pub fn conditional_simulation(
         .map(|d| {
             let w = simulate_field(kernel, &joint, seed.wrapping_add(d as u64));
             let (w_train, w_test) = w.split_at(n);
-            let w_hat = krige(kernel, train_locs, w_train, factor, test_locs, false).mean;
+            let wd = solve_weights(factor, w_train);
+            let w_hat = query_batch(kernel, train_locs, &wd, factor, test_locs, false).mean;
             mean.iter()
                 .zip(w_test)
                 .zip(&w_hat)

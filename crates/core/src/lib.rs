@@ -42,5 +42,5 @@ pub use optimizer::neldermead::{nelder_mead, NelderMeadOptions, NelderMeadResult
 pub use optimizer::pso::{particle_swarm, PsoOptions, PsoResult};
 pub use optimizer::transform::ParamTransform;
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};
-pub use predict::{krige, mspe, PredictionResult};
+pub use predict::{krige, mspe, solve_weights, PredictionPlan, PredictionResult};
 pub use synthetic::{simulate_field, simulate_fields};

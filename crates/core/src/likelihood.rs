@@ -140,10 +140,14 @@ mod tests {
         assert_eq!(seq.llh, par.llh, "engines must agree bitwise");
         let exec = par.exec.expect("parallel engine reports");
         // The runtime's observability layer rides along: metrics always,
-        // schedule validation by default under debug (i.e. in this test).
+        // schedule validation by default under debug_assertions only.
         let m = exec.metrics.expect("metrics on by default");
         assert_eq!(m.tasks, exec.tasks);
-        assert!(m.validation.expect("validated in debug").edges_checked > 0);
+        if cfg!(debug_assertions) {
+            assert!(m.validation.expect("validated in debug").edges_checked > 0);
+        } else {
+            assert!(m.validation.is_none(), "validator is opt-in in release");
+        }
     }
 
     #[test]

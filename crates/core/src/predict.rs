@@ -7,6 +7,7 @@
 //! full `n x m` matrix) and uncertainty uses one forward solve per block:
 //! `U_j = σ² − ‖L^{-1} c_j‖²`.
 
+use std::sync::Arc;
 use xgs_cholesky::{solve_lower, solve_lower_transpose, TiledFactor};
 use xgs_covariance::{cov_block, CovarianceKernel, Location};
 
@@ -19,25 +20,30 @@ pub struct PredictionResult {
     pub uncertainty: Option<Vec<f64>>,
 }
 
-/// Predict at `test_locs` given training data `(train_locs, z)` and the
-/// factorized training covariance.
-pub fn krige(
+/// Kriging weights `w = Σ_nn^{-1} z` via the two triangular substitutions —
+/// the data-dependent half of the prediction "plan".
+pub fn solve_weights(factor: &TiledFactor, z: &[f64]) -> Vec<f64> {
+    assert_eq!(factor.n(), z.len());
+    let mut w = z.to_vec();
+    solve_lower(factor, &mut w, 1);
+    solve_lower_transpose(factor, &mut w, 1);
+    w
+}
+
+/// The "query" half: cross-covariance assembly plus the multi-RHS solve for
+/// one batch of prediction points against precomputed weights. Every point
+/// is an independent column, so the output for a point does not depend on
+/// which other points share its batch.
+pub(crate) fn query_batch(
     kernel: &dyn CovarianceKernel,
     train_locs: &[Location],
-    z: &[f64],
+    w: &[f64],
     factor: &TiledFactor,
     test_locs: &[Location],
     with_uncertainty: bool,
 ) -> PredictionResult {
     let n = train_locs.len();
-    assert_eq!(z.len(), n);
-    assert_eq!(factor.n(), n);
-
-    // w = Σ_nn^{-1} z via the two substitutions.
-    let mut w = z.to_vec();
-    solve_lower(factor, &mut w, 1);
-    solve_lower_transpose(factor, &mut w, 1);
-
+    debug_assert_eq!(w.len(), n);
     let m = test_locs.len();
     let mut mean = vec![0.0; m];
     let mut unc = if with_uncertainty {
@@ -57,7 +63,7 @@ pub fn krige(
         // Means: C^T w.
         for (bj, mj) in mean[start..end].iter_mut().enumerate() {
             let col = c.col(bj);
-            *mj = col.iter().zip(&w).map(|(a, b)| a * b).sum();
+            *mj = col.iter().zip(w).map(|(a, b)| a * b).sum();
         }
         if let Some(u) = &mut unc {
             // X = L^{-1} C; U_j = sigma^2 - ||X[:, j]||^2.
@@ -77,6 +83,115 @@ pub fn krige(
         mean,
         uncertainty: unc,
     }
+}
+
+/// A cached prediction plan: the factorized training covariance plus the
+/// solved kriging weights, ready to answer point-batch queries without
+/// re-touching the O(n²) modeling state ("fit once, serve forever").
+///
+/// Everything is held through [`Arc`] so the plan can be shared across the
+/// serving threads of `xgs-server`; [`PredictionPlan::query`] takes `&self`
+/// and is safe to call concurrently.
+pub struct PredictionPlan {
+    kernel: Arc<dyn CovarianceKernel>,
+    train_locs: Arc<[Location]>,
+    factor: Arc<TiledFactor>,
+    w: Vec<f64>,
+}
+
+impl PredictionPlan {
+    /// Build the plan: one pair of triangular solves for the weights; the
+    /// factor itself must already be computed (e.g. by
+    /// [`crate::likelihood::log_likelihood`]).
+    pub fn new(
+        kernel: Arc<dyn CovarianceKernel>,
+        train_locs: Arc<[Location]>,
+        z: &[f64],
+        factor: Arc<TiledFactor>,
+    ) -> PredictionPlan {
+        let n = train_locs.len();
+        assert_eq!(z.len(), n);
+        assert_eq!(factor.n(), n);
+        let w = solve_weights(&factor, z);
+        PredictionPlan {
+            kernel,
+            train_locs,
+            factor,
+            w,
+        }
+    }
+
+    /// Answer one batch of prediction points (Eq. 4, plus Eq. 5 when
+    /// `with_uncertainty`). Identical floats to [`krige`] at the same
+    /// points, regardless of how queries are grouped into batches.
+    pub fn query(&self, test_locs: &[Location], with_uncertainty: bool) -> PredictionResult {
+        query_batch(
+            self.kernel.as_ref(),
+            &self.train_locs,
+            &self.w,
+            &self.factor,
+            test_locs,
+            with_uncertainty,
+        )
+    }
+
+    /// Query with externally supplied weights (same factor/locations) —
+    /// the reuse hook for conditional simulation's per-draw residuals.
+    pub fn query_with_weights(
+        &self,
+        w: &[f64],
+        test_locs: &[Location],
+        with_uncertainty: bool,
+    ) -> PredictionResult {
+        assert_eq!(w.len(), self.train_locs.len());
+        query_batch(
+            self.kernel.as_ref(),
+            &self.train_locs,
+            w,
+            &self.factor,
+            test_locs,
+            with_uncertainty,
+        )
+    }
+
+    pub fn n_train(&self) -> usize {
+        self.train_locs.len()
+    }
+
+    pub fn kernel(&self) -> &Arc<dyn CovarianceKernel> {
+        &self.kernel
+    }
+
+    pub fn train_locs(&self) -> &[Location] {
+        &self.train_locs
+    }
+
+    pub fn factor(&self) -> &Arc<TiledFactor> {
+        &self.factor
+    }
+
+    /// The cached kriging weights `Σ_nn^{-1} z`.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+}
+
+/// Predict at `test_locs` given training data `(train_locs, z)` and the
+/// factorized training covariance. One-shot wrapper over the plan/query
+/// split: [`solve_weights`] then the batch query.
+pub fn krige(
+    kernel: &dyn CovarianceKernel,
+    train_locs: &[Location],
+    z: &[f64],
+    factor: &TiledFactor,
+    test_locs: &[Location],
+    with_uncertainty: bool,
+) -> PredictionResult {
+    let n = train_locs.len();
+    assert_eq!(z.len(), n);
+    assert_eq!(factor.n(), n);
+    let w = solve_weights(factor, z);
+    query_batch(kernel, train_locs, &w, factor, test_locs, with_uncertainty)
 }
 
 /// Mean squared prediction error against held-out truth (the paper's MSPE
@@ -191,6 +306,62 @@ mod tests {
         // Far point: essentially no information -> variance ~ sigma^2, mean ~ 0.
         assert!((u[1] - 1.0).abs() < 1e-3);
         assert!(pred.mean[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn plan_query_matches_one_shot_krige_bitwise() {
+        let (kernel, tr, ztr, te, _zte, f) = setup(300, 40, MaternParams::new(1.1, 0.15, 1.0));
+        let one_shot = krige(&kernel, &tr, &ztr, &f, &te, true);
+        let plan = PredictionPlan::new(Arc::new(kernel), Arc::from(tr.clone()), &ztr, Arc::new(f));
+        assert_eq!(plan.n_train(), tr.len());
+        let q = plan.query(&te, true);
+        for (a, b) in q.mean.iter().zip(&one_shot.mean) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in q
+            .uncertainty
+            .as_ref()
+            .unwrap()
+            .iter()
+            .zip(one_shot.uncertainty.as_ref().unwrap())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_query_independent_of_batch_composition() {
+        // A point's prediction must not depend on which other points share
+        // its batch — the correctness bedrock of the server's dynamic
+        // request coalescing. Compare one big batch against point-by-point
+        // queries, bitwise.
+        let (kernel, tr, ztr, te, _zte, f) = setup(280, 36, MaternParams::new(0.9, 0.12, 0.5));
+        let plan = PredictionPlan::new(Arc::new(kernel), Arc::from(tr), &ztr, Arc::new(f));
+        let batched = plan.query(&te, true);
+        for (j, loc) in te.iter().enumerate() {
+            let single = plan.query(std::slice::from_ref(loc), true);
+            assert_eq!(single.mean[0].to_bits(), batched.mean[j].to_bits());
+            assert_eq!(
+                single.uncertainty.as_ref().unwrap()[0].to_bits(),
+                batched.uncertainty.as_ref().unwrap()[j].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn query_with_weights_reuses_the_factor() {
+        let (kernel, tr, ztr, te, _zte, f) = setup(260, 30, MaternParams::new(1.0, 0.2, 1.5));
+        let factor = Arc::new(f);
+        let expect = krige(&kernel, &tr, &ztr, &factor, &te, false);
+        let plan = PredictionPlan::new(
+            Arc::new(kernel),
+            Arc::from(tr),
+            &vec![0.0; ztr.len()],
+            factor.clone(),
+        );
+        let w = solve_weights(&factor, &ztr);
+        let got = plan.query_with_weights(&w, &te, false);
+        assert_eq!(got.mean, expect.mean);
     }
 
     #[test]

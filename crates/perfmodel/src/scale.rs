@@ -15,7 +15,7 @@ use crate::a64fx::{A64fxKernelModel, A64fxNode};
 use crate::profiles::{Correlation, TileFormatProfile};
 use xgs_cholesky::dag::{cholesky_dag, DagOptions, TileMetaSource};
 use xgs_kernels::Precision;
-use xgs_runtime::simulate;
+use xgs_runtime::{simulate, simulate_with_metrics, MetricsReport};
 use xgs_tile::KernelTimeModel;
 
 /// Which solver variant to project (mirrors `xgs_tile::Variant` but owned
@@ -185,6 +185,45 @@ pub fn project(cfg: &ScaleConfig) -> Projection {
         event_simulated: nt <= cfg.event_sim_max_nt,
         efficiency,
     }
+}
+
+/// [`project`], additionally returning the per-kernel census of the event
+/// replay as a [`MetricsReport`] (the same JSON schema the shared-memory
+/// executor and the prediction server export, so `metrics_diff` can compare
+/// a projection against a measured run). `None` when the configuration is
+/// routed to the analytic engine, which has no task-level breakdown.
+pub fn project_with_metrics(cfg: &ScaleConfig) -> (Projection, Option<MetricsReport>) {
+    let nt = cfg.n.div_ceil(cfg.nb);
+    if nt > cfg.event_sim_max_nt {
+        return (project(cfg), None);
+    }
+    let profile = cfg.profile();
+    let (p, q) = process_grid(cfg.nodes);
+    let opts = DagOptions {
+        nt,
+        nb: cfg.nb,
+        grid_p: p,
+        grid_q: q,
+        model: &cfg.model,
+    };
+    let (tasks, _stats) = cholesky_dag(&profile, &opts);
+    let machine = cfg.node.machine(p * q);
+    let (r, metrics) = simulate_with_metrics(&tasks, &machine);
+    let fp = footprint_bytes(&profile);
+    let nominal = {
+        let n = cfg.n as f64;
+        n * n * n / 3.0
+    };
+    let projection = Projection {
+        nt,
+        makespan: r.makespan,
+        flops: nominal / r.makespan,
+        footprint_bytes: fp,
+        fits_in_memory: fp <= cfg.node.mem_capacity * cfg.nodes as f64,
+        event_simulated: true,
+        efficiency: r.efficiency,
+    };
+    (projection, Some(metrics))
 }
 
 fn process_grid(nodes: usize) -> (usize, usize) {
@@ -406,6 +445,33 @@ mod tests {
             ev.makespan,
             an.makespan
         );
+    }
+
+    #[test]
+    fn event_projection_exports_kernel_census() {
+        let c = cfg(40 * 800, 16, Correlation::Medium, SolverVariant::MpDense);
+        let (proj, metrics) = project_with_metrics(&c);
+        assert!(proj.event_simulated);
+        let m = metrics.expect("event engine produces metrics");
+        assert_eq!(m.wall_seconds, proj.makespan);
+        let kinds: Vec<&str> = m.kernels.iter().map(|k| k.kind).collect();
+        for k in ["potrf", "trsm", "syrk", "gemm"] {
+            assert!(kinds.contains(&k), "missing kernel {k} in {kinds:?}");
+        }
+        assert_eq!(
+            m.kernels.iter().map(|k| k.count).sum::<u64>() as usize,
+            m.tasks
+        );
+        // Matches plain project() bit-for-bit (same DAG, same replay).
+        let p2 = project(&c);
+        assert_eq!(proj.makespan, p2.makespan);
+
+        // Analytic route yields no census.
+        let mut big = c;
+        big.event_sim_max_nt = 10;
+        let (pa, ma) = project_with_metrics(&big);
+        assert!(!pa.event_simulated);
+        assert!(ma.is_none());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! per-node core pools approximates the dynamic runtime's behaviour well at
 //! these task counts.
 
+use crate::metrics::{KernelStats, MetricsReport, WorkerStats};
+
 /// Machine model for the simulation (defaults modeled on an A64FX node,
 /// see `xgs-perfmodel` for the calibrated constants).
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +27,9 @@ pub struct MachineSpec {
 /// order (every predecessor index smaller than the task's own index).
 #[derive(Clone, Debug)]
 pub struct SimTask {
+    /// Kernel class ("potrf", "trsm", ...) — groups the task into the
+    /// per-kernel census of [`simulate_with_metrics`].
+    pub kind: &'static str,
     /// Execution time on one core, seconds.
     pub cost: f64,
     /// Node that executes the task (owner of its output tile).
@@ -99,6 +104,43 @@ pub fn simulate(tasks: &[SimTask], machine: &MachineSpec) -> SimResult {
     }
 }
 
+/// [`simulate`], additionally aggregating a [`MetricsReport`] in the same
+/// JSON schema the shared-memory executor exports: per-kernel counts and
+/// (simulated) time histograms, plus one [`WorkerStats`] entry per modeled
+/// node. Queue depth and conversion counters stay zero — the event engine
+/// has neither a ready queue nor live data — and validation is `None`
+/// (the DAG replay is ordered by construction).
+pub fn simulate_with_metrics(
+    tasks: &[SimTask],
+    machine: &MachineSpec,
+) -> (SimResult, MetricsReport) {
+    let result = simulate(tasks, machine);
+    let mut kernels: Vec<KernelStats> = Vec::new();
+    let mut nodes = vec![WorkerStats::default(); machine.nodes];
+    for t in tasks {
+        match kernels.iter_mut().find(|k| k.kind == t.kind) {
+            Some(k) => k.record(t.cost),
+            None => {
+                let mut k = KernelStats::new(t.kind);
+                k.record(t.cost);
+                kernels.push(k);
+            }
+        }
+        nodes[t.owner].busy_seconds += t.cost;
+        nodes[t.owner].tasks += 1;
+    }
+    kernels.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+    let metrics = MetricsReport {
+        wall_seconds: result.makespan,
+        tasks: tasks.len(),
+        workers: machine.nodes,
+        kernels,
+        worker_stats: nodes,
+        ..MetricsReport::default()
+    };
+    (result, metrics)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +158,7 @@ mod tests {
     fn serial_chain_on_one_core() {
         let tasks: Vec<SimTask> = (0..10)
             .map(|i| SimTask {
+                kind: "task",
                 cost: 1.0,
                 owner: 0,
                 preds: if i == 0 { vec![] } else { vec![(i - 1, 0.0)] },
@@ -130,6 +173,7 @@ mod tests {
     fn independent_fan_scales_with_cores() {
         let tasks: Vec<SimTask> = (0..32)
             .map(|_| SimTask {
+                kind: "task",
                 cost: 1.0,
                 owner: 0,
                 preds: vec![],
@@ -146,11 +190,13 @@ mod tests {
         // Task 1 on node 1 consumes 1 GB from task 0 on node 0.
         let tasks = vec![
             SimTask {
+                kind: "task",
                 cost: 1.0,
                 owner: 0,
                 preds: vec![],
             },
             SimTask {
+                kind: "task",
                 cost: 1.0,
                 owner: 1,
                 preds: vec![(0, 1.0e9)],
@@ -164,11 +210,13 @@ mod tests {
         // Same DAG colocated: no transfer.
         let tasks_local = vec![
             SimTask {
+                kind: "task",
                 cost: 1.0,
                 owner: 0,
                 preds: vec![],
             },
             SimTask {
+                kind: "task",
                 cost: 1.0,
                 owner: 0,
                 preds: vec![(0, 0.0)],
@@ -185,18 +233,21 @@ mod tests {
         let mut tasks = Vec::new();
         for i in 0..64 {
             tasks.push(SimTask {
+                kind: "even",
                 cost: 1.0,
                 owner: i % 4,
                 preds: vec![],
             });
         }
         tasks.push(SimTask {
+            kind: "task",
             cost: 0.0,
             owner: 0,
             preds: (0..64).map(|i| (i, 0.0)).collect(),
         });
         for i in 0..64 {
             tasks.push(SimTask {
+                kind: "odd",
                 cost: 1.0,
                 owner: i % 4,
                 preds: vec![(64, 0.0)],
@@ -207,6 +258,48 @@ mod tests {
         assert!(r8.makespan < r2.makespan);
         // Lower bound: 2 waves of 16 tasks per node / 8 cores = 2+2.
         assert!(r8.makespan >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn metrics_census_matches_the_dag() {
+        let tasks = vec![
+            SimTask {
+                kind: "even",
+                cost: 2.0,
+                owner: 0,
+                preds: vec![],
+            },
+            SimTask {
+                kind: "odd",
+                cost: 1.0,
+                owner: 1,
+                preds: vec![(0, 0.0)],
+            },
+            SimTask {
+                kind: "even",
+                cost: 3.0,
+                owner: 0,
+                preds: vec![(1, 0.0)],
+            },
+        ];
+        let (r, m) = simulate_with_metrics(&tasks, &machine(2, 1));
+        assert_eq!(m.tasks, 3);
+        assert_eq!(m.workers, 2);
+        assert_eq!(m.wall_seconds, r.makespan);
+        assert_eq!(m.kernels.len(), 2);
+        // Sorted by total time descending: "even" (5s, 2 tasks) first.
+        assert_eq!(m.kernels[0].kind, "even");
+        assert_eq!(m.kernels[0].count, 2);
+        assert!((m.kernels[0].total_seconds - 5.0).abs() < 1e-12);
+        assert_eq!(m.kernels[1].kind, "odd");
+        assert_eq!(m.kernels[1].count, 1);
+        assert_eq!(m.worker_stats.len(), 2);
+        assert!((m.worker_stats[0].busy_seconds - 5.0).abs() < 1e-12);
+        assert_eq!(m.worker_stats[1].tasks, 1);
+        // The export round-trips through the shared JSON schema.
+        let parsed = MetricsReport::from_json(&m.to_json()).expect("parses");
+        assert_eq!(parsed.tasks, 3);
+        assert_eq!(parsed.kernels.len(), 2);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::convert::conversion_counts;
 use crate::graph::{TaskGraph, TaskId};
 use crate::metrics::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
 use crate::stats::TraceEvent;
-use crate::validate::{check_schedule, describe_violations, TaskOrder};
+use crate::validate::{check_schedule, describe_violations, TaskOrder, UNRECORDED};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -100,6 +100,14 @@ pub struct ExecOptions {
     /// test execution is checked) and off in release; set explicitly to
     /// force either way.
     pub validate: bool,
+    /// Sampling stride for the validator's sequence recording: only every
+    /// `k`-th task (by insertion index) draws and stores its start/end
+    /// ticks; hazard edges with an unsampled endpoint are skipped and
+    /// censused in [`crate::validate::ValidationSummary::edges_skipped`].
+    /// `1` (the default) records everything; larger strides trade coverage
+    /// for less contention on the global tick counter in release-mode
+    /// validated runs. `0` is treated as `1`.
+    pub validate_every: usize,
     /// Aggregate a [`MetricsReport`] onto the report (cheap; default on).
     pub metrics: bool,
 }
@@ -110,6 +118,7 @@ impl Default for ExecOptions {
             trace: false,
             policy: SchedPolicy::Priority,
             validate: cfg!(debug_assertions),
+            validate_every: 1,
             metrics: true,
         }
     }
@@ -267,9 +276,12 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
     // each slot is written once. Relaxed suffices: both draws sit inside
     // the happens-before chain the dependency release already establishes,
     // and a single atomic's modification order is consistent with it.
+    // Slots start at the UNRECORDED sentinel: a task the sampling stride
+    // passes over simply never writes, and the validator skips its edges.
+    let validate_every = opts.validate_every.max(1);
     let order: Vec<(AtomicU64, AtomicU64)> = if opts.validate {
         (0..n)
-            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .map(|_| (AtomicU64::new(UNRECORDED), AtomicU64::new(UNRECORDED)))
             .collect()
     } else {
         Vec::new()
@@ -314,7 +326,15 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
                             shared.available.wait(&mut q);
                         }
                     };
-                    let start_seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+                    // Sampled recording: unsampled tasks skip both tick
+                    // draws entirely (their slots keep the UNRECORDED
+                    // sentinel), so the counter costs nothing for them.
+                    let sampled = task.id.0 % validate_every == 0;
+                    let start_seq = if sampled {
+                        shared.seq.fetch_add(1, Ordering::Relaxed)
+                    } else {
+                        UNRECORDED
+                    };
                     let t0 = start.elapsed().as_secs_f64();
                     if let Some(f) = closures[task.id.0].lock().take() {
                         f();
@@ -323,10 +343,12 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
                     // The end tick must be drawn before dependents are
                     // released, or a successor could legitimately start
                     // "before" its predecessor finished.
-                    let end_seq = shared.seq.fetch_add(1, Ordering::Relaxed);
-                    if let Some((s, e)) = order.get(task.id.0) {
-                        s.store(start_seq, Ordering::Relaxed);
-                        e.store(end_seq, Ordering::Relaxed);
+                    if sampled {
+                        let end_seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+                        if let Some((s, e)) = order.get(task.id.0) {
+                            s.store(start_seq, Ordering::Relaxed);
+                            e.store(end_seq, Ordering::Relaxed);
+                        }
                     }
                     scratch.busy += t1 - t0;
                     scratch.tasks += 1;
@@ -725,6 +747,67 @@ mod tests {
             },
         );
         assert!(r.metrics.is_none());
+    }
+
+    #[test]
+    fn sampled_validation_skips_edges_but_passes() {
+        // A write chain over one datum: 99 consecutive WAW edges. With a
+        // stride of 3, consecutive tasks are never both sampled, so every
+        // edge lands in edges_skipped; the run must still pass cleanly.
+        let mut g = TaskGraph::new();
+        for _ in 0..100u64 {
+            g.insert("w", vec![Access::write(DataId(0))], 0, 0.0, || {});
+        }
+        let r = execute_opts(
+            g,
+            4,
+            ExecOptions {
+                validate: true,
+                validate_every: 3,
+                ..ExecOptions::default()
+            },
+        );
+        let v = r.metrics.unwrap().validation.unwrap();
+        assert_eq!(v.edges_checked, 0);
+        assert_eq!(v.edges_skipped, 99);
+
+        // Stride 1 through the same machinery checks everything.
+        let mut g = TaskGraph::new();
+        for _ in 0..100u64 {
+            g.insert("w", vec![Access::write(DataId(0))], 0, 0.0, || {});
+        }
+        let r = execute_opts(
+            g,
+            4,
+            ExecOptions {
+                validate: true,
+                validate_every: 1,
+                ..ExecOptions::default()
+            },
+        );
+        let v = r.metrics.unwrap().validation.unwrap();
+        assert_eq!(v.edges_checked, 99);
+        assert_eq!(v.edges_skipped, 0);
+    }
+
+    #[test]
+    fn validate_every_zero_is_treated_as_one() {
+        let mut g = TaskGraph::new();
+        for i in 0..10u64 {
+            g.insert("t", vec![Access::write(DataId(i % 2))], 0, 0.0, || {});
+        }
+        let r = execute_opts(
+            g,
+            2,
+            ExecOptions {
+                validate: true,
+                validate_every: 0,
+                ..ExecOptions::default()
+            },
+        );
+        let v = r.metrics.unwrap().validation.unwrap();
+        assert_eq!(v.edges_skipped, 0);
+        assert_eq!(v.edges_checked, 8);
     }
 
     #[test]

@@ -22,14 +22,18 @@ pub mod convert;
 pub mod distsim;
 pub mod exec;
 pub mod graph;
+pub mod json;
 pub mod metrics;
 pub mod stats;
 pub mod validate;
 
 pub use convert::{conversion_counts, count_conversion, reset_conversion_counts, ConversionCounts};
-pub use distsim::{block_cyclic_owner, simulate, MachineSpec, SimResult, SimTask};
+pub use distsim::{
+    block_cyclic_owner, simulate, simulate_with_metrics, MachineSpec, SimResult, SimTask,
+};
 pub use exec::{execute, execute_opts, execute_with_policy, ExecOptions, ExecReport, SchedPolicy};
 pub use graph::{Access, AccessMode, DataId, TaskGraph, TaskId};
+pub use json::{escape_json, parse_json, JsonError, JsonValue};
 pub use metrics::{KernelStats, MetricsReport, QueueDepthStats, TimeHistogram, WorkerStats};
 pub use stats::{chrome_trace_json, kind_summary, TraceEvent};
-pub use validate::{check_schedule, Hazard, TaskOrder, ValidationSummary, Violation};
+pub use validate::{check_schedule, Hazard, TaskOrder, ValidationSummary, Violation, UNRECORDED};

@@ -249,9 +249,9 @@ impl MetricsReport {
             Some(v) => format!(
                 concat!(
                     "{{\"edges_checked\":{},\"raw_edges\":{},",
-                    "\"war_edges\":{},\"waw_edges\":{}}}"
+                    "\"war_edges\":{},\"waw_edges\":{},\"edges_skipped\":{}}}"
                 ),
-                v.edges_checked, v.raw_edges, v.war_edges, v.waw_edges
+                v.edges_checked, v.raw_edges, v.war_edges, v.waw_edges, v.edges_skipped
             ),
             None => "null".to_string(),
         };
@@ -285,6 +285,122 @@ impl MetricsReport {
             c.promotions(),
             validation
         )
+    }
+
+    /// Parse a report back from its [`MetricsReport::to_json`] export.
+    ///
+    /// Missing fields default to zero/empty so the reader stays tolerant of
+    /// schema growth; structurally invalid documents are an error. Kernel
+    /// kinds are interned (the well-known names map to the static strings
+    /// the runtime itself uses; unknown kinds leak a one-off allocation,
+    /// which is fine for the report-analysis tools this feeds).
+    pub fn from_json(input: &str) -> Result<MetricsReport, crate::json::JsonError> {
+        use crate::json::{parse_json, JsonValue};
+
+        fn num(v: Option<&JsonValue>) -> f64 {
+            v.and_then(JsonValue::as_f64).unwrap_or(0.0)
+        }
+        fn count(v: Option<&JsonValue>) -> u64 {
+            v.and_then(JsonValue::as_u64).unwrap_or(0)
+        }
+        fn intern_kind(name: &str) -> &'static str {
+            const KNOWN: &[&str] = &[
+                "potrf",
+                "trsm",
+                "syrk",
+                "gemm",
+                "generate",
+                "compress",
+                "convert",
+                "solve",
+                "batch_solve",
+                "batch_size",
+                "request",
+                "even",
+                "odd",
+            ];
+            KNOWN
+                .iter()
+                .find(|k| **k == name)
+                .copied()
+                .unwrap_or_else(|| Box::leak(name.to_string().into_boxed_str()))
+        }
+
+        let doc = parse_json(input)?;
+        let mut report = MetricsReport {
+            wall_seconds: num(doc.get("wall_seconds")),
+            tasks: count(doc.get("tasks")) as usize,
+            workers: count(doc.get("workers")) as usize,
+            ..MetricsReport::default()
+        };
+
+        for k in doc
+            .get("kernels")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            let kind = intern_kind(k.get("kind").and_then(JsonValue::as_str).unwrap_or("?"));
+            let mut ks = KernelStats::new(kind);
+            ks.count = count(k.get("count"));
+            ks.total_seconds = num(k.get("total_seconds"));
+            ks.max_seconds = num(k.get("max_seconds"));
+            ks.min_seconds = if ks.count == 0 {
+                f64::INFINITY
+            } else {
+                num(k.get("min_seconds"))
+            };
+            if let Some(buckets) = k.get("histogram_log2us").and_then(JsonValue::as_array) {
+                for (slot, b) in ks.histogram.buckets.iter_mut().zip(buckets) {
+                    *slot = b.as_u64().unwrap_or(0);
+                }
+            }
+            report.kernels.push(ks);
+        }
+
+        if let Some(q) = doc.get("queue_depth") {
+            report.queue_depth.samples = count(q.get("samples"));
+            report.queue_depth.max = count(q.get("max")) as usize;
+            // `sum` is reconstructed from the exported mean.
+            report.queue_depth.sum =
+                (num(q.get("mean")) * report.queue_depth.samples as f64).round() as u64;
+        }
+
+        for w in doc
+            .get("worker_stats")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            report.worker_stats.push(WorkerStats {
+                busy_seconds: num(w.get("busy_seconds")),
+                tasks: count(w.get("tasks")),
+                parks: count(w.get("parks")),
+            });
+        }
+
+        if let Some(c) = doc.get("conversions") {
+            report.conversions = ConversionCounts {
+                f64_to_f32: count(c.get("f64_to_f32")),
+                f64_to_f16: count(c.get("f64_to_f16")),
+                f32_to_f64: count(c.get("f32_to_f64")),
+                f32_to_f16: count(c.get("f32_to_f16")),
+                f16_to_f32: count(c.get("f16_to_f32")),
+                f16_to_f64: count(c.get("f16_to_f64")),
+            };
+        }
+
+        match doc.get("validation") {
+            Some(v) if !v.is_null() => {
+                report.validation = Some(ValidationSummary {
+                    edges_checked: count(v.get("edges_checked")),
+                    raw_edges: count(v.get("raw_edges")),
+                    war_edges: count(v.get("war_edges")),
+                    waw_edges: count(v.get("waw_edges")),
+                    edges_skipped: count(v.get("edges_skipped")),
+                });
+            }
+            _ => {}
+        }
+        Ok(report)
     }
 }
 
@@ -366,6 +482,7 @@ mod tests {
                 raw_edges: 2,
                 war_edges: 1,
                 waw_edges: 1,
+                edges_skipped: 3,
             }),
             ..MetricsReport::default()
         };
@@ -424,5 +541,88 @@ mod tests {
     fn json_validation_null_when_not_run() {
         let m = MetricsReport::default();
         assert!(m.to_json().contains("\"validation\":null"));
+    }
+
+    #[test]
+    fn json_export_round_trips_through_from_json() {
+        let mut m = MetricsReport {
+            wall_seconds: 2.75,
+            tasks: 12,
+            workers: 3,
+            worker_stats: vec![
+                WorkerStats {
+                    busy_seconds: 1.5,
+                    tasks: 8,
+                    parks: 2,
+                },
+                WorkerStats::default(),
+                WorkerStats {
+                    busy_seconds: 0.25,
+                    tasks: 4,
+                    parks: 0,
+                },
+            ],
+            validation: Some(ValidationSummary {
+                edges_checked: 10,
+                raw_edges: 6,
+                war_edges: 3,
+                waw_edges: 1,
+                edges_skipped: 7,
+            }),
+            ..MetricsReport::default()
+        };
+        m.conversions.f64_to_f32 = 9;
+        m.queue_depth.sample(2);
+        m.queue_depth.sample(4);
+        let mut gemm = KernelStats::new("gemm");
+        gemm.record(1e-3);
+        gemm.record(3e-3);
+        m.kernels.push(gemm);
+        let mut custom = KernelStats::new("batch_size");
+        custom.record(8e-6);
+        m.kernels.push(custom);
+
+        let back = MetricsReport::from_json(&m.to_json()).expect("parse own export");
+        assert_eq!(back.wall_seconds, m.wall_seconds);
+        assert_eq!(back.tasks, 12);
+        assert_eq!(back.workers, 3);
+        assert_eq!(back.kernels.len(), 2);
+        let g = back.kernels.iter().find(|k| k.kind == "gemm").unwrap();
+        assert_eq!(g.count, 2);
+        assert_eq!(g.total_seconds, 4e-3);
+        assert_eq!(g.min_seconds, 1e-3);
+        assert_eq!(g.max_seconds, 3e-3);
+        assert_eq!(g.histogram, m.kernels[0].histogram);
+        assert_eq!(back.queue_depth.samples, 2);
+        assert_eq!(back.queue_depth.max, 4);
+        assert_eq!(back.queue_depth.mean(), 3.0);
+        assert_eq!(back.worker_stats.len(), 3);
+        assert_eq!(back.worker_stats[0].tasks, 8);
+        assert_eq!(back.conversions.f64_to_f32, 9);
+        assert_eq!(back.validation, m.validation);
+        // A reparsed report can merge with a live one (kind interning gives
+        // back pointer-comparable statics for known kinds).
+        let mut live = MetricsReport::default();
+        let mut k = KernelStats::new("gemm");
+        k.record(5e-3);
+        live.kernels.push(k);
+        live.merge(&back);
+        assert_eq!(
+            live.kernels
+                .iter()
+                .find(|k| k.kind == "gemm")
+                .unwrap()
+                .count,
+            3
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_tolerates_missing_fields() {
+        assert!(MetricsReport::from_json("not json").is_err());
+        let minimal = MetricsReport::from_json("{}").unwrap();
+        assert_eq!(minimal.tasks, 0);
+        assert!(minimal.kernels.is_empty());
+        assert!(minimal.validation.is_none());
     }
 }

@@ -1,0 +1,288 @@
+//! Request batching: queue + coalescing policy.
+//!
+//! Concurrent predict requests against the same model are merged into one
+//! multi-RHS solve — the cross-covariance assembly and the triangular
+//! solves process every point of the batch in one pass over the cached
+//! factor, which is where the service's throughput over one-shot CLI runs
+//! comes from. Batching never changes results: each point's mean and
+//! variance are computed column-independently (see the bitwise tests in
+//! `xgs-core::predict` and `xgs-cholesky::solve`), so a batch of 64 equals
+//! 64 singleton queries bit for bit.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use xgs_core::PredictionPlan;
+use xgs_covariance::Location;
+
+/// One enqueued predict request.
+pub(crate) struct Job {
+    /// Registry key — jobs only coalesce within the same model.
+    pub model: String,
+    pub plan: Arc<PredictionPlan>,
+    pub points: Vec<Location>,
+    pub uncertainty: bool,
+    pub enqueued: Instant,
+    /// Where the solver sends this request's slice of the batch result.
+    pub resp: mpsc::Sender<JobResult>,
+}
+
+/// Per-request result, carved out of the batch solve.
+pub(crate) struct JobResult {
+    pub mean: Vec<f64>,
+    pub uncertainty: Option<Vec<f64>>,
+    /// Total points of the batch this request rode in.
+    pub batch_points: usize,
+    /// Number of requests coalesced into that batch.
+    pub batch_requests: usize,
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// MPMC job queue with same-model coalescing on pop.
+pub(crate) struct BatchQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl BatchQueue {
+    pub fn new() -> BatchQueue {
+        BatchQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a job; `false` when the queue is already closed (the
+    /// connection handler reports "shutting down" to the client).
+    pub fn push(&self, job: Job) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return false;
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Block until work is available, then return a batch: the oldest job
+    /// plus every queued job for the same `(model, uncertainty)` key, up
+    /// to `max_points` total points. Returns `(batch, queue depth seen)`;
+    /// `None` once the queue is closed and fully drained.
+    pub fn pop_batch(&self, max_points: usize) -> Option<(Vec<Job>, usize)> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(first) = inner.jobs.pop_front() {
+                let depth = inner.jobs.len() + 1;
+                let mut batch = vec![first];
+                let mut points = batch[0].points.len();
+                let mut i = 0;
+                while i < inner.jobs.len() && points < max_points {
+                    let same = inner.jobs[i].model == batch[0].model
+                        && inner.jobs[i].uncertainty == batch[0].uncertainty;
+                    if same {
+                        let job = inner.jobs.remove(i).unwrap();
+                        points += job.points.len();
+                        batch.push(job);
+                    } else {
+                        i += 1;
+                    }
+                }
+                return Some((batch, depth));
+            }
+            if inner.closed {
+                return None;
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Close the queue: pending jobs still drain, new pushes are refused,
+    /// and idle solvers wake up to exit.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Execute one coalesced batch: a single multi-point query against the
+/// shared plan, then scatter each request's slice back through its
+/// response channel. Returns `(total points, solve seconds, longest queue
+/// wait of the batch)` for metrics.
+pub(crate) fn solve_batch(batch: Vec<Job>) -> (usize, f64, f64) {
+    let plan = batch[0].plan.clone();
+    let uncertainty = batch[0].uncertainty;
+    let n_requests = batch.len();
+    let all_points: Vec<Location> = batch
+        .iter()
+        .flat_map(|j| j.points.iter().copied())
+        .collect();
+    let total = all_points.len();
+    let max_wait = batch
+        .iter()
+        .map(|j| j.enqueued.elapsed().as_secs_f64())
+        .fold(0.0, f64::max);
+
+    let t0 = Instant::now();
+    let result = plan.query(&all_points, uncertainty);
+    let solve_seconds = t0.elapsed().as_secs_f64();
+
+    let mut offset = 0;
+    for job in batch {
+        let k = job.points.len();
+        let res = JobResult {
+            mean: result.mean[offset..offset + k].to_vec(),
+            uncertainty: result
+                .uncertainty
+                .as_ref()
+                .map(|u| u[offset..offset + k].to_vec()),
+            batch_points: total,
+            batch_requests: n_requests,
+        };
+        offset += k;
+        // A vanished receiver means the client hung up; nothing to do.
+        let _ = job.resp.send(res);
+    }
+    (total, solve_seconds, max_wait)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xgs_core::{simulate_field, ModelFamily};
+    use xgs_covariance::jittered_grid;
+    use xgs_tile::Variant;
+
+    fn test_plan() -> Arc<PredictionPlan> {
+        let mut rng = StdRng::seed_from_u64(5);
+        let locs = jittered_grid(100, &mut rng);
+        let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+        let z = simulate_field(kernel.as_ref(), &locs, 6);
+        crate::registry::build_plan(
+            ModelFamily::MaternSpace,
+            &[1.0, 0.1, 0.5],
+            Variant::DenseF64,
+            32,
+            locs,
+            &z,
+            1,
+        )
+        .unwrap()
+        .0
+    }
+
+    fn job(
+        plan: &Arc<PredictionPlan>,
+        model: &str,
+        points: Vec<Location>,
+        uncertainty: bool,
+    ) -> (Job, mpsc::Receiver<JobResult>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                model: model.to_string(),
+                plan: plan.clone(),
+                points,
+                uncertainty,
+                enqueued: Instant::now(),
+                resp: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn pop_batch_coalesces_only_matching_jobs() {
+        let plan = test_plan();
+        let q = BatchQueue::new();
+        let pts = |x: f64| vec![Location::new(x, 0.5)];
+        let (j1, _r1) = job(&plan, "a", pts(0.1), false);
+        let (j2, _r2) = job(&plan, "b", pts(0.2), false);
+        let (j3, _r3) = job(&plan, "a", pts(0.3), false);
+        let (j4, _r4) = job(&plan, "a", pts(0.4), true); // different key
+        assert!(q.push(j1) && q.push(j2) && q.push(j3) && q.push(j4));
+
+        let (batch, depth) = q.pop_batch(1024).unwrap();
+        assert_eq!(depth, 4);
+        assert_eq!(batch.len(), 2, "both 'a'/plain jobs coalesce");
+        assert!(batch.iter().all(|j| j.model == "a" && !j.uncertainty));
+        let (batch2, _) = q.pop_batch(1024).unwrap();
+        assert_eq!(batch2[0].model, "b");
+        let (batch3, _) = q.pop_batch(1024).unwrap();
+        assert!(batch3[0].uncertainty);
+
+        q.close();
+        assert!(q.pop_batch(1024).is_none());
+        let (j5, _r5) = job(&plan, "a", pts(0.5), false);
+        assert!(!q.push(j5), "closed queue refuses work");
+    }
+
+    #[test]
+    fn max_points_caps_a_batch() {
+        let plan = test_plan();
+        let q = BatchQueue::new();
+        let mut rxs = Vec::new();
+        for i in 0..6 {
+            let (j, r) = job(
+                &plan,
+                "m",
+                vec![Location::new(0.1 * i as f64, 0.5); 4],
+                false,
+            );
+            q.push(j);
+            rxs.push(r);
+        }
+        // First pop stops adding once >= 8 points are gathered.
+        let (batch, _) = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.iter().map(|j| j.points.len()).sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn solve_batch_scatters_slices_bitwise() {
+        let plan = test_plan();
+        let points: Vec<Location> = (0..9)
+            .map(|i| Location::new(0.1 * i as f64, 0.37))
+            .collect();
+        // Reference: one flat query.
+        let reference = plan.query(&points, true);
+
+        let mut jobs = Vec::new();
+        let mut rxs = Vec::new();
+        for chunk in points.chunks(3) {
+            let (j, r) = job(&plan, "m", chunk.to_vec(), true);
+            jobs.push(j);
+            rxs.push(r);
+        }
+        let (total, secs, wait) = solve_batch(jobs);
+        assert_eq!(total, 9);
+        assert!(secs >= 0.0 && wait >= 0.0);
+        let mut got_mean = Vec::new();
+        let mut got_unc = Vec::new();
+        for rx in rxs {
+            let res = rx.recv().unwrap();
+            assert_eq!(res.batch_points, 9);
+            assert_eq!(res.batch_requests, 3);
+            got_mean.extend(res.mean);
+            got_unc.extend(res.uncertainty.unwrap());
+        }
+        for (a, b) in reference.mean.iter().zip(&got_mean) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in reference.uncertainty.unwrap().iter().zip(&got_unc) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

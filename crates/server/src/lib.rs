@@ -1,0 +1,26 @@
+//! `xgs-server` — a long-lived kriging-prediction service.
+//!
+//! The paper's workflow ends at batch prediction: fit θ once, factorize
+//! Σ(θ) once, then krige. Operationally that factor is worth serving: it
+//! is the expensive O(n³) artifact, while each prediction against it is
+//! only O(n²)-ish solves and dot products. This crate keeps fitted models
+//! resident — tile-Cholesky factor, solved kriging weights, kernel and
+//! training locations ([`xgs_core::PredictionPlan`]) — behind a TCP
+//! newline-delimited-JSON protocol, and coalesces concurrent requests
+//! into multi-RHS solves ([`batch`]) for throughput.
+//!
+//! Everything is dependency-free `std::net` + threads; JSON goes through
+//! the hand-rolled reader/writers in `xgs-runtime`. See the repository
+//! README ("Prediction service protocol") for the wire grammar and the
+//! `loadgen` binary for a replay client.
+
+pub mod batch;
+pub mod loadgen;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use loadgen::{connect_with_retry, LoadgenConfig, LoadgenReport};
+pub use protocol::{parse_request, LoadRequest, PredictRequest, Request};
+pub use registry::{build_plan, ModelRegistry};
+pub use server::{serve, ServerConfig, ServerHandle};

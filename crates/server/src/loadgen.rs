@@ -1,0 +1,353 @@
+//! Synthetic query-stream load generator for the prediction service.
+//!
+//! Replays a deterministic stream of predict requests against a running
+//! server from `conns` parallel connections, optionally throttled to a
+//! target aggregate rate, and reports throughput plus latency percentiles.
+//! Every response's mean vector is folded into an order-independent
+//! checksum (per-request FNV hashes combined with XOR), so two runs with
+//! the same seed against the same model must produce the same checksum —
+//! the smoke tests use this to prove batching never changes results.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xgs_runtime::parse_json;
+
+/// Load-generation parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4741`.
+    pub addr: String,
+    /// Model name to query.
+    pub model: String,
+    /// Total predict requests across all connections.
+    pub requests: usize,
+    /// Parallel connections.
+    pub conns: usize,
+    /// Points per predict request.
+    pub points: usize,
+    /// Aggregate target rate, requests/second (0 = unthrottled).
+    pub rate: f64,
+    /// Ask for kriging variance too.
+    pub uncertainty: bool,
+    /// Seed of the synthetic query stream.
+    pub seed: u64,
+    /// Query locations are uniform in `[0, domain]²`.
+    pub domain: f64,
+    /// How long to retry the initial connection (covers server startup).
+    pub connect_timeout: Duration,
+    /// Send `{"op":"shutdown"}` after the run (for scripted smoke tests).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: "127.0.0.1:4741".to_string(),
+            model: "default".to_string(),
+            requests: 100,
+            conns: 4,
+            points: 8,
+            rate: 0.0,
+            uncertainty: false,
+            seed: 1,
+            domain: 1.0,
+            connect_timeout: Duration::from_secs(10),
+            shutdown: false,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    pub sent: usize,
+    pub errors: usize,
+    /// Wall time of the request phase, seconds.
+    pub elapsed: f64,
+    /// Successful requests per second.
+    pub throughput: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    /// Order-independent checksum over all response means (and variances).
+    pub checksum: u64,
+    /// The server's metrics JSON, fetched after the request phase.
+    pub server_metrics: Option<String>,
+}
+
+impl LoadgenReport {
+    /// Human-oriented multi-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests in {:.2}s: {:.0} req/s | latency p50 {:.2} ms, p95 {:.2} ms, \
+             p99 {:.2} ms, max {:.2} ms | {} errors | checksum {:016x}",
+            self.sent,
+            self.elapsed,
+            self.throughput,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.errors,
+            self.checksum
+        )
+    }
+
+    /// Machine-readable dump; when the server metrics were fetched they are
+    /// embedded verbatim under `"server"` (same schema as every other
+    /// `--metrics` export, so `metrics_diff` can digest it).
+    pub fn to_json(&self) -> String {
+        let loadgen = format!(
+            concat!(
+                "{{\"sent\":{},\"errors\":{},\"elapsed_seconds\":{},\"throughput_rps\":{},",
+                "\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"checksum\":\"{:016x}\"}}"
+            ),
+            self.sent,
+            self.errors,
+            self.elapsed,
+            self.throughput,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.checksum
+        );
+        match &self.server_metrics {
+            Some(m) => format!("{{\"loadgen\":{loadgen},\"server\":{m}}}"),
+            None => format!("{{\"loadgen\":{loadgen}}}"),
+        }
+    }
+}
+
+/// Connect, retrying until the server accepts (it may still be binding).
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("could not connect to {addr}: {e}"))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// FNV-1a over the IEEE bits of a float sequence.
+fn hash_bits(acc: u64, x: f64) -> u64 {
+    (acc ^ x.to_bits()).wrapping_mul(0x100000001b3)
+}
+
+fn one_request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    cfg: &LoadgenConfig,
+    rng: &mut StdRng,
+) -> Result<u64, String> {
+    let pts: String = (0..cfg.points)
+        .map(|_| {
+            format!(
+                "[{},{}]",
+                rng.random_range(0.0..cfg.domain),
+                rng.random_range(0.0..cfg.domain)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let request = format!(
+        "{{\"op\":\"predict\",\"model\":\"{}\",\"points\":[{pts}],\"uncertainty\":{}}}\n",
+        cfg.model, cfg.uncertainty
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("recv: {e}"))?;
+    if line.is_empty() {
+        return Err("server closed the connection".to_string());
+    }
+    let v = parse_json(&line).map_err(|e| format!("bad response: {e}"))?;
+    if v.get("ok").and_then(|o| o.as_bool()) != Some(true) {
+        return Err(v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .unwrap_or("request failed")
+            .to_string());
+    }
+    let mut h = 0xcbf29ce484222325u64;
+    for field in ["mean", "uncertainty"] {
+        if let Some(values) = v.get(field).and_then(|m| m.as_array()) {
+            for x in values {
+                h = hash_bits(h, x.as_f64().ok_or("non-numeric result")?);
+            }
+        }
+    }
+    Ok(h)
+}
+
+/// Run the full load-generation session.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let conns = cfg.conns.max(1);
+    // Fail fast (and wait for a booting server) before spawning workers.
+    drop(connect_with_retry(&cfg.addr, cfg.connect_timeout)?);
+
+    let errors = Arc::new(AtomicUsize::new(0));
+    let checksum = Arc::new(AtomicU64::new(0));
+    let per_conn_interval = if cfg.rate > 0.0 {
+        Duration::from_secs_f64(conns as f64 / cfg.rate)
+    } else {
+        Duration::ZERO
+    };
+
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for conn_id in 0..conns {
+        let cfg = cfg.clone();
+        let errors = errors.clone();
+        let checksum = checksum.clone();
+        // Requests are split evenly; the first `requests % conns`
+        // connections take one extra.
+        let share = cfg.requests / conns + usize::from(conn_id < cfg.requests % conns);
+        workers.push(std::thread::spawn(move || -> Vec<f64> {
+            let mut latencies = Vec::with_capacity(share);
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(7919 * conn_id as u64));
+            let Ok(mut stream) = connect_with_retry(&cfg.addr, cfg.connect_timeout) else {
+                errors.fetch_add(share, Ordering::Relaxed);
+                return latencies;
+            };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut next_send = Instant::now();
+            for _ in 0..share {
+                if !per_conn_interval.is_zero() {
+                    let now = Instant::now();
+                    if now < next_send {
+                        std::thread::sleep(next_send - now);
+                    }
+                    next_send += per_conn_interval;
+                }
+                let t = Instant::now();
+                match one_request(&mut stream, &mut reader, &cfg, &mut rng) {
+                    Ok(h) => {
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        checksum.fetch_xor(h, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            latencies
+        }));
+    }
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(cfg.requests);
+    for w in workers {
+        latencies.extend(w.join().map_err(|_| "worker panicked".to_string())?);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+    };
+
+    // Post-run control traffic on a fresh connection.
+    let mut server_metrics = None;
+    if let Ok(mut ctl) = connect_with_retry(&cfg.addr, Duration::from_secs(2)) {
+        let mut reader = BufReader::new(ctl.try_clone().map_err(|e| e.to_string())?);
+        if ctl.write_all(b"{\"op\":\"metrics\"}\n").is_ok() {
+            let mut line = String::new();
+            if reader.read_line(&mut line).is_ok() {
+                if let Ok(v) = parse_json(&line) {
+                    server_metrics = v.get("metrics").map(|m| m.to_json_string());
+                }
+            }
+        }
+        if cfg.shutdown {
+            let _ = ctl.write_all(b"{\"op\":\"shutdown\"}\n");
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+        }
+    }
+
+    let sent = latencies.len();
+    Ok(LoadgenReport {
+        sent,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed,
+        throughput: if elapsed > 0.0 {
+            sent as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        checksum: checksum.load(Ordering::Relaxed),
+        server_metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_parseable() {
+        let r = LoadgenReport {
+            sent: 10,
+            errors: 0,
+            elapsed: 0.5,
+            throughput: 20.0,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 3.0,
+            max_ms: 4.0,
+            checksum: 0xdeadbeef,
+            server_metrics: Some("{\"tasks\":10}".to_string()),
+        };
+        let v = parse_json(&r.to_json()).unwrap();
+        assert_eq!(
+            v.get("loadgen").unwrap().get("sent").unwrap().as_usize(),
+            Some(10)
+        );
+        assert_eq!(
+            v.get("server").unwrap().get("tasks").unwrap().as_usize(),
+            Some(10)
+        );
+        assert!(r.summary().contains("10 requests"));
+    }
+
+    #[test]
+    fn checksum_is_order_independent() {
+        // XOR-combined per-request hashes: any interleaving of the same
+        // request set yields the same fold.
+        let hs = [
+            hash_bits(0xcbf29ce484222325, 1.5),
+            hash_bits(0xcbf29ce484222325, -2.5),
+            hash_bits(0xcbf29ce484222325, 0.25),
+        ];
+        let a = hs[0] ^ hs[1] ^ hs[2];
+        let b = hs[2] ^ hs[0] ^ hs[1];
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn connect_retry_times_out_cleanly() {
+        // Port 1 on localhost is essentially never listening.
+        let err = connect_with_retry("127.0.0.1:1", Duration::from_millis(120)).unwrap_err();
+        assert!(err.contains("could not connect"), "{err}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Wire protocol of the prediction service.
+//!
+//! Newline-delimited JSON over TCP: each request is one JSON object on one
+//! line, each response is one JSON object on one line. The grammar is
+//! documented in the repository README ("Prediction service protocol");
+//! parsing reuses the hand-rolled [`xgs_runtime::json`] reader so the
+//! server stays dependency-free.
+
+use xgs_core::ModelFamily;
+use xgs_covariance::Location;
+use xgs_runtime::{escape_json, parse_json, JsonValue};
+use xgs_tile::Variant;
+
+/// One parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List loaded models.
+    Models,
+    /// Export the server's metrics report.
+    Metrics,
+    /// Drain in-flight work and stop the server.
+    Shutdown,
+    /// Fit-free model ingestion: factorize and cache a new model.
+    Load(LoadRequest),
+    /// Kriging query against a cached model.
+    Predict(PredictRequest),
+}
+
+/// `{"op":"load", ...}` payload.
+#[derive(Debug)]
+pub struct LoadRequest {
+    pub name: String,
+    pub family: ModelFamily,
+    pub theta: Vec<f64>,
+    pub variant: Variant,
+    /// Tile size; 0 picks the CLI's default heuristic.
+    pub tile: usize,
+    pub locs: Vec<Location>,
+    pub z: Vec<f64>,
+}
+
+/// `{"op":"predict", ...}` payload.
+#[derive(Debug)]
+pub struct PredictRequest {
+    pub model: String,
+    pub points: Vec<Location>,
+    pub uncertainty: bool,
+}
+
+fn parse_points(v: &JsonValue) -> Result<Vec<Location>, String> {
+    let arr = v.as_array().ok_or("'points' must be an array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for p in arr {
+        let coords = p.as_array().ok_or("each point must be [x,y] or [x,y,t]")?;
+        let c: Vec<f64> = coords
+            .iter()
+            .map(|x| x.as_f64().ok_or("point coordinates must be numbers"))
+            .collect::<Result<_, _>>()?;
+        match c.len() {
+            2 => out.push(Location::new(c[0], c[1])),
+            3 => out.push(Location::new_st(c[0], c[1], c[2])),
+            n => return Err(format!("point has {n} coordinates (want 2 or 3)")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_f64_list(v: &JsonValue, what: &str) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or(format!("'{what}' must be an array of numbers"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or(format!("'{what}' must contain only numbers"))
+        })
+        .collect()
+}
+
+/// Parse one request line. Errors are client-facing strings (they go back
+/// over the wire in an `{"ok":false}` envelope).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let obj = v.as_object().ok_or("request must be a JSON object")?;
+    let op = obj
+        .get("op")
+        .and_then(|o| o.as_str())
+        .ok_or("missing string field 'op'")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "models" => Ok(Request::Models),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        "predict" => {
+            let model = obj
+                .get("model")
+                .and_then(|m| m.as_str())
+                .unwrap_or("default")
+                .to_string();
+            let points = parse_points(obj.get("points").ok_or("predict needs 'points'")?)?;
+            if points.is_empty() {
+                return Err("'points' must not be empty".into());
+            }
+            let uncertainty = obj
+                .get("uncertainty")
+                .map(|u| u.as_bool().ok_or("'uncertainty' must be a boolean"))
+                .transpose()?
+                .unwrap_or(false);
+            Ok(Request::Predict(PredictRequest {
+                model,
+                points,
+                uncertainty,
+            }))
+        }
+        "load" => {
+            let name = obj
+                .get("name")
+                .and_then(|m| m.as_str())
+                .unwrap_or("default")
+                .to_string();
+            let family = match obj
+                .get("kernel")
+                .and_then(|k| k.as_str())
+                .unwrap_or("matern")
+            {
+                "matern" => ModelFamily::MaternSpace,
+                "gneiting" => ModelFamily::GneitingSpaceTime,
+                other => return Err(format!("unknown kernel '{other}' (matern|gneiting)")),
+            };
+            let variant = match obj
+                .get("variant")
+                .and_then(|s| s.as_str())
+                .unwrap_or("mp-tlr")
+            {
+                "dense" => Variant::DenseF64,
+                "mp" => Variant::MpDense,
+                "mp-tlr" => Variant::MpDenseTlr,
+                other => return Err(format!("unknown variant '{other}' (dense|mp|mp-tlr)")),
+            };
+            let theta = parse_f64_list(obj.get("theta").ok_or("load needs 'theta'")?, "theta")?;
+            if theta.len() != family.n_params() {
+                return Err(format!(
+                    "'theta' needs {} values for this kernel, got {}",
+                    family.n_params(),
+                    theta.len()
+                ));
+            }
+            let locs = parse_points(obj.get("locs").ok_or("load needs 'locs'")?)?;
+            let z = parse_f64_list(obj.get("z").ok_or("load needs 'z'")?, "z")?;
+            if locs.is_empty() || locs.len() != z.len() {
+                return Err(format!(
+                    "'locs' ({}) and 'z' ({}) must be equal-length and non-empty",
+                    locs.len(),
+                    z.len()
+                ));
+            }
+            let tile = obj
+                .get("tile")
+                .map(|t| t.as_usize().ok_or("'tile' must be a non-negative integer"))
+                .transpose()?
+                .unwrap_or(0);
+            Ok(Request::Load(LoadRequest {
+                name,
+                family,
+                theta,
+                variant,
+                tile,
+                locs,
+                z,
+            }))
+        }
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// `{"ok":false,"error":...}` envelope.
+pub fn error_response(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", escape_json(msg))
+}
+
+fn join_f64(xs: &[f64]) -> String {
+    // `{}` (shortest round-trip formatting) keeps the wire value bit-exact
+    // when the client parses it back — the smoke tests checksum on this.
+    xs.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// Successful predict response.
+pub fn predict_response(
+    mean: &[f64],
+    uncertainty: Option<&[f64]>,
+    batch_points: usize,
+    batched_requests: usize,
+) -> String {
+    let mut s = format!("{{\"ok\":true,\"mean\":[{}]", join_f64(mean));
+    if let Some(u) = uncertainty {
+        s.push_str(&format!(",\"uncertainty\":[{}]", join_f64(u)));
+    }
+    s.push_str(&format!(
+        ",\"batch\":{{\"points\":{batch_points},\"requests\":{batched_requests}}}}}"
+    ));
+    s
+}
+
+/// Successful load response.
+pub fn load_response(name: &str, n_train: usize, llh: f64) -> String {
+    format!(
+        "{{\"ok\":true,\"name\":\"{}\",\"n_train\":{n_train},\"llh\":{llh}}}",
+        escape_json(name)
+    )
+}
+
+/// Successful models listing.
+pub fn models_response(models: &[(String, usize)]) -> String {
+    let items = models
+        .iter()
+        .map(|(name, n)| format!("{{\"name\":\"{}\",\"n_train\":{n}}}", escape_json(name)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{\"ok\":true,\"models\":[{items}]}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_requests() {
+        assert!(matches!(
+            parse_request("{\"op\":\"ping\"}"),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request("{\"op\":\"models\"}"),
+            Ok(Request::Models)
+        ));
+        let p = parse_request(
+            "{\"op\":\"predict\",\"model\":\"m\",\"points\":[[0.1,0.2],[0.3,0.4,0.5]],\
+             \"uncertainty\":true}",
+        )
+        .unwrap();
+        match p {
+            Request::Predict(p) => {
+                assert_eq!(p.model, "m");
+                assert_eq!(p.points.len(), 2);
+                assert_eq!(p.points[1].t, 0.5);
+                assert!(p.uncertainty);
+            }
+            other => panic!("{other:?}"),
+        }
+        let l = parse_request(
+            "{\"op\":\"load\",\"name\":\"a\",\"theta\":[1.0,0.1,0.5],\"variant\":\"mp\",\
+             \"tile\":32,\"locs\":[[0.0,0.0],[1.0,1.0]],\"z\":[0.5,-0.5]}",
+        )
+        .unwrap();
+        match l {
+            Request::Load(l) => {
+                assert_eq!(l.name, "a");
+                assert_eq!(l.variant, Variant::MpDense);
+                assert_eq!(l.locs.len(), 2);
+                assert_eq!(l.tile, 32);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_readable_errors() {
+        for (line, needle) in [
+            ("not json", "bad JSON"),
+            ("[1,2]", "object"),
+            ("{\"op\":\"frobnicate\"}", "unknown op"),
+            ("{\"op\":\"predict\"}", "points"),
+            ("{\"op\":\"predict\",\"points\":[]}", "empty"),
+            ("{\"op\":\"predict\",\"points\":[[1.0]]}", "coordinates"),
+            (
+                "{\"op\":\"load\",\"theta\":[1.0],\"locs\":[[0.0,0.0]],\"z\":[1.0]}",
+                "theta",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        for s in [
+            predict_response(&[1.5, -0.25], Some(&[0.1, 0.2]), 7, 2),
+            predict_response(&[1.0], None, 1, 1),
+            error_response("bad \"thing\""),
+            load_response("m", 100, -42.5),
+            models_response(&[("a".into(), 10), ("b".into(), 20)]),
+        ] {
+            parse_json(&s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn float_wire_format_round_trips_bitwise() {
+        let xs = [1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0, 123456.789012345];
+        let s = predict_response(&xs, None, 1, 1);
+        let v = parse_json(&s).unwrap();
+        let mean = v.get("mean").unwrap().as_array().unwrap();
+        for (a, b) in xs.iter().zip(mean) {
+            assert_eq!(a.to_bits(), b.as_f64().unwrap().to_bits());
+        }
+    }
+}

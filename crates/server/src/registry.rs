@@ -1,0 +1,167 @@
+//! Registry of fitted models with cached Cholesky factors.
+//!
+//! The expensive part of kriging is the O(n³) factorization of Σ(θ); the
+//! per-query work is only triangular solves and cross-covariance dot
+//! products against the cached factor. The registry holds one
+//! [`PredictionPlan`] per model name — factor, solved weights, kernel and
+//! training locations — behind an `RwLock`, so concurrent predict
+//! handlers share plans lock-free after the lookup.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use xgs_core::{log_likelihood, ModelFamily, PredictionPlan};
+use xgs_covariance::Location;
+use xgs_tile::{FlopKernelModel, TlrConfig, Variant};
+
+use crate::protocol::LoadRequest;
+
+/// Shared, concurrently readable model store.
+pub struct ModelRegistry {
+    models: parking_lot::RwLock<HashMap<String, Arc<PredictionPlan>>>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> ModelRegistry {
+        ModelRegistry::new()
+    }
+}
+
+impl ModelRegistry {
+    pub fn new() -> ModelRegistry {
+        ModelRegistry {
+            models: parking_lot::RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Insert (or replace) a model under `name`.
+    pub fn insert(&self, name: &str, plan: Arc<PredictionPlan>) {
+        self.models.write().insert(name.to_string(), plan);
+    }
+
+    /// Shared handle to a cached plan.
+    pub fn get(&self, name: &str) -> Option<Arc<PredictionPlan>> {
+        self.models.read().get(name).cloned()
+    }
+
+    /// `(name, n_train)` pairs, sorted by name.
+    pub fn list(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .models
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.n_train()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+}
+
+/// Factorize Σ(θ) for a dataset and wrap everything a query needs into a
+/// cached [`PredictionPlan`]. Returns the plan and the log-likelihood at θ
+/// (a cheap by-product of the factorization, reported to the client as a
+/// sanity check on the loaded model). `workers = 0` lets the runtime pick.
+pub fn build_plan(
+    family: ModelFamily,
+    theta: &[f64],
+    variant: Variant,
+    tile: usize,
+    locs: Vec<Location>,
+    z: &[f64],
+    workers: usize,
+) -> Result<(Arc<PredictionPlan>, f64), String> {
+    if theta.len() != family.n_params() {
+        return Err(format!(
+            "theta needs {} values, got {}",
+            family.n_params(),
+            theta.len()
+        ));
+    }
+    let n = locs.len();
+    let nb = if tile == 0 {
+        (n / 10).clamp(32, 512)
+    } else {
+        tile
+    };
+    let cfg = TlrConfig::new(variant, nb);
+    let model = FlopKernelModel::default();
+    let kernel: Arc<dyn xgs_covariance::CovarianceKernel> = Arc::from(family.kernel(theta));
+    let rep = log_likelihood(kernel.as_ref(), &locs, z, &cfg, &model, workers)
+        .map_err(|e| format!("factorization failed: {e}"))?;
+    let plan = PredictionPlan::new(kernel, Arc::from(locs), z, rep.factor);
+    Ok((Arc::new(plan), rep.llh))
+}
+
+/// [`build_plan`] from a wire-level [`LoadRequest`].
+pub fn build_plan_from_request(req: &LoadRequest) -> Result<(Arc<PredictionPlan>, f64), String> {
+    build_plan(
+        req.family,
+        &req.theta,
+        req.variant,
+        req.tile,
+        req.locs.clone(),
+        &req.z,
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xgs_core::simulate_field;
+    use xgs_covariance::jittered_grid;
+
+    #[test]
+    fn registry_builds_caches_and_lists_models() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let locs = jittered_grid(120, &mut rng);
+        let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+        let z = simulate_field(kernel.as_ref(), &locs, 12);
+
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let (plan, llh) = build_plan(
+            ModelFamily::MaternSpace,
+            &[1.0, 0.1, 0.5],
+            Variant::MpDense,
+            40,
+            locs.clone(),
+            &z,
+            1,
+        )
+        .unwrap();
+        assert!(llh.is_finite());
+        reg.insert("soil", plan.clone());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("soil").unwrap().n_train(), 120);
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.list(), vec![("soil".to_string(), 120)]);
+
+        // Self-prediction through the cached plan interpolates exactly.
+        let pred = plan.query(&locs[..10], false);
+        for (p, t) in pred.mean.iter().zip(&z[..10]) {
+            assert!((p - t).abs() < 1e-6, "{p} vs {t}");
+        }
+
+        // Bad theta arity is a clean error.
+        assert!(build_plan(
+            ModelFamily::MaternSpace,
+            &[1.0],
+            Variant::MpDense,
+            40,
+            locs,
+            &z,
+            1
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,536 @@
+//! The TCP prediction server.
+//!
+//! Thread layout:
+//!
+//! * **acceptor** — owns the listener, spawns one handler thread per
+//!   connection, exits when the shutdown flag rises (a self-connection
+//!   unblocks `accept`).
+//! * **connection handlers** — read newline-delimited JSON requests with a
+//!   short read timeout so they observe shutdown between requests;
+//!   `predict` enqueues a [`Job`](crate::batch::Job) and blocks on its
+//!   response channel, everything else is answered inline.
+//! * **solvers** — pop coalesced batches off the shared queue and run one
+//!   multi-RHS query per batch against the cached factor.
+//!
+//! Graceful shutdown (`{"op":"shutdown"}` or [`ServerHandle::shutdown`])
+//! drains: the acceptor stops first, handlers finish their in-flight
+//! request, and only then is the queue closed so solvers exit after the
+//! last batch. No request that was acknowledged into the queue is dropped.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use xgs_runtime::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
+
+use crate::batch::{solve_batch, BatchQueue, Job};
+use crate::protocol::{
+    error_response, load_response, models_response, parse_request, predict_response, Request,
+};
+use crate::registry::{build_plan_from_request, ModelRegistry};
+
+/// Tuning knobs of [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Batch-solver threads.
+    pub solvers: usize,
+    /// Coalescing stops adding requests once a batch reaches this many
+    /// points (the multi-RHS solve is O(n² · points), so this bounds
+    /// per-batch latency).
+    pub max_batch_points: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            solvers: 2,
+            max_batch_points: 4096,
+        }
+    }
+}
+
+/// How long connection handlers block on a read before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server-side counters, exported as the shared [`MetricsReport`] JSON
+/// schema so `metrics_diff` can compare service runs with factorization
+/// runs. Kernel kinds: `request` (end-to-end request latency), `solve`
+/// (per-batch multi-RHS query time), `batch_size` (batch size recorded as
+/// `points · 1e-6` "seconds", i.e. the log₂-µs histogram buckets read as
+/// log₂-points), `load` (model factorization+cache time).
+struct ServerMetrics {
+    started: Instant,
+    request: KernelStats,
+    solve: KernelStats,
+    batch_size: KernelStats,
+    queue_wait: KernelStats,
+    load: KernelStats,
+    queue_depth: QueueDepthStats,
+    solver_stats: Vec<WorkerStats>,
+    errors: u64,
+}
+
+impl ServerMetrics {
+    fn new(solvers: usize) -> ServerMetrics {
+        ServerMetrics {
+            started: Instant::now(),
+            request: KernelStats::new("request"),
+            solve: KernelStats::new("solve"),
+            batch_size: KernelStats::new("batch_size"),
+            queue_wait: KernelStats::new("queue_wait"),
+            load: KernelStats::new("load"),
+            queue_depth: QueueDepthStats::default(),
+            solver_stats: vec![WorkerStats::default(); solvers],
+            errors: 0,
+        }
+    }
+
+    fn report(&self) -> MetricsReport {
+        let kernels: Vec<KernelStats> = [
+            self.request,
+            self.solve,
+            self.batch_size,
+            self.queue_wait,
+            self.load,
+        ]
+        .into_iter()
+        .filter(|k| k.count > 0)
+        .collect();
+        MetricsReport {
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+            tasks: self.request.count as usize,
+            workers: self.solver_stats.len(),
+            kernels,
+            queue_depth: self.queue_depth,
+            worker_stats: self.solver_stats.clone(),
+            ..MetricsReport::default()
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    queue: BatchQueue,
+    shutdown: AtomicBool,
+    open_conns: AtomicUsize,
+    metrics: Mutex<ServerMetrics>,
+    max_batch_points: usize,
+}
+
+/// Running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`] (or send `{"op":"shutdown"}`) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    solvers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server metrics as the shared JSON schema.
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.lock().report().to_json()
+    }
+
+    /// Raise the shutdown flag (idempotent, non-blocking). In-flight
+    /// requests still complete; use [`ServerHandle::join`] to wait.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+
+    /// Wait for the full drain: acceptor gone, every connection closed,
+    /// queue empty, solvers exited. Returns the final metrics report.
+    pub fn join(mut self) -> MetricsReport {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Handlers finish their in-flight request and exit within one
+        // read-poll interval of the flag rising; their enqueued jobs must
+        // stay servable until then, so the queue closes only after the
+        // last connection is gone.
+        while self.shared.open_conns.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.queue.close();
+        for s in self.solvers.drain(..) {
+            let _ = s.join();
+        }
+        self.shared.metrics.lock().report()
+    }
+}
+
+fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        // Unblock the acceptor's blocking accept().
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Bind and start the service. Returns once the listener is live.
+pub fn serve(config: &ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let solvers = config.solvers.max(1);
+    let shared = Arc::new(Shared {
+        registry,
+        queue: BatchQueue::new(),
+        shutdown: AtomicBool::new(false),
+        open_conns: AtomicUsize::new(0),
+        metrics: Mutex::new(ServerMetrics::new(solvers)),
+        max_batch_points: config.max_batch_points.max(1),
+    });
+
+    let mut solver_handles = Vec::with_capacity(solvers);
+    for id in 0..solvers {
+        let shared = shared.clone();
+        solver_handles.push(std::thread::spawn(move || solver_loop(&shared, id)));
+    }
+
+    let acceptor = {
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = shared.clone();
+                shared.open_conns.fetch_add(1, Ordering::AcqRel);
+                std::thread::spawn(move || {
+                    handle_connection(&shared, stream, addr);
+                    shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        solvers: solver_handles,
+    })
+}
+
+fn solver_loop(shared: &Shared, id: usize) {
+    while let Some((batch, depth)) = shared.queue.pop_batch(shared.max_batch_points) {
+        let requests = batch.len() as u64;
+        let (points, solve_seconds, max_wait) = solve_batch(batch);
+        let mut m = shared.metrics.lock();
+        m.queue_depth.sample(depth);
+        m.solve.record(solve_seconds);
+        m.queue_wait.record(max_wait);
+        // Batch size goes through the same log₂ histogram as durations by
+        // recording `points · 1e-6 s` (bucket i ⇔ 2^(i-1) ≤ points < 2^i).
+        m.batch_size.record(points as f64 * 1e-6);
+        m.solver_stats[id].busy_seconds += solve_seconds;
+        m.solver_stats[id].tasks += requests;
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Timed out mid-line: `read_line` guarantees the bytes read
+                // so far are in `line`, so keep them and poll again.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.ends_with('\n') && line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        let t0 = Instant::now();
+        let response = handle_request(shared, &line, addr);
+        line.clear();
+        {
+            let mut m = shared.metrics.lock();
+            m.request.record(t0.elapsed().as_secs_f64());
+            if response.starts_with("{\"ok\":false") {
+                m.errors += 1;
+            }
+        }
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .is_err()
+        {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, line: &str, addr: SocketAddr) -> String {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    match req {
+        Request::Ping => {
+            let up = shared.metrics.lock().started.elapsed().as_secs_f64();
+            format!("{{\"ok\":true,\"uptime_seconds\":{up}}}")
+        }
+        Request::Models => models_response(&shared.registry.list()),
+        Request::Metrics => {
+            format!(
+                "{{\"ok\":true,\"metrics\":{}}}",
+                shared.metrics.lock().report().to_json()
+            )
+        }
+        Request::Shutdown => {
+            request_shutdown(shared, addr);
+            "{\"ok\":true,\"draining\":true}".to_string()
+        }
+        Request::Load(load) => {
+            let t0 = Instant::now();
+            match build_plan_from_request(&load) {
+                Ok((plan, llh)) => {
+                    let n = plan.n_train();
+                    shared.registry.insert(&load.name, plan);
+                    shared
+                        .metrics
+                        .lock()
+                        .load
+                        .record(t0.elapsed().as_secs_f64());
+                    load_response(&load.name, n, llh)
+                }
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Predict(p) => {
+            let Some(plan) = shared.registry.get(&p.model) else {
+                return error_response(&format!("unknown model '{}'", p.model));
+            };
+            let (tx, rx) = mpsc::channel();
+            let accepted = shared.queue.push(Job {
+                model: p.model,
+                plan,
+                points: p.points,
+                uncertainty: p.uncertainty,
+                enqueued: Instant::now(),
+                resp: tx,
+            });
+            if !accepted {
+                return error_response("server is shutting down");
+            }
+            match rx.recv_timeout(Duration::from_secs(120)) {
+                Ok(res) => predict_response(
+                    &res.mean,
+                    res.uncertainty.as_deref(),
+                    res.batch_points,
+                    res.batch_requests,
+                ),
+                Err(_) => error_response("solver did not answer (timeout)"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xgs_core::{simulate_field, ModelFamily};
+    use xgs_covariance::jittered_grid;
+    use xgs_runtime::parse_json;
+    use xgs_tile::Variant;
+
+    fn started_server() -> (ServerHandle, Vec<xgs_covariance::Location>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(33);
+        let locs = jittered_grid(150, &mut rng);
+        let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+        let z = simulate_field(kernel.as_ref(), &locs, 34);
+        let (plan, _) = crate::registry::build_plan(
+            ModelFamily::MaternSpace,
+            &[1.0, 0.1, 0.5],
+            Variant::MpDense,
+            48,
+            locs.clone(),
+            &z,
+            1,
+        )
+        .unwrap();
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert("default", plan);
+        let handle = serve(&ServerConfig::default(), registry).unwrap();
+        (handle, locs, z)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &str) -> xgs_runtime::JsonValue {
+        stream.write_all(request.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        parse_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"))
+    }
+
+    #[test]
+    fn full_session_over_tcp() {
+        let (handle, locs, z) = started_server();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+
+        let pong = roundtrip(&mut conn, "{\"op\":\"ping\"}");
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+
+        let models = roundtrip(&mut conn, "{\"op\":\"models\"}");
+        let list = models.get("models").unwrap().as_array().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].get("n_train").unwrap().as_usize(), Some(150));
+
+        // Self-prediction over the wire reproduces the training data.
+        let pts: String = locs[..5]
+            .iter()
+            .map(|l| format!("[{},{}]", l.x, l.y))
+            .collect::<Vec<_>>()
+            .join(",");
+        let pred = roundtrip(
+            &mut conn,
+            &format!("{{\"op\":\"predict\",\"points\":[{pts}],\"uncertainty\":true}}"),
+        );
+        assert_eq!(pred.get("ok").unwrap().as_bool(), Some(true));
+        let mean = pred.get("mean").unwrap().as_array().unwrap();
+        for (m, t) in mean.iter().zip(&z[..5]) {
+            assert!((m.as_f64().unwrap() - t).abs() < 1e-5);
+        }
+        let unc = pred.get("uncertainty").unwrap().as_array().unwrap();
+        assert_eq!(unc.len(), 5);
+
+        // Errors come back as ok:false without killing the connection.
+        let err = roundtrip(
+            &mut conn,
+            "{\"op\":\"predict\",\"model\":\"nope\",\"points\":[[0.5,0.5]]}",
+        );
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert!(err.get("error").unwrap().as_str().unwrap().contains("nope"));
+
+        let m = roundtrip(&mut conn, "{\"op\":\"metrics\"}");
+        let report = MetricsReport::from_json(&m.get("metrics").unwrap().to_json_string())
+            .expect("metrics parse back");
+        assert!(report.tasks >= 4);
+
+        let bye = roundtrip(&mut conn, "{\"op\":\"shutdown\"}");
+        assert_eq!(bye.get("draining").unwrap().as_bool(), Some(true));
+        drop(conn);
+        let report = handle.join();
+        assert!(report.kernels.iter().any(|k| k.kind == "request"));
+    }
+
+    #[test]
+    fn concurrent_clients_get_bitwise_identical_answers() {
+        let (handle, _locs, _z) = started_server();
+        let addr = handle.addr();
+        let points = "[[0.21,0.34],[0.55,0.62],[0.81,0.17]]";
+        let request = format!("{{\"op\":\"predict\",\"points\":{points}}}");
+
+        let mut joins = Vec::new();
+        for _ in 0..6 {
+            let request = request.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                let mut out = Vec::new();
+                for _ in 0..5 {
+                    let v = roundtrip(&mut conn, &request);
+                    let mean: Vec<u64> = v
+                        .get("mean")
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .map(|x| x.as_f64().unwrap().to_bits())
+                        .collect();
+                    out.push(mean);
+                }
+                out
+            }));
+        }
+        let all: Vec<Vec<Vec<u64>>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let first = &all[0][0];
+        for per_client in &all {
+            for mean in per_client {
+                assert_eq!(mean, first, "batching changed the numbers");
+            }
+        }
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn load_over_the_wire_then_predict() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = serve(&ServerConfig::default(), registry).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(77);
+        let locs = jittered_grid(80, &mut rng);
+        let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+        let z = simulate_field(kernel.as_ref(), &locs, 78);
+        let locs_json: String = locs
+            .iter()
+            .map(|l| format!("[{},{}]", l.x, l.y))
+            .collect::<Vec<_>>()
+            .join(",");
+        let z_json: String = z.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+        let loaded = roundtrip(
+            &mut conn,
+            &format!(
+                "{{\"op\":\"load\",\"name\":\"wire\",\"theta\":[1.0,0.1,0.5],\
+                 \"variant\":\"dense\",\"tile\":32,\"locs\":[{locs_json}],\"z\":[{z_json}]}}"
+            ),
+        );
+        assert_eq!(
+            loaded.get("ok").unwrap().as_bool(),
+            Some(true),
+            "{loaded:?}"
+        );
+        assert_eq!(loaded.get("n_train").unwrap().as_usize(), Some(80));
+
+        let pred = roundtrip(
+            &mut conn,
+            &format!(
+                "{{\"op\":\"predict\",\"model\":\"wire\",\"points\":[[{},{}]]}}",
+                locs[3].x, locs[3].y
+            ),
+        );
+        let m = pred.get("mean").unwrap().as_array().unwrap()[0]
+            .as_f64()
+            .unwrap();
+        assert!((m - z[3]).abs() < 1e-5, "{m} vs {}", z[3]);
+
+        handle.shutdown();
+        handle.join();
+    }
+}

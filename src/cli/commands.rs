@@ -13,7 +13,7 @@ use xgs_core::{
     krige, log_likelihood, mspe, simulate_field, ModelFamily, NelderMeadOptions, PsoOptions,
 };
 use xgs_covariance::{jittered_grid, morton_order, spacetime_grid, CovarianceKernel};
-use xgs_perfmodel::{project, Correlation, ScaleConfig, SolverVariant};
+use xgs_perfmodel::{project_with_metrics, Correlation, ScaleConfig, SolverVariant};
 use xgs_tile::{
     decision_heatmap, FlopKernelModel, PrecisionRule, SymTileMatrix, TlrConfig, Variant,
 };
@@ -74,6 +74,13 @@ COMMANDS:
   scale     simulated Fugaku-scale run (Figs. 7/10/11 style)
             --n <size> --nodes <p> [--nb <tile>] [--corr weak|medium|strong|st-strong]
             [--variant dense|fp32|mp|mp-tlr]
+            [--metrics <json>]  (write the event replay's kernel census)
+  serve     long-lived prediction service with a cached factor
+            --data <csv> --theta <θ,..> [--kernel ...] [--variant ...] [--tile <nb>]
+            [--name <model>] [--addr <host:port>] [--solvers <k>] [--max-batch <points>]
+            [--metrics <json>]  (write the server metrics after shutdown)
+            protocol: newline-delimited JSON over TCP, see README;
+            stop with {\"op\":\"shutdown\"} (drains in-flight batches)
   bayes     posterior sampling over the covariance parameters (MCMC)
             --data <csv> --start <θ,..> [--kernel ...] [--variant ...]
             [--iterations <k>] [--burn-in <k>] [--seed <s>]
@@ -410,8 +417,8 @@ pub fn cmd_scale(args: &Args) -> Result<String, CmdError> {
             ))))
         }
     };
-    let p = project(&ScaleConfig::new(n, nb, nodes, corr, variant));
-    Ok(format!(
+    let (p, metrics) = project_with_metrics(&ScaleConfig::new(n, nb, nodes, corr, variant));
+    let mut out = format!(
         "n = {n}, {nodes} modeled A64FX nodes, tile {nb}, {} correlation, {}:\n\
          time-to-solution {:.1}s | {:.1} Tflop/s (dense-equivalent) | footprint {:.0} GB | \
          efficiency {:.0}% | engine: {}{}",
@@ -431,7 +438,86 @@ pub fn cmd_scale(args: &Args) -> Result<String, CmdError> {
         } else {
             " | EXCEEDS aggregate node memory"
         }
-    ))
+    );
+    if let Some(path) = args.get("metrics") {
+        match &metrics {
+            Some(m) => {
+                std::fs::write(path, m.to_json()).map_err(|e| {
+                    CmdError::Run(format!("could not write metrics to {path}: {e}"))
+                })?;
+                out.push_str(&format!("\nwrote simulated kernel census to {path}"));
+            }
+            None => out.push_str(
+                "\nno metrics to write: the analytic engine has no task-level breakdown \
+                 (reduce --n or --nb so NT fits the event window)",
+            ),
+        }
+    }
+    Ok(out)
+}
+
+/// `serve` — load a dataset, factorize once, and serve predictions until a
+/// client sends `{"op":"shutdown"}`.
+pub fn cmd_serve(args: &Args) -> Result<String, CmdError> {
+    use std::sync::Arc;
+    let family = parse_family(args)?;
+    let variant = parse_variant(args)?;
+    let ds = io::load(args.require("data")?)?;
+    let z =
+        ds.z.as_ref()
+            .ok_or_else(|| CmdError::Run("training data has no 'z' column".into()))?;
+    let theta = args
+        .f64_list("theta")?
+        .ok_or_else(|| ArgError("missing required flag --theta".to_string()))?;
+    check_theta_len(family, &theta, "theta")?;
+    let cfg = tile_config(args, variant, ds.locs.len())?;
+    let name = args.str_or("name", "default");
+    let n = ds.locs.len();
+
+    let (plan, llh) = xgs_server::build_plan(
+        family,
+        &theta,
+        variant,
+        cfg.tile_size,
+        ds.locs,
+        z,
+        args.usize_or("workers", 0)?,
+    )
+    .map_err(CmdError::Run)?;
+    let registry = Arc::new(xgs_server::ModelRegistry::new());
+    registry.insert(&name, plan);
+
+    let server_cfg = xgs_server::ServerConfig {
+        addr: args.str_or("addr", "127.0.0.1:4741"),
+        solvers: args.usize_or("solvers", 2)?,
+        max_batch_points: args.usize_or("max-batch", 4096)?,
+    };
+    let handle = xgs_server::serve(&server_cfg, registry)
+        .map_err(|e| CmdError::Run(format!("could not bind {}: {e}", server_cfg.addr)))?;
+    // Announce readiness on stderr immediately — the command's return
+    // value only prints after shutdown.
+    eprintln!(
+        "serving model '{name}' ({n} sites, llh {llh:.4}, variant {}, tile {}) on {} — \
+         stop with {{\"op\":\"shutdown\"}}",
+        variant.name(),
+        cfg.tile_size,
+        handle.addr()
+    );
+    let report = handle.join();
+    let mut out = format!(
+        "server drained after {:.1}s: {} requests",
+        report.wall_seconds, report.tasks
+    );
+    if let Some(solve) = report.kernels.iter().find(|k| k.kind == "solve") {
+        out.push_str(&format!(
+            " in {} batches (mean solve {:.3} ms)",
+            solve.count,
+            solve.mean_seconds() * 1e3
+        ));
+    }
+    out.push('\n');
+    write_metrics(args, Some(&report), &mut out)?;
+    Ok(out)
 }
 
 /// `bayes` — MCMC posterior over the model parameters (paper §VIII
@@ -484,6 +570,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         "predict" => cmd_predict(args),
         "maps" => cmd_maps(args),
         "scale" => cmd_scale(args),
+        "serve" => cmd_serve(args),
         "bayes" => cmd_bayes(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CmdError::Arg(ArgError(format!(
@@ -508,6 +595,78 @@ mod tests {
         .unwrap();
         assert!(out.contains("time-to-solution"));
         assert!(out.contains("weak"));
+    }
+
+    #[test]
+    fn scale_metrics_export_follows_the_engine() {
+        let dir = std::env::temp_dir().join(format!("xgs-scale-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("census.json");
+        let path_s = path.to_str().unwrap();
+
+        // Small enough for the event engine: census written and parseable.
+        let out = run(&argv(&format!(
+            "scale --n 40000 --nodes 16 --nb 800 --corr medium --variant mp --metrics {path_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("engine: event"), "{out}");
+        assert!(out.contains("wrote simulated kernel census"), "{out}");
+        let m = xgs_runtime::MetricsReport::from_json(&std::fs::read_to_string(&path).unwrap())
+            .unwrap();
+        assert!(m.kernels.iter().any(|k| k.kind == "gemm"));
+
+        // Analytic route: no file, explanatory note instead.
+        std::fs::remove_file(&path).unwrap();
+        let out = run(&argv(&format!(
+            "scale --n 2000000 --nodes 2048 --corr weak --variant mp --metrics {path_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("analytic engine has no task-level"), "{out}");
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_command_round_trips_over_tcp() {
+        let dir = std::env::temp_dir().join(format!("xgs-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let data_s = data.to_str().unwrap().to_string();
+        run(&argv(&format!(
+            "simulate --n 200 --params 1.0,0.1,0.5 --seed 17 --out {data_s}"
+        )))
+        .unwrap();
+
+        let port = 41000 + (std::process::id() % 20000) as u16;
+        let metrics = dir.join("server-metrics.json");
+        let metrics_s = metrics.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run(&argv(&format!(
+                "serve --data {data_s} --theta 1.0,0.1,0.5 --tile 50 --variant mp \
+                 --addr 127.0.0.1:{port} --solvers 2 --metrics {metrics_s}"
+            )))
+        });
+
+        let report = xgs_server::loadgen::run(&xgs_server::LoadgenConfig {
+            addr: format!("127.0.0.1:{port}"),
+            requests: 40,
+            conns: 3,
+            points: 4,
+            shutdown: true,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(report.errors, 0, "{}", report.summary());
+        assert_eq!(report.sent, 40);
+
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("server drained"), "{out}");
+        assert!(out.contains("wrote runtime metrics"), "{out}");
+        let m = xgs_runtime::MetricsReport::from_json(&std::fs::read_to_string(&metrics).unwrap())
+            .unwrap();
+        // 40 predicts + loadgen's metrics fetch + shutdown op.
+        assert!(m.tasks >= 42, "served {} requests", m.tasks);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

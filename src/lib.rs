@@ -54,6 +54,7 @@ pub use xgs_kernels as kernels;
 pub use xgs_linalg as linalg;
 pub use xgs_perfmodel as perfmodel;
 pub use xgs_runtime as runtime;
+pub use xgs_server as server;
 pub use xgs_tile as tile;
 
 /// The most common imports, re-exported flat.
@@ -61,7 +62,8 @@ pub mod prelude {
     pub use xgs_cholesky::{logdet, solve_lower, solve_lower_transpose, TiledFactor};
     pub use xgs_core::{
         fit, krige, log_likelihood, mspe, nelder_mead, particle_swarm, run_pipeline,
-        simulate_field, simulate_fields, FitOptions, ModelFamily, PipelineConfig,
+        simulate_field, simulate_fields, solve_weights, FitOptions, ModelFamily, PipelineConfig,
+        PredictionPlan,
     };
     pub use xgs_covariance::{
         bessel_k, jittered_grid, matern_correlation, morton_order, spacetime_grid,
@@ -70,8 +72,11 @@ pub mod prelude {
     };
     pub use xgs_kernels::{Half, Precision};
     pub use xgs_linalg::{LowRank, Matrix};
-    pub use xgs_perfmodel::{project, Correlation, ScaleConfig, SolverVariant};
-    pub use xgs_runtime::{execute, Access, DataId, TaskGraph};
+    pub use xgs_perfmodel::{
+        project, project_with_metrics, Correlation, ScaleConfig, SolverVariant,
+    };
+    pub use xgs_runtime::{execute, parse_json, Access, DataId, JsonValue, TaskGraph};
+    pub use xgs_server::{serve, LoadgenConfig, ModelRegistry, ServerConfig};
     pub use xgs_tile::{
         decision_heatmap, FlopKernelModel, KernelTimeModel, SymTileMatrix, TlrConfig, Variant,
     };

@@ -155,6 +155,105 @@ proptest! {
     }
 
     #[test]
+    fn batched_kriging_matches_pointwise_queries(
+        seed in 0u64..10_000,
+        n_test in 1usize..24,
+        uncertainty in (0usize..2).prop_map(|u| u == 1),
+    ) {
+        // The server coalesces concurrent requests into one multi-RHS
+        // query; batching must never change results. Point-by-point
+        // queries are the finest possible batch split, so full-batch vs
+        // singletons covers every split. The acceptance bar is 1e-12 but
+        // the kernels are column-independent, so we can demand bit
+        // equality outright.
+        use exageostat_rs::server::build_plan;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut locs = jittered_grid(120, &mut rng);
+        morton_order(&mut locs);
+        let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+        let z = simulate_field(kernel.as_ref(), &locs, seed);
+        let (plan, _) = build_plan(
+            ModelFamily::MaternSpace,
+            &[1.0, 0.1, 0.5],
+            Variant::DenseF64,
+            40,
+            locs,
+            &z,
+            1,
+        )
+        .unwrap();
+        use rand::RngExt;
+        let points: Vec<Location> = (0..n_test)
+            .map(|_| Location::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        let batched = plan.query(&points, uncertainty);
+        for (i, p) in points.iter().enumerate() {
+            let single = plan.query(std::slice::from_ref(p), uncertainty);
+            prop_assert!((batched.mean[i] - single.mean[0]).abs() <= 1e-12);
+            prop_assert_eq!(batched.mean[i].to_bits(), single.mean[0].to_bits());
+            if uncertainty {
+                let bu = batched.uncertainty.as_ref().unwrap()[i];
+                let su = single.uncertainty.as_ref().unwrap()[0];
+                prop_assert_eq!(bu.to_bits(), su.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_precision_factor_predicts_like_fp64(seed in 0u64..10_000) {
+        // Caching an adaptively demoted (mixed-precision) factor in the
+        // model registry must not visibly move predictions relative to the
+        // all-FP64 factor of the same Σ(θ): the precision rule bounds each
+        // tile's storage error by its share of the FP64-level global
+        // budget.
+        use exageostat_rs::server::build_plan;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut locs = jittered_grid(150, &mut rng);
+        morton_order(&mut locs);
+        let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+        let z = simulate_field(kernel.as_ref(), &locs, seed);
+        use rand::RngExt;
+        let points: Vec<Location> = (0..12)
+            .map(|_| Location::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        let (p64, llh64) = build_plan(
+            ModelFamily::MaternSpace,
+            &[1.0, 0.1, 0.5],
+            Variant::DenseF64,
+            40,
+            locs.clone(),
+            &z,
+            1,
+        )
+        .unwrap();
+        let (pmp, llhmp) = build_plan(
+            ModelFamily::MaternSpace,
+            &[1.0, 0.1, 0.5],
+            Variant::MpDense,
+            40,
+            locs,
+            &z,
+            1,
+        )
+        .unwrap();
+        prop_assert!((llh64 - llhmp).abs() <= 1e-4 * llh64.abs().max(1.0));
+        let a = p64.query(&points, true);
+        let b = pmp.query(&points, true);
+        for (x, y) in a.mean.iter().zip(&b.mean) {
+            prop_assert!((x - y).abs() <= 1e-5 * x.abs().max(1.0), "{x} vs {y}");
+        }
+        for (x, y) in a
+            .uncertainty
+            .as_ref()
+            .unwrap()
+            .iter()
+            .zip(b.uncertainty.as_ref().unwrap())
+        {
+            prop_assert!((x - y).abs() <= 1e-5 * x.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
     fn runtime_schedules_random_dags_sequentially_consistently(seed in 0u64..10_000) {
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Arc;
