@@ -95,6 +95,11 @@ impl JsonValue {
         match self {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            // JSON has no NaN/Infinity literals; `n.to_string()` would emit
+            // them verbatim and corrupt the document, so non-finite numbers
+            // serialize as null (the only lossless-ish option RFC 8259
+            // leaves us).
+            JsonValue::Number(n) if !n.is_finite() => out.push_str("null"),
             JsonValue::Number(n) => out.push_str(&n.to_string()),
             JsonValue::String(s) => {
                 out.push('"');
@@ -143,11 +148,18 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth [`parse_json`] accepts. Each level of
+/// array/object nesting costs one native stack frame in the recursive-
+/// descent parser, so an attacker-supplied `[[[[…]]]]` must hit a parse
+/// error long before it can overflow the thread stack.
+pub const MAX_JSON_DEPTH: usize = 128;
+
 /// Parse one complete JSON document; trailing non-whitespace is an error.
 pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -161,6 +173,8 @@ pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth (bounded by [`MAX_JSON_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -213,12 +227,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Enter one container level; errors once the document nests deeper
+    /// than [`MAX_JSON_DEPTH`] (recursion-bomb guard).
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_JSON_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut members = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(members));
         }
         loop {
@@ -234,6 +260,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -243,10 +270,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -257,6 +286,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -441,6 +471,48 @@ mod tests {
         ] {
             assert!(parse_json(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn depth_bomb_is_an_error_not_a_stack_overflow() {
+        // 1M unclosed brackets: without the depth guard this recursion
+        // would blow the thread stack; with it, a JsonError at level 129.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let bomb = open.repeat(1_000_000);
+            let err = parse_json(&bomb).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+            // Exactly MAX_JSON_DEPTH levels still parse.
+            let ok = format!(
+                "{}0{}",
+                open.repeat(MAX_JSON_DEPTH),
+                close.repeat(MAX_JSON_DEPTH)
+            );
+            assert!(parse_json(&ok).is_ok(), "depth {MAX_JSON_DEPTH} rejected");
+            let too_deep = format!(
+                "{}0{}",
+                open.repeat(MAX_JSON_DEPTH + 1),
+                close.repeat(MAX_JSON_DEPTH + 1)
+            );
+            assert!(parse_json(&too_deep).is_err());
+        }
+        // Sibling containers don't accumulate depth.
+        let wide = format!("[{}]", vec!["[0]"; 1000].join(","));
+        assert!(parse_json(&wide).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let v = JsonValue::Array(vec![JsonValue::Number(bad), JsonValue::Number(1.5)]);
+            let s = v.to_json_string();
+            assert_eq!(s, "[null,1.5]", "{bad} must not reach the wire");
+            parse_json(&s).expect("output stays valid JSON");
+        }
+        // Overflowing literals parse to infinity (grammar-valid input)…
+        let inf = parse_json("1e999").unwrap();
+        assert_eq!(inf.as_f64(), Some(f64::INFINITY));
+        // …and round-trip to null rather than to an invalid document.
+        assert_eq!(inf.to_json_string(), "null");
     }
 
     #[test]

@@ -316,6 +316,9 @@ impl MetricsReport {
                 "batch_solve",
                 "batch_size",
                 "request",
+                "shed",
+                "deadline",
+                "evict",
                 "even",
                 "odd",
             ];

@@ -1,4 +1,4 @@
-//! Request batching: queue + coalescing policy.
+//! Request batching: bounded queue + coalescing policy + response routing.
 //!
 //! Concurrent predict requests against the same model are merged into one
 //! multi-RHS solve — the cross-covariance assembly and the triangular
@@ -8,6 +8,17 @@
 //! variance are computed column-independently (see the bitwise tests in
 //! `xgs-core::predict` and `xgs-cholesky::solve`), so a batch of 64 equals
 //! 64 singleton queries bit for bit.
+//!
+//! Two robustness properties live here:
+//!
+//! * **Backpressure** — the queue carries a total-points budget; once the
+//!   backlog reaches it, [`BatchQueue::push`] refuses new work so the
+//!   handler can shed the request with a `retry_after_ms` hint instead of
+//!   queueing unboundedly ([`PushError::Overloaded`]).
+//! * **Out-of-order delivery** — jobs carry a [`Responder`] that routes
+//!   the *formatted* response line (id attached) to the connection's
+//!   writer thread, so answers flow back whenever their batch completes,
+//!   independent of request order on the connection.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -18,6 +29,42 @@ use parking_lot::{Condvar, Mutex};
 use xgs_core::PredictionPlan;
 use xgs_covariance::Location;
 
+use crate::protocol::{predict_response, with_id};
+
+/// One response line headed back to a connection, paired with the request
+/// arrival time (the writer records end-to-end latency) and an error flag.
+pub(crate) struct Reply {
+    /// Complete response line, id already attached, no trailing newline.
+    pub line: String,
+    /// When the request was read off the socket.
+    pub t0: Instant,
+    /// Whether this is an `{"ok":false,…}` response (for the error census).
+    pub err: bool,
+}
+
+/// Where a job's answer goes: the owning connection's writer channel.
+/// Consuming `send_*` enforces exactly-one-response per accepted request.
+pub(crate) struct Responder {
+    /// Serialized id to echo (`None` = request carried no id).
+    pub id: Option<String>,
+    pub tx: mpsc::Sender<Reply>,
+    pub t0: Instant,
+}
+
+impl Responder {
+    /// Send a response body (a JSON object literal). A vanished receiver
+    /// means the client hung up mid-flight; the response is dropped on the
+    /// floor, which is the only thing left to do.
+    pub fn send(self, body: String, err: bool) {
+        let line = with_id(self.id.as_deref(), body);
+        let _ = self.tx.send(Reply {
+            line,
+            t0: self.t0,
+            err,
+        });
+    }
+}
+
 /// One enqueued predict request.
 pub(crate) struct Job {
     /// Registry key — jobs only coalesce within the same model.
@@ -26,53 +73,76 @@ pub(crate) struct Job {
     pub points: Vec<Location>,
     pub uncertainty: bool,
     pub enqueued: Instant,
-    /// Where the solver sends this request's slice of the batch result.
-    pub resp: mpsc::Sender<JobResult>,
+    /// Absolute per-request deadline; expired jobs are answered with a
+    /// timeout error at dequeue instead of being solved (or dropped).
+    pub deadline: Option<Instant>,
+    pub resp: Responder,
 }
 
-/// Per-request result, carved out of the batch solve.
-pub(crate) struct JobResult {
-    pub mean: Vec<f64>,
-    pub uncertainty: Option<Vec<f64>>,
-    /// Total points of the batch this request rode in.
-    pub batch_points: usize,
-    /// Number of requests coalesced into that batch.
-    pub batch_requests: usize,
+/// Why a push was refused. The job comes back so its responder can still
+/// answer the client (the drain invariant "every accepted request is
+/// answered" extends to refused ones: they're answered *immediately*).
+pub(crate) enum PushError {
+    /// The queue's points budget is exhausted; shed with a retry hint.
+    Overloaded {
+        /// Backlog size at refusal time (for the retry_after estimate).
+        queued_points: usize,
+    },
+    /// The queue has been closed (server draining).
+    Closed,
 }
 
 struct Inner {
     jobs: VecDeque<Job>,
+    /// Total points across `jobs` (the backpressure quantity: solve cost
+    /// scales with points, not with request count).
+    queued_points: usize,
     closed: bool,
 }
 
-/// MPMC job queue with same-model coalescing on pop.
+/// MPMC job queue with same-model coalescing on pop and a points budget
+/// on push.
 pub(crate) struct BatchQueue {
     inner: Mutex<Inner>,
     cv: Condvar,
+    /// Push refuses work once the backlog holds this many points. A single
+    /// request larger than the budget is still accepted when the queue is
+    /// empty (otherwise it could never run).
+    max_queued_points: usize,
 }
 
 impl BatchQueue {
-    pub fn new() -> BatchQueue {
+    pub fn new(max_queued_points: usize) -> BatchQueue {
         BatchQueue {
             inner: Mutex::new(Inner {
                 jobs: VecDeque::new(),
+                queued_points: 0,
                 closed: false,
             }),
             cv: Condvar::new(),
+            max_queued_points: max_queued_points.max(1),
         }
     }
 
-    /// Enqueue a job; `false` when the queue is already closed (the
-    /// connection handler reports "shutting down" to the client).
-    pub fn push(&self, job: Job) -> bool {
+    /// Enqueue a job, or hand it back with the refusal reason.
+    // Returning the Job by value is the point: the caller must still
+    // answer the client through its responder, and one ~170-byte move per
+    // refused request is noise next to the solve it avoided.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, job: Job) -> Result<(), (Job, PushError)> {
         let mut inner = self.inner.lock();
         if inner.closed {
-            return false;
+            return Err((job, PushError::Closed));
         }
+        if inner.queued_points >= self.max_queued_points {
+            let queued_points = inner.queued_points;
+            return Err((job, PushError::Overloaded { queued_points }));
+        }
+        inner.queued_points += job.points.len();
         inner.jobs.push_back(job);
         drop(inner);
         self.cv.notify_one();
-        true
+        Ok(())
     }
 
     /// Block until work is available, then return a batch: the oldest job
@@ -98,6 +168,7 @@ impl BatchQueue {
                         i += 1;
                     }
                 }
+                inner.queued_points -= batch.iter().map(|j| j.points.len()).sum::<usize>();
                 return Some((batch, depth));
             }
             if inner.closed {
@@ -105,6 +176,12 @@ impl BatchQueue {
             }
             self.cv.wait(&mut inner);
         }
+    }
+
+    /// Current backlog in points (the backpressure quantity).
+    #[cfg(test)]
+    pub fn queued_points(&self) -> usize {
+        self.inner.lock().queued_points
     }
 
     /// Close the queue: pending jobs still drain, new pushes are refused,
@@ -116,8 +193,8 @@ impl BatchQueue {
 }
 
 /// Execute one coalesced batch: a single multi-point query against the
-/// shared plan, then scatter each request's slice back through its
-/// response channel. Returns `(total points, solve seconds, longest queue
+/// shared plan, then send each request's slice of the result back through
+/// its responder. Returns `(total points, solve seconds, longest queue
 /// wait of the batch)` for metrics.
 pub(crate) fn solve_batch(batch: Vec<Job>) -> (usize, f64, f64) {
     let plan = batch[0].plan.clone();
@@ -140,18 +217,17 @@ pub(crate) fn solve_batch(batch: Vec<Job>) -> (usize, f64, f64) {
     let mut offset = 0;
     for job in batch {
         let k = job.points.len();
-        let res = JobResult {
-            mean: result.mean[offset..offset + k].to_vec(),
-            uncertainty: result
+        let body = predict_response(
+            &result.mean[offset..offset + k],
+            result
                 .uncertainty
-                .as_ref()
-                .map(|u| u[offset..offset + k].to_vec()),
-            batch_points: total,
-            batch_requests: n_requests,
-        };
+                .as_deref()
+                .map(|u| &u[offset..offset + k]),
+            total,
+            n_requests,
+        );
         offset += k;
-        // A vanished receiver means the client hung up; nothing to do.
-        let _ = job.resp.send(res);
+        job.resp.send(body, false);
     }
     (total, solve_seconds, max_wait)
 }
@@ -163,6 +239,7 @@ mod tests {
     use rand::SeedableRng;
     use xgs_core::{simulate_field, ModelFamily};
     use xgs_covariance::jittered_grid;
+    use xgs_runtime::parse_json;
     use xgs_tile::Variant;
 
     fn test_plan() -> Arc<PredictionPlan> {
@@ -188,16 +265,22 @@ mod tests {
         model: &str,
         points: Vec<Location>,
         uncertainty: bool,
-    ) -> (Job, mpsc::Receiver<JobResult>) {
+    ) -> (Job, mpsc::Receiver<Reply>) {
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         (
             Job {
                 model: model.to_string(),
                 plan: plan.clone(),
                 points,
                 uncertainty,
-                enqueued: Instant::now(),
-                resp: tx,
+                enqueued: now,
+                deadline: None,
+                resp: Responder {
+                    id: None,
+                    tx,
+                    t0: now,
+                },
             },
             rx,
         )
@@ -206,33 +289,41 @@ mod tests {
     #[test]
     fn pop_batch_coalesces_only_matching_jobs() {
         let plan = test_plan();
-        let q = BatchQueue::new();
+        let q = BatchQueue::new(1 << 16);
         let pts = |x: f64| vec![Location::new(x, 0.5)];
         let (j1, _r1) = job(&plan, "a", pts(0.1), false);
         let (j2, _r2) = job(&plan, "b", pts(0.2), false);
         let (j3, _r3) = job(&plan, "a", pts(0.3), false);
         let (j4, _r4) = job(&plan, "a", pts(0.4), true); // different key
-        assert!(q.push(j1) && q.push(j2) && q.push(j3) && q.push(j4));
+        for j in [j1, j2, j3, j4] {
+            assert!(q.push(j).is_ok());
+        }
+        assert_eq!(q.queued_points(), 4);
 
         let (batch, depth) = q.pop_batch(1024).unwrap();
         assert_eq!(depth, 4);
         assert_eq!(batch.len(), 2, "both 'a'/plain jobs coalesce");
         assert!(batch.iter().all(|j| j.model == "a" && !j.uncertainty));
+        assert_eq!(q.queued_points(), 2);
         let (batch2, _) = q.pop_batch(1024).unwrap();
         assert_eq!(batch2[0].model, "b");
         let (batch3, _) = q.pop_batch(1024).unwrap();
         assert!(batch3[0].uncertainty);
+        assert_eq!(q.queued_points(), 0);
 
         q.close();
         assert!(q.pop_batch(1024).is_none());
         let (j5, _r5) = job(&plan, "a", pts(0.5), false);
-        assert!(!q.push(j5), "closed queue refuses work");
+        assert!(
+            matches!(q.push(j5), Err((_, PushError::Closed))),
+            "closed queue refuses work"
+        );
     }
 
     #[test]
     fn max_points_caps_a_batch() {
         let plan = test_plan();
-        let q = BatchQueue::new();
+        let q = BatchQueue::new(1 << 16);
         let mut rxs = Vec::new();
         for i in 0..6 {
             let (j, r) = job(
@@ -241,13 +332,50 @@ mod tests {
                 vec![Location::new(0.1 * i as f64, 0.5); 4],
                 false,
             );
-            q.push(j);
+            assert!(q.push(j).is_ok());
             rxs.push(r);
         }
         // First pop stops adding once >= 8 points are gathered.
         let (batch, _) = q.pop_batch(8).unwrap();
         assert_eq!(batch.len(), 2);
         assert_eq!(batch.iter().map(|j| j.points.len()).sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn points_budget_sheds_past_the_cap() {
+        let plan = test_plan();
+        let q = BatchQueue::new(10);
+        let mk = |n: usize| job(&plan, "m", vec![Location::new(0.3, 0.5); n], false);
+
+        // 4 + 4 fills to 8 < 10; the third push finds 8 < 10 and is
+        // accepted (budget is a threshold, not a hard ceiling)…
+        let (j1, _r1) = mk(4);
+        let (j2, _r2) = mk(4);
+        let (j3, _r3) = mk(4);
+        assert!(q.push(j1).is_ok() && q.push(j2).is_ok() && q.push(j3).is_ok());
+        assert_eq!(q.queued_points(), 12);
+        // …and now the backlog ≥ budget: even a 1-point job is refused,
+        // with the backlog size attached for the retry hint.
+        let (j4, _r4) = mk(1);
+        match q.push(j4) {
+            Err((job, PushError::Overloaded { queued_points })) => {
+                assert_eq!(queued_points, 12);
+                assert_eq!(job.points.len(), 1, "job handed back intact");
+            }
+            _ => panic!("expected overload"),
+        }
+        // Draining restores capacity.
+        let (batch, _) = q.pop_batch(1 << 16).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(q.queued_points(), 0);
+        let (j5, _r5) = mk(1);
+        assert!(q.push(j5).is_ok());
+
+        // An empty queue accepts even a request larger than the budget
+        // (it could otherwise never run).
+        let q2 = BatchQueue::new(4);
+        let (big, _rb) = mk(64);
+        assert!(q2.push(big).is_ok());
     }
 
     #[test]
@@ -272,11 +400,18 @@ mod tests {
         let mut got_mean = Vec::new();
         let mut got_unc = Vec::new();
         for rx in rxs {
-            let res = rx.recv().unwrap();
-            assert_eq!(res.batch_points, 9);
-            assert_eq!(res.batch_requests, 3);
-            got_mean.extend(res.mean);
-            got_unc.extend(res.uncertainty.unwrap());
+            let reply = rx.recv().unwrap();
+            assert!(!reply.err);
+            let v = parse_json(&reply.line).unwrap();
+            let batch = v.get("batch").unwrap();
+            assert_eq!(batch.get("points").unwrap().as_usize(), Some(9));
+            assert_eq!(batch.get("requests").unwrap().as_usize(), Some(3));
+            for x in v.get("mean").unwrap().as_array().unwrap() {
+                got_mean.push(x.as_f64().unwrap());
+            }
+            for x in v.get("uncertainty").unwrap().as_array().unwrap() {
+                got_unc.push(x.as_f64().unwrap());
+            }
         }
         for (a, b) in reference.mean.iter().zip(&got_mean) {
             assert_eq!(a.to_bits(), b.to_bits());

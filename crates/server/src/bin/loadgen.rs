@@ -5,12 +5,20 @@
 //! cargo run -p xgs-server --release --bin loadgen -- \
 //!     --addr 127.0.0.1:4741 --requests 1000 --conns 8 --points 16 \
 //!     [--rate 500] [--uncertainty] [--model default] [--seed 1] \
+//!     [--concurrency-per-conn 8] [--deadline-ms 250] [--overload] \
 //!     [--metrics out.json] [--shutdown]
 //! ```
 //!
-//! Exit status: 0 when every request succeeded, 1 otherwise — CI smoke
-//! tests rely on this. `--shutdown` sends `{"op":"shutdown"}` at the end
-//! so a scripted server drains and exits cleanly.
+//! `--concurrency-per-conn` pipelines that many requests per connection
+//! (responses are correlated by id, so out-of-order completion is fine);
+//! `--deadline-ms` attaches a per-request deadline; `--overload` runs an
+//! overload drill in which shed responses (`retry_after_ms`) are expected.
+//!
+//! Exit status: 0 when every request succeeded (shed responses count as
+//! failures unless `--overload`, deadline expiries unless `--deadline-ms`),
+//! 1 otherwise — CI smoke tests rely on this. `--shutdown` sends
+//! `{"op":"shutdown"}` at the end so a scripted server drains and exits
+//! cleanly.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -60,7 +68,18 @@ fn parse_args(argv: &[String]) -> Result<(loadgen::LoadgenConfig, Option<String>
                         .map_err(|e| format!("--connect-timeout: {e}"))?,
                 )
             }
+            "--concurrency-per-conn" => {
+                cfg.concurrency_per_conn = value("concurrency-per-conn")?
+                    .parse()
+                    .map_err(|e| format!("--concurrency-per-conn: {e}"))?
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = value("deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
             "--uncertainty" => cfg.uncertainty = true,
+            "--overload" => cfg.overload = true,
             "--shutdown" => cfg.shutdown = true,
             "--metrics" => metrics_path = Some(value("metrics")?),
             other => return Err(format!("unknown flag '{other}'")),
@@ -91,7 +110,9 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            if report.errors > 0 {
+            let unexpected_shed = !cfg.overload && report.shed > 0;
+            let unexpected_expiry = cfg.deadline_ms == 0 && report.expired > 0;
+            if report.errors > 0 || unexpected_shed || unexpected_expiry {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS

@@ -9,6 +9,14 @@
 //! newline-delimited-JSON protocol, and coalesces concurrent requests
 //! into multi-RHS solves ([`batch`]) for throughput.
 //!
+//! Requests may carry a client-assigned `"id"` (echoed in the response)
+//! and a `"deadline_ms"`; each connection has its own writer thread, so
+//! responses complete out of order and a slow `predict` never blocks a
+//! `ping` on the same connection. The batch queue carries a points budget:
+//! past it, `predict` is shed with a `retry_after_ms` hint instead of
+//! queueing unboundedly, and request lines / JSON nesting are hard-capped
+//! so hostile clients cannot exhaust memory or the stack.
+//!
 //! Everything is dependency-free `std::net` + threads; JSON goes through
 //! the hand-rolled reader/writers in `xgs-runtime`. See the repository
 //! README ("Prediction service protocol") for the wire grammar and the
@@ -21,6 +29,6 @@ pub mod registry;
 pub mod server;
 
 pub use loadgen::{connect_with_retry, LoadgenConfig, LoadgenReport};
-pub use protocol::{parse_request, LoadRequest, PredictRequest, Request};
+pub use protocol::{parse_request, Envelope, LoadRequest, ParseFailure, PredictRequest, Request};
 pub use registry::{build_plan, ModelRegistry};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ServerConfig, ServerHandle, MAX_LINE_BYTES};

@@ -3,15 +3,24 @@
 //! Replays a deterministic stream of predict requests against a running
 //! server from `conns` parallel connections, optionally throttled to a
 //! target aggregate rate, and reports throughput plus latency percentiles.
-//! Every response's mean vector is folded into an order-independent
-//! checksum (per-request FNV hashes combined with XOR), so two runs with
-//! the same seed against the same model must produce the same checksum —
-//! the smoke tests use this to prove batching never changes results.
+//! Every request carries an `"id"` and each connection keeps up to
+//! `concurrency_per_conn` requests in flight, correlating the server's
+//! out-of-order responses by id — so the generator doubles as an exerciser
+//! of the server's connection multiplexing.
+//!
+//! Every successful response's mean vector is folded into an
+//! order-independent checksum (per-request FNV hashes combined with XOR),
+//! so two runs with the same seed against the same model must produce the
+//! same checksum — the smoke tests use this to prove that neither batching
+//! nor out-of-order completion ever changes results.
+//!
+//! The generator never panics on server misbehaviour: refused (shed),
+//! expired (deadline) and failed requests are counted separately and the
+//! binary turns unexpected ones into a nonzero exit.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -43,6 +52,14 @@ pub struct LoadgenConfig {
     pub connect_timeout: Duration,
     /// Send `{"op":"shutdown"}` after the run (for scripted smoke tests).
     pub shutdown: bool,
+    /// In-flight requests per connection (pipelining window, ≥ 1). Above 1
+    /// the server may answer out of order; responses are matched by id.
+    pub concurrency_per_conn: usize,
+    /// Attach `"deadline_ms"` to every predict (0 = none).
+    pub deadline_ms: u64,
+    /// Overload drill: shed responses (`retry_after_ms`) are expected and
+    /// do not fail the run.
+    pub overload: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +76,9 @@ impl Default for LoadgenConfig {
             domain: 1.0,
             connect_timeout: Duration::from_secs(10),
             shutdown: false,
+            concurrency_per_conn: 1,
+            deadline_ms: 0,
+            overload: false,
         }
     }
 }
@@ -66,8 +86,15 @@ impl Default for LoadgenConfig {
 /// Outcome of one load-generation run.
 #[derive(Clone, Debug)]
 pub struct LoadgenReport {
+    /// Requests answered `ok:true`.
     pub sent: usize,
+    /// Hard failures: transport errors, disconnects, malformed or
+    /// unclassifiable error responses.
     pub errors: usize,
+    /// Requests refused with a `retry_after_ms` hint (overload shedding).
+    pub shed: usize,
+    /// Requests answered with a deadline-exceeded error.
+    pub expired: usize,
     /// Wall time of the request phase, seconds.
     pub elapsed: f64,
     /// Successful requests per second.
@@ -87,7 +114,7 @@ impl LoadgenReport {
     pub fn summary(&self) -> String {
         format!(
             "{} requests in {:.2}s: {:.0} req/s | latency p50 {:.2} ms, p95 {:.2} ms, \
-             p99 {:.2} ms, max {:.2} ms | {} errors | checksum {:016x}",
+             p99 {:.2} ms, max {:.2} ms | {} errors, {} shed, {} expired | checksum {:016x}",
             self.sent,
             self.elapsed,
             self.throughput,
@@ -96,6 +123,8 @@ impl LoadgenReport {
             self.p99_ms,
             self.max_ms,
             self.errors,
+            self.shed,
+            self.expired,
             self.checksum
         )
     }
@@ -106,11 +135,14 @@ impl LoadgenReport {
     pub fn to_json(&self) -> String {
         let loadgen = format!(
             concat!(
-                "{{\"sent\":{},\"errors\":{},\"elapsed_seconds\":{},\"throughput_rps\":{},",
+                "{{\"sent\":{},\"errors\":{},\"shed\":{},\"expired\":{},",
+                "\"elapsed_seconds\":{},\"throughput_rps\":{},",
                 "\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"checksum\":\"{:016x}\"}}"
             ),
             self.sent,
             self.errors,
+            self.shed,
+            self.expired,
             self.elapsed,
             self.throughput,
             self.p50_ms,
@@ -145,12 +177,7 @@ fn hash_bits(acc: u64, x: f64) -> u64 {
     (acc ^ x.to_bits()).wrapping_mul(0x100000001b3)
 }
 
-fn one_request(
-    stream: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    cfg: &LoadgenConfig,
-    rng: &mut StdRng,
-) -> Result<u64, String> {
+fn build_request(cfg: &LoadgenConfig, rng: &mut StdRng, seq: usize) -> String {
     let pts: String = (0..cfg.points)
         .map(|_| {
             format!(
@@ -161,37 +188,136 @@ fn one_request(
         })
         .collect::<Vec<_>>()
         .join(",");
-    let request = format!(
-        "{{\"op\":\"predict\",\"model\":\"{}\",\"points\":[{pts}],\"uncertainty\":{}}}\n",
+    let deadline = if cfg.deadline_ms > 0 {
+        format!(",\"deadline_ms\":{}", cfg.deadline_ms)
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"op\":\"predict\",\"id\":{seq},\"model\":\"{}\",\"points\":[{pts}],\
+         \"uncertainty\":{}{deadline}}}\n",
         cfg.model, cfg.uncertainty
-    );
-    stream
-        .write_all(request.as_bytes())
-        .map_err(|e| format!("send: {e}"))?;
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("recv: {e}"))?;
-    if line.is_empty() {
-        return Err("server closed the connection".to_string());
-    }
-    let v = parse_json(&line).map_err(|e| format!("bad response: {e}"))?;
-    if v.get("ok").and_then(|o| o.as_bool()) != Some(true) {
-        return Err(v
-            .get("error")
-            .and_then(|e| e.as_str())
-            .unwrap_or("request failed")
-            .to_string());
-    }
-    let mut h = 0xcbf29ce484222325u64;
-    for field in ["mean", "uncertainty"] {
-        if let Some(values) = v.get(field).and_then(|m| m.as_array()) {
-            for x in values {
-                h = hash_bits(h, x.as_f64().ok_or("non-numeric result")?);
+    )
+}
+
+/// Per-connection tally, merged across workers after the join.
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    errors: usize,
+    shed: usize,
+    expired: usize,
+    checksum: u64,
+}
+
+/// One pipelined connection: keep up to `window` requests in flight,
+/// correlate out-of-order responses by id. Any transport failure fails the
+/// connection's remaining requests — never the process.
+fn run_conn(cfg: &LoadgenConfig, conn_id: usize, share: usize, interval: Duration) -> Tally {
+    let mut tally = Tally {
+        latencies_ms: Vec::with_capacity(share),
+        ..Tally::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(7919 * conn_id as u64));
+    let window = cfg.concurrency_per_conn.max(1);
+
+    let Ok(mut stream) = connect_with_retry(&cfg.addr, cfg.connect_timeout) else {
+        tally.errors += share;
+        return tally;
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => {
+            tally.errors += share;
+            return tally;
+        }
+    };
+
+    let mut pending: HashMap<usize, Instant> = HashMap::new();
+    let mut sent = 0usize;
+    let mut done = 0usize;
+    let mut next_send = Instant::now();
+    while done < share {
+        let due = interval.is_zero() || Instant::now() >= next_send;
+        if sent < share && pending.len() < window && due {
+            let request = build_request(cfg, &mut rng, sent);
+            if stream.write_all(request.as_bytes()).is_err() {
+                tally.errors += share - done;
+                return tally;
+            }
+            pending.insert(sent, Instant::now());
+            sent += 1;
+            if !interval.is_zero() {
+                next_send += interval;
+            }
+            continue;
+        }
+        if pending.is_empty() {
+            // Throttled with nothing in flight: wait out the interval.
+            let now = Instant::now();
+            if now < next_send {
+                std::thread::sleep(next_send - now);
+            }
+            continue;
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            _ => {
+                // Disconnect or socket error: everything outstanding fails.
+                tally.errors += share - done;
+                return tally;
             }
         }
+        let Ok(v) = parse_json(&line) else {
+            tally.errors += share - done;
+            return tally;
+        };
+        let Some(t_send) = v
+            .get("id")
+            .and_then(|i| i.as_usize())
+            .and_then(|seq| pending.remove(&seq))
+        else {
+            // A response we cannot attribute means the stream is out of
+            // sync; abandon the connection rather than guess.
+            tally.errors += share - done;
+            return tally;
+        };
+        done += 1;
+        if v.get("ok").and_then(|o| o.as_bool()) == Some(true) {
+            let mut h = 0xcbf29ce484222325u64;
+            let mut numeric = true;
+            for field in ["mean", "uncertainty"] {
+                if let Some(values) = v.get(field).and_then(|m| m.as_array()) {
+                    for x in values {
+                        match x.as_f64() {
+                            Some(f) => h = hash_bits(h, f),
+                            None => numeric = false,
+                        }
+                    }
+                }
+            }
+            if numeric {
+                tally
+                    .latencies_ms
+                    .push(t_send.elapsed().as_secs_f64() * 1e3);
+                tally.checksum ^= h;
+            } else {
+                tally.errors += 1;
+            }
+        } else if v.get("retry_after_ms").is_some() {
+            tally.shed += 1;
+        } else if v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .is_some_and(|e| e.contains("deadline"))
+        {
+            tally.expired += 1;
+        } else {
+            tally.errors += 1;
+        }
     }
-    Ok(h)
+    tally
 }
 
 /// Run the full load-generation session.
@@ -200,8 +326,6 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     // Fail fast (and wait for a booting server) before spawning workers.
     drop(connect_with_retry(&cfg.addr, cfg.connect_timeout)?);
 
-    let errors = Arc::new(AtomicUsize::new(0));
-    let checksum = Arc::new(AtomicU64::new(0));
     let per_conn_interval = if cfg.rate > 0.0 {
         Duration::from_secs_f64(conns as f64 / cfg.rate)
     } else {
@@ -212,46 +336,30 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut workers = Vec::new();
     for conn_id in 0..conns {
         let cfg = cfg.clone();
-        let errors = errors.clone();
-        let checksum = checksum.clone();
         // Requests are split evenly; the first `requests % conns`
         // connections take one extra.
         let share = cfg.requests / conns + usize::from(conn_id < cfg.requests % conns);
-        workers.push(std::thread::spawn(move || -> Vec<f64> {
-            let mut latencies = Vec::with_capacity(share);
-            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(7919 * conn_id as u64));
-            let Ok(mut stream) = connect_with_retry(&cfg.addr, cfg.connect_timeout) else {
-                errors.fetch_add(share, Ordering::Relaxed);
-                return latencies;
-            };
-            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-            let mut next_send = Instant::now();
-            for _ in 0..share {
-                if !per_conn_interval.is_zero() {
-                    let now = Instant::now();
-                    if now < next_send {
-                        std::thread::sleep(next_send - now);
-                    }
-                    next_send += per_conn_interval;
-                }
-                let t = Instant::now();
-                match one_request(&mut stream, &mut reader, &cfg, &mut rng) {
-                    Ok(h) => {
-                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
-                        checksum.fetch_xor(h, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            latencies
-        }));
+        let worker = std::thread::spawn(move || run_conn(&cfg, conn_id, share, per_conn_interval));
+        workers.push((share, worker));
     }
 
     let mut latencies: Vec<f64> = Vec::with_capacity(cfg.requests);
-    for w in workers {
-        latencies.extend(w.join().map_err(|_| "worker panicked".to_string())?);
+    let mut errors = 0usize;
+    let mut shed = 0usize;
+    let mut expired = 0usize;
+    let mut checksum = 0u64;
+    for (share, w) in workers {
+        match w.join() {
+            Ok(t) => {
+                latencies.extend(t.latencies_ms);
+                errors += t.errors;
+                shed += t.shed;
+                expired += t.expired;
+                checksum ^= t.checksum;
+            }
+            // A panicked worker answered nothing: its whole share failed.
+            Err(_) => errors += share,
+        }
     }
     let elapsed = t0.elapsed().as_secs_f64();
     latencies.sort_by(f64::total_cmp);
@@ -265,26 +373,30 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     // Post-run control traffic on a fresh connection.
     let mut server_metrics = None;
     if let Ok(mut ctl) = connect_with_retry(&cfg.addr, Duration::from_secs(2)) {
-        let mut reader = BufReader::new(ctl.try_clone().map_err(|e| e.to_string())?);
-        if ctl.write_all(b"{\"op\":\"metrics\"}\n").is_ok() {
-            let mut line = String::new();
-            if reader.read_line(&mut line).is_ok() {
-                if let Ok(v) = parse_json(&line) {
-                    server_metrics = v.get("metrics").map(|m| m.to_json_string());
+        if let Ok(clone) = ctl.try_clone() {
+            let mut reader = BufReader::new(clone);
+            if ctl.write_all(b"{\"op\":\"metrics\"}\n").is_ok() {
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    if let Ok(v) = parse_json(&line) {
+                        server_metrics = v.get("metrics").map(|m| m.to_json_string());
+                    }
                 }
             }
-        }
-        if cfg.shutdown {
-            let _ = ctl.write_all(b"{\"op\":\"shutdown\"}\n");
-            let mut line = String::new();
-            let _ = reader.read_line(&mut line);
+            if cfg.shutdown {
+                let _ = ctl.write_all(b"{\"op\":\"shutdown\"}\n");
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+            }
         }
     }
 
     let sent = latencies.len();
     Ok(LoadgenReport {
         sent,
-        errors: errors.load(Ordering::Relaxed),
+        errors,
+        shed,
+        expired,
         elapsed,
         throughput: if elapsed > 0.0 {
             sent as f64 / elapsed
@@ -295,7 +407,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         p95_ms: pct(0.95),
         p99_ms: pct(0.99),
         max_ms: latencies.last().copied().unwrap_or(0.0),
-        checksum: checksum.load(Ordering::Relaxed),
+        checksum,
         server_metrics,
     })
 }
@@ -309,6 +421,8 @@ mod tests {
         let r = LoadgenReport {
             sent: 10,
             errors: 0,
+            shed: 2,
+            expired: 1,
             elapsed: 0.5,
             throughput: 20.0,
             p50_ms: 1.0,
@@ -324,10 +438,15 @@ mod tests {
             Some(10)
         );
         assert_eq!(
+            v.get("loadgen").unwrap().get("shed").unwrap().as_usize(),
+            Some(2)
+        );
+        assert_eq!(
             v.get("server").unwrap().get("tasks").unwrap().as_usize(),
             Some(10)
         );
         assert!(r.summary().contains("10 requests"));
+        assert!(r.summary().contains("2 shed"));
     }
 
     #[test]
@@ -342,6 +461,24 @@ mod tests {
         let a = hs[0] ^ hs[1] ^ hs[2];
         let b = hs[2] ^ hs[0] ^ hs[1];
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_tagged() {
+        let cfg = LoadgenConfig {
+            deadline_ms: 250,
+            ..LoadgenConfig::default()
+        };
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let a = build_request(&cfg, &mut rng_a, 3);
+        let b = build_request(&cfg, &mut rng_b, 3);
+        assert_eq!(a, b);
+        assert!(a.contains("\"id\":3"));
+        assert!(a.contains("\"deadline_ms\":250"));
+        let no_deadline =
+            build_request(&LoadgenConfig::default(), &mut StdRng::seed_from_u64(9), 0);
+        assert!(!no_deadline.contains("deadline_ms"));
     }
 
     #[test]

@@ -5,11 +5,25 @@
 //! documented in the repository README ("Prediction service protocol");
 //! parsing reuses the hand-rolled [`xgs_runtime::json`] reader so the
 //! server stays dependency-free.
+//!
+//! Requests may carry an optional client-assigned `"id"` (string or finite
+//! number) that is echoed verbatim in the matching response. Because the
+//! server answers a connection's requests out of order (`predict` runs on
+//! the solver pool while `ping`/`metrics` are answered inline), a client
+//! that pipelines more than one request at a time must tag them with ids
+//! to correlate the responses. `predict` additionally accepts
+//! `"deadline_ms"`: a per-request time budget after which the server
+//! answers with a timeout error instead of running the solve.
 
 use xgs_core::ModelFamily;
 use xgs_covariance::Location;
 use xgs_runtime::{escape_json, parse_json, JsonValue};
 use xgs_tile::Variant;
+
+/// Hard cap on the serialized length of a client-assigned `id` (the server
+/// echoes ids verbatim, so unbounded ids would let a client inflate every
+/// response).
+pub const MAX_ID_LEN: usize = 256;
 
 /// One parsed client request.
 #[derive(Debug)]
@@ -26,6 +40,22 @@ pub enum Request {
     Load(LoadRequest),
     /// Kriging query against a cached model.
     Predict(PredictRequest),
+}
+
+/// A parsed request plus its correlation id (already serialized back to
+/// JSON text, ready to echo).
+#[derive(Debug)]
+pub struct Envelope {
+    pub id: Option<String>,
+    pub req: Request,
+}
+
+/// A request that failed to parse; carries the id (when one was readable)
+/// so even error responses stay correlatable on a multiplexed connection.
+#[derive(Debug)]
+pub struct ParseFailure {
+    pub id: Option<String>,
+    pub error: String,
 }
 
 /// `{"op":"load", ...}` payload.
@@ -47,16 +77,33 @@ pub struct PredictRequest {
     pub model: String,
     pub points: Vec<Location>,
     pub uncertainty: bool,
+    /// Per-request time budget, milliseconds (None = no deadline).
+    pub deadline_ms: Option<u64>,
 }
 
-fn parse_points(v: &JsonValue) -> Result<Vec<Location>, String> {
-    let arr = v.as_array().ok_or("'points' must be an array")?;
+/// A finite `f64` or a client-facing error naming the offending field —
+/// non-finite coordinates/values must never reach a solve (a single NaN
+/// poisons the whole batched multi-RHS solve it rides in).
+fn finite(x: f64, what: &str) -> Result<f64, String> {
+    if x.is_finite() {
+        Ok(x)
+    } else {
+        Err(format!("'{what}' contains a non-finite number"))
+    }
+}
+
+fn parse_points(v: &JsonValue, what: &str) -> Result<Vec<Location>, String> {
+    let arr = v.as_array().ok_or(format!("'{what}' must be an array"))?;
     let mut out = Vec::with_capacity(arr.len());
     for p in arr {
         let coords = p.as_array().ok_or("each point must be [x,y] or [x,y,t]")?;
         let c: Vec<f64> = coords
             .iter()
-            .map(|x| x.as_f64().ok_or("point coordinates must be numbers"))
+            .map(|x| {
+                x.as_f64()
+                    .ok_or("point coordinates must be numbers".to_string())
+                    .and_then(|x| finite(x, what))
+            })
             .collect::<Result<_, _>>()?;
         match c.len() {
             2 => out.push(Location::new(c[0], c[1])),
@@ -74,109 +121,167 @@ fn parse_f64_list(v: &JsonValue, what: &str) -> Result<Vec<f64>, String> {
         .map(|x| {
             x.as_f64()
                 .ok_or(format!("'{what}' must contain only numbers"))
+                .and_then(|x| finite(x, what))
         })
         .collect()
 }
 
-/// Parse one request line. Errors are client-facing strings (they go back
-/// over the wire in an `{"ok":false}` envelope).
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = parse_json(line).map_err(|e| format!("bad JSON: {e}"))?;
-    let obj = v.as_object().ok_or("request must be a JSON object")?;
+/// Serialize a request's `"id"` member back to JSON text for echoing.
+/// Only strings and finite numbers are accepted as ids.
+fn parse_id(obj: &std::collections::BTreeMap<String, JsonValue>) -> Result<Option<String>, String> {
+    let Some(id) = obj.get("id") else {
+        return Ok(None);
+    };
+    let text = match id {
+        JsonValue::String(s) => format!("\"{}\"", escape_json(s)),
+        JsonValue::Number(n) if n.is_finite() => n.to_string(),
+        _ => return Err("'id' must be a string or a finite number".to_string()),
+    };
+    if text.len() > MAX_ID_LEN {
+        return Err(format!("'id' longer than {MAX_ID_LEN} bytes"));
+    }
+    Ok(Some(text))
+}
+
+/// Parse one request line. Failures are client-facing ([`ParseFailure`]
+/// goes back over the wire in an `{"ok":false}` envelope, id attached when
+/// one could be read).
+pub fn parse_request(line: &str) -> Result<Envelope, ParseFailure> {
+    let no_id = |error: String| ParseFailure { id: None, error };
+    let v = parse_json(line).map_err(|e| no_id(format!("bad JSON: {e}")))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| no_id("request must be a JSON object".to_string()))?;
+    let id = parse_id(obj).map_err(no_id)?;
+    let fail = |error: String| ParseFailure {
+        id: id.clone(),
+        error,
+    };
     let op = obj
         .get("op")
         .and_then(|o| o.as_str())
-        .ok_or("missing string field 'op'")?;
-    match op {
-        "ping" => Ok(Request::Ping),
-        "models" => Ok(Request::Models),
-        "metrics" => Ok(Request::Metrics),
-        "shutdown" => Ok(Request::Shutdown),
-        "predict" => {
-            let model = obj
-                .get("model")
-                .and_then(|m| m.as_str())
-                .unwrap_or("default")
-                .to_string();
-            let points = parse_points(obj.get("points").ok_or("predict needs 'points'")?)?;
-            if points.is_empty() {
-                return Err("'points' must not be empty".into());
-            }
-            let uncertainty = obj
-                .get("uncertainty")
-                .map(|u| u.as_bool().ok_or("'uncertainty' must be a boolean"))
-                .transpose()?
-                .unwrap_or(false);
-            Ok(Request::Predict(PredictRequest {
-                model,
-                points,
-                uncertainty,
-            }))
-        }
-        "load" => {
-            let name = obj
-                .get("name")
-                .and_then(|m| m.as_str())
-                .unwrap_or("default")
-                .to_string();
-            let family = match obj
-                .get("kernel")
-                .and_then(|k| k.as_str())
-                .unwrap_or("matern")
-            {
-                "matern" => ModelFamily::MaternSpace,
-                "gneiting" => ModelFamily::GneitingSpaceTime,
-                other => return Err(format!("unknown kernel '{other}' (matern|gneiting)")),
-            };
-            let variant = match obj
-                .get("variant")
-                .and_then(|s| s.as_str())
-                .unwrap_or("mp-tlr")
-            {
-                "dense" => Variant::DenseF64,
-                "mp" => Variant::MpDense,
-                "mp-tlr" => Variant::MpDenseTlr,
-                other => return Err(format!("unknown variant '{other}' (dense|mp|mp-tlr)")),
-            };
-            let theta = parse_f64_list(obj.get("theta").ok_or("load needs 'theta'")?, "theta")?;
-            if theta.len() != family.n_params() {
-                return Err(format!(
-                    "'theta' needs {} values for this kernel, got {}",
-                    family.n_params(),
-                    theta.len()
-                ));
-            }
-            let locs = parse_points(obj.get("locs").ok_or("load needs 'locs'")?)?;
-            let z = parse_f64_list(obj.get("z").ok_or("load needs 'z'")?, "z")?;
-            if locs.is_empty() || locs.len() != z.len() {
-                return Err(format!(
-                    "'locs' ({}) and 'z' ({}) must be equal-length and non-empty",
-                    locs.len(),
-                    z.len()
-                ));
-            }
-            let tile = obj
-                .get("tile")
-                .map(|t| t.as_usize().ok_or("'tile' must be a non-negative integer"))
-                .transpose()?
-                .unwrap_or(0);
-            Ok(Request::Load(LoadRequest {
-                name,
-                family,
-                theta,
-                variant,
-                tile,
-                locs,
-                z,
-            }))
-        }
-        other => Err(format!("unknown op '{other}'")),
+        .ok_or_else(|| fail("missing string field 'op'".to_string()))?;
+    let req = match op {
+        "ping" => Request::Ping,
+        "models" => Request::Models,
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        "predict" => parse_predict(obj).map_err(fail)?,
+        "load" => parse_load(obj).map_err(fail)?,
+        other => return Err(fail(format!("unknown op '{other}'"))),
+    };
+    Ok(Envelope { id, req })
+}
+
+fn parse_predict(obj: &std::collections::BTreeMap<String, JsonValue>) -> Result<Request, String> {
+    let model = obj
+        .get("model")
+        .and_then(|m| m.as_str())
+        .unwrap_or("default")
+        .to_string();
+    let points = parse_points(obj.get("points").ok_or("predict needs 'points'")?, "points")?;
+    if points.is_empty() {
+        return Err("'points' must not be empty".into());
+    }
+    let uncertainty = obj
+        .get("uncertainty")
+        .map(|u| u.as_bool().ok_or("'uncertainty' must be a boolean"))
+        .transpose()?
+        .unwrap_or(false);
+    let deadline_ms = obj
+        .get("deadline_ms")
+        .map(|d| {
+            d.as_u64()
+                .ok_or("'deadline_ms' must be a non-negative integer")
+        })
+        .transpose()?;
+    Ok(Request::Predict(PredictRequest {
+        model,
+        points,
+        uncertainty,
+        deadline_ms,
+    }))
+}
+
+fn parse_load(obj: &std::collections::BTreeMap<String, JsonValue>) -> Result<Request, String> {
+    let name = obj
+        .get("name")
+        .and_then(|m| m.as_str())
+        .unwrap_or("default")
+        .to_string();
+    let family = match obj
+        .get("kernel")
+        .and_then(|k| k.as_str())
+        .unwrap_or("matern")
+    {
+        "matern" => ModelFamily::MaternSpace,
+        "gneiting" => ModelFamily::GneitingSpaceTime,
+        other => return Err(format!("unknown kernel '{other}' (matern|gneiting)")),
+    };
+    let variant = match obj
+        .get("variant")
+        .and_then(|s| s.as_str())
+        .unwrap_or("mp-tlr")
+    {
+        "dense" => Variant::DenseF64,
+        "mp" => Variant::MpDense,
+        "mp-tlr" => Variant::MpDenseTlr,
+        other => return Err(format!("unknown variant '{other}' (dense|mp|mp-tlr)")),
+    };
+    let theta = parse_f64_list(obj.get("theta").ok_or("load needs 'theta'")?, "theta")?;
+    if theta.len() != family.n_params() {
+        return Err(format!(
+            "'theta' needs {} values for this kernel, got {}",
+            family.n_params(),
+            theta.len()
+        ));
+    }
+    let locs = parse_points(obj.get("locs").ok_or("load needs 'locs'")?, "locs")?;
+    let z = parse_f64_list(obj.get("z").ok_or("load needs 'z'")?, "z")?;
+    if locs.is_empty() || locs.len() != z.len() {
+        return Err(format!(
+            "'locs' ({}) and 'z' ({}) must be equal-length and non-empty",
+            locs.len(),
+            z.len()
+        ));
+    }
+    let tile = obj
+        .get("tile")
+        .map(|t| t.as_usize().ok_or("'tile' must be a non-negative integer"))
+        .transpose()?
+        .unwrap_or(0);
+    Ok(Request::Load(LoadRequest {
+        name,
+        family,
+        theta,
+        variant,
+        tile,
+        locs,
+        z,
+    }))
+}
+
+/// Prepend the echoed `"id"` member to a response body (`body` must be a
+/// JSON object literal, which every response in this module is).
+pub fn with_id(id: Option<&str>, body: String) -> String {
+    match id {
+        None => body,
+        Some(id) => format!("{{\"id\":{id},{}", &body[1..]),
     }
 }
 
 /// `{"ok":false,"error":...}` envelope.
 pub fn error_response(msg: &str) -> String {
     format!("{{\"ok\":false,\"error\":\"{}\"}}", escape_json(msg))
+}
+
+/// Overload-shedding response: the request was refused *before* queueing,
+/// with a hint for when capacity should be back.
+pub fn shed_response(retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"server overloaded, retry later\",\
+         \"retry_after_ms\":{retry_after_ms}}}"
+    )
 }
 
 fn join_f64(xs: &[f64]) -> String {
@@ -224,19 +329,17 @@ pub fn models_response(models: &[(String, usize)]) -> String {
 mod tests {
     use super::*;
 
+    fn req(line: &str) -> Result<Request, String> {
+        parse_request(line).map(|e| e.req).map_err(|f| f.error)
+    }
+
     #[test]
     fn parses_the_documented_requests() {
-        assert!(matches!(
-            parse_request("{\"op\":\"ping\"}"),
-            Ok(Request::Ping)
-        ));
-        assert!(matches!(
-            parse_request("{\"op\":\"models\"}"),
-            Ok(Request::Models)
-        ));
-        let p = parse_request(
+        assert!(matches!(req("{\"op\":\"ping\"}"), Ok(Request::Ping)));
+        assert!(matches!(req("{\"op\":\"models\"}"), Ok(Request::Models)));
+        let p = req(
             "{\"op\":\"predict\",\"model\":\"m\",\"points\":[[0.1,0.2],[0.3,0.4,0.5]],\
-             \"uncertainty\":true}",
+             \"uncertainty\":true,\"deadline_ms\":250}",
         )
         .unwrap();
         match p {
@@ -245,10 +348,11 @@ mod tests {
                 assert_eq!(p.points.len(), 2);
                 assert_eq!(p.points[1].t, 0.5);
                 assert!(p.uncertainty);
+                assert_eq!(p.deadline_ms, Some(250));
             }
             other => panic!("{other:?}"),
         }
-        let l = parse_request(
+        let l = req(
             "{\"op\":\"load\",\"name\":\"a\",\"theta\":[1.0,0.1,0.5],\"variant\":\"mp\",\
              \"tile\":32,\"locs\":[[0.0,0.0],[1.0,1.0]],\"z\":[0.5,-0.5]}",
         )
@@ -265,6 +369,32 @@ mod tests {
     }
 
     #[test]
+    fn ids_are_parsed_and_echoed_even_on_errors() {
+        let e = parse_request("{\"op\":\"ping\",\"id\":\"req-7\"}").unwrap();
+        assert_eq!(e.id.as_deref(), Some("\"req-7\""));
+        let e = parse_request("{\"op\":\"ping\",\"id\":42}").unwrap();
+        assert_eq!(e.id.as_deref(), Some("42"));
+        assert!(parse_request("{\"op\":\"ping\"}").unwrap().id.is_none());
+
+        // A bad op still yields the id so the error can be correlated.
+        let f = parse_request("{\"op\":\"nope\",\"id\":9}").unwrap_err();
+        assert_eq!(f.id.as_deref(), Some("9"));
+        // Structurally bad ids are themselves an error (without an echo).
+        let f = parse_request("{\"op\":\"ping\",\"id\":[1]}").unwrap_err();
+        assert!(f.id.is_none());
+        assert!(f.error.contains("'id'"), "{}", f.error);
+        let long = format!("{{\"op\":\"ping\",\"id\":\"{}\"}}", "x".repeat(4096));
+        assert!(parse_request(&long).unwrap_err().error.contains("longer"));
+
+        // with_id splices the echo into every response shape.
+        let tagged = with_id(Some("\"req-7\""), error_response("nope"));
+        let v = parse_json(&tagged).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("req-7"));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(with_id(None, "{\"ok\":true}".into()), "{\"ok\":true}");
+    }
+
+    #[test]
     fn rejects_malformed_requests_with_readable_errors() {
         for (line, needle) in [
             ("not json", "bad JSON"),
@@ -274,12 +404,44 @@ mod tests {
             ("{\"op\":\"predict\",\"points\":[]}", "empty"),
             ("{\"op\":\"predict\",\"points\":[[1.0]]}", "coordinates"),
             (
+                "{\"op\":\"predict\",\"points\":[[0.1,0.2]],\"deadline_ms\":-5}",
+                "deadline_ms",
+            ),
+            (
                 "{\"op\":\"load\",\"theta\":[1.0],\"locs\":[[0.0,0.0]],\"z\":[1.0]}",
                 "theta",
             ),
         ] {
-            let err = parse_request(line).unwrap_err();
+            let err = req(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_payloads_never_reach_a_solve() {
+        // `1e999` overflows to +inf during parsing — grammar-valid JSON
+        // that must still be refused before it poisons a batched solve.
+        for (line, field) in [
+            ("{\"op\":\"predict\",\"points\":[[1e999,0.2]]}", "points"),
+            ("{\"op\":\"predict\",\"points\":[[0.1,-1e999]]}", "points"),
+            (
+                "{\"op\":\"load\",\"theta\":[1e999,0.1,0.5],\"locs\":[[0.0,0.0]],\"z\":[1.0]}",
+                "theta",
+            ),
+            (
+                "{\"op\":\"load\",\"theta\":[1.0,0.1,0.5],\"locs\":[[0.0,0.0]],\"z\":[1e999]}",
+                "z",
+            ),
+            (
+                "{\"op\":\"load\",\"theta\":[1.0,0.1,0.5],\"locs\":[[0.0,1e999]],\"z\":[1.0]}",
+                "locs",
+            ),
+        ] {
+            let err = req(line).unwrap_err();
+            assert!(
+                err.contains("non-finite") && err.contains(field),
+                "{line}: {err}"
+            );
         }
     }
 
@@ -289,11 +451,15 @@ mod tests {
             predict_response(&[1.5, -0.25], Some(&[0.1, 0.2]), 7, 2),
             predict_response(&[1.0], None, 1, 1),
             error_response("bad \"thing\""),
+            shed_response(120),
             load_response("m", 100, -42.5),
             models_response(&[("a".into(), 10), ("b".into(), 20)]),
+            with_id(Some("\"x\""), predict_response(&[1.0], None, 1, 1)),
         ] {
             parse_json(&s).unwrap_or_else(|e| panic!("{s}: {e}"));
         }
+        let shed = parse_json(&shed_response(120)).unwrap();
+        assert_eq!(shed.get("retry_after_ms").unwrap().as_u64(), Some(120));
     }
 
     #[test]

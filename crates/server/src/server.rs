@@ -6,16 +6,32 @@
 //!   connection, exits when the shutdown flag rises (a self-connection
 //!   unblocks `accept`).
 //! * **connection handlers** — read newline-delimited JSON requests with a
-//!   short read timeout so they observe shutdown between requests;
-//!   `predict` enqueues a [`Job`](crate::batch::Job) and blocks on its
-//!   response channel, everything else is answered inline.
-//! * **solvers** — pop coalesced batches off the shared queue and run one
+//!   short read timeout so they observe shutdown between requests. Request
+//!   lines are length-capped ([`MAX_LINE_BYTES`]): a client streaming bytes
+//!   without a newline gets one error response and a closed connection
+//!   instead of an unbounded buffer. `predict` submits a
+//!   [`Job`](crate::batch::Job) to the batch queue *without blocking*;
+//!   everything else is answered inline.
+//! * **per-connection writers** — each connection owns a writer thread fed
+//!   by a channel; responses are written in completion order, so one slow
+//!   `predict` never head-of-line-blocks a `ping` or `metrics` on the same
+//!   connection. Clients that pipeline requests tag them with `"id"`s to
+//!   correlate the out-of-order responses.
+//! * **solvers** — pop coalesced batches off the shared queue, answer jobs
+//!   whose `deadline_ms` already expired with a timeout error, and run one
 //!   multi-RHS query per batch against the cached factor.
+//!
+//! Overload protection: the batch queue carries a points budget
+//! ([`ServerConfig::max_queued_points`]); once the backlog reaches it,
+//! `predict` is answered immediately with
+//! `{"ok":false,…,"retry_after_ms":…}` instead of queueing unboundedly.
 //!
 //! Graceful shutdown (`{"op":"shutdown"}` or [`ServerHandle::shutdown`])
 //! drains: the acceptor stops first, handlers finish their in-flight
-//! request, and only then is the queue closed so solvers exit after the
-//! last batch. No request that was acknowledged into the queue is dropped.
+//! request and join their writer (which flushes every response the
+//! connection is still owed), and only then is the queue closed so solvers
+//! exit after the last batch. No request that was acknowledged into the
+//! queue is dropped.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -27,11 +43,16 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use xgs_runtime::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
 
-use crate::batch::{solve_batch, BatchQueue, Job};
+use crate::batch::{solve_batch, BatchQueue, Job, PushError, Reply, Responder};
 use crate::protocol::{
-    error_response, load_response, models_response, parse_request, predict_response, Request,
+    error_response, load_response, models_response, parse_request, shed_response, with_id, Request,
 };
 use crate::registry::{build_plan_from_request, ModelRegistry};
+
+/// Hard cap on one request line. Newline-delimited JSON with coordinates
+/// comfortably fits; a client that streams more without a newline is
+/// answered with one error and disconnected (OOM guard).
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Tuning knobs of [`serve`].
 #[derive(Clone, Debug)]
@@ -44,6 +65,10 @@ pub struct ServerConfig {
     /// points (the multi-RHS solve is O(n² · points), so this bounds
     /// per-batch latency).
     pub max_batch_points: usize,
+    /// Backpressure budget: once this many points sit in the batch queue,
+    /// further `predict`s are shed with a `retry_after_ms` hint instead of
+    /// queued.
+    pub max_queued_points: usize,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +77,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             solvers: 2,
             max_batch_points: 4096,
+            max_queued_points: 1 << 16,
         }
     }
 }
@@ -60,12 +86,20 @@ impl Default for ServerConfig {
 /// shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Writer-side guard against clients that stop reading (slow loris on the
+/// response path): a blocked write fails after this long and the writer
+/// switches to draining without the socket.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Server-side counters, exported as the shared [`MetricsReport`] JSON
 /// schema so `metrics_diff` can compare service runs with factorization
 /// runs. Kernel kinds: `request` (end-to-end request latency), `solve`
 /// (per-batch multi-RHS query time), `batch_size` (batch size recorded as
 /// `points · 1e-6` "seconds", i.e. the log₂-µs histogram buckets read as
-/// log₂-points), `load` (model factorization+cache time).
+/// log₂-points), `load` (model factorization+cache time), `shed` (overload
+/// refusals, the "duration" being the advertised retry_after), `deadline`
+/// (requests expired at dequeue, the "duration" being how late they were),
+/// `evict` (registry evictions, count only).
 struct ServerMetrics {
     started: Instant,
     request: KernelStats,
@@ -73,6 +107,8 @@ struct ServerMetrics {
     batch_size: KernelStats,
     queue_wait: KernelStats,
     load: KernelStats,
+    shed: KernelStats,
+    deadline: KernelStats,
     queue_depth: QueueDepthStats,
     solver_stats: Vec<WorkerStats>,
     errors: u64,
@@ -87,19 +123,27 @@ impl ServerMetrics {
             batch_size: KernelStats::new("batch_size"),
             queue_wait: KernelStats::new("queue_wait"),
             load: KernelStats::new("load"),
+            shed: KernelStats::new("shed"),
+            deadline: KernelStats::new("deadline"),
             queue_depth: QueueDepthStats::default(),
             solver_stats: vec![WorkerStats::default(); solvers],
             errors: 0,
         }
     }
 
-    fn report(&self) -> MetricsReport {
+    fn report(&self, evictions: u64) -> MetricsReport {
+        let mut evict = KernelStats::new("evict");
+        evict.count = evictions;
+        evict.min_seconds = 0.0;
         let kernels: Vec<KernelStats> = [
             self.request,
             self.solve,
             self.batch_size,
             self.queue_wait,
             self.load,
+            self.shed,
+            self.deadline,
+            evict,
         ]
         .into_iter()
         .filter(|k| k.count > 0)
@@ -125,6 +169,12 @@ struct Shared {
     max_batch_points: usize,
 }
 
+impl Shared {
+    fn report(&self) -> MetricsReport {
+        self.metrics.lock().report(self.registry.evictions())
+    }
+}
+
 /// Running server. Dropping the handle does NOT stop the server; call
 /// [`ServerHandle::shutdown`] (or send `{"op":"shutdown"}`) and then
 /// [`ServerHandle::join`].
@@ -143,7 +193,7 @@ impl ServerHandle {
 
     /// Snapshot of the server metrics as the shared JSON schema.
     pub fn metrics_json(&self) -> String {
-        self.shared.metrics.lock().report().to_json()
+        self.shared.report().to_json()
     }
 
     /// Raise the shutdown flag (idempotent, non-blocking). In-flight
@@ -160,8 +210,9 @@ impl ServerHandle {
         }
         // Handlers finish their in-flight request and exit within one
         // read-poll interval of the flag rising; their enqueued jobs must
-        // stay servable until then, so the queue closes only after the
-        // last connection is gone.
+        // stay servable until then (a handler only counts as closed after
+        // its writer flushed every owed response), so the queue closes
+        // only after the last connection is gone.
         while self.shared.open_conns.load(Ordering::Acquire) > 0 {
             std::thread::sleep(Duration::from_millis(5));
         }
@@ -169,7 +220,7 @@ impl ServerHandle {
         for s in self.solvers.drain(..) {
             let _ = s.join();
         }
-        self.shared.metrics.lock().report()
+        self.shared.report()
     }
 }
 
@@ -187,7 +238,7 @@ pub fn serve(config: &ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Re
     let solvers = config.solvers.max(1);
     let shared = Arc::new(Shared {
         registry,
-        queue: BatchQueue::new(),
+        queue: BatchQueue::new(config.max_queued_points),
         shutdown: AtomicBool::new(false),
         open_conns: AtomicUsize::new(0),
         metrics: Mutex::new(ServerMetrics::new(solvers)),
@@ -228,8 +279,31 @@ pub fn serve(config: &ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Re
 
 fn solver_loop(shared: &Shared, id: usize) {
     while let Some((batch, depth)) = shared.queue.pop_batch(shared.max_batch_points) {
-        let requests = batch.len() as u64;
-        let (points, solve_seconds, max_wait) = solve_batch(batch);
+        // Deadline enforcement at dequeue: expired jobs are answered with
+        // a timeout error — never solved, never silently dropped.
+        let now = Instant::now();
+        let (live, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|j| j.deadline.is_none_or(|d| d > now));
+        if !expired.is_empty() {
+            let mut m = shared.metrics.lock();
+            for job in &expired {
+                let late = job
+                    .deadline
+                    .map_or(0.0, |d| now.duration_since(d).as_secs_f64());
+                m.deadline.record(late);
+            }
+        }
+        for job in expired {
+            job.resp
+                .send(error_response("deadline_ms exceeded before solve"), true);
+        }
+        if live.is_empty() {
+            shared.metrics.lock().queue_depth.sample(depth);
+            continue;
+        }
+        let requests = live.len() as u64;
+        let (points, solve_seconds, max_wait) = solve_batch(live);
         let mut m = shared.metrics.lock();
         m.queue_depth.sample(depth);
         m.solve.record(solve_seconds);
@@ -242,79 +316,246 @@ fn solver_loop(shared: &Shared, id: usize) {
     }
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream, addr: SocketAddr) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// Clean end of stream, or shutdown/socket error — close silently.
+    Closed,
+    /// The line exceeded [`MAX_LINE_BYTES`] before a newline arrived.
+    TooLong,
+}
+
+/// Read one newline-terminated line into `buf` without ever holding more
+/// than [`MAX_LINE_BYTES`] + one `BufReader` block. Spins on the read
+/// timeout so shutdown is observed mid-line too.
+fn read_bounded_line(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+) -> LineRead {
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
+        enum Step {
+            Consumed(usize),
+            Done(usize, LineRead),
+        }
+        let step = match reader.fill_buf() {
+            Ok([]) => return LineRead::Closed,
+            Ok(available) => match available.iter().position(|&b| b == b'\n') {
+                Some(pos) if buf.len() + pos > MAX_LINE_BYTES => {
+                    Step::Done(pos + 1, LineRead::TooLong)
+                }
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    Step::Done(pos + 1, LineRead::Line)
+                }
+                None if buf.len() + available.len() > MAX_LINE_BYTES => {
+                    Step::Done(available.len(), LineRead::TooLong)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    Step::Consumed(available.len())
+                }
+            },
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // Timed out mid-line: `read_line` guarantees the bytes read
-                // so far are in `line`, so keep them and poll again.
+                // Timed out mid-line: bytes read so far stay in `buf`.
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    return LineRead::Closed;
                 }
                 continue;
             }
-            Err(_) => return,
-        }
-        if line.ends_with('\n') && line.trim().is_empty() {
-            line.clear();
-            continue;
-        }
-        let t0 = Instant::now();
-        let response = handle_request(shared, &line, addr);
-        line.clear();
-        {
-            let mut m = shared.metrics.lock();
-            m.request.record(t0.elapsed().as_secs_f64());
-            if response.starts_with("{\"ok\":false") {
-                m.errors += 1;
+            Err(_) => return LineRead::Closed,
+        };
+        match step {
+            Step::Consumed(n) => reader.consume(n),
+            Step::Done(n, result) => {
+                reader.consume(n);
+                return result;
             }
-        }
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|_| writer.write_all(b"\n"))
-            .is_err()
-        {
-            return;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
         }
     }
 }
 
-fn handle_request(shared: &Shared, line: &str, addr: SocketAddr) -> String {
-    let req = match parse_request(line) {
-        Ok(r) => r,
-        Err(e) => return error_response(&e),
+/// Consume and drop input until the current line ends, the peer hangs up,
+/// or a patience budget runs out. Used before closing on an oversized
+/// line; never buffers what it reads.
+fn discard_rest_of_line(reader: &mut BufReader<TcpStream>) {
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(5) {
+        match reader.fill_buf() {
+            Ok([]) => return,
+            Ok(available) => {
+                let newline = available.iter().position(|&b| b == b'\n');
+                let n = newline.map_or(available.len(), |p| p + 1);
+                reader.consume(n);
+                if newline.is_some() {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drain the response channel onto the socket, recording each response's
+/// end-to-end latency. Runs until every sender (the handler plus any
+/// still-queued jobs) is gone, so joining the writer proves the connection
+/// is owed nothing.
+fn writer_loop(shared: &Shared, mut stream: TcpStream, rx: mpsc::Receiver<Reply>) {
+    let mut socket_dead = false;
+    for reply in rx {
+        {
+            let mut m = shared.metrics.lock();
+            m.request.record(reply.t0.elapsed().as_secs_f64());
+            if reply.err {
+                m.errors += 1;
+            }
+        }
+        if !socket_dead
+            && stream
+                .write_all(reply.line.as_bytes())
+                .and_then(|_| stream.write_all(b"\n"))
+                .is_err()
+        {
+            // Client hung up (or stopped reading past the write timeout):
+            // keep draining so queued jobs are still accounted for and
+            // their responders never block.
+            socket_dead = true;
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
     };
-    match req {
+    let (tx, rx) = mpsc::channel::<Reply>();
+    let writer_thread = {
+        let shared = shared.clone();
+        std::thread::spawn(move || writer_loop(&shared, writer, rx))
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        match read_bounded_line(shared, &mut reader, &mut buf) {
+            LineRead::Closed => break,
+            LineRead::TooLong => {
+                // One error, then hang up: the line has no parseable
+                // request (and possibly no end).
+                let _ = tx.send(Reply {
+                    line: error_response(&format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+                    t0: Instant::now(),
+                    err: true,
+                });
+                // Closing with unread bytes in the receive queue would turn
+                // the close into a reset that can destroy the error response
+                // in flight. Discard the rest of the line (O(1) memory,
+                // bounded time) so the close is a clean FIN.
+                discard_rest_of_line(&mut reader);
+                break;
+            }
+            LineRead::Line => {}
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        // Invalid UTF-8 (binary garbage) turns into replacement characters
+        // that fail JSON parsing — answered as a bad request, not a crash.
+        let line = String::from_utf8_lossy(&buf);
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_request(shared, &line, addr, Instant::now(), &tx);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    // Joining the writer keeps the connection "open" (for the drain
+    // accounting) until every response it is owed has been flushed.
+    drop(tx);
+    let _ = writer_thread.join();
+}
+
+fn send_reply(tx: &mpsc::Sender<Reply>, id: Option<&str>, body: String, t0: Instant, err: bool) {
+    let _ = tx.send(Reply {
+        line: with_id(id, body),
+        t0,
+        err,
+    });
+}
+
+/// Estimate how long until the backlog has drained, from the observed
+/// solve throughput (falls back to 0.5 ms/point before any history).
+fn retry_after_ms(m: &ServerMetrics, queued_points: usize) -> u64 {
+    // batch_size records points·1e-6 "seconds" per batch, so its total
+    // recovers the solved-point census.
+    let solved_points = m.batch_size.total_seconds * 1e6;
+    let per_point_seconds = if solved_points >= 1.0 && m.solve.total_seconds > 0.0 {
+        m.solve.total_seconds / solved_points
+    } else {
+        5e-4
+    };
+    ((queued_points as f64 * per_point_seconds * 1e3).ceil() as u64).clamp(1, 10_000)
+}
+
+fn handle_request(
+    shared: &Shared,
+    line: &str,
+    addr: SocketAddr,
+    t0: Instant,
+    tx: &mpsc::Sender<Reply>,
+) {
+    let envelope = match parse_request(line) {
+        Ok(e) => e,
+        Err(f) => {
+            send_reply(tx, f.id.as_deref(), error_response(&f.error), t0, true);
+            return;
+        }
+    };
+    let id = envelope.id;
+    match envelope.req {
         Request::Ping => {
             let up = shared.metrics.lock().started.elapsed().as_secs_f64();
-            format!("{{\"ok\":true,\"uptime_seconds\":{up}}}")
+            send_reply(
+                tx,
+                id.as_deref(),
+                format!("{{\"ok\":true,\"uptime_seconds\":{up}}}"),
+                t0,
+                false,
+            );
         }
-        Request::Models => models_response(&shared.registry.list()),
-        Request::Metrics => {
-            format!(
-                "{{\"ok\":true,\"metrics\":{}}}",
-                shared.metrics.lock().report().to_json()
-            )
-        }
+        Request::Models => send_reply(
+            tx,
+            id.as_deref(),
+            models_response(&shared.registry.list()),
+            t0,
+            false,
+        ),
+        Request::Metrics => send_reply(
+            tx,
+            id.as_deref(),
+            format!("{{\"ok\":true,\"metrics\":{}}}", shared.report().to_json()),
+            t0,
+            false,
+        ),
         Request::Shutdown => {
             request_shutdown(shared, addr);
-            "{\"ok\":true,\"draining\":true}".to_string()
+            send_reply(
+                tx,
+                id.as_deref(),
+                "{\"ok\":true,\"draining\":true}".to_string(),
+                t0,
+                false,
+            );
         }
         Request::Load(load) => {
-            let t0 = Instant::now();
+            let t_load = Instant::now();
             match build_plan_from_request(&load) {
                 Ok((plan, llh)) => {
                     let n = plan.n_train();
@@ -323,36 +564,56 @@ fn handle_request(shared: &Shared, line: &str, addr: SocketAddr) -> String {
                         .metrics
                         .lock()
                         .load
-                        .record(t0.elapsed().as_secs_f64());
-                    load_response(&load.name, n, llh)
+                        .record(t_load.elapsed().as_secs_f64());
+                    send_reply(
+                        tx,
+                        id.as_deref(),
+                        load_response(&load.name, n, llh),
+                        t0,
+                        false,
+                    );
                 }
-                Err(e) => error_response(&e),
+                Err(e) => send_reply(tx, id.as_deref(), error_response(&e), t0, true),
             }
         }
         Request::Predict(p) => {
             let Some(plan) = shared.registry.get(&p.model) else {
-                return error_response(&format!("unknown model '{}'", p.model));
+                let msg = format!("unknown model '{}'", p.model);
+                send_reply(tx, id.as_deref(), error_response(&msg), t0, true);
+                return;
             };
-            let (tx, rx) = mpsc::channel();
-            let accepted = shared.queue.push(Job {
+            let deadline = p.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
+            let job = Job {
                 model: p.model,
                 plan,
                 points: p.points,
                 uncertainty: p.uncertainty,
                 enqueued: Instant::now(),
-                resp: tx,
-            });
-            if !accepted {
-                return error_response("server is shutting down");
-            }
-            match rx.recv_timeout(Duration::from_secs(120)) {
-                Ok(res) => predict_response(
-                    &res.mean,
-                    res.uncertainty.as_deref(),
-                    res.batch_points,
-                    res.batch_requests,
-                ),
-                Err(_) => error_response("solver did not answer (timeout)"),
+                deadline,
+                resp: Responder {
+                    id,
+                    tx: tx.clone(),
+                    t0,
+                },
+            };
+            // Accepted jobs are answered by a solver through the writer
+            // channel; refused jobs are answered right here. Either way
+            // exactly one response goes out.
+            match shared.queue.push(job) {
+                Ok(()) => {}
+                Err((job, PushError::Overloaded { queued_points })) => {
+                    let retry = {
+                        let mut m = shared.metrics.lock();
+                        let retry = retry_after_ms(&m, queued_points);
+                        m.shed.record(retry as f64 * 1e-3);
+                        retry
+                    };
+                    job.resp.send(shed_response(retry), true);
+                }
+                Err((job, PushError::Closed)) => {
+                    job.resp
+                        .send(error_response("server is shutting down"), true);
+                }
             }
         }
     }
@@ -406,6 +667,10 @@ mod tests {
         let pong = roundtrip(&mut conn, "{\"op\":\"ping\"}");
         assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
 
+        // Ids are echoed on every op.
+        let pong = roundtrip(&mut conn, "{\"op\":\"ping\",\"id\":\"p1\"}");
+        assert_eq!(pong.get("id").unwrap().as_str(), Some("p1"));
+
         let models = roundtrip(&mut conn, "{\"op\":\"models\"}");
         let list = models.get("models").unwrap().as_array().unwrap();
         assert_eq!(list.len(), 1);
@@ -440,7 +705,7 @@ mod tests {
         let m = roundtrip(&mut conn, "{\"op\":\"metrics\"}");
         let report = MetricsReport::from_json(&m.get("metrics").unwrap().to_json_string())
             .expect("metrics parse back");
-        assert!(report.tasks >= 4);
+        assert!(report.tasks >= 5);
 
         let bye = roundtrip(&mut conn, "{\"op\":\"shutdown\"}");
         assert_eq!(bye.get("draining").unwrap().as_bool(), Some(true));
@@ -532,5 +797,20 @@ mod tests {
 
         handle.shutdown();
         handle.join();
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_and_history() {
+        let mut m = ServerMetrics::new(1);
+        // No history: 0.5 ms/point fallback.
+        assert_eq!(retry_after_ms(&m, 100), 50);
+        assert_eq!(retry_after_ms(&m, 0), 1, "clamped to at least 1 ms");
+        // History: 200 points solved in 0.1 s → 0.5 ms/point measured
+        // (ceil may round the float arithmetic up by one).
+        m.solve.record(0.1);
+        m.batch_size.record(200.0 * 1e-6);
+        let hint = retry_after_ms(&m, 1000);
+        assert!((500..=501).contains(&hint), "{hint}");
+        assert_eq!(retry_after_ms(&m, usize::MAX / 2), 10_000, "upper clamp");
     }
 }

@@ -78,6 +78,8 @@ COMMANDS:
   serve     long-lived prediction service with a cached factor
             --data <csv> --theta <θ,..> [--kernel ...] [--variant ...] [--tile <nb>]
             [--name <model>] [--addr <host:port>] [--solvers <k>] [--max-batch <points>]
+            [--queue-points <budget>]  (shed predicts past this backlog)
+            [--max-models <k>] [--model-ttl <seconds>]  (registry LRU/TTL eviction)
             [--metrics <json>]  (write the server metrics after shutdown)
             protocol: newline-delimited JSON over TCP, see README;
             stop with {\"op\":\"shutdown\"} (drains in-flight batches)
@@ -484,13 +486,21 @@ pub fn cmd_serve(args: &Args) -> Result<String, CmdError> {
         args.usize_or("workers", 0)?,
     )
     .map_err(CmdError::Run)?;
-    let registry = Arc::new(xgs_server::ModelRegistry::new());
+    let ttl = match args.f64_or("model-ttl", 0.0)? {
+        t if t > 0.0 => Some(std::time::Duration::from_secs_f64(t)),
+        _ => None,
+    };
+    let registry = Arc::new(xgs_server::ModelRegistry::with_limits(
+        args.usize_or("max-models", usize::MAX)?,
+        ttl,
+    ));
     registry.insert(&name, plan);
 
     let server_cfg = xgs_server::ServerConfig {
         addr: args.str_or("addr", "127.0.0.1:4741"),
         solvers: args.usize_or("solvers", 2)?,
         max_batch_points: args.usize_or("max-batch", 4096)?,
+        max_queued_points: args.usize_or("queue-points", 1 << 16)?,
     };
     let handle = xgs_server::serve(&server_cfg, registry)
         .map_err(|e| CmdError::Run(format!("could not bind {}: {e}", server_cfg.addr)))?;

@@ -1,0 +1,418 @@
+//! Fault-injection and robustness tests for the prediction service: the
+//! hostile-client corpus (oversized lines, nesting bombs, non-finite
+//! payloads, binary garbage, half-written requests), the connection
+//! multiplexing guarantees (a `ping` is never head-of-line-blocked by
+//! queued `predict`s), per-request deadlines, and overload shedding.
+//!
+//! The common thread: **the server stays up and every accepted request is
+//! answered** — misbehaving clients get one error (or a closed socket),
+//! never a wedged or crashed service.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use exageostat_rs::prelude::*;
+use exageostat_rs::server::build_plan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xgs_runtime::{parse_json, JsonValue};
+
+/// 150-site Matérn model under a server with the given knobs.
+fn started_server(cfg: ServerConfig) -> exageostat_rs::server::ServerHandle {
+    let mut rng = StdRng::seed_from_u64(303);
+    let locs = jittered_grid(150, &mut rng);
+    let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+    let z = simulate_field(kernel.as_ref(), &locs, 304);
+    let (plan, _) = build_plan(
+        ModelFamily::MaternSpace,
+        &[1.0, 0.1, 0.5],
+        Variant::MpDense,
+        48,
+        locs,
+        &z,
+        1,
+    )
+    .unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("default", plan);
+    serve(&cfg, registry).expect("bind loopback")
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+) -> JsonValue {
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    parse_json(&line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"))
+}
+
+/// The server answers a fresh well-formed request — the liveness probe run
+/// after every abuse below.
+fn assert_alive(addr: std::net::SocketAddr) {
+    let (mut s, mut r) = connect(addr);
+    let pong = roundtrip(&mut s, &mut r, "{\"op\":\"ping\"}");
+    assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn hostile_clients_get_errors_not_a_dead_server() {
+    let handle = started_server(ServerConfig::default());
+    let addr = handle.addr();
+
+    // (a) Oversized request line: one error response, then disconnect —
+    // the server must not buffer the line unboundedly.
+    {
+        let (mut s, mut r) = connect(addr);
+        let blob = vec![b'a'; exageostat_rs::server::MAX_LINE_BYTES + (64 << 10)];
+        // The server stops reading after the cap, so push the payload in
+        // chunks and tolerate the connection dying under us.
+        for chunk in blob.chunks(64 << 10) {
+            if s.write_all(chunk).is_err() {
+                break;
+            }
+        }
+        let mut line = String::new();
+        let n = r.read_line(&mut line).unwrap_or(0);
+        assert!(n > 0, "expected an error response before the close");
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            v.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("exceeds"),
+            "{line}"
+        );
+        // Ending the over-long line releases the server's discard loop;
+        // the connection then closes — it is not left half-alive.
+        let _ = s.write_all(b"\n");
+        let mut rest = String::new();
+        assert_eq!(r.read_line(&mut rest).unwrap_or(0), 0);
+    }
+    assert_alive(addr);
+
+    // (b) Nesting bomb: deep but short — must be a parse error, not a
+    // parser stack overflow, and the connection survives.
+    {
+        let (mut s, mut r) = connect(addr);
+        let bomb = "[".repeat(200_000);
+        let v = roundtrip(&mut s, &mut r, &bomb);
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            v.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("nesting"),
+            "{v:?}"
+        );
+        let pong = roundtrip(&mut s, &mut r, "{\"op\":\"ping\"}");
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    // (c) Non-finite coordinates (1e999 overflows to +inf in any float
+    // grammar) are refused before they can poison a solve; the id still
+    // comes back on the error.
+    {
+        let (mut s, mut r) = connect(addr);
+        let v = roundtrip(
+            &mut s,
+            &mut r,
+            "{\"op\":\"predict\",\"id\":\"nan1\",\"points\":[[1e999,0.5]]}",
+        );
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(
+            v.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("non-finite"),
+            "{v:?}"
+        );
+        assert_eq!(v.get("id").unwrap().as_str(), Some("nan1"));
+    }
+
+    // (d) Binary garbage (invalid UTF-8): a parse error, not a panic.
+    {
+        let (mut s, mut r) = connect(addr);
+        s.write_all(&[0xff, 0xfe, 0x80, 0x9f, b'\n']).unwrap();
+        let mut line = String::new();
+        assert!(r.read_line(&mut line).unwrap() > 0);
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        let pong = roundtrip(&mut s, &mut r, "{\"op\":\"ping\"}");
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    // (e) Half-written request, then hang up (slow-loris cousin): the
+    // handler reaps the connection on EOF without an answer and without
+    // damage.
+    {
+        let (mut s, _r) = connect(addr);
+        s.write_all(b"{\"op\":\"predict\",\"poin").unwrap();
+        drop(s);
+    }
+    // (f) Connect and say nothing, then hang up.
+    {
+        let (s, _r) = connect(addr);
+        drop(s);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert_alive(addr);
+
+    // The whole corpus is visible in the error census, and a clean drain
+    // still works afterwards.
+    let (mut s, mut r) = connect(addr);
+    let m = roundtrip(&mut s, &mut r, "{\"op\":\"metrics\"}");
+    assert!(m.get("metrics").is_some());
+    handle.shutdown();
+    let report = handle.join();
+    assert!(report.tasks >= 8, "census too small: {}", report.tasks);
+}
+
+#[test]
+fn ping_is_not_blocked_behind_queued_predicts() {
+    // One solver and small batches: the predict backlog stays queued long
+    // enough for the ping to overtake it.
+    let handle = started_server(ServerConfig {
+        solvers: 1,
+        max_batch_points: 64,
+        ..ServerConfig::default()
+    });
+    let (mut s, mut r) = connect(handle.addr());
+
+    // Pipeline 30 expensive predicts on ONE connection…
+    let n_predicts = 30;
+    let pts: String = (0..64)
+        .map(|i| format!("[{:.4},{:.4}]", 0.015 * (i % 60) as f64, 0.4))
+        .collect::<Vec<_>>()
+        .join(",");
+    for seq in 0..n_predicts {
+        let req = format!(
+            "{{\"op\":\"predict\",\"id\":{seq},\"points\":[{pts}],\"uncertainty\":true}}\n"
+        );
+        s.write_all(req.as_bytes()).unwrap();
+    }
+    // …then a ping on the same connection.
+    s.write_all(b"{\"op\":\"ping\",\"id\":\"p\"}\n").unwrap();
+
+    // Collect all 31 responses, in whatever order the server answers.
+    let mut order = Vec::new();
+    let mut predict_ids = Vec::new();
+    for _ in 0..=n_predicts {
+        let mut line = String::new();
+        assert!(r.read_line(&mut line).unwrap() > 0, "server hung up");
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+        match v.get("id").unwrap().as_str() {
+            Some("p") => order.push("ping".to_string()),
+            _ => {
+                let id = v.get("id").unwrap().as_usize().unwrap();
+                predict_ids.push(id);
+                order.push(format!("predict-{id}"));
+            }
+        }
+    }
+    // Every accepted request was answered, ids correlate exactly…
+    let mut sorted = predict_ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..n_predicts).collect::<Vec<_>>());
+    // …and the ping overtook the predict backlog. A head-of-line-blocking
+    // server would answer it dead last.
+    let ping_pos = order.iter().position(|o| o == "ping").unwrap();
+    assert!(
+        ping_pos < n_predicts,
+        "ping was answered last — head-of-line blocked: {order:?}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn expired_deadlines_are_answered_not_dropped() {
+    let handle = started_server(ServerConfig::default());
+    let (mut s, mut r) = connect(handle.addr());
+
+    // deadline_ms:0 is already expired by the time a solver dequeues it —
+    // the response must still arrive (a timeout error, not silence).
+    let v = roundtrip(
+        &mut s,
+        &mut r,
+        "{\"op\":\"predict\",\"id\":7,\"points\":[[0.4,0.6]],\"deadline_ms\":0}",
+    );
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    assert!(
+        v.get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("deadline"),
+        "{v:?}"
+    );
+    assert_eq!(v.get("id").unwrap().as_usize(), Some(7));
+
+    // A generous deadline is not triggered by a healthy server.
+    let v = roundtrip(
+        &mut s,
+        &mut r,
+        "{\"op\":\"predict\",\"points\":[[0.4,0.6]],\"deadline_ms\":30000}",
+    );
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{v:?}");
+
+    // The expiry shows up in the metrics census.
+    let m = roundtrip(&mut s, &mut r, "{\"op\":\"metrics\"}");
+    let kernels = m
+        .get("metrics")
+        .unwrap()
+        .get("kernels")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|k| k.get("kind").and_then(|s| s.as_str().map(str::to_string)))
+        .collect::<Vec<_>>();
+    assert!(kernels.iter().any(|k| k == "deadline"), "{kernels:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn overload_sheds_with_a_retry_hint_and_answers_everything() {
+    // A one-point budget: the moment anything is queued, further predicts
+    // are shed.
+    let handle = started_server(ServerConfig {
+        solvers: 1,
+        max_queued_points: 1,
+        ..ServerConfig::default()
+    });
+    let (mut s, mut r) = connect(handle.addr());
+
+    let n = 200;
+    for seq in 0..n {
+        let req = format!("{{\"op\":\"predict\",\"id\":{seq},\"points\":[[0.3,0.7],[0.6,0.2]]}}\n");
+        s.write_all(req.as_bytes()).unwrap();
+    }
+    let (mut ok, mut shed) = (0usize, 0usize);
+    let mut seen = vec![false; n];
+    for _ in 0..n {
+        let mut line = String::new();
+        assert!(r.read_line(&mut line).unwrap() > 0, "server hung up");
+        let v = parse_json(&line).unwrap();
+        let id = v.get("id").unwrap().as_usize().unwrap();
+        assert!(!seen[id], "duplicate response for id {id}");
+        seen[id] = true;
+        if v.get("ok").unwrap().as_bool() == Some(true) {
+            ok += 1;
+        } else {
+            let hint = v
+                .get("retry_after_ms")
+                .and_then(|h| h.as_usize())
+                .unwrap_or_else(|| panic!("shed response without retry hint: {line}"));
+            assert!((1..=10_000).contains(&hint));
+            shed += 1;
+        }
+    }
+    // Exactly one response per request; under a 1-point budget a 200-deep
+    // burst must shed some and still serve some (the empty-queue push
+    // always succeeds).
+    assert_eq!(ok + shed, n);
+    assert!(ok >= 1, "nothing served");
+    assert!(shed >= 1, "nothing shed under a 1-point budget");
+
+    let m = roundtrip(&mut s, &mut r, "{\"op\":\"metrics\"}");
+    let metrics = m.get("metrics").unwrap().to_json_string();
+    assert!(metrics.contains("\"shed\""), "{metrics}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn slow_loris_writer_cannot_stall_other_clients() {
+    let handle = started_server(ServerConfig::default());
+    let addr = handle.addr();
+
+    // A client dribbling one byte at a time holds its own connection open…
+    let mut loris = TcpStream::connect(addr).unwrap();
+    let partial = b"{\"op\":\"pre";
+    for b in partial {
+        loris.write_all(&[*b]).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // …while everyone else is served normally.
+    for _ in 0..3 {
+        assert_alive(addr);
+    }
+
+    // The loris finishing its line still gets a proper answer.
+    loris
+        .write_all(b"dict\",\"points\":[[0.5,0.5]]}\n")
+        .unwrap();
+    let mut r = BufReader::new(loris.try_clone().unwrap());
+    let mut line = String::new();
+    assert!(r.read_line(&mut line).unwrap() > 0);
+    let v = parse_json(&line).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    drop(loris);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn loadgen_survives_a_mid_run_shutdown() {
+    // Kill the server while the generator is mid-stream: loadgen must
+    // report failures, not panic (exercised through the public API the
+    // binary wraps).
+    let handle = started_server(ServerConfig::default());
+    let addr = handle.addr().to_string();
+
+    let gen = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            exageostat_rs::server::loadgen::run(&LoadgenConfig {
+                addr,
+                requests: 20_000,
+                conns: 3,
+                points: 4,
+                // Throttled so the stream is guaranteed to still be in
+                // flight when the server goes away.
+                rate: 2000.0,
+                concurrency_per_conn: 4,
+                connect_timeout: Duration::from_secs(5),
+                ..LoadgenConfig::default()
+            })
+        })
+    };
+    std::thread::sleep(Duration::from_millis(150));
+    handle.shutdown();
+    handle.join();
+
+    let report = gen.join().expect("loadgen must not panic").expect("run");
+    assert!(
+        report.errors > 0,
+        "a mid-run shutdown must surface as failures: {}",
+        report.summary()
+    );
+    // Every request is accounted for exactly once, success or failure.
+    assert_eq!(
+        report.sent + report.errors + report.shed + report.expired,
+        20_000
+    );
+}

@@ -45,6 +45,7 @@ fn serve_loadgen_drain() {
             addr: "127.0.0.1:0".to_string(),
             solvers: 3,
             max_batch_points: 64,
+            ..ServerConfig::default()
         },
         registry,
     )
@@ -68,12 +69,14 @@ fn serve_loadgen_drain() {
     assert!(first.server_metrics.is_some(), "metrics fetch failed");
 
     // Same seed, same split — the request set is identical, but thread
-    // scheduling coalesces it into different batches each run; every
-    // answer must still be bit-equal for the XOR-folded checksums to
-    // match. (The per-connection RNG streams depend on `conns`, so that
-    // knob must stay fixed across the two runs.)
+    // scheduling coalesces it into different batches each run, and this
+    // run additionally pipelines 5 requests per connection so the server
+    // answers out of order; every answer must still be bit-equal for the
+    // XOR-folded checksums to match. (The per-connection RNG streams
+    // depend on `conns`, so that knob must stay fixed across the runs.)
     let second = loadgen::run(&LoadgenConfig {
         shutdown: true,
+        concurrency_per_conn: 5,
         ..cfg
     })
     .expect("second run");
