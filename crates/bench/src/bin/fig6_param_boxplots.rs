@@ -56,6 +56,7 @@ fn main() {
                     }),
                     start: Some(vec![truth.sigma2, truth.range, truth.smoothness]),
                     workers,
+                    shard: None,
                 };
                 let r = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);
                 for (k, v) in r.theta.iter().enumerate() {

@@ -14,6 +14,12 @@
 //! both runs, plus the relative change of the total. Kernels present in
 //! only one file show `-` on the missing side. Exit code 2 on unreadable
 //! or unparsable input.
+//!
+//! `--assert-counts potrf,trsm,...` additionally *checks* that the two
+//! runs agree on the per-kernel task counts for the listed kinds (a kind
+//! missing on one side counts as 0). This is how CI proves that a real
+//! sharded factorization executed exactly the task census the distributed
+//! event simulator projected. Exit code 1 on any mismatch.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -45,9 +51,35 @@ fn rel_change(base: f64, new: f64) -> String {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    // Explicit scan: `--assert-counts` consumes the next token, so a flag
+    // value never masquerades as an input path.
+    let mut paths: Vec<&String> = Vec::new();
+    let mut assert_counts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--assert-counts" => {
+                let Some(list) = args.get(i + 1) else {
+                    eprintln!("metrics_diff: --assert-counts needs a kind list (e.g. potrf,gemm)");
+                    return ExitCode::from(2);
+                };
+                assert_counts.extend(list.split(',').map(|s| s.trim().to_string()));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("metrics_diff: unknown flag '{flag}'");
+                return ExitCode::from(2);
+            }
+            _ => {
+                paths.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
     if paths.len() != 2 {
-        eprintln!("usage: metrics_diff <baseline.json> <candidate.json>");
+        eprintln!(
+            "usage: metrics_diff [--assert-counts k1,k2,..] <baseline.json> <candidate.json>"
+        );
         return ExitCode::from(2);
     }
     let (base, cand) = match (load(paths[0]), load(paths[1])) {
@@ -135,5 +167,23 @@ fn main() -> ExitCode {
     }
     // Best-effort write: a reader that hangs up early (| head) is fine.
     let _ = std::io::stdout().write_all(out.as_bytes());
+
+    let mut mismatches = 0u32;
+    for kind in &assert_counts {
+        let count = |r: &MetricsReport| {
+            r.kernels
+                .iter()
+                .find(|k| k.kind == kind.as_str())
+                .map_or(0, |k| k.count)
+        };
+        let (a, b) = (count(&base), count(&cand));
+        if a != b {
+            eprintln!("metrics_diff: {kind} count mismatch: {a} (baseline) != {b} (candidate)");
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        return ExitCode::from(1);
+    }
     ExitCode::SUCCESS
 }

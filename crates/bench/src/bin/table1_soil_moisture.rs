@@ -35,6 +35,7 @@ fn main() {
             }),
             start: Some(vec![1.0, 0.5, 0.5]),
             workers: env_usize("XGS_WORKERS", 0),
+            shard: None,
         },
         seed: 20040101,
     };

@@ -36,6 +36,7 @@ fn main() {
             }),
             start: Some(truth.clone()),
             workers: env_usize("XGS_WORKERS", 0),
+            shard: None,
         },
         seed: 2021,
     };

@@ -48,6 +48,7 @@ fn main() {
             }),
             start: Some(vec![1.0, 0.4, 0.5]),
             workers: 1,
+            shard: None,
         };
         let (r, secs) = timed(|| fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts));
         println!(

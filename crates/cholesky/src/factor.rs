@@ -35,11 +35,11 @@ impl std::error::Error for FactorError {}
 /// concurrently; the DAG guarantees exclusive access, making the locks
 /// uncontended.
 pub struct TiledFactor {
-    layout: TileLayout,
-    tiles: Vec<Mutex<Tile>>,
+    pub(crate) layout: TileLayout,
+    pub(crate) tiles: Vec<Mutex<Tile>>,
     /// Absolute low-rank rounding tolerance per stored tile, frozen at
     /// generation (`tlr_tolerance * ||A_ij||_F`).
-    tols: Vec<f64>,
+    pub(crate) tols: Vec<f64>,
     pub band_size_dense: usize,
 }
 

@@ -17,8 +17,13 @@
 pub mod dag;
 pub mod factor;
 pub mod kernels;
+pub mod shard;
 pub mod solve;
 
 pub use dag::{cholesky_dag, DagOptions, DagStats};
 pub use factor::{FactorError, TiledFactor};
+pub use shard::{
+    grid_shape, spawn_local_workers, spawn_workers, worker_loop, ShardError, ShardOptions,
+    ShardProcesses, ShardReport, ShardRunner,
+};
 pub use solve::{logdet, solve_lower, solve_lower_transpose};

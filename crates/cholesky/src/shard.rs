@@ -1,0 +1,1103 @@
+//! Multi-process sharded tile Cholesky over a 2D block-cyclic distribution.
+//!
+//! This is the distributed-memory execution the paper runs through PaRSEC,
+//! scaled down to one machine: a **coordinator** (the process holding the
+//! [`TiledFactor`]) partitions the tile grid over `p x q` worker processes
+//! with [`block_cyclic_owner`] — the same owner function the
+//! discrete-event simulator uses — and drives the right-looking Cholesky
+//! DAG. Workers execute the POTRF/TRSM/SYRK/GEMM tasks they own; tiles
+//! cross ownership boundaries as length-prefixed binary frames over
+//! loopback TCP ([`xgs_runtime::shard`]), bitwise
+//! ([`xgs_tile::wire`]).
+//!
+//! Topology is hub-and-spoke: workers connect only to the coordinator,
+//! which relays tiles between owners. Commands to one worker form a FIFO
+//! stream, and the coordinator only sends a task after (a) every operand
+//! the worker does not own has been forwarded earlier on the same stream,
+//! and (b) the DONE of every cross-worker predecessor has been processed.
+//! Together with per-tile write-ownership (every writer of a stored tile
+//! is owned by that tile's owner) this makes the coordinator's
+//! DONE-processing order a linearization of the DAG — which is exactly
+//! what we hand to the same hazard-edge validator that checks the
+//! shared-memory executor.
+//!
+//! Per-tile kernel invocation order is identical to
+//! [`TiledFactor::factorize_seq`], so the sharded factor is **bitwise**
+//! equal to the single-process one (asserted by `tests/shard_equivalence`).
+//!
+//! Frame kinds (payloads little-endian, see the match arms for layouts):
+//!
+//! | kind | dir | payload |
+//! |------|-----|---------|
+//! | `HELLO`    | c→w | `worker_id, p, q, nt, nb, n` |
+//! | `TILE`     | both | `i, j, tile bytes` ([`xgs_tile::wire`]) |
+//! | `TASK`     | c→w | `kind, task_id, k, i, j, tol, publish` |
+//! | `DONE`     | w→c | `task_id, kind, ok, pivot, elapsed` |
+//! | `SHUTDOWN` | c→w | empty |
+//! | `BYE`      | w→c | `tasks_executed` |
+
+use crate::factor::{FactorError, TiledFactor};
+use crate::kernels::{gemm_update, potrf_diag, syrk_diag, trsm_panel};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xgs_runtime::shard::{read_frame, write_frame, FrameError, WireReader, WireWriter};
+use xgs_runtime::{
+    block_cyclic_owner, check_schedule, task_census, Access, DataId, KernelStats, MetricsReport,
+    TaskOrder, WorkerStats,
+};
+use xgs_tile::wire::{decode_tile, encode_tile};
+use xgs_tile::Tile;
+
+/// Frame kinds of the coordinator/worker protocol.
+pub const K_HELLO: u8 = 1;
+pub const K_TILE: u8 = 2;
+pub const K_TASK: u8 = 3;
+pub const K_DONE: u8 = 4;
+pub const K_SHUTDOWN: u8 = 5;
+pub const K_BYE: u8 = 6;
+
+const KIND_POTRF: u8 = 0;
+const KIND_TRSM: u8 = 1;
+const KIND_SYRK: u8 = 2;
+const KIND_GEMM: u8 = 3;
+
+/// Failure of a sharded factorization.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Numerical failure, identical semantics to the in-process engines.
+    Factor(FactorError),
+    /// A worker process died or its connection broke mid-run.
+    WorkerLost { worker: usize, detail: String },
+    /// The run exceeded [`ShardOptions::deadline`].
+    Timeout { phase: &'static str },
+    /// The peer violated the protocol (bad frame, missing operand, wrong
+    /// task census ...).
+    Protocol(String),
+    /// Worker processes could not be spawned or connected.
+    Spawn(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Factor(e) => write!(f, "{e}"),
+            ShardError::WorkerLost { worker, detail } => {
+                write!(f, "shard worker {worker} lost: {detail}")
+            }
+            ShardError::Timeout { phase } => write!(f, "sharded run timed out during {phase}"),
+            ShardError::Protocol(what) => write!(f, "shard protocol violation: {what}"),
+            ShardError::Spawn(what) => write!(f, "failed to launch shard workers: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<FactorError> for ShardError {
+    fn from(e: FactorError) -> ShardError {
+        ShardError::Factor(e)
+    }
+}
+
+/// How a sharded factorization is driven.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardOptions {
+    /// Process grid: `grid_p * grid_q` must equal the worker count.
+    pub grid_p: usize,
+    pub grid_q: usize,
+    /// Wall-clock budget for the whole factorization, including worker
+    /// drain. On expiry the coordinator aborts with [`ShardError::Timeout`]
+    /// rather than hanging on a wedged worker.
+    pub deadline: Duration,
+    /// Run the completion order through the hazard-edge validator
+    /// (default: on in debug builds, like the shared-memory executor).
+    pub validate: bool,
+}
+
+impl ShardOptions {
+    /// Near-square grid for `workers` processes, generous deadline.
+    pub fn for_workers(workers: usize) -> ShardOptions {
+        let (grid_p, grid_q) = grid_shape(workers);
+        ShardOptions {
+            grid_p,
+            grid_q,
+            deadline: Duration::from_secs(120),
+            validate: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// Largest near-square factorization of `workers`: the same `p <= sqrt(w)`
+/// rule as `xgs-perfmodel`'s `process_grid`, so a sharded run and a
+/// `scale --nodes` projection of the same worker count land on the same
+/// `p x q` grid (that equality is what lets `metrics_diff` compare their
+/// per-worker task counts).
+pub fn grid_shape(workers: usize) -> (usize, usize) {
+    let w = workers.max(1);
+    let mut p = (w as f64).sqrt() as usize;
+    while p > 1 && !w.is_multiple_of(p) {
+        p -= 1;
+    }
+    let p = p.max(1);
+    (p, w / p)
+}
+
+/// What one sharded factorization observed.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Same schema as the in-process executor's metrics: per-kernel stats
+    /// from worker-reported task timings, per-worker busy/task counters.
+    pub metrics: MetricsReport,
+    /// Tasks each worker reported executing at shutdown (`BYE`); verified
+    /// against the block-cyclic census of the DAG.
+    pub worker_tasks: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+fn proto_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Serve one coordinator connection: receive owned tiles, execute assigned
+/// tasks, publish written tiles when asked, and exit on `SHUTDOWN` (or a
+/// clean coordinator close). Returns the number of tasks executed.
+///
+/// The worker is deliberately dumb: it has no view of the DAG and trusts
+/// the coordinator's stream order for operand availability — which the
+/// coordinator guarantees by forwarding operands before dependent tasks on
+/// the same FIFO stream.
+pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
+    let _ = stream.set_nodelay(true);
+    let mut store: HashMap<(u32, u32), Tile> = HashMap::new();
+    let mut nb: usize = 0;
+    let mut executed: u64 = 0;
+    loop {
+        let (kind, payload) = match read_frame(&mut stream, None, None) {
+            Ok(f) => f,
+            // Coordinator vanished: exit quietly, nothing to clean up.
+            Err(FrameError::Closed) => return Ok(executed),
+            Err(e) => return Err(io::Error::other(e.to_string())),
+        };
+        let mut r = WireReader::new(&payload);
+        match kind {
+            K_HELLO => {
+                let _worker_id = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let _p = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let _q = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let _nt = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                nb = r.get_u32().map_err(|e| proto_err(&e.to_string()))? as usize;
+                let _n = r.get_u64().map_err(|e| proto_err(&e.to_string()))?;
+                store.clear();
+                executed = 0;
+            }
+            K_TILE => {
+                let i = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let j = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let tile = decode_tile(&payload[8..]).map_err(|e| proto_err(&e.to_string()))?;
+                store.insert((i, j), tile);
+            }
+            K_TASK => {
+                if nb == 0 {
+                    return Err(proto_err("TASK before HELLO"));
+                }
+                let task_kind = r.get_u8().map_err(|e| proto_err(&e.to_string()))?;
+                let task_id = r.get_u64().map_err(|e| proto_err(&e.to_string()))?;
+                let k = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let i = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let j = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+                let tol = r.get_f64().map_err(|e| proto_err(&e.to_string()))?;
+                let publish = r.get_u8().map_err(|e| proto_err(&e.to_string()))? != 0;
+
+                let written = match task_kind {
+                    KIND_POTRF => (k, k),
+                    KIND_TRSM => (i, k),
+                    KIND_SYRK => (i, i),
+                    KIND_GEMM => (i, j),
+                    _ => return Err(proto_err("unknown task kind")),
+                };
+                let mut target = store
+                    .remove(&written)
+                    .ok_or_else(|| proto_err("task targets a tile this worker does not hold"))?;
+                let operand = |key: (u32, u32)| {
+                    store
+                        .get(&key)
+                        .ok_or_else(|| proto_err("task operand missing from worker store"))
+                };
+
+                let t0 = Instant::now();
+                let mut ok = 1u8;
+                let mut pivot = 0u64;
+                match task_kind {
+                    KIND_POTRF => {
+                        if let Err(e) = potrf_diag(&mut target) {
+                            ok = 0;
+                            pivot = e.pivot as u64;
+                        }
+                    }
+                    KIND_TRSM => trsm_panel(operand((k, k))?, &mut target),
+                    KIND_SYRK => syrk_diag(operand((i, k))?, &mut target),
+                    _ => gemm_update(operand((i, k))?, operand((j, k))?, &mut target, tol),
+                }
+                let elapsed = t0.elapsed().as_secs_f64();
+
+                if publish && ok != 0 {
+                    let mut w = WireWriter::new();
+                    w.put_u32(written.0);
+                    w.put_u32(written.1);
+                    encode_tile(&target, &mut w.buf);
+                    write_frame(&mut stream, K_TILE, &w.buf)?;
+                }
+                store.insert(written, target);
+                executed += 1;
+
+                let mut w = WireWriter::new();
+                w.put_u64(task_id);
+                w.put_u8(task_kind);
+                w.put_u8(ok);
+                w.put_u64(pivot);
+                w.put_f64(elapsed);
+                write_frame(&mut stream, K_DONE, &w.buf)?;
+            }
+            K_SHUTDOWN => {
+                let mut w = WireWriter::new();
+                w.put_u64(executed);
+                write_frame(&mut stream, K_BYE, &w.buf)?;
+                return Ok(executed);
+            }
+            other => return Err(proto_err(&format!("unexpected frame kind {other}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------------
+
+/// One task of the canonical right-looking DAG, in insertion order.
+struct TaskMeta {
+    kind: u8,
+    k: u32,
+    i: u32,
+    j: u32,
+    owner: usize,
+    tol: f64,
+}
+
+enum Event {
+    Tile {
+        payload: Vec<u8>,
+    },
+    Done {
+        from: usize,
+        task_id: u64,
+        kind: u8,
+        ok: u8,
+        pivot: u64,
+        elapsed: f64,
+    },
+    Bye {
+        from: usize,
+        tasks: u64,
+    },
+    Lost {
+        from: usize,
+        detail: String,
+    },
+}
+
+/// Reader thread: drain one worker's frames into the event channel. Exits
+/// after `BYE`, on stop, or on connection loss (reported as `Lost`).
+fn reader_thread(worker: usize, mut stream: TcpStream, tx: Sender<Event>, stop: Arc<AtomicBool>) {
+    loop {
+        match read_frame(&mut stream, None, Some(&stop)) {
+            Ok((K_TILE, payload)) => {
+                if tx.send(Event::Tile { payload }).is_err() {
+                    return;
+                }
+            }
+            Ok((K_DONE, payload)) => {
+                let mut r = WireReader::new(&payload);
+                let parsed = (|| -> Result<Event, FrameError> {
+                    Ok(Event::Done {
+                        from: worker,
+                        task_id: r.get_u64()?,
+                        kind: r.get_u8()?,
+                        ok: r.get_u8()?,
+                        pivot: r.get_u64()?,
+                        elapsed: r.get_f64()?,
+                    })
+                })();
+                let ev = parsed.unwrap_or_else(|e| Event::Lost {
+                    from: worker,
+                    detail: format!("bad DONE frame: {e}"),
+                });
+                let last = matches!(ev, Event::Lost { .. });
+                if tx.send(ev).is_err() || last {
+                    return;
+                }
+            }
+            Ok((K_BYE, payload)) => {
+                let mut r = WireReader::new(&payload);
+                let tasks = r.get_u64().unwrap_or(0);
+                let _ = tx.send(Event::Bye {
+                    from: worker,
+                    tasks,
+                });
+                return;
+            }
+            Ok((other, _)) => {
+                let _ = tx.send(Event::Lost {
+                    from: worker,
+                    detail: format!("unexpected frame kind {other} from worker"),
+                });
+                return;
+            }
+            Err(FrameError::Stopped) => return,
+            Err(e) => {
+                let _ = tx.send(Event::Lost {
+                    from: worker,
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Coordinator bookkeeping while a sharded run is in flight.
+struct Drive {
+    /// Published tiles, keyed `(i, j)`, still in wire encoding so relaying
+    /// to other owners is a plain byte copy (decoded once at gather).
+    tiles: HashMap<(u32, u32), Vec<u8>>,
+    /// Completion order in DONE-processing sequence (validator input).
+    order: Vec<TaskOrder>,
+    done: Vec<bool>,
+    done_count: usize,
+    seq: u64,
+    kernels: [KernelStats; 4],
+    workers: Vec<WorkerStats>,
+    bye: Vec<Option<u64>>,
+    /// Earliest global pivot failure, if any.
+    failed: Option<usize>,
+}
+
+impl Drive {
+    fn handle(
+        &mut self,
+        ev: Event,
+        meta: &[TaskMeta],
+        layout: &xgs_tile::TileLayout,
+    ) -> Result<(), ShardError> {
+        match ev {
+            Event::Tile { payload } => {
+                let mut r = WireReader::new(&payload);
+                let i = r
+                    .get_u32()
+                    .map_err(|e| ShardError::Protocol(e.to_string()))?;
+                let j = r
+                    .get_u32()
+                    .map_err(|e| ShardError::Protocol(e.to_string()))?;
+                self.tiles.insert((i, j), payload);
+                Ok(())
+            }
+            Event::Done {
+                from,
+                task_id,
+                kind,
+                ok,
+                pivot,
+                elapsed,
+            } => {
+                let idx = task_id as usize;
+                let m = meta.get(idx).ok_or_else(|| {
+                    ShardError::Protocol(format!("unexpected DONE for task {task_id}"))
+                })?;
+                if m.kind != kind || m.owner != from || self.done[idx] {
+                    return Err(ShardError::Protocol(format!(
+                        "mismatched or duplicate DONE for task {task_id}"
+                    )));
+                }
+                self.done[idx] = true;
+                self.done_count += 1;
+                self.order[idx] = TaskOrder {
+                    start_seq: 2 * self.seq,
+                    end_seq: 2 * self.seq + 1,
+                };
+                self.seq += 1;
+                self.kernels[kind as usize].record(elapsed);
+                self.workers[from].busy_seconds += elapsed;
+                self.workers[from].tasks += 1;
+                if ok == 0 {
+                    let global = layout.tile_range(m.k as usize).start + pivot as usize;
+                    self.failed = Some(self.failed.map_or(global, |p| p.min(global)));
+                }
+                Ok(())
+            }
+            Event::Bye { from, tasks } => {
+                self.bye[from] = Some(tasks);
+                Ok(())
+            }
+            Event::Lost { from, detail } => Err(ShardError::WorkerLost {
+                worker: from,
+                detail,
+            }),
+        }
+    }
+}
+
+struct Coordinator<'a> {
+    streams: &'a mut [TcpStream],
+    rx: Receiver<Event>,
+    deadline: Instant,
+}
+
+impl Coordinator<'_> {
+    fn send(&mut self, worker: usize, kind: u8, payload: &[u8]) -> Result<(), ShardError> {
+        write_frame(&mut self.streams[worker], kind, payload).map_err(|e| ShardError::WorkerLost {
+            worker,
+            detail: format!("write failed: {e}"),
+        })
+    }
+
+    /// Pump events until `pred` holds (checked after each event).
+    fn wait_until(
+        &mut self,
+        drive: &mut Drive,
+        meta: &[TaskMeta],
+        layout: &xgs_tile::TileLayout,
+        phase: &'static str,
+        mut pred: impl FnMut(&Drive) -> bool,
+    ) -> Result<(), ShardError> {
+        while !pred(drive) {
+            let remaining = self.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ShardError::Timeout { phase });
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(ev) => drive.handle(ev, meta, layout)?,
+                Err(RecvTimeoutError::Timeout) => return Err(ShardError::Timeout { phase }),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ShardError::Protocol(
+                        "all worker connections closed unexpectedly".into(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TiledFactor {
+    /// Factorize by fanning the DAG out over worker processes already
+    /// connected on `streams` (one per worker, e.g. from
+    /// [`spawn_workers`] or [`spawn_local_workers`]).
+    ///
+    /// Drives exactly one factorization, then shuts the workers down
+    /// (`SHUTDOWN` → `BYE` drain). Tile `(i, j)` tasks run on worker
+    /// `block_cyclic_owner(i, j, p, q)`; per-tile kernel order matches
+    /// [`TiledFactor::factorize_seq`], so the result is bitwise identical
+    /// to the single-process factor.
+    pub fn factorize_sharded(
+        &mut self,
+        mut streams: Vec<TcpStream>,
+        opts: &ShardOptions,
+    ) -> Result<ShardReport, ShardError> {
+        let workers = streams.len();
+        let (p, q) = (opts.grid_p, opts.grid_q);
+        if p * q != workers || workers == 0 {
+            return Err(ShardError::Protocol(format!(
+                "grid {p}x{q} does not match {workers} workers"
+            )));
+        }
+        let t0 = Instant::now();
+        let layout = self.layout;
+        let nt = layout.nt();
+
+        // Canonical DAG in insertion order: task_id == index. Also the
+        // access lists the validator re-derives hazard edges from.
+        let mut meta: Vec<TaskMeta> = Vec::new();
+        let mut accesses: Vec<Vec<Access>> = Vec::new();
+        let data = |i: usize, j: usize| DataId(layout.stored_index(i, j) as u64);
+        for k in 0..nt {
+            meta.push(TaskMeta {
+                kind: KIND_POTRF,
+                k: k as u32,
+                i: k as u32,
+                j: k as u32,
+                owner: block_cyclic_owner(k, k, p, q),
+                tol: 0.0,
+            });
+            accesses.push(vec![Access::write(data(k, k))]);
+            for i in k + 1..nt {
+                meta.push(TaskMeta {
+                    kind: KIND_TRSM,
+                    k: k as u32,
+                    i: i as u32,
+                    j: k as u32,
+                    owner: block_cyclic_owner(i, k, p, q),
+                    tol: 0.0,
+                });
+                accesses.push(vec![Access::read(data(k, k)), Access::write(data(i, k))]);
+            }
+            for i in k + 1..nt {
+                for j in k + 1..=i {
+                    if i == j {
+                        meta.push(TaskMeta {
+                            kind: KIND_SYRK,
+                            k: k as u32,
+                            i: i as u32,
+                            j: i as u32,
+                            owner: block_cyclic_owner(i, i, p, q),
+                            tol: 0.0,
+                        });
+                        accesses.push(vec![Access::read(data(i, k)), Access::write(data(i, i))]);
+                    } else {
+                        meta.push(TaskMeta {
+                            kind: KIND_GEMM,
+                            k: k as u32,
+                            i: i as u32,
+                            j: j as u32,
+                            owner: block_cyclic_owner(i, j, p, q),
+                            tol: self.tols[layout.stored_index(i, j)],
+                        });
+                        accesses.push(vec![
+                            Access::read(data(i, k)),
+                            Access::read(data(j, k)),
+                            Access::write(data(i, j)),
+                        ]);
+                    }
+                }
+            }
+        }
+        let total = meta.len();
+        let census = task_census(meta.iter().map(|m| m.owner), workers);
+
+        // Spin up reader threads over cloned handles; writes stay on the
+        // original streams in this thread.
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel();
+        let mut readers = Vec::with_capacity(workers);
+        for (w, s) in streams.iter().enumerate() {
+            let _ = s.set_nodelay(true);
+            let clone = s
+                .try_clone()
+                .map_err(|e| ShardError::Spawn(e.to_string()))?;
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                reader_thread(w, clone, tx, stop)
+            }));
+        }
+        drop(tx);
+
+        let mut drive = Drive {
+            tiles: HashMap::new(),
+            order: vec![TaskOrder::default(); total],
+            done: vec![false; total],
+            done_count: 0,
+            seq: 0,
+            kernels: [
+                KernelStats::new("potrf"),
+                KernelStats::new("trsm"),
+                KernelStats::new("syrk"),
+                KernelStats::new("gemm"),
+            ],
+            workers: vec![WorkerStats::default(); workers],
+            bye: vec![None; workers],
+            failed: None,
+        };
+        let mut co = Coordinator {
+            streams: &mut streams,
+            rx,
+            deadline: t0 + opts.deadline,
+        };
+
+        let result = run_steps(self, &mut co, &mut drive, &meta, p, q, nt, workers);
+
+        // Every exit path tears the connections down so reader threads and
+        // worker processes cannot outlive the run.
+        stop.store(true, Ordering::Release);
+        for s in co.streams.iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        drop(co);
+        for r in readers {
+            let _ = r.join();
+        }
+        let mut report = result?;
+
+        for (w, (got, want)) in drive.bye.iter().zip(census.iter()).enumerate() {
+            if *got != Some(*want) {
+                return Err(ShardError::Protocol(format!(
+                    "worker {w} executed {got:?} tasks, census says {want}"
+                )));
+            }
+        }
+        report.worker_tasks = census;
+
+        if opts.validate {
+            let summary = check_schedule(&accesses, &drive.order).map_err(|v| {
+                ShardError::Protocol(format!(
+                    "sharded completion order violates {} hazard edges",
+                    v.len()
+                ))
+            })?;
+            report.metrics.validation = Some(summary);
+        }
+        report.metrics.wall_seconds = t0.elapsed().as_secs_f64();
+        Ok(report)
+    }
+}
+
+/// The per-step drive loop, separated so `factorize_sharded` can run the
+/// teardown on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn run_steps(
+    f: &mut TiledFactor,
+    co: &mut Coordinator,
+    drive: &mut Drive,
+    meta: &[TaskMeta],
+    p: usize,
+    q: usize,
+    nt: usize,
+    workers: usize,
+) -> Result<ShardReport, ShardError> {
+    let layout = f.layout;
+    let total = meta.len();
+
+    // HELLO + initial tile distribution: each worker gets the stored tiles
+    // it owns, before any task can reference them (stream FIFO).
+    for w in 0..workers {
+        let mut h = WireWriter::new();
+        h.put_u32(w as u32);
+        h.put_u32(p as u32);
+        h.put_u32(q as u32);
+        h.put_u32(nt as u32);
+        h.put_u32(layout.tile_size() as u32);
+        h.put_u64(layout.n() as u64);
+        co.send(w, K_HELLO, &h.buf)?;
+    }
+    for j in 0..nt {
+        for i in j..nt {
+            let mut w = WireWriter::new();
+            w.put_u32(i as u32);
+            w.put_u32(j as u32);
+            f.with_tile(i, j, |t| encode_tile(t, &mut w.buf));
+            co.send(block_cyclic_owner(i, j, p, q), K_TILE, &w.buf)?;
+        }
+    }
+
+    let send_task = |co: &mut Coordinator, id: usize, m: &TaskMeta, publish: bool| {
+        let mut w = WireWriter::new();
+        w.put_u8(m.kind);
+        w.put_u64(id as u64);
+        w.put_u32(m.k);
+        w.put_u32(m.i);
+        w.put_u32(m.j);
+        w.put_f64(m.tol);
+        w.put_u8(publish as u8);
+        co.send(m.owner, K_TASK, &w.buf)
+    };
+    let forward = |co: &mut Coordinator, drive: &Drive, key: (u32, u32), to: usize| {
+        let payload = drive
+            .tiles
+            .get(&key)
+            .expect("published tile must precede its forward");
+        co.send(to, K_TILE, payload)
+    };
+    // Index of task `m` in canonical order, maintained incrementally.
+    let mut next_id = 0usize;
+
+    for k in 0..nt {
+        // POTRF(k): publish always — its output is both the step's operand
+        // and the final value of the diagonal tile.
+        let potrf_id = next_id;
+        send_task(co, potrf_id, &meta[potrf_id], true)?;
+        next_id += 1;
+        co.wait_until(drive, meta, &layout, "potrf", |d| {
+            d.done[potrf_id] || d.failed.is_some()
+        })?;
+        if let Some(pivot) = drive.failed {
+            return Err(ShardError::Factor(FactorError::NotPositiveDefinite {
+                pivot,
+            }));
+        }
+
+        // Forward L_kk to every *other* owner of a TRSM in this panel,
+        // then release the TRSMs (publish: a panel tile's final write).
+        let kk_owner = meta[potrf_id].owner;
+        let trsm_ids: Vec<usize> = (next_id..next_id + (nt - 1 - k)).collect();
+        next_id += trsm_ids.len();
+        let mut sent = vec![false; workers];
+        sent[kk_owner] = true;
+        for &id in &trsm_ids {
+            let o = meta[id].owner;
+            if !sent[o] {
+                sent[o] = true;
+                forward(co, drive, (k as u32, k as u32), o)?;
+            }
+        }
+        for &id in &trsm_ids {
+            send_task(co, id, &meta[id], true)?;
+        }
+        co.wait_until(drive, meta, &layout, "trsm", |d| {
+            trsm_ids.iter().all(|&id| d.done[id])
+        })?;
+
+        // Forward each finished panel (r, k) to every other worker that
+        // consumes it this step: syrk(r,r), gemm(r,j) as A, gemm(i,r) as B.
+        for r in k + 1..nt {
+            let mut sent = vec![false; workers];
+            sent[block_cyclic_owner(r, k, p, q)] = true;
+            let mut push = |co: &mut Coordinator, o: usize| -> Result<(), ShardError> {
+                if !sent[o] {
+                    sent[o] = true;
+                    forward(co, drive, (r as u32, k as u32), o)?;
+                }
+                Ok(())
+            };
+            push(co, block_cyclic_owner(r, r, p, q))?;
+            for j in k + 1..r {
+                push(co, block_cyclic_owner(r, j, p, q))?;
+            }
+            for i in r + 1..nt {
+                push(co, block_cyclic_owner(i, r, p, q))?;
+            }
+        }
+
+        // Release the trailing update; no barrier — the next step's POTRF
+        // is ordered behind these on its owner's FIFO stream, and their
+        // DONEs drain while later steps run.
+        for i in k + 1..nt {
+            for _j in k + 1..=i {
+                send_task(co, next_id, &meta[next_id], false)?;
+                next_id += 1;
+            }
+        }
+    }
+    debug_assert_eq!(next_id, total);
+
+    co.wait_until(drive, meta, &layout, "drain", |d| d.done_count == total)?;
+
+    // Gather: every stored tile's final write is a published POTRF (diag)
+    // or TRSM (panel) output, so the tile map now holds the whole factor.
+    for j in 0..nt {
+        for i in j..nt {
+            let payload = drive
+                .tiles
+                .get(&(i as u32, j as u32))
+                .ok_or_else(|| ShardError::Protocol(format!("tile ({i},{j}) never published")))?;
+            let tile =
+                decode_tile(&payload[8..]).map_err(|e| ShardError::Protocol(e.to_string()))?;
+            *f.tiles[layout.stored_index(i, j)].lock() = tile;
+        }
+    }
+
+    for w in 0..workers {
+        co.send(w, K_SHUTDOWN, &[])?;
+    }
+    co.wait_until(drive, meta, &layout, "shutdown", |d| {
+        d.bye.iter().all(Option::is_some)
+    })?;
+
+    let mut kernels: Vec<KernelStats> = drive
+        .kernels
+        .iter()
+        .filter(|k| k.count > 0)
+        .copied()
+        .collect();
+    kernels.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+    Ok(ShardReport {
+        metrics: MetricsReport {
+            wall_seconds: 0.0, // stamped by the caller
+            tasks: total,
+            workers,
+            kernels,
+            worker_stats: drive.workers.clone(),
+            ..MetricsReport::default()
+        },
+        worker_tasks: Vec::new(), // stamped by the caller from the census
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker process management
+// ---------------------------------------------------------------------------
+
+/// Worker child processes plus their accepted connections. Dropping kills
+/// any child still alive — a failed factorization can never leak workers.
+pub struct ShardProcesses {
+    children: Vec<Child>,
+    streams: Vec<TcpStream>,
+}
+
+impl ShardProcesses {
+    /// Move the connections out (for [`TiledFactor::factorize_sharded`]);
+    /// the processes stay owned here so Drop still reaps them.
+    pub fn take_streams(&mut self) -> Vec<TcpStream> {
+        std::mem::take(&mut self.streams)
+    }
+
+    /// SIGKILL worker `w` (fault-injection tests).
+    pub fn kill_worker(&mut self, w: usize) -> io::Result<()> {
+        self.children[w].kill()
+    }
+}
+
+impl Drop for ShardProcesses {
+    fn drop(&mut self) {
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Launch `shards` worker processes (`<exe> worker --connect <addr>`) and
+/// accept their connections on an ephemeral loopback listener.
+pub fn spawn_workers(
+    exe: &std::path::Path,
+    shards: usize,
+    accept_deadline: Duration,
+) -> Result<ShardProcesses, ShardError> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| ShardError::Spawn(e.to_string()))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| ShardError::Spawn(e.to_string()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ShardError::Spawn(e.to_string()))?;
+
+    let mut procs = ShardProcesses {
+        children: Vec::with_capacity(shards),
+        streams: Vec::with_capacity(shards),
+    };
+    for _ in 0..shards {
+        let child = Command::new(exe)
+            .arg("worker")
+            .arg("--connect")
+            .arg(addr.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| ShardError::Spawn(format!("{}: {e}", exe.display())))?;
+        procs.children.push(child);
+    }
+
+    let deadline = Instant::now() + accept_deadline;
+    while procs.streams.len() < shards {
+        match listener.accept() {
+            Ok((s, _)) => {
+                let _ = s.set_nonblocking(false);
+                procs.streams.push(s);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // A worker that died before connecting (bad exe, crash on
+                // startup) must not stall us until the deadline.
+                for c in &mut procs.children {
+                    if let Ok(Some(status)) = c.try_wait() {
+                        return Err(ShardError::Spawn(format!(
+                            "worker exited before connecting: {status}"
+                        )));
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(ShardError::Spawn(format!(
+                        "only {} of {shards} workers connected before the deadline",
+                        procs.streams.len()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ShardError::Spawn(e.to_string())),
+        }
+    }
+    Ok(procs)
+}
+
+/// Join handle of an in-process worker thread; yields its executed-task
+/// count, like a real worker's `BYE` frame.
+pub type LocalWorkerHandle = std::thread::JoinHandle<io::Result<u64>>;
+
+/// In-process stand-in for [`spawn_workers`]: `shards` threads running
+/// [`worker_loop`] over loopback connections. Same protocol, same bitwise
+/// results — used by the property-test sweep where spawning real processes
+/// per case would dominate the runtime.
+pub fn spawn_local_workers(shards: usize) -> io::Result<(Vec<TcpStream>, Vec<LocalWorkerHandle>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let mut streams = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let conn = TcpStream::connect(addr)?;
+        let (server_end, _) = listener.accept()?;
+        handles.push(std::thread::spawn(move || worker_loop(server_end)));
+        streams.push(conn);
+    }
+    Ok((streams, handles))
+}
+
+/// Recipe for running sharded factorizations: which binary provides the
+/// `worker` subcommand and how many shards to fan out to.
+#[derive(Clone, Debug)]
+pub struct ShardRunner {
+    pub exe: PathBuf,
+    pub shards: usize,
+    pub deadline: Duration,
+}
+
+impl ShardRunner {
+    pub fn new(exe: PathBuf, shards: usize) -> ShardRunner {
+        ShardRunner {
+            exe,
+            shards: shards.max(1),
+            deadline: Duration::from_secs(120),
+        }
+    }
+
+    /// Workers run `std::env::current_exe() worker --connect ...` — the
+    /// normal CLI/server configuration, where the running binary *is*
+    /// `exageostat`.
+    pub fn from_current_exe(shards: usize) -> io::Result<ShardRunner> {
+        Ok(ShardRunner::new(std::env::current_exe()?, shards))
+    }
+
+    /// Spawn a fresh worker fleet, factorize `f` on it, and reap the
+    /// fleet. Fresh processes per factorization mean a crashed or wedged
+    /// worker can never poison a later job.
+    pub fn factorize(&self, f: &mut TiledFactor) -> Result<ShardReport, ShardError> {
+        let mut opts = ShardOptions::for_workers(self.shards);
+        opts.deadline = self.deadline;
+        let mut procs = spawn_workers(&self.exe, self.shards, Duration::from_secs(30))?;
+        let streams = procs.take_streams();
+        f.factorize_sharded(streams, &opts)
+        // `procs` drops here: surviving children (all of them, after a
+        // clean BYE drain) are killed/reaped.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
+    use xgs_tile::{FlopKernelModel, SymTileMatrix, TlrConfig, Variant};
+
+    fn build(n: usize, nb: usize, variant: Variant) -> TiledFactor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut locs = jittered_grid(n, &mut rng);
+        morton_order(&mut locs);
+        let kernel = Matern::new(MaternParams::new(1.0, 0.05, 0.5));
+        let model = FlopKernelModel {
+            dense_rate: 45.0e9,
+            mem_factor: 1.0,
+        };
+        TiledFactor::from_matrix(SymTileMatrix::generate(
+            &kernel,
+            &locs,
+            TlrConfig::new(variant, nb),
+            &model,
+        ))
+    }
+
+    #[test]
+    fn grid_shape_matches_perfmodel_process_grid() {
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(2), (1, 2));
+        assert_eq!(grid_shape(3), (1, 3));
+        assert_eq!(grid_shape(4), (2, 2));
+        assert_eq!(grid_shape(5), (1, 5));
+        assert_eq!(grid_shape(6), (2, 3));
+        assert_eq!(grid_shape(12), (3, 4));
+        assert_eq!(grid_shape(0), (1, 1));
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bitwise_in_process() {
+        for (shards, variant) in [(4usize, Variant::DenseF64), (3, Variant::MpDense)] {
+            let mut seq = build(200, 64, variant);
+            seq.factorize_seq().unwrap();
+
+            let mut shd = build(200, 64, variant);
+            let (streams, handles) = spawn_local_workers(shards).unwrap();
+            let mut opts = ShardOptions::for_workers(shards);
+            opts.validate = true; // assert hazard edges even in release
+            let report = shd.factorize_sharded(streams, &opts).unwrap();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+
+            assert_eq!(
+                seq.to_dense_lower().as_slice(),
+                shd.to_dense_lower().as_slice(),
+                "sharded factor must be bitwise equal ({shards} shards, {variant:?})"
+            );
+            let nt = seq.nt();
+            let total = nt + nt * (nt - 1) / 2 + nt * (nt * nt - 1) / 6;
+            assert_eq!(report.metrics.tasks, total);
+            assert_eq!(report.worker_tasks.iter().sum::<u64>() as usize, total);
+            let v = report.metrics.validation.expect("validation forced on");
+            assert_eq!(v.war_edges, 0);
+            assert!(v.raw_edges > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_indefinite_fails_with_global_pivot() {
+        let mut f = build(150, 50, Variant::DenseF64);
+        {
+            let idx = f.layout.stored_index(1, 1);
+            let mut t = f.tiles[idx].lock();
+            if let xgs_tile::TileStorage::Dense(d) = &mut t.storage {
+                d[(5, 5)] = -100.0;
+            }
+        }
+        let (streams, handles) = spawn_local_workers(2).unwrap();
+        let err = f
+            .factorize_sharded(streams, &ShardOptions::for_workers(2))
+            .unwrap_err();
+        match err {
+            ShardError::Factor(FactorError::NotPositiveDefinite { pivot }) => {
+                assert!(pivot >= 50, "pivot {pivot} should be inside tile 1");
+            }
+            other => panic!("expected factor error, got {other}"),
+        }
+        // Workers were torn down, not left hanging.
+        for h in handles {
+            let _ = h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn more_workers_than_tiles_still_bitwise() {
+        // 100/60 -> NT = 2 (3 stored tiles) on 6 workers: most idle.
+        let mut seq = build(100, 60, Variant::DenseF64);
+        seq.factorize_seq().unwrap();
+        let mut shd = build(100, 60, Variant::DenseF64);
+        let (streams, handles) = spawn_local_workers(6).unwrap();
+        let report = shd
+            .factorize_sharded(streams, &ShardOptions::for_workers(6))
+            .unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        assert_eq!(
+            seq.to_dense_lower().as_slice(),
+            shd.to_dense_lower().as_slice()
+        );
+        assert!(report.worker_tasks.contains(&0), "idle workers");
+    }
+}

@@ -8,10 +8,34 @@
 //! quadratic form `‖L^{-1}Z‖²`.
 
 use std::sync::Arc;
-use xgs_cholesky::{logdet, solve_lower, FactorError, TiledFactor};
+use xgs_cholesky::{logdet, solve_lower, FactorError, ShardError, ShardRunner, TiledFactor};
 use xgs_covariance::{CovarianceKernel, Location};
 use xgs_runtime::ExecReport;
 use xgs_tile::{KernelTimeModel, SymTileMatrix, TlrConfig};
+
+/// Which execution backend factorizes Σ(θ).
+#[derive(Clone, Debug)]
+pub enum FactorEngine {
+    /// In-process, single-threaded reference loop.
+    Sequential,
+    /// In-process task runtime on this many threads (0 = all cores).
+    Threads(usize),
+    /// Multi-process 2D block-cyclic sharding: a fresh worker fleet per
+    /// factorization, driven by the runner's coordinator.
+    Sharded(Arc<ShardRunner>),
+}
+
+impl FactorEngine {
+    /// The historical `workers` convention: 1 = sequential, anything else
+    /// is the threaded runtime.
+    pub fn from_workers(workers: usize) -> FactorEngine {
+        if workers == 1 {
+            FactorEngine::Sequential
+        } else {
+            FactorEngine::Threads(workers)
+        }
+    }
+}
 
 /// Result of one likelihood evaluation. Keeps the factor so callers
 /// (prediction, uncertainty) can reuse it without refactorizing.
@@ -35,7 +59,8 @@ pub struct LikelihoodReport {
 /// Evaluate the log-likelihood.
 ///
 /// `workers = 1` uses the sequential engine; `workers > 1` (or 0 = all
-/// cores) schedules the factorization on the dynamic runtime.
+/// cores) schedules the factorization on the dynamic runtime. For the
+/// multi-process backend use [`log_likelihood_engine`].
 pub fn log_likelihood(
     kernel: &dyn CovarianceKernel,
     locs: &[Location],
@@ -44,21 +69,71 @@ pub fn log_likelihood(
     model: &dyn KernelTimeModel,
     workers: usize,
 ) -> Result<LikelihoodReport, FactorError> {
+    log_likelihood_engine(
+        kernel,
+        locs,
+        z,
+        cfg,
+        model,
+        &FactorEngine::from_workers(workers),
+    )
+    .map_err(|e| match e {
+        ShardError::Factor(f) => f,
+        // In-process engines only fail numerically.
+        other => panic!("in-process engine returned a shard error: {other}"),
+    })
+}
+
+/// [`log_likelihood`] on an explicit [`FactorEngine`]. Every engine
+/// produces bitwise-identical factors; they differ only in where the tile
+/// kernels run and in what the [`ExecReport`] observes.
+pub fn log_likelihood_engine(
+    kernel: &dyn CovarianceKernel,
+    locs: &[Location],
+    z: &[f64],
+    cfg: &TlrConfig,
+    model: &dyn KernelTimeModel,
+    engine: &FactorEngine,
+) -> Result<LikelihoodReport, ShardError> {
     let n = locs.len();
     assert_eq!(z.len(), n, "observation vector must match locations");
 
     let matrix = SymTileMatrix::generate(kernel, locs, *cfg, model);
     let footprint = matrix.footprint_bytes();
     let dense_footprint = matrix.dense_f64_footprint_bytes();
-    let (factor, exec) = if workers == 1 {
-        let mut f = TiledFactor::from_matrix(matrix);
-        f.factorize_seq()?;
-        (Arc::new(f), None)
-    } else {
-        let f = Arc::new(TiledFactor::from_matrix(matrix));
-        let (res, report) = f.factorize_parallel(workers);
-        res?;
-        (f, Some(report))
+    let (factor, exec) = match engine {
+        FactorEngine::Sequential => {
+            let mut f = TiledFactor::from_matrix(matrix);
+            f.factorize_seq()?;
+            (Arc::new(f), None)
+        }
+        FactorEngine::Threads(workers) => {
+            let f = Arc::new(TiledFactor::from_matrix(matrix));
+            let (res, report) = f.factorize_parallel(*workers);
+            res?;
+            (f, Some(report))
+        }
+        FactorEngine::Sharded(runner) => {
+            let mut f = TiledFactor::from_matrix(matrix);
+            let rep = runner.factorize(&mut f)?;
+            // Same report shape as the threaded engine, so metrics-hungry
+            // callers (fit --metrics, the server) work unchanged. Busy
+            // time is worker-process compute time as reported in DONEs.
+            let exec = ExecReport {
+                wall_seconds: rep.metrics.wall_seconds,
+                tasks: rep.metrics.tasks,
+                workers: rep.metrics.workers,
+                busy_seconds: rep
+                    .metrics
+                    .worker_stats
+                    .iter()
+                    .map(|w| w.busy_seconds)
+                    .collect(),
+                trace: Vec::new(),
+                metrics: Some(rep.metrics),
+            };
+            (Arc::new(f), Some(exec))
+        }
     };
 
     let ld = logdet(&factor);

@@ -1,11 +1,13 @@
 //! Maximum likelihood fitting: the modeling phase of the paper.
 
-use crate::likelihood::log_likelihood;
+use crate::likelihood::{log_likelihood_engine, FactorEngine};
 use crate::model::ModelFamily;
 use crate::optimizer::neldermead::{nelder_mead, NelderMeadOptions};
 use crate::optimizer::pso::{particle_swarm, PsoOptions};
 use crate::optimizer::transform::{forward_all, inverse_all};
 use parking_lot::Mutex;
+use std::sync::Arc;
+use xgs_cholesky::{ShardError, ShardRunner};
 use xgs_covariance::Location;
 use xgs_runtime::MetricsReport;
 use xgs_tile::{KernelTimeModel, TlrConfig};
@@ -27,6 +29,9 @@ pub struct FitOptions {
     pub start: Option<Vec<f64>>,
     /// Worker threads per likelihood evaluation (1 = sequential engine).
     pub workers: usize,
+    /// When set, every factorization fans out to worker *processes* via
+    /// this runner (overrides `workers`).
+    pub shard: Option<Arc<ShardRunner>>,
 }
 
 impl Default for FitOptions {
@@ -35,6 +40,7 @@ impl Default for FitOptions {
             optimizer: FitOptimizer::NelderMead(NelderMeadOptions::default()),
             start: None,
             workers: 1,
+            shard: None,
         }
     }
 }
@@ -85,13 +91,18 @@ pub fn fit(
     assert_eq!(start_nat.len(), family.n_params());
     let start = forward_all(&transforms, &start_nat);
 
+    let engine = match &opts.shard {
+        Some(runner) => FactorEngine::Sharded(Arc::clone(runner)),
+        None => FactorEngine::from_workers(opts.workers),
+    };
+
     // Per-factorization runtime metrics, merged across every evaluation
     // the optimizer makes (PSO may evaluate from several threads).
     let accum: Mutex<(usize, Option<MetricsReport>)> = Mutex::new((0, None));
     let objective = |y: &[f64]| -> f64 {
         let theta = inverse_all(&transforms, y);
         let kernel = family.kernel(&theta);
-        match log_likelihood(kernel.as_ref(), locs, z, cfg, model, opts.workers) {
+        match log_likelihood_engine(kernel.as_ref(), locs, z, cfg, model, &engine) {
             Ok(r) => {
                 if let Some(m) = r.exec.as_ref().and_then(|e| e.metrics.as_ref()) {
                     let mut acc = accum.lock();
@@ -104,7 +115,13 @@ pub fn fit(
                 -r.llh
             }
             // Loss of positive definiteness = out-of-model region.
-            Err(_) => f64::INFINITY,
+            Err(ShardError::Factor(_)) => f64::INFINITY,
+            // Infrastructure failure (worker lost, timeout): also an
+            // unusable evaluation, but loudly distinguishable in logs.
+            Err(e) => {
+                eprintln!("sharded evaluation failed: {e}");
+                f64::INFINITY
+            }
         }
     };
 
@@ -164,6 +181,7 @@ mod tests {
             }),
             start: Some(vec![0.8, 0.15, 0.7]),
             workers: 1,
+            shard: None,
         };
         let r = fit(
             ModelFamily::MaternSpace,
@@ -212,6 +230,7 @@ mod tests {
             }),
             start: Some(start),
             workers: 1,
+            shard: None,
         };
         let r = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);
         assert!(r.llh > start_llh, "{} should beat {}", r.llh, start_llh);
@@ -230,6 +249,7 @@ mod tests {
             }),
             start: Some(vec![1.0, 0.1, 0.5]),
             workers: 2,
+            shard: None,
         };
         let r = fit(
             ModelFamily::MaternSpace,
@@ -271,6 +291,7 @@ mod tests {
             }),
             start: Some(vec![1.0, 0.1, 0.5]),
             workers: 1,
+            shard: None,
         };
         let r = fit(
             ModelFamily::MaternSpace,
@@ -300,6 +321,7 @@ mod tests {
             optimizer: FitOptimizer::ParticleSwarm(pso),
             start: Some(vec![1.0, 0.1, 0.5]),
             workers: 1,
+            shard: None,
         };
         let a = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);
         let b = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);

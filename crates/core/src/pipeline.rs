@@ -194,6 +194,7 @@ mod tests {
             }),
             start: None,
             workers: 1,
+            shard: None,
         }
     }
 
@@ -258,6 +259,7 @@ mod tests {
                     initial_step: 0.2,
                 }),
                 workers: 1,
+                shard: None,
             },
             seed: 6,
         };

@@ -313,4 +313,74 @@ mod tests {
         }
         assert!(counts.iter().all(|&c| c == 24 * 24 / (p * q)));
     }
+
+    #[test]
+    fn single_process_grid_owns_every_tile() {
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(block_cyclic_owner(i, j, 1, 1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_grid_is_row_major_and_periodic() {
+        // p = 2, q = 3: owner = (i mod 2)·3 + (j mod 3), so process ids
+        // run row-major over the 2×3 grid and tile (i+2, j+3) wraps back
+        // onto the same owner.
+        assert_eq!(block_cyclic_owner(0, 0, 2, 3), 0);
+        assert_eq!(block_cyclic_owner(0, 4, 2, 3), 1);
+        assert_eq!(block_cyclic_owner(1, 2, 2, 3), 5);
+        assert_eq!(block_cyclic_owner(3, 5, 2, 3), 5);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert_eq!(
+                    block_cyclic_owner(i, j, 2, 3),
+                    block_cyclic_owner(i + 2, j + 3, 2, 3)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_grid_smaller_than_process_grid_leaves_processes_idle() {
+        // A 2×2 tile grid over 3×3 processes: the cyclic map never wraps,
+        // so only the processes whose coordinates exist in the tile grid
+        // ever own anything — exactly {0, 1, 3, 4}.
+        let mut owned = vec![false; 9];
+        for i in 0..2 {
+            for j in 0..2 {
+                owned[block_cyclic_owner(i, j, 3, 3)] = true;
+            }
+        }
+        assert_eq!(
+            owned,
+            vec![true, true, false, true, true, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn cholesky_owner_census_sums_to_the_full_dag() {
+        // Every task of the right-looking tile Cholesky runs on the owner
+        // of its output tile; the per-worker census must account for every
+        // task of the DAG (closed form: nt potrf + nt(nt-1)/2 trsm +
+        // nt(nt²-1)/6 updates) with no worker idle on this 7×(2×3) shape.
+        let (nt, p, q) = (7usize, 2, 3);
+        let mut owners = Vec::new();
+        for k in 0..nt {
+            owners.push(block_cyclic_owner(k, k, p, q));
+            for i in k + 1..nt {
+                owners.push(block_cyclic_owner(i, k, p, q));
+            }
+            for i in k + 1..nt {
+                for j in k + 1..=i {
+                    owners.push(block_cyclic_owner(i, j, p, q));
+                }
+            }
+        }
+        let census = crate::shard::task_census(owners, p * q);
+        let total = nt + nt * (nt - 1) / 2 + nt * (nt * nt - 1) / 6;
+        assert_eq!(census.iter().sum::<u64>() as usize, total);
+        assert!(census.iter().all(|&c| c > 0), "{census:?}");
+    }
 }

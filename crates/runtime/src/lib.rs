@@ -24,6 +24,7 @@ pub mod exec;
 pub mod graph;
 pub mod json;
 pub mod metrics;
+pub mod shard;
 pub mod stats;
 pub mod validate;
 
@@ -35,5 +36,8 @@ pub use exec::{execute, execute_opts, execute_with_policy, ExecOptions, ExecRepo
 pub use graph::{Access, AccessMode, DataId, TaskGraph, TaskId};
 pub use json::{escape_json, parse_json, JsonError, JsonValue};
 pub use metrics::{KernelStats, MetricsReport, QueueDepthStats, TimeHistogram, WorkerStats};
+pub use shard::{
+    read_frame, task_census, write_frame, FrameError, WireReader, WireWriter, MAX_FRAME_BYTES,
+};
 pub use stats::{chrome_trace_json, kind_summary, TraceEvent};
 pub use validate::{check_schedule, Hazard, TaskOrder, ValidationSummary, Violation, UNRECORDED};

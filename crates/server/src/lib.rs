@@ -30,5 +30,5 @@ pub mod server;
 
 pub use loadgen::{connect_with_retry, LoadgenConfig, LoadgenReport};
 pub use protocol::{parse_request, Envelope, LoadRequest, ParseFailure, PredictRequest, Request};
-pub use registry::{build_plan, ModelRegistry};
+pub use registry::{build_plan, build_plan_engine, ModelRegistry};
 pub use server::{serve, ServerConfig, ServerHandle, MAX_LINE_BYTES};

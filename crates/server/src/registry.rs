@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use xgs_core::{log_likelihood, ModelFamily, PredictionPlan};
+use xgs_core::{log_likelihood_engine, FactorEngine, ModelFamily, PredictionPlan};
 use xgs_covariance::Location;
 use xgs_tile::{FlopKernelModel, TlrConfig, Variant};
 
@@ -152,6 +152,30 @@ pub fn build_plan(
     z: &[f64],
     workers: usize,
 ) -> Result<(Arc<PredictionPlan>, f64), String> {
+    build_plan_engine(
+        family,
+        theta,
+        variant,
+        tile,
+        locs,
+        z,
+        &FactorEngine::from_workers(workers),
+    )
+}
+
+/// [`build_plan`] on an explicit [`FactorEngine`] — the sharded engine fans
+/// the factorization out to worker processes. Any engine failure
+/// (indefinite Σ, lost worker, deadline) maps to an `Err(String)` so the
+/// caller answers `ok:false` and never caches a half-built plan.
+pub fn build_plan_engine(
+    family: ModelFamily,
+    theta: &[f64],
+    variant: Variant,
+    tile: usize,
+    locs: Vec<Location>,
+    z: &[f64],
+    engine: &FactorEngine,
+) -> Result<(Arc<PredictionPlan>, f64), String> {
     if theta.len() != family.n_params() {
         return Err(format!(
             "theta needs {} values, got {}",
@@ -168,22 +192,25 @@ pub fn build_plan(
     let cfg = TlrConfig::new(variant, nb);
     let model = FlopKernelModel::default();
     let kernel: Arc<dyn xgs_covariance::CovarianceKernel> = Arc::from(family.kernel(theta));
-    let rep = log_likelihood(kernel.as_ref(), &locs, z, &cfg, &model, workers)
+    let rep = log_likelihood_engine(kernel.as_ref(), &locs, z, &cfg, &model, engine)
         .map_err(|e| format!("factorization failed: {e}"))?;
     let plan = PredictionPlan::new(kernel, Arc::from(locs), z, rep.factor);
     Ok((Arc::new(plan), rep.llh))
 }
 
-/// [`build_plan`] from a wire-level [`LoadRequest`].
-pub fn build_plan_from_request(req: &LoadRequest) -> Result<(Arc<PredictionPlan>, f64), String> {
-    build_plan(
+/// [`build_plan_engine`] from a wire-level [`LoadRequest`].
+pub fn build_plan_from_request(
+    req: &LoadRequest,
+    engine: &FactorEngine,
+) -> Result<(Arc<PredictionPlan>, f64), String> {
+    build_plan_engine(
         req.family,
         &req.theta,
         req.variant,
         req.tile,
         req.locs.clone(),
         &req.z,
-        0,
+        engine,
     )
 }
 

@@ -41,6 +41,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use xgs_cholesky::ShardRunner;
+use xgs_core::FactorEngine;
 use xgs_runtime::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
 
 use crate::batch::{solve_batch, BatchQueue, Job, PushError, Reply, Responder};
@@ -69,6 +71,9 @@ pub struct ServerConfig {
     /// further `predict`s are shed with a `retry_after_ms` hint instead of
     /// queued.
     pub max_queued_points: usize,
+    /// When set, `load` requests factorize on this multi-process runner (a
+    /// fresh worker fleet per factorization) instead of in-process threads.
+    pub shard: Option<Arc<ShardRunner>>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +83,7 @@ impl Default for ServerConfig {
             solvers: 2,
             max_batch_points: 4096,
             max_queued_points: 1 << 16,
+            shard: None,
         }
     }
 }
@@ -167,6 +173,8 @@ struct Shared {
     open_conns: AtomicUsize,
     metrics: Mutex<ServerMetrics>,
     max_batch_points: usize,
+    /// Engine for `load`-request factorizations (sharded when configured).
+    load_engine: FactorEngine,
 }
 
 impl Shared {
@@ -243,6 +251,10 @@ pub fn serve(config: &ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Re
         open_conns: AtomicUsize::new(0),
         metrics: Mutex::new(ServerMetrics::new(solvers)),
         max_batch_points: config.max_batch_points.max(1),
+        load_engine: match &config.shard {
+            Some(runner) => FactorEngine::Sharded(runner.clone()),
+            None => FactorEngine::from_workers(0),
+        },
     });
 
     let mut solver_handles = Vec::with_capacity(solvers);
@@ -556,7 +568,7 @@ fn handle_request(
         }
         Request::Load(load) => {
             let t_load = Instant::now();
-            match build_plan_from_request(&load) {
+            match build_plan_from_request(&load, &shared.load_engine) {
                 Ok((plan, llh)) => {
                     let n = plan.n_train();
                     shared.registry.insert(&load.name, plan);

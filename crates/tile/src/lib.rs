@@ -26,6 +26,7 @@ pub mod heatmap;
 pub mod layout;
 pub mod matrix;
 pub mod tile;
+pub mod wire;
 
 pub use band::auto_tune_band_size;
 pub use decisions::{
@@ -36,3 +37,4 @@ pub use heatmap::{decision_heatmap, DecisionMap};
 pub use layout::TileLayout;
 pub use matrix::{Compressor, SymTileMatrix, TileCensus, TlrConfig, Variant};
 pub use tile::{Tile, TileStorage};
+pub use wire::{decode_tile, encode_tile, WireTileError};

@@ -1,0 +1,262 @@
+//! Bitwise tile (de)serialization for the sharded execution backend.
+//!
+//! When a tile crosses a process boundary (coordinator ↔ worker) it travels
+//! as a self-describing binary payload. The encoding must be *bitwise*
+//! lossless: the cross-process equivalence suite asserts sharded factors
+//! equal the single-process ones bit for bit, so values go over the wire as
+//! their raw IEEE-754 bit patterns, never through a decimal round trip.
+//!
+//! Payload layout (all integers little-endian, floats as LE `to_bits`):
+//!
+//! ```text
+//! [u8 tag: 0=dense 1=low-rank][u8 precision: 0=F64 1=F32 2=F16]
+//! [u32 rows][u32 cols]
+//! dense:    rows*cols f64 bit patterns (storage order)
+//! low-rank: [u32 rank], rows*rank U bits, cols*rank V bits
+//! ```
+//!
+//! Decoding goes through [`Tile::dense`]/[`Tile::low_rank`], which re-round
+//! the buffer through the declared precision. That is a no-op here — the
+//! sender's payload was already rounded (a `Tile` invariant), and
+//! `round_through` is idempotent — so decode(encode(t)) is bitwise `t`.
+
+use crate::tile::{Tile, TileStorage};
+use xgs_kernels::Precision;
+use xgs_linalg::{LowRank, Matrix};
+
+const TAG_DENSE: u8 = 0;
+const TAG_LOWRANK: u8 = 1;
+
+/// Structurally invalid tile payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTileError(pub &'static str);
+
+impl std::fmt::Display for WireTileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed tile payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireTileError {}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    buf.reserve(vs.len() * 8);
+    for &v in vs {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn precision_code(p: Precision) -> u8 {
+    match p {
+        Precision::F64 => 0,
+        Precision::F32 => 1,
+        Precision::F16 => 2,
+    }
+}
+
+fn precision_from_code(c: u8) -> Result<Precision, WireTileError> {
+    match c {
+        0 => Ok(Precision::F64),
+        1 => Ok(Precision::F32),
+        2 => Ok(Precision::F16),
+        _ => Err(WireTileError("unknown precision code")),
+    }
+}
+
+/// Serialize a tile into `out` (appends; does not clear).
+pub fn encode_tile(tile: &Tile, out: &mut Vec<u8>) {
+    match &tile.storage {
+        TileStorage::Dense(m) => {
+            out.push(TAG_DENSE);
+            out.push(precision_code(tile.precision));
+            put_u32(out, tile.rows() as u32);
+            put_u32(out, tile.cols() as u32);
+            put_f64s(out, m.as_slice());
+        }
+        TileStorage::LowRank(lr) => {
+            out.push(TAG_LOWRANK);
+            out.push(precision_code(tile.precision));
+            put_u32(out, tile.rows() as u32);
+            put_u32(out, tile.cols() as u32);
+            put_u32(out, lr.rank() as u32);
+            put_f64s(out, lr.u.as_slice());
+            put_f64s(out, lr.v.as_slice());
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireTileError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireTileError("tile payload shorter than declared"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireTileError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireTileError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, WireTileError> {
+        let bytes = self.take(
+            n.checked_mul(8)
+                .ok_or(WireTileError("tile element count overflows"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                f64::from_bits(u64::from_le_bytes([
+                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                ]))
+            })
+            .collect())
+    }
+}
+
+/// Deserialize one tile from the full payload. Rejects trailing bytes —
+/// a frame carries exactly one tile, extra bytes mean a framing bug.
+pub fn decode_tile(buf: &[u8]) -> Result<Tile, WireTileError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let tag = c.u8()?;
+    let precision = precision_from_code(c.u8()?)?;
+    let rows = c.u32()? as usize;
+    let cols = c.u32()? as usize;
+    let tile = match tag {
+        TAG_DENSE => {
+            let data = c.f64s(
+                rows.checked_mul(cols)
+                    .ok_or(WireTileError("tile dims overflow"))?,
+            )?;
+            Tile::dense(Matrix::from_vec(rows, cols, data), precision)
+        }
+        TAG_LOWRANK => {
+            let rank = c.u32()? as usize;
+            let u = c.f64s(
+                rows.checked_mul(rank)
+                    .ok_or(WireTileError("tile dims overflow"))?,
+            )?;
+            let v = c.f64s(
+                cols.checked_mul(rank)
+                    .ok_or(WireTileError("tile dims overflow"))?,
+            )?;
+            Tile::low_rank(
+                LowRank {
+                    u: Matrix::from_vec(rows, rank, u),
+                    v: Matrix::from_vec(cols, rank, v),
+                },
+                precision,
+            )
+        }
+        _ => return Err(WireTileError("unknown tile tag")),
+    };
+    if c.pos != buf.len() {
+        return Err(WireTileError("trailing bytes after tile payload"));
+    }
+    Ok(tile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgs_linalg::Matrix;
+
+    fn rnd(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(0x5851F42D4C957F2D)
+                .wrapping_add(0x14057B7EF767814F);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn bits(t: &Tile) -> Vec<u64> {
+        t.to_dense()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn dense_tiles_round_trip_bitwise_in_every_precision() {
+        for p in [Precision::F64, Precision::F32, Precision::F16] {
+            let t = Tile::dense(rnd(13, 7, 42), p);
+            let mut buf = Vec::new();
+            encode_tile(&t, &mut buf);
+            let back = decode_tile(&buf).unwrap();
+            assert_eq!(back.precision, p);
+            assert_eq!((back.rows(), back.cols()), (13, 7));
+            assert!(back.is_dense());
+            assert_eq!(bits(&back), bits(&t), "precision {p:?}");
+        }
+    }
+
+    #[test]
+    fn low_rank_tiles_round_trip_bitwise() {
+        let lr = LowRank {
+            u: rnd(20, 4, 7),
+            v: rnd(15, 4, 8),
+        };
+        let t = Tile::low_rank(lr, Precision::F32);
+        let mut buf = Vec::new();
+        encode_tile(&t, &mut buf);
+        let back = decode_tile(&buf).unwrap();
+        assert_eq!(back.rank(), Some(4));
+        assert_eq!(back.precision, Precision::F32);
+        // Factor buffers themselves must match bitwise, not just the product.
+        match (&back.storage, &t.storage) {
+            (TileStorage::LowRank(a), TileStorage::LowRank(b)) => {
+                assert_eq!(a.u.as_slice(), b.u.as_slice());
+                assert_eq!(a.v.as_slice(), b.v.as_slice());
+            }
+            _ => panic!("storage kind changed over the wire"),
+        }
+    }
+
+    #[test]
+    fn special_values_survive_the_wire() {
+        let m = Matrix::from_vec(2, 2, vec![-0.0, f64::MIN_POSITIVE, 1e-308, -1.5e300]);
+        let t = Tile::dense(m, Precision::F64);
+        let mut buf = Vec::new();
+        encode_tile(&t, &mut buf);
+        assert_eq!(bits(&decode_tile(&buf).unwrap()), bits(&t));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        let t = Tile::dense(rnd(4, 4, 9), Precision::F64);
+        let mut buf = Vec::new();
+        encode_tile(&t, &mut buf);
+
+        assert!(decode_tile(&[]).is_err());
+        assert!(decode_tile(&buf[..buf.len() - 1]).is_err());
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(decode_tile(&long).is_err());
+        let mut bad_tag = buf.clone();
+        bad_tag[0] = 9;
+        assert!(decode_tile(&bad_tag).is_err());
+        let mut bad_prec = buf;
+        bad_prec[1] = 7;
+        assert!(decode_tile(&bad_prec).is_err());
+    }
+}

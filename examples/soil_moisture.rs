@@ -42,6 +42,7 @@ fn main() {
             }),
             start: Some(vec![1.0, 0.1, 0.5]),
             workers: 0, // all cores through the task runtime
+            shard: None,
         },
         seed: 20040101, // the paper's dataset date: January 1st, 2004
     };

@@ -36,6 +36,7 @@ fn main() {
             }),
             start: Some(truth.clone()),
             workers: 0,
+            shard: None,
         },
         seed: 2021, // the paper's target year
     };

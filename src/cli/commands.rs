@@ -8,9 +8,12 @@ use crate::cli::args::{ArgError, Args};
 use crate::cli::io;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+use xgs_cholesky::{worker_loop, ShardRunner};
 use xgs_core::mle::{FitOptimizer, FitOptions};
 use xgs_core::{
-    krige, log_likelihood, mspe, simulate_field, ModelFamily, NelderMeadOptions, PsoOptions,
+    krige, log_likelihood_engine, mspe, simulate_field, FactorEngine, ModelFamily,
+    NelderMeadOptions, PsoOptions,
 };
 use xgs_covariance::{jittered_grid, morton_order, spacetime_grid, CovarianceKernel};
 use xgs_perfmodel::{project_with_metrics, Correlation, ScaleConfig, SolverVariant};
@@ -63,11 +66,13 @@ COMMANDS:
             --data <csv> [--kernel matern|gneiting] [--variant dense|mp|mp-tlr]
             [--tile <nb>] [--start <θ,..>] [--max-evals <k>]
             [--optimizer nm|pso] [--workers <w>] [--precision-rule adaptive|band]
+            [--shards <k>]  (factorize on k worker processes, see README)
             [--se]  (append observed-information standard errors)
             [--metrics <json>]  (write merged runtime metrics, see README)
   predict   kriging at target sites
             --data <csv> --targets <csv> --theta <θ,..> [--kernel ...]
             [--variant ...] [--tile <nb>] [--uncertainty] [--out <csv>]
+            [--shards <k>]  (factorize on k worker processes)
             [--metrics <json>]  (write the factorization's runtime metrics)
   maps      per-tile format decision map (Fig. 9 style)
             --data <csv> --theta <θ,..> [--kernel ...] [--variant ...] [--tile <nb>]
@@ -80,9 +85,12 @@ COMMANDS:
             [--name <model>] [--addr <host:port>] [--solvers <k>] [--max-batch <points>]
             [--queue-points <budget>]  (shed predicts past this backlog)
             [--max-models <k>] [--model-ttl <seconds>]  (registry LRU/TTL eviction)
+            [--shards <k>]  (factorize models on k worker processes)
             [--metrics <json>]  (write the server metrics after shutdown)
             protocol: newline-delimited JSON over TCP, see README;
             stop with {\"op\":\"shutdown\"} (drains in-flight batches)
+  worker    one shard of a --shards factorization (started automatically)
+            --connect <host:port>  (coordinator address)
   bayes     posterior sampling over the covariance parameters (MCMC)
             --data <csv> --start <θ,..> [--kernel ...] [--variant ...]
             [--iterations <k>] [--burn-in <k>] [--seed <s>]
@@ -162,6 +170,26 @@ fn write_metrics(
         ),
     }
     Ok(())
+}
+
+/// `--shards N`: a runner that fans each factorization out to N worker
+/// processes of this same executable (0 / absent = in-process engines).
+fn shard_runner(args: &Args) -> Result<Option<Arc<ShardRunner>>, CmdError> {
+    match args.usize_or("shards", 0)? {
+        0 => Ok(None),
+        n => Ok(Some(Arc::new(ShardRunner::from_current_exe(n).map_err(
+            |e| CmdError::Run(format!("cannot locate the worker executable: {e}")),
+        )?))),
+    }
+}
+
+/// Engine selection shared by `predict` and `serve`: sharded when
+/// `--shards` is set, otherwise the `--workers` convention.
+fn factor_engine(args: &Args) -> Result<FactorEngine, CmdError> {
+    Ok(match shard_runner(args)? {
+        Some(runner) => FactorEngine::Sharded(runner),
+        None => FactorEngine::from_workers(args.usize_or("workers", 0)?),
+    })
 }
 
 /// The kernel-time model used by the CLI: TLR-friendly at small tiles,
@@ -258,6 +286,7 @@ pub fn cmd_fit(args: &Args) -> Result<String, CmdError> {
         optimizer,
         start,
         workers,
+        shard: shard_runner(args)?,
     };
 
     let (r, secs) = {
@@ -330,7 +359,8 @@ pub fn cmd_predict(args: &Args) -> Result<String, CmdError> {
     let model = cli_model(cfg.tile_size);
     let kernel = family.kernel(&theta);
 
-    let rep = log_likelihood(kernel.as_ref(), &train.locs, z, &cfg, &model, 0)
+    let engine = factor_engine(args)?;
+    let rep = log_likelihood_engine(kernel.as_ref(), &train.locs, z, &cfg, &model, &engine)
         .map_err(|e| CmdError::Run(format!("factorization failed: {e}")))?;
     let pred = krige(
         kernel.as_ref(),
@@ -461,7 +491,6 @@ pub fn cmd_scale(args: &Args) -> Result<String, CmdError> {
 /// `serve` — load a dataset, factorize once, and serve predictions until a
 /// client sends `{"op":"shutdown"}`.
 pub fn cmd_serve(args: &Args) -> Result<String, CmdError> {
-    use std::sync::Arc;
     let family = parse_family(args)?;
     let variant = parse_variant(args)?;
     let ds = io::load(args.require("data")?)?;
@@ -476,16 +505,14 @@ pub fn cmd_serve(args: &Args) -> Result<String, CmdError> {
     let name = args.str_or("name", "default");
     let n = ds.locs.len();
 
-    let (plan, llh) = xgs_server::build_plan(
-        family,
-        &theta,
-        variant,
-        cfg.tile_size,
-        ds.locs,
-        z,
-        args.usize_or("workers", 0)?,
-    )
-    .map_err(CmdError::Run)?;
+    let shard = shard_runner(args)?;
+    let engine = match &shard {
+        Some(runner) => FactorEngine::Sharded(Arc::clone(runner)),
+        None => FactorEngine::from_workers(args.usize_or("workers", 0)?),
+    };
+    let (plan, llh) =
+        xgs_server::build_plan_engine(family, &theta, variant, cfg.tile_size, ds.locs, z, &engine)
+            .map_err(CmdError::Run)?;
     let ttl = match args.f64_or("model-ttl", 0.0)? {
         t if t > 0.0 => Some(std::time::Duration::from_secs_f64(t)),
         _ => None,
@@ -501,6 +528,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, CmdError> {
         solvers: args.usize_or("solvers", 2)?,
         max_batch_points: args.usize_or("max-batch", 4096)?,
         max_queued_points: args.usize_or("queue-points", 1 << 16)?,
+        shard,
     };
     let handle = xgs_server::serve(&server_cfg, registry)
         .map_err(|e| CmdError::Run(format!("could not bind {}: {e}", server_cfg.addr)))?;
@@ -572,6 +600,18 @@ pub fn cmd_bayes(args: &Args) -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// `worker` — one shard of a multi-process factorization. Connects back to
+/// the coordinator (the process that was started with `--shards`) and
+/// executes the tile tasks it owns under the 2D block-cyclic distribution
+/// until told to shut down. Not meant to be started by hand.
+pub fn cmd_worker(args: &Args) -> Result<String, CmdError> {
+    let addr = args.require("connect")?;
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CmdError::Run(format!("cannot reach coordinator at {addr}: {e}")))?;
+    let executed = worker_loop(stream).map_err(|e| CmdError::Run(format!("worker failed: {e}")))?;
+    Ok(format!("worker drained after {executed} tasks\n"))
+}
+
 /// Dispatch.
 pub fn run(args: &Args) -> Result<String, CmdError> {
     match args.command.as_str() {
@@ -581,6 +621,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         "maps" => cmd_maps(args),
         "scale" => cmd_scale(args),
         "serve" => cmd_serve(args),
+        "worker" => cmd_worker(args),
         "bayes" => cmd_bayes(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CmdError::Arg(ArgError(format!(

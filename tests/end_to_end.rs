@@ -87,6 +87,7 @@ fn mle_recovers_parameters_with_adaptive_solver() {
             },
         ),
         workers: 0,
+        shard: None,
     };
     let r = fit(
         ModelFamily::MaternSpace,

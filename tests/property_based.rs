@@ -155,6 +155,52 @@ proptest! {
     }
 
     #[test]
+    fn sharded_cholesky_is_bitwise_identical_to_sequential(
+        seed in 0u64..10_000,
+        shards in 1usize..7,
+    ) {
+        // The multi-process backend (here: in-process worker loops over
+        // real loopback sockets, same wire protocol as separate
+        // processes) must reproduce the sequential factor bit for bit on
+        // random Matérn problems — every tile grid vs process grid
+        // combination, including the 1×1 grid and more workers than
+        // tiles (nb = 85 gives a 2×2 tile grid; shards ≥ 5 then idle).
+        use xgs_cholesky::{spawn_local_workers, ShardOptions, TiledFactor};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut locs = jittered_grid(160, &mut rng);
+        morton_order(&mut locs);
+        use rand::RngExt;
+        let params = MaternParams::new(
+            rng.random_range(0.3..3.0),
+            rng.random_range(0.02..0.4),
+            rng.random_range(0.3..2.4),
+        );
+        let kernel = Matern::new(params);
+        let nb = [30, 45, 85][(seed % 3) as usize];
+        let variant = if seed % 2 == 0 { Variant::DenseF64 } else { Variant::MpDense };
+        let cfg = TlrConfig::new(variant, nb);
+        let generate = || SymTileMatrix::generate(&kernel, &locs, cfg, &FlopKernelModel::default());
+
+        let mut seq = TiledFactor::from_matrix(generate());
+        seq.factorize_seq().unwrap();
+
+        let mut sharded = TiledFactor::from_matrix(generate());
+        let (streams, handles) = spawn_local_workers(shards).unwrap();
+        let rep = sharded
+            .factorize_sharded(streams, &ShardOptions::for_workers(shards))
+            .unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+
+        let (a, b) = (seq.to_dense_lower(), sharded.to_dense_lower());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!(x.to_bits() == y.to_bits(), "params {:?}: {x} vs {y}", params);
+        }
+        prop_assert_eq!(rep.worker_tasks.iter().sum::<u64>() as usize, rep.metrics.tasks);
+    }
+
+    #[test]
     fn batched_kriging_matches_pointwise_queries(
         seed in 0u64..10_000,
         n_test in 1usize..24,

@@ -1,0 +1,414 @@
+//! Cross-process equivalence suite for the sharded tile Cholesky.
+//!
+//! These tests spawn *real* worker processes of the `exageostat` binary
+//! (via `CARGO_BIN_EXE`) and prove the paper-level claim behind the
+//! multi-process backend: the 2D block-cyclic distribution changes where
+//! tile kernels run, never what they compute. The factor must be bitwise
+//! identical to the single-process sequential reference, predictions
+//! served through a `--shards` server must be checksum-identical to an
+//! unsharded server, and a lost or wedged worker must surface as a clean
+//! error within the deadline — never a hang, never a poisoned registry.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exageostat_rs::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xgs_cholesky::{spawn_workers, ShardError, ShardOptions, ShardRunner, TiledFactor};
+use xgs_server::{loadgen, LoadgenConfig, ModelRegistry, ServerConfig};
+
+const EXE: &str = env!("CARGO_BIN_EXE_exageostat");
+
+fn matrix(n: usize, nb: usize, seed: u64, variant: Variant) -> SymTileMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut locs = jittered_grid(n, &mut rng);
+    morton_order(&mut locs);
+    let kernel = Matern::new(MaternParams::new(1.0, 0.1, 0.5));
+    SymTileMatrix::generate(
+        &kernel,
+        &locs,
+        TlrConfig::new(variant, nb),
+        &FlopKernelModel::default(),
+    )
+}
+
+fn assert_bitwise_equal(a: &Matrix, b: &Matrix, context: &str) {
+    assert_eq!(a.rows(), b.rows(), "{context}");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+/// The tentpole guarantee: for several problem sizes, tile grids and
+/// process grids — square, rectangular, and more workers than tiles — a
+/// factorization fanned out over worker *processes* reproduces the
+/// sequential single-process factor bit for bit, and executes exactly the
+/// full DAG's task census.
+#[test]
+fn sharded_factor_is_bitwise_equal_across_process_grids() {
+    let shapes: &[(usize, usize, usize, Variant)] = &[
+        (300, 50, 4, Variant::DenseF64), // 6x6 tiles on a 2x2 grid
+        (260, 64, 3, Variant::MpDense),  // mixed precision on a 1x3 grid
+        (150, 40, 6, Variant::DenseF64), // 4x4 tiles on a 2x3 grid
+        (130, 70, 4, Variant::MpDense),  // 2x2 tiles on a 2x2 grid: some workers idle
+    ];
+    for &(n, nb, shards, variant) in shapes {
+        let context = format!("n={n} nb={nb} shards={shards} {variant:?}");
+        let mut reference = TiledFactor::from_matrix(matrix(n, nb, 11, variant));
+        reference.factorize_seq().unwrap();
+
+        let mut sharded = TiledFactor::from_matrix(matrix(n, nb, 11, variant));
+        let mut fleet = spawn_workers(Path::new(EXE), shards, Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("{context}: spawn failed: {e}"));
+        let rep = sharded
+            .factorize_sharded(fleet.take_streams(), &ShardOptions::for_workers(shards))
+            .unwrap_or_else(|e| panic!("{context}: sharded factorization failed: {e}"));
+
+        assert_bitwise_equal(
+            &reference.to_dense_lower(),
+            &sharded.to_dense_lower(),
+            &context,
+        );
+        let nt = n.div_ceil(nb);
+        let dag_tasks = nt + nt * (nt - 1) / 2 + nt * (nt * nt - 1) / 6;
+        assert_eq!(rep.metrics.tasks, dag_tasks, "{context}");
+        assert_eq!(
+            rep.worker_tasks.iter().sum::<u64>() as usize,
+            dag_tasks,
+            "{context}: per-worker census must sum to the DAG"
+        );
+    }
+}
+
+fn run_cli(args: &[&str]) -> String {
+    let out = std::process::Command::new(EXE).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "exageostat {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// `predict --shards 4` through the CLI: same log-likelihood line and
+/// byte-identical prediction CSV as the single-process run, and stable
+/// across five repetitions (the determinism sweep).
+#[test]
+fn cli_predict_with_shards_matches_single_process_five_times() {
+    let dir = std::env::temp_dir().join(format!("xgs-shardeq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.csv");
+    let data_s = data.to_str().unwrap();
+    run_cli(&[
+        "simulate",
+        "--n",
+        "300",
+        "--params",
+        "1.0,0.1,0.5",
+        "--seed",
+        "21",
+        "--out",
+        data_s,
+    ]);
+
+    let base_out = dir.join("pred-base.csv");
+    let base_stdout = run_cli(&[
+        "predict",
+        "--data",
+        data_s,
+        "--targets",
+        data_s,
+        "--theta",
+        "1.0,0.1,0.5",
+        "--tile",
+        "64",
+        "--uncertainty",
+        "--out",
+        base_out.to_str().unwrap(),
+    ]);
+    let base_csv = std::fs::read(&base_out).unwrap();
+    let base_llh = base_stdout.lines().next().unwrap().to_string();
+
+    for round in 0..5 {
+        let out = dir.join(format!("pred-shard-{round}.csv"));
+        let stdout = run_cli(&[
+            "predict",
+            "--data",
+            data_s,
+            "--targets",
+            data_s,
+            "--theta",
+            "1.0,0.1,0.5",
+            "--tile",
+            "64",
+            "--shards",
+            "4",
+            "--uncertainty",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            stdout.lines().next().unwrap(),
+            base_llh,
+            "round {round}: llh line diverged"
+        );
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            base_csv,
+            "round {round}: prediction CSV diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn roundtrip(conn: &mut TcpStream, line: &str) -> String {
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    resp
+}
+
+/// `load` + `predict` through a server whose factorizations fan out to
+/// real worker processes: every response checksum must match the
+/// unsharded server's answer on the same request stream.
+#[test]
+fn sharded_server_predictions_are_checksum_identical_to_unsharded() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let locs = jittered_grid(150, &mut rng);
+    let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+    let z = simulate_field(kernel.as_ref(), &locs, 92);
+    let locs_json: String = locs
+        .iter()
+        .map(|l| format!("[{},{}]", l.x, l.y))
+        .collect::<Vec<_>>()
+        .join(",");
+    let z_json: String = z.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+    let load_line = format!(
+        "{{\"op\":\"load\",\"name\":\"m\",\"theta\":[1.0,0.1,0.5],\
+         \"variant\":\"dense\",\"tile\":48,\"locs\":[{locs_json}],\"z\":[{z_json}]}}"
+    );
+
+    let run_one = |shard: Option<Arc<ShardRunner>>| -> u64 {
+        let cfg = ServerConfig {
+            shard,
+            ..Default::default()
+        };
+        let handle = xgs_server::serve(&cfg, Arc::new(ModelRegistry::new())).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        let resp = roundtrip(&mut conn, &load_line);
+        assert!(resp.contains("\"ok\":true"), "load failed: {resp}");
+        let report = loadgen::run(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            model: "m".to_string(),
+            requests: 30,
+            conns: 3,
+            points: 4,
+            seed: 7,
+            uncertainty: true,
+            shutdown: true,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(report.errors, 0, "{}", report.summary());
+        handle.join();
+        report.checksum
+    };
+
+    let unsharded = run_one(None);
+    let sharded = run_one(Some(Arc::new(ShardRunner::new(EXE.into(), 2))));
+    assert_eq!(
+        unsharded, sharded,
+        "sharded factorization changed served predictions"
+    );
+}
+
+/// Fault injection: SIGKILL a worker and prove the coordinator answers
+/// with a clean error well within the deadline, and that a fresh fleet
+/// afterwards is unaffected (one factorization's crash cannot poison the
+/// next).
+#[test]
+fn killed_worker_fails_cleanly_within_deadline() {
+    let shards = 4;
+    let deadline = Duration::from_secs(30);
+
+    // Kill before the first frame: the coordinator must detect the lost
+    // worker during the run, not block until the deadline.
+    let mut fleet = spawn_workers(Path::new(EXE), shards, Duration::from_secs(30)).unwrap();
+    let streams = fleet.take_streams();
+    fleet.kill_worker(2).unwrap();
+    let mut f = TiledFactor::from_matrix(matrix(300, 50, 13, Variant::DenseF64));
+    let opts = ShardOptions {
+        deadline,
+        ..ShardOptions::for_workers(shards)
+    };
+    let t0 = Instant::now();
+    let err = f
+        .factorize_sharded(streams, &opts)
+        .expect_err("a dead worker cannot produce a factor");
+    assert!(
+        matches!(
+            err,
+            ShardError::WorkerLost { .. } | ShardError::Timeout { .. }
+        ),
+        "unexpected error class: {err}"
+    );
+    assert!(
+        t0.elapsed() < deadline,
+        "took {:?}, deadline {deadline:?}",
+        t0.elapsed()
+    );
+
+    // Kill mid-flight on a second fleet: either the coordinator aborts
+    // cleanly, or (if the run already finished) the factor is still exact.
+    let mut fleet = spawn_workers(Path::new(EXE), shards, Duration::from_secs(30)).unwrap();
+    let streams = fleet.take_streams();
+    let opts2 = opts;
+    let handle = std::thread::spawn(move || {
+        let mut f = TiledFactor::from_matrix(matrix(600, 40, 13, Variant::DenseF64));
+        let res = f.factorize_sharded(streams, &opts2);
+        (res, f)
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    fleet.kill_worker(1).unwrap();
+    let t1 = Instant::now();
+    let (res, f) = handle.join().unwrap();
+    assert!(
+        t1.elapsed() < deadline,
+        "mid-flight kill stalled the coordinator for {:?}",
+        t1.elapsed()
+    );
+    if res.is_ok() {
+        let mut reference = TiledFactor::from_matrix(matrix(600, 40, 13, Variant::DenseF64));
+        reference.factorize_seq().unwrap();
+        assert_bitwise_equal(&reference.to_dense_lower(), &f.to_dense_lower(), "survivor");
+    }
+
+    // Recovery: a fresh fleet after both crashes still matches sequential.
+    let mut reference = TiledFactor::from_matrix(matrix(200, 50, 14, Variant::DenseF64));
+    reference.factorize_seq().unwrap();
+    let mut again = TiledFactor::from_matrix(matrix(200, 50, 14, Variant::DenseF64));
+    let mut fleet = spawn_workers(Path::new(EXE), shards, Duration::from_secs(30)).unwrap();
+    again
+        .factorize_sharded(fleet.take_streams(), &opts)
+        .expect("fresh fleet after a crash");
+    assert_bitwise_equal(
+        &reference.to_dense_lower(),
+        &again.to_dense_lower(),
+        "recovery",
+    );
+}
+
+/// Fault injection: a worker that answers with a *half-written* tile frame
+/// and then stalls forever. The coordinator must expire its deadline and
+/// return `Timeout` instead of blocking on the truncated frame.
+#[test]
+fn half_written_tile_frame_times_out_instead_of_hanging() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let conn = TcpStream::connect(addr).unwrap();
+    let (srv, _) = listener.accept().unwrap();
+
+    // Fake worker: consume frames until the first TASK (kind 3), then
+    // emit a TILE frame header (kind 2) promising 64 payload bytes, send
+    // only 10, and wedge.
+    let _fake = std::thread::spawn(move || {
+        let mut s = srv;
+        loop {
+            let Ok((kind, _payload)) =
+                xgs_runtime::read_frame(&mut s, Some(Duration::from_secs(60)), None)
+            else {
+                return;
+            };
+            if kind == 3 {
+                let mut partial = Vec::new();
+                partial.extend_from_slice(&64u32.to_le_bytes());
+                partial.push(2);
+                partial.extend_from_slice(&[0u8; 10]);
+                if s.write_all(&partial).is_ok() {
+                    let _ = s.flush();
+                }
+                std::thread::sleep(Duration::from_secs(600));
+                return;
+            }
+        }
+    });
+
+    let mut f = TiledFactor::from_matrix(matrix(120, 40, 17, Variant::DenseF64));
+    let opts = ShardOptions {
+        grid_p: 1,
+        grid_q: 1,
+        deadline: Duration::from_secs(2),
+        validate: false,
+    };
+    let t0 = Instant::now();
+    let err = f
+        .factorize_sharded(vec![conn], &opts)
+        .expect_err("a truncated frame cannot complete a factorization");
+    assert!(
+        matches!(
+            err,
+            ShardError::Timeout { .. } | ShardError::WorkerLost { .. }
+        ),
+        "unexpected error class: {err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "coordinator hung {:?} on a half-written frame",
+        t0.elapsed()
+    );
+}
+
+/// A sharded server whose worker executable cannot start answers `load`
+/// with `ok:false` and keeps serving: the registry is never poisoned by a
+/// failed factorization.
+#[test]
+fn sharded_server_survives_a_broken_worker_executable() {
+    let cfg = ServerConfig {
+        shard: Some(Arc::new(ShardRunner::new(
+            "/nonexistent/xgs-worker".into(),
+            2,
+        ))),
+        ..Default::default()
+    };
+    let handle = xgs_server::serve(&cfg, Arc::new(ModelRegistry::new())).unwrap();
+    let mut conn = TcpStream::connect(handle.addr()).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let locs = jittered_grid(60, &mut rng);
+    let kernel = ModelFamily::MaternSpace.kernel(&[1.0, 0.1, 0.5]);
+    let z = simulate_field(kernel.as_ref(), &locs, 6);
+    let locs_json: String = locs
+        .iter()
+        .map(|l| format!("[{},{}]", l.x, l.y))
+        .collect::<Vec<_>>()
+        .join(",");
+    let z_json: String = z.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+    let resp = roundtrip(
+        &mut conn,
+        &format!(
+            "{{\"op\":\"load\",\"name\":\"doomed\",\"theta\":[1.0,0.1,0.5],\
+             \"variant\":\"dense\",\"tile\":32,\"locs\":[{locs_json}],\"z\":[{z_json}]}}"
+        ),
+    );
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("factorization failed"), "{resp}");
+
+    // The failed load left nothing behind and the server still answers.
+    let models = roundtrip(&mut conn, "{\"op\":\"models\"}");
+    assert!(models.contains("\"models\":[]"), "{models}");
+    let pong = roundtrip(&mut conn, "{\"op\":\"ping\"}");
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+
+    handle.shutdown();
+    handle.join();
+}
