@@ -1,0 +1,112 @@
+//! `xgs-lint` — walk every workspace source file and enforce the project
+//! rule set (see `xgs_analysis::rules`).
+//!
+//! ```text
+//! xgs-lint [--json] [--root <dir>] [paths...]
+//! ```
+//!
+//! With no paths, lints every `.rs` file under the workspace root
+//! (default `.`), skipping `target/` build output and the `vendor/`
+//! dependency shims (which mirror external crates; the path-scoped rules
+//! wouldn't apply there and the shims are linted by `clippy` like
+//! everything else). Exit status is nonzero when any finding — including
+//! an unjustified allow — survives.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use xgs_analysis::rules::{lint_file, report_json, Finding, RULES};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: xgs-lint [--json] [--root <dir>] [paths...]");
+                println!("rules:");
+                for (name, summary) in RULES {
+                    println!("  {name:<26} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        walk(&root, &mut paths);
+        paths.sort();
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows = 0usize;
+    let mut files = 0usize;
+    for path in &paths {
+        let Ok(src) = std::fs::read(path) else {
+            eprintln!("xgs-lint: cannot read {}", path.display());
+            return ExitCode::from(2);
+        };
+        files += 1;
+        let rel = workspace_relative(&root, path);
+        let lint = lint_file(&rel, &src);
+        allows += lint.justified_allows;
+        findings.extend(lint.findings);
+    }
+
+    if json {
+        println!("{}", report_json(files, allows, &findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "xgs-lint: {} file(s), {} finding(s), {} justified allow(s)",
+            files,
+            findings.len(),
+            allows
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Collect `.rs` files under `dir`, skipping build output and the
+/// vendored dependency shims.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "vendor" {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative path with `/` separators, for the path-scoped rules
+/// and stable report output.
+fn workspace_relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.trim_start_matches("./").to_string()
+}

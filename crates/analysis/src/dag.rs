@@ -1,0 +1,680 @@
+//! Pre-execution graph checking.
+//!
+//! Everything here is an *independent* implementation of invariants the
+//! runtime also enforces dynamically: [`hazard_edges`] re-derives the
+//! superscalar RAW/WAR/WAW edges from access lists, [`check_acyclic`]
+//! catches the deadlock the post-run validator can never see (a cyclic
+//! graph never completes, so there is no schedule to validate),
+//! [`check_cholesky_census`] pins the DAG against the closed-form
+//! per-kernel counts, and [`check_shard_plan`] proves frame-protocol
+//! safety of a sharded factorization plan over the block-cyclic owner map
+//! before any worker process is spawned.
+//!
+//! This crate deliberately depends on nothing: `xgs-runtime` and
+//! `xgs-cholesky` depend on *it* and convert their graphs into the plain
+//! types below, so agreement between this module and the runtime is a
+//! real cross-check, not one implementation quoted twice.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One data access of a task: which datum, and whether it writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessSpec {
+    pub data: u64,
+    pub write: bool,
+}
+
+impl AccessSpec {
+    pub fn read(data: u64) -> AccessSpec {
+        AccessSpec { data, write: false }
+    }
+    pub fn write(data: u64) -> AccessSpec {
+        AccessSpec { data, write: true }
+    }
+}
+
+/// Dependency hazard classes, superscalar-style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HazardKind {
+    Raw,
+    War,
+    Waw,
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HazardKind::Raw => "RAW",
+            HazardKind::War => "WAR",
+            HazardKind::Waw => "WAW",
+        })
+    }
+}
+
+/// A hazard edge: `pred` must fully precede `succ` because of `data`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    pub pred: usize,
+    pub succ: usize,
+    pub data: u64,
+    pub kind: HazardKind,
+}
+
+/// Derive every hazard edge implied by per-task access lists, walking
+/// tasks in submission order exactly like a superscalar issue window:
+/// a read depends on the last writer (RAW); a write depends on the last
+/// writer (WAW) and on every reader since (WAR), then becomes the last
+/// writer and clears the reader set.
+///
+/// Each task is processed in two phases — every edge is derived against
+/// the *pre-task* state before any of the task's own accesses update it —
+/// matching the runtime validator's semantics, so the executor can demand
+/// element-wise equality between the two independently derived lists.
+pub fn hazard_edges(accesses: &[Vec<AccessSpec>]) -> Vec<Edge> {
+    let mut last_writer: HashMap<u64, usize> = HashMap::new();
+    let mut readers: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut edges = Vec::new();
+    for (succ, list) in accesses.iter().enumerate() {
+        for a in list {
+            if a.write {
+                if let Some(&w) = last_writer.get(&a.data) {
+                    edges.push(Edge {
+                        pred: w,
+                        succ,
+                        data: a.data,
+                        kind: HazardKind::Waw,
+                    });
+                }
+                for &r in readers.get(&a.data).map(Vec::as_slice).unwrap_or(&[]) {
+                    if r != succ {
+                        edges.push(Edge {
+                            pred: r,
+                            succ,
+                            data: a.data,
+                            kind: HazardKind::War,
+                        });
+                    }
+                }
+            } else if let Some(&w) = last_writer.get(&a.data) {
+                if w != succ {
+                    edges.push(Edge {
+                        pred: w,
+                        succ,
+                        data: a.data,
+                        kind: HazardKind::Raw,
+                    });
+                }
+            }
+        }
+        for a in list {
+            if a.write {
+                last_writer.insert(a.data, succ);
+                readers.insert(a.data, Vec::new());
+            } else {
+                readers.entry(a.data).or_default().push(succ);
+            }
+        }
+    }
+    edges
+}
+
+/// Why a graph fails the pre-execution check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The dependency graph contains this cycle (task ids, in order; the
+    /// first id is repeated conceptually — the last task points back at
+    /// the first).
+    Cycle(Vec<usize>),
+    /// A task names a successor outside the graph.
+    BadSuccessor { task: usize, succ: usize, n: usize },
+    /// Kernel census doesn't match the closed form for this tile count.
+    Census {
+        kind: &'static str,
+        got: u64,
+        want: u64,
+        nt: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle(path) => {
+                write!(f, "dependency cycle: ")?;
+                for (i, t) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "task {t}")?;
+                }
+                if let Some(first) = path.first() {
+                    write!(f, " -> task {first}")?;
+                }
+                Ok(())
+            }
+            GraphError::BadSuccessor { task, succ, n } => write!(
+                f,
+                "task {task} lists successor {succ}, but the graph has only {n} tasks"
+            ),
+            GraphError::Census {
+                kind,
+                got,
+                want,
+                nt,
+            } => write!(
+                f,
+                "kernel census mismatch for nt={nt}: {got} {kind} tasks, closed form wants {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Check that the graph with `n` tasks and the given successor lists is
+/// acyclic. On failure the error carries one concrete cycle, in order.
+///
+/// Iterative three-color DFS (no recursion: graphs reach hundreds of
+/// thousands of tasks and a recursive walk would overflow the stack
+/// before the cycle is ever reported).
+pub fn check_acyclic<F, I>(n: usize, successors: F) -> Result<(), GraphError>
+where
+    F: Fn(usize) -> I,
+    I: IntoIterator<Item = usize>,
+{
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Stack of (node, successor list, resume index).
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = successors(root).into_iter().collect();
+        color[root] = GRAY;
+        stack.push((root, succs, 0));
+        loop {
+            let (node, step) = match stack.last_mut() {
+                None => break,
+                Some((node, succs, next)) => {
+                    let s = succs.get(*next).copied();
+                    if s.is_some() {
+                        *next += 1;
+                    }
+                    (*node, s)
+                }
+            };
+            let Some(s) = step else {
+                color[node] = BLACK;
+                stack.pop();
+                continue;
+            };
+            if s >= n {
+                return Err(GraphError::BadSuccessor {
+                    task: node,
+                    succ: s,
+                    n,
+                });
+            }
+            match color[s] {
+                WHITE => {
+                    parent[s] = node;
+                    color[s] = GRAY;
+                    let nsuccs: Vec<usize> = successors(s).into_iter().collect();
+                    stack.push((s, nsuccs, 0));
+                }
+                GRAY => {
+                    // Found a back edge: walk parents from `node` back to
+                    // `s` to report the cycle in order.
+                    let mut path = vec![node];
+                    let mut cur = node;
+                    while cur != s {
+                        cur = parent[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Err(GraphError::Cycle(path));
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Closed-form kernel counts of the right-looking tile Cholesky DAG on an
+/// `nt × nt` tile grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelCensus {
+    pub potrf: u64,
+    pub trsm: u64,
+    pub syrk: u64,
+    pub gemm: u64,
+}
+
+impl KernelCensus {
+    /// The closed form: `nt` POTRFs, `nt(nt-1)/2` TRSMs and SYRKs,
+    /// `nt(nt-1)(nt-2)/6` GEMMs — total `nt + nt(nt-1)/2 + nt(nt²-1)/6`.
+    pub fn expected(nt: usize) -> KernelCensus {
+        let nt = nt as u64;
+        KernelCensus {
+            potrf: nt,
+            trsm: nt * nt.saturating_sub(1) / 2,
+            syrk: nt * nt.saturating_sub(1) / 2,
+            gemm: nt * nt.saturating_sub(1) * nt.saturating_sub(2) / 6,
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.potrf + self.trsm + self.syrk + self.gemm
+    }
+}
+
+/// Count kernel kinds (`"potrf"`, `"trsm"`, `"syrk"`, `"gemm"`) and
+/// compare against [`KernelCensus::expected`] for `nt`.
+pub fn check_cholesky_census<'a>(
+    kinds: impl IntoIterator<Item = &'a str>,
+    nt: usize,
+) -> Result<KernelCensus, GraphError> {
+    let mut got = KernelCensus {
+        potrf: 0,
+        trsm: 0,
+        syrk: 0,
+        gemm: 0,
+    };
+    let mut other = 0u64;
+    for k in kinds {
+        match k {
+            "potrf" => got.potrf += 1,
+            "trsm" => got.trsm += 1,
+            "syrk" => got.syrk += 1,
+            "gemm" => got.gemm += 1,
+            _ => other += 1,
+        }
+    }
+    let want = KernelCensus::expected(nt);
+    for (kind, g, w) in [
+        ("potrf", got.potrf, want.potrf),
+        ("trsm", got.trsm, want.trsm),
+        ("syrk", got.syrk, want.syrk),
+        ("gemm", got.gemm, want.gemm),
+        ("unknown-kind", other, 0),
+    ] {
+        if g != w {
+            return Err(GraphError::Census {
+                kind,
+                got: g,
+                want: w,
+                nt,
+            });
+        }
+    }
+    Ok(got)
+}
+
+// ------------------------------------------------------------- shard plans
+
+/// The block-cyclic owner map, restated here independently of
+/// `xgs_runtime::distsim::block_cyclic_owner` so the plan checker
+/// cross-checks the distribution instead of assuming it.
+pub fn block_cyclic_owner(i: usize, j: usize, p: usize, q: usize) -> usize {
+    (i % p) * q + (j % q)
+}
+
+/// One task of a sharded factorization plan.
+#[derive(Clone, Debug)]
+pub struct PlanTask {
+    /// `"potrf" | "trsm" | "syrk" | "gemm"`.
+    pub kind: &'static str,
+    /// Worker that executes the task (must own the written tile).
+    pub owner: usize,
+    /// Tiles read (tile coordinates, row >= col).
+    pub reads: Vec<(usize, usize)>,
+    /// Tile written in place.
+    pub write: (usize, usize),
+    /// Whether the worker sends the written tile back (its value is final
+    /// and other shards / the coordinator will need it).
+    pub publish: bool,
+}
+
+/// One coordinator-side event, in emission order. FIFO per-stream
+/// ordering is what turns this sequence into a proof: a transfer emitted
+/// before a task on the same worker's stream is processed first.
+#[derive(Clone, Debug)]
+pub enum PlanEvent {
+    /// A TILE frame to `to`. `initial` transfers seed the distribution
+    /// from the coordinator's storage (version 0); later transfers
+    /// forward a published tile produced on its owning shard.
+    Transfer {
+        tile: (usize, usize),
+        to: usize,
+        initial: bool,
+    },
+    /// Dispatch of `tasks[index]` to its owner.
+    Task(usize),
+}
+
+/// A complete sharded plan: grid, tasks, and the event sequence the
+/// coordinator will emit.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    pub nt: usize,
+    pub p: usize,
+    pub q: usize,
+    pub workers: usize,
+    pub tasks: Vec<PlanTask>,
+    pub events: Vec<PlanEvent>,
+}
+
+/// Why a sharded plan is unsafe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// Grid shape doesn't tile the worker fleet.
+    Grid { p: usize, q: usize, workers: usize },
+    /// A task is placed on a worker that doesn't own its written tile.
+    WrongOwner {
+        task: usize,
+        kind: &'static str,
+        tile: (usize, usize),
+        placed: usize,
+        owner: usize,
+    },
+    /// A task reads a tile its shard never received (or received stale):
+    /// the frame protocol would deadlock or compute garbage.
+    MissingOperand {
+        task: usize,
+        kind: &'static str,
+        tile: (usize, usize),
+        worker: usize,
+        have: Option<u64>,
+        want: u64,
+    },
+    /// A published tile is forwarded before its producing task ran.
+    ForwardBeforeProduce { tile: (usize, usize), to: usize },
+    /// A tile is forwarded to the shard that already owns it.
+    SendToSelf { tile: (usize, usize), owner: usize },
+    /// The same tile version is transferred twice to one worker.
+    DuplicateTransfer {
+        tile: (usize, usize),
+        to: usize,
+        version: u64,
+    },
+    /// An initial transfer is mis-routed off the owner map.
+    MisroutedSeed {
+        tile: (usize, usize),
+        to: usize,
+        owner: usize,
+    },
+    /// Per-kernel census over the plan doesn't match the closed form.
+    Census(GraphError),
+    /// Event references a task id outside `tasks`.
+    BadEvent { index: usize },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Grid { p, q, workers } => {
+                write!(f, "grid {p}x{q} does not tile {workers} workers")
+            }
+            PlanError::WrongOwner {
+                task,
+                kind,
+                tile,
+                placed,
+                owner,
+            } => write!(
+                f,
+                "task {task} ({kind} on tile ({},{})) placed on worker {placed}, but the \
+                 block-cyclic map owns it to worker {owner}",
+                tile.0, tile.1
+            ),
+            PlanError::MissingOperand {
+                task,
+                kind,
+                tile,
+                worker,
+                have,
+                want,
+            } => write!(
+                f,
+                "task {task} ({kind}) on worker {worker} reads tile ({},{}) at version {want}, \
+                 but the plan delivers {} — no matching TILE transfer precedes the task",
+                tile.0,
+                tile.1,
+                match have {
+                    Some(v) => format!("version {v}"),
+                    None => "nothing".to_string(),
+                }
+            ),
+            PlanError::ForwardBeforeProduce { tile, to } => write!(
+                f,
+                "tile ({},{}) forwarded to worker {to} before its producing task published it",
+                tile.0, tile.1
+            ),
+            PlanError::SendToSelf { tile, owner } => write!(
+                f,
+                "tile ({},{}) forwarded to worker {owner}, which already owns it",
+                tile.0, tile.1
+            ),
+            PlanError::DuplicateTransfer { tile, to, version } => write!(
+                f,
+                "tile ({},{}) version {version} transferred to worker {to} twice",
+                tile.0, tile.1
+            ),
+            PlanError::MisroutedSeed { tile, to, owner } => write!(
+                f,
+                "initial transfer routes tile ({},{}) to worker {to}; owner map says {owner}",
+                tile.0, tile.1
+            ),
+            PlanError::Census(e) => write!(f, "{e}"),
+            PlanError::BadEvent { index } => {
+                write!(f, "plan event references task {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// What a verified plan looks like, for logging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanSummary {
+    pub tasks: u64,
+    pub transfers: u64,
+    pub forwards: u64,
+    /// Tasks per worker under the owner map.
+    pub per_worker: Vec<u64>,
+}
+
+/// Statically verify a sharded plan: owner placement, seed routing, and —
+/// by replaying the event sequence with tile versions — that every task's
+/// read sees the *current* version of each operand on its shard, that no
+/// tile is forwarded before its producer published it, that nothing is
+/// sent to its own shard, and that the per-kernel census matches the
+/// closed form for `nt`.
+pub fn check_shard_plan(plan: &ShardPlan) -> Result<PlanSummary, PlanError> {
+    let (p, q, workers) = (plan.p, plan.q, plan.workers);
+    if p == 0 || q == 0 || p * q != workers {
+        return Err(PlanError::Grid { p, q, workers });
+    }
+    // Independent owner check for every task.
+    for (t, task) in plan.tasks.iter().enumerate() {
+        let owner = block_cyclic_owner(task.write.0, task.write.1, p, q);
+        if task.owner != owner {
+            return Err(PlanError::WrongOwner {
+                task: t,
+                kind: task.kind,
+                tile: task.write,
+                placed: task.owner,
+                owner,
+            });
+        }
+    }
+    // Census against the closed form.
+    check_cholesky_census(plan.tasks.iter().map(|t| t.kind), plan.nt).map_err(PlanError::Census)?;
+
+    // Replay: per-worker tile versions, global current version, and the
+    // set of published (coordinator-held) versions.
+    let mut version: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut held: Vec<HashMap<(usize, usize), u64>> = vec![HashMap::new(); workers];
+    let mut published: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut transfers = 0u64;
+    let mut forwards = 0u64;
+    let mut per_worker = vec![0u64; workers];
+    for ev in &plan.events {
+        match ev {
+            PlanEvent::Transfer { tile, to, initial } => {
+                let cur = version.get(tile).copied().unwrap_or(0);
+                let owner = block_cyclic_owner(tile.0, tile.1, p, q);
+                if *initial {
+                    if *to != owner {
+                        return Err(PlanError::MisroutedSeed {
+                            tile: *tile,
+                            to: *to,
+                            owner,
+                        });
+                    }
+                } else {
+                    if published.get(tile) != Some(&cur) || cur == 0 {
+                        return Err(PlanError::ForwardBeforeProduce {
+                            tile: *tile,
+                            to: *to,
+                        });
+                    }
+                    if *to == owner {
+                        return Err(PlanError::SendToSelf { tile: *tile, owner });
+                    }
+                    forwards += 1;
+                }
+                let slot = held.get_mut(*to).ok_or(PlanError::Grid { p, q, workers })?;
+                if slot.insert(*tile, cur) == Some(cur) {
+                    return Err(PlanError::DuplicateTransfer {
+                        tile: *tile,
+                        to: *to,
+                        version: cur,
+                    });
+                }
+                transfers += 1;
+            }
+            PlanEvent::Task(t) => {
+                let task = plan
+                    .tasks
+                    .get(*t)
+                    .ok_or(PlanError::BadEvent { index: *t })?;
+                for need in task.reads.iter().chain(std::iter::once(&task.write)) {
+                    let want = version.get(need).copied().unwrap_or(0);
+                    let have = held[task.owner].get(need).copied();
+                    if have != Some(want) {
+                        return Err(PlanError::MissingOperand {
+                            task: *t,
+                            kind: task.kind,
+                            tile: *need,
+                            worker: task.owner,
+                            have,
+                            want,
+                        });
+                    }
+                }
+                let v = version.entry(task.write).or_insert(0);
+                *v += 1;
+                held[task.owner].insert(task.write, *v);
+                if task.publish {
+                    published.insert(task.write, *v);
+                }
+                per_worker[task.owner] += 1;
+            }
+        }
+    }
+    Ok(PlanSummary {
+        tasks: plan.tasks.len() as u64,
+        transfers,
+        forwards,
+        per_worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hazard_edges_textbook() {
+        // t0 writes A; t1 reads A writes B; t2 reads A,B.
+        let acc = vec![
+            vec![AccessSpec::write(0)],
+            vec![AccessSpec::read(0), AccessSpec::write(1)],
+            vec![AccessSpec::read(0), AccessSpec::read(1)],
+        ];
+        let edges = hazard_edges(&acc);
+        assert!(edges.contains(&Edge {
+            pred: 0,
+            succ: 1,
+            data: 0,
+            kind: HazardKind::Raw
+        }));
+        assert!(edges.contains(&Edge {
+            pred: 1,
+            succ: 2,
+            data: 1,
+            kind: HazardKind::Raw
+        }));
+        // t3 rewrites A: WAW on t0, WAR on t1 and t2.
+        let mut acc = acc;
+        acc.push(vec![AccessSpec::write(0)]);
+        let edges = hazard_edges(&acc);
+        assert!(edges.contains(&Edge {
+            pred: 0,
+            succ: 3,
+            data: 0,
+            kind: HazardKind::Waw
+        }));
+        assert!(edges.contains(&Edge {
+            pred: 1,
+            succ: 3,
+            data: 0,
+            kind: HazardKind::War
+        }));
+        assert!(edges.contains(&Edge {
+            pred: 2,
+            succ: 3,
+            data: 0,
+            kind: HazardKind::War
+        }));
+    }
+
+    #[test]
+    fn acyclic_accepts_chain_rejects_cycle() {
+        let chain: [Vec<usize>; 3] = [vec![1], vec![2], vec![]];
+        assert!(check_acyclic(3, |t| chain[t].clone()).is_ok());
+        let cyc = [vec![1], vec![2], vec![0]];
+        match check_acyclic(3, |t| cyc[t].clone()) {
+            Err(GraphError::Cycle(path)) => assert_eq!(path, vec![0, 1, 2]),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn census_closed_form() {
+        let want = KernelCensus::expected(5);
+        assert_eq!(
+            (want.potrf, want.trsm, want.syrk, want.gemm),
+            (5, 10, 10, 10)
+        );
+        assert_eq!(want.total(), 35); // nt + nt(nt-1)/2 + nt(nt^2-1)/6
+        let mut kinds: Vec<&str> = Vec::new();
+        for (k, count) in [("potrf", 5), ("trsm", 10), ("syrk", 10), ("gemm", 10)] {
+            kinds.extend(vec![k; count]);
+        }
+        assert!(check_cholesky_census(kinds.iter().copied(), 5).is_ok());
+        let short: Vec<&str> = kinds[1..].to_vec();
+        assert!(matches!(
+            check_cholesky_census(short.iter().copied(), 5),
+            Err(GraphError::Census { kind: "potrf", .. })
+        ));
+    }
+}

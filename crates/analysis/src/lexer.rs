@@ -1,0 +1,407 @@
+//! A small hand-rolled Rust lexer over raw bytes.
+//!
+//! The lint rules in [`crate::rules`] operate on token streams, never on
+//! raw substring matches, so that rule names inside string literals or
+//! comments can never trigger (or suppress) a rule. The lexer therefore
+//! only needs to get *token boundaries* right — it keeps no symbol
+//! information and does not validate the program.
+//!
+//! Two properties are load-bearing and property-tested:
+//!
+//! 1. **Total**: lexing never panics, on *any* byte string (including
+//!    invalid UTF-8, unterminated literals, and stray punctuation).
+//!    Unrecognized bytes become [`TokenKind::Unknown`].
+//! 2. **Lossless**: the token spans tile the input exactly — concatenating
+//!    `src[tok.start..tok.end]` over all tokens reproduces the input byte
+//!    for byte. This is what makes line/column reporting trustworthy.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines, carriage returns.
+    Whitespace,
+    /// `// ...` up to (not including) the newline.
+    LineComment,
+    /// `/* ... */`, nesting respected; unterminated runs to EOF.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// `'lifetime` (no closing quote).
+    Lifetime,
+    /// Integer or float literal, with suffix if present.
+    Number,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `'c'`, `b'c'`. Unterminated runs to EOF.
+    Literal,
+    /// A single punctuation byte (`.`, `(`, `=`, …). Multi-byte operators
+    /// are deliberately left as individual bytes; rules match sequences.
+    Punct(u8),
+    /// Any byte the lexer has no rule for (e.g. stray non-ASCII outside a
+    /// literal). Always a single byte.
+    Unknown,
+}
+
+/// One token: kind plus the half-open byte span it covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The bytes this token covers.
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex an entire source file. Total and lossless (see module docs).
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < src.len() {
+        let start = i;
+        let b = src[i];
+        let kind = if b.is_ascii_whitespace() {
+            while i < src.len() && src[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            TokenKind::Whitespace
+        } else if b == b'/' && src.get(i + 1) == Some(&b'/') {
+            while i < src.len() && src[i] != b'\n' {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if b == b'/' && src.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < src.len() && depth > 0 {
+                if src[i] == b'/' && src.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if src[i] == b'*' && src.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if let Some(end) = raw_or_byte_string(src, i) {
+            i = end;
+            TokenKind::Literal
+        } else if is_ident_start(b) {
+            while i < src.len() && is_ident_continue(src[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if b.is_ascii_digit() {
+            i = lex_number(src, i);
+            TokenKind::Number
+        } else if b == b'"' {
+            i = lex_quoted(src, i + 1, b'"');
+            TokenKind::Literal
+        } else if b == b'\'' {
+            let (end, kind) = lex_quote_or_lifetime(src, i);
+            i = end;
+            kind
+        } else if b.is_ascii() {
+            i += 1;
+            TokenKind::Punct(b)
+        } else {
+            i += 1;
+            TokenKind::Unknown
+        };
+        toks.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    toks
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, and raw identifiers
+/// (`r#ident`). Returns the end offset when `src[i..]` starts one.
+fn raw_or_byte_string(src: &[u8], i: usize) -> Option<usize> {
+    let b = src[i];
+    if b != b'r' && b != b'b' {
+        return None;
+    }
+    let mut j = i + 1;
+    if b == b'b' && src.get(j) == Some(&b'r') {
+        j += 1;
+    }
+    let raw = b == b'r' || j > i + 1;
+    let mut hashes = 0usize;
+    while raw && src.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match src.get(j) {
+        Some(&b'"') => {
+            // Raw strings have no escapes: scan for `"` + hashes closers.
+            if raw {
+                j += 1;
+                while j < src.len() {
+                    if src[j] == b'"' && src[j + 1..].iter().take(hashes).all(|&h| h == b'#') {
+                        return Some(j + 1 + hashes.min(src.len() - j - 1));
+                    }
+                    j += 1;
+                }
+                Some(src.len())
+            } else {
+                // Plain byte string `b"…"` with escapes.
+                Some(lex_quoted(src, j + 1, b'"'))
+            }
+        }
+        Some(&b'\'') if b == b'b' && hashes == 0 && j == i + 1 => {
+            // Byte char `b'x'`.
+            Some(lex_quoted(src, j + 1, b'\''))
+        }
+        _ if raw && hashes == 1 && src.get(j).map(|&c| is_ident_start(c)) == Some(true) => {
+            // Raw identifier `r#match` — token includes the `r#`.
+            while j < src.len() && is_ident_continue(src[j]) {
+                j += 1;
+            }
+            Some(j)
+        }
+        _ => None,
+    }
+}
+
+/// Scan a quoted literal body (after the opening quote) honoring `\`
+/// escapes; unterminated literals run to EOF.
+fn lex_quoted(src: &[u8], mut i: usize, close: u8) -> usize {
+    while i < src.len() {
+        if src[i] == b'\\' {
+            i = (i + 2).min(src.len());
+        } else if src[i] == close {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    src.len()
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn lex_quote_or_lifetime(src: &[u8], i: usize) -> (usize, TokenKind) {
+    match src.get(i + 1) {
+        Some(&b'\\') => (lex_quoted(src, i + 1, b'\''), TokenKind::Literal),
+        Some(&c) if is_ident_start(c) => {
+            let mut j = i + 1;
+            while j < src.len() && is_ident_continue(src[j]) {
+                j += 1;
+            }
+            if src.get(j) == Some(&b'\'') {
+                (j + 1, TokenKind::Literal)
+            } else {
+                (j, TokenKind::Lifetime)
+            }
+        }
+        Some(_) => (lex_quoted(src, i + 1, b'\''), TokenKind::Literal),
+        None => (i + 1, TokenKind::Unknown),
+    }
+}
+
+/// Numbers: digits, then a fractional part only when followed by another
+/// digit (so `1..5` lexes as `1`, `.`, `.`, `5`), exponent, and any
+/// alphanumeric suffix (`u64`, `f32`, hex digits after `0x`).
+fn lex_number(src: &[u8], mut i: usize) -> usize {
+    while i < src.len() && (src[i].is_ascii_alphanumeric() || src[i] == b'_') {
+        i += 1;
+    }
+    if i + 1 < src.len() && src[i] == b'.' && src[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < src.len() && (src[i].is_ascii_alphanumeric() || src[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Signed exponent: `1e-9` (the alnum scan stops at `-`).
+    if i + 1 < src.len()
+        && (src[i] == b'-' || src[i] == b'+')
+        && src.get(i.wrapping_sub(1)).map(|b| b | 0x20) == Some(b'e')
+        && src[i + 1].is_ascii_digit()
+    {
+        i += 1;
+        while i < src.len() && (src[i].is_ascii_alphanumeric() || src[i] == b'_') {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Byte offsets of each line start, for offset→(line, column) reporting.
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    pub fn new(src: &[u8]) -> LineIndex {
+        let mut starts = vec![0];
+        for (i, &b) in src.iter().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn locate(&self, offset: usize) -> (usize, usize) {
+        let line = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.starts[line] + 1)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line(&self, offset: usize) -> usize {
+        self.locate(offset).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src.as_bytes())
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn lossless(src: &[u8]) {
+        let toks = lex(src);
+        let mut rebuilt = Vec::new();
+        let mut prev_end = 0;
+        for t in &toks {
+            assert_eq!(t.start, prev_end, "gap/overlap at {}", t.start);
+            assert!(t.end > t.start, "empty token at {}", t.start);
+            rebuilt.extend_from_slice(&src[t.start..t.end]);
+            prev_end = t.end;
+        }
+        assert_eq!(prev_end, src.len());
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn idents_and_calls() {
+        assert_eq!(
+            kinds("a.unwrap()"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct(b'.'),
+                TokenKind::Ident,
+                TokenKind::Punct(b'('),
+                TokenKind::Punct(b')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_idents() {
+        let toks = lex(b"let s = \"a.unwrap()\";");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 1);
+        assert_eq!(lits[0].text(b"let s = \"a.unwrap()\";"), b"\"a.unwrap()\"");
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        for src in [
+            "r\"abc\"",
+            "r#\"a \" b\"#",
+            "br#\"x\"#",
+            "b\"esc\\\"ok\"",
+            "b'q'",
+            "r#match",
+        ] {
+            let toks = lex(src.as_bytes());
+            assert_eq!(toks.len(), 1, "{src:?} lexed as {toks:?}");
+            lossless(src.as_bytes());
+        }
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(kinds("'a"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds("'a'"), vec![TokenKind::Literal]);
+        assert_eq!(kinds("'\\n'"), vec![TokenKind::Literal]);
+        assert_eq!(
+            kinds("&'static str"),
+            vec![
+                TokenKind::Punct(b'&'),
+                TokenKind::Lifetime,
+                TokenKind::Ident,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        assert_eq!(
+            kinds("1..5"),
+            vec![
+                TokenKind::Number,
+                TokenKind::Punct(b'.'),
+                TokenKind::Punct(b'.'),
+                TokenKind::Number,
+            ]
+        );
+        assert_eq!(kinds("1.5e-9f64"), vec![TokenKind::Number]);
+        assert_eq!(kinds("0x1f_u32"), vec![TokenKind::Number]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(
+            kinds("/* a /* b */ c */ x"),
+            vec![TokenKind::BlockComment, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn lossless_on_awkward_inputs() {
+        for src in [
+            &b"fn main() { let x = 1..2; }"[..],
+            b"\"unterminated",
+            b"/* unterminated",
+            b"'",
+            b"'\\",
+            b"b\"",
+            b"r#\"no close",
+            b"\xff\xfe utf8 junk \x80",
+            b"",
+            b"r#",
+            b"br",
+        ] {
+            lossless(src);
+        }
+    }
+
+    #[test]
+    fn line_index_locates() {
+        let src = b"ab\ncd\n\nef";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.locate(0), (1, 1));
+        assert_eq!(idx.locate(4), (2, 2));
+        assert_eq!(idx.locate(7), (4, 1));
+    }
+}

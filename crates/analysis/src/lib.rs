@@ -1,0 +1,32 @@
+//! In-tree static analysis for the workspace.
+//!
+//! Two layers, both wired into CI as hard gates:
+//!
+//! * **`xgs-lint`** ([`lexer`] + [`rules`], driven by the `xgs-lint`
+//!   binary): a hand-rolled Rust lexer and a token-stream rule engine
+//!   that enforce the project's written invariants — NaN-safe float
+//!   comparisons, panic-free network paths, bounded stream reads,
+//!   justified `unsafe`, exhaustive wire-kind dispatch, and the server
+//!   lock order — as named, individually-suppressible rules.
+//! * **Pre-execution DAG checking** ([`dag`]): independent
+//!   re-derivations of the runtime's correctness invariants (hazard
+//!   edges, acyclicity, the Cholesky kernel census, and sharded-plan
+//!   frame-protocol safety) that run *before* a graph executes, so a
+//!   cyclic graph or an unsatisfiable tile transfer is a diagnostic at
+//!   submission time rather than a hang at 3 a.m.
+//!
+//! The crate has zero dependencies on purpose: `xgs-runtime` and
+//! `xgs-cholesky` depend on it, which keeps the checks an independent
+//! implementation (a genuine cross-check) and lets the lint build even
+//! when the rest of the workspace doesn't.
+
+pub mod dag;
+pub mod lexer;
+pub mod rules;
+
+pub use dag::{
+    block_cyclic_owner, check_acyclic, check_cholesky_census, check_shard_plan, hazard_edges,
+    AccessSpec, Edge, GraphError, HazardKind, KernelCensus, PlanError, PlanEvent, PlanSummary,
+    PlanTask, ShardPlan,
+};
+pub use rules::{lint_file, lint_source, report_json, FileLint, Finding, RULES};

@@ -1,0 +1,788 @@
+//! The `xgs-lint` rule engine.
+//!
+//! Rules operate on the token stream from [`crate::lexer`] — never on raw
+//! substring matches — so rule names inside string literals or comments
+//! can neither trigger nor suppress a rule. Every rule is named and
+//! individually suppressible with a justified allow comment:
+//!
+//! ```text
+//! // xgs-lint: allow(rule-name): why this site is safe
+//! ```
+//!
+//! The justification text after the closing paren is **mandatory**; an
+//! allow without one is itself a finding (`unjustified-allow`). An allow
+//! suppresses findings on its own line and on the line directly below it
+//! (so both trailing and line-above comment styles work).
+//!
+//! Path-scoped rules receive the workspace-relative path with `/`
+//! separators; the scoping predicates live next to each rule below.
+
+use crate::lexer::{lex, LineIndex, Token, TokenKind};
+
+/// Name + one-line summary for every rule, in reporting order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-partial-cmp-sort",
+        "float comparisons go through total_cmp, never .partial_cmp() (NaN-safe total order)",
+    ),
+    (
+        "no-panic-in-network-path",
+        "no unwrap/expect/panic!/wire-buffer indexing in server request handling or shard frame code",
+    ),
+    (
+        "bounded-read-only",
+        "no read_line/read_to_end/read_to_string on network streams; use the bounded fill_buf reader",
+    ),
+    (
+        "no-unjustified-unsafe",
+        "every unsafe block carries a justified allow",
+    ),
+    (
+        "frame-kind-exhaustive",
+        "matches on wire frame/op kinds bind unknown values explicitly instead of `_ =>`",
+    ),
+    (
+        "lock-order",
+        "crates/server locks acquire in the declared order: BatchQueue::inner < ModelRegistry::models < Shared::metrics",
+    ),
+    (
+        "unjustified-allow",
+        "an `xgs-lint: allow(...)` comment without justification text",
+    ),
+];
+
+/// One lint finding, pointing at a byte offset resolved to line/column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `xgs-lint: allow(rule)` comment.
+struct Allow {
+    rule: String,
+    line: usize,
+    justified: bool,
+}
+
+/// A significant (non-whitespace, non-comment) token with its text.
+#[derive(Clone, Copy)]
+struct Sig<'a> {
+    kind: TokenKind,
+    text: &'a [u8],
+    start: usize,
+}
+
+impl<'a> Sig<'a> {
+    fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokenKind::Punct(b)
+    }
+    fn is_ident(&self, name: &[u8]) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// [`lint_file`] result: findings plus the justified-allow census (the
+/// binary reports both; an allow is spent scrutiny and worth surfacing).
+pub struct FileLint {
+    pub findings: Vec<Finding>,
+    pub justified_allows: usize,
+}
+
+/// Lint one source file, returning only the findings.
+pub fn lint_source(path: &str, src: &[u8]) -> Vec<Finding> {
+    lint_file(path, src).findings
+}
+
+/// Lint one source file. `path` must be workspace-relative with `/`
+/// separators — the path-scoped rules key off it.
+pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
+    let toks = lex(src);
+    let idx = LineIndex::new(src);
+    let sig: Vec<Sig<'_>> = toks
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|t| Sig {
+            kind: t.kind,
+            text: t.text(src),
+            start: t.start,
+        })
+        .collect();
+    let allows = parse_allows(src, &toks, &idx);
+    let tests = test_regions(&sig);
+    let in_test = |off: usize| tests.iter().any(|&(s, e)| off >= s && off < e);
+
+    let mut raw = Vec::new();
+    rule_partial_cmp(path, &sig, &mut raw);
+    if network_scoped(path) {
+        rule_no_panic(path, &sig, &in_test, &mut raw);
+        rule_bounded_read(path, &sig, &in_test, &mut raw);
+    }
+    rule_unsafe(path, &sig, &mut raw);
+    if frame_scoped(path) {
+        rule_frame_exhaustive(path, &sig, &in_test, &mut raw);
+    }
+    if lock_scoped(path) {
+        rule_lock_order(path, &sig, &in_test, &mut raw);
+    }
+
+    // Nested matches can surface one site twice (outer and inner scan).
+    raw.sort_by_key(|(off, rule, _)| (*off, *rule));
+    raw.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+
+    let mut findings = Vec::new();
+    for (off, rule, message) in raw {
+        let (line, col) = idx.locate(off);
+        let suppressed = allows
+            .iter()
+            .any(|a| a.justified && a.rule == rule && (a.line == line || a.line + 1 == line));
+        if !suppressed {
+            findings.push(Finding {
+                rule,
+                path: path.to_string(),
+                line,
+                col,
+                message,
+            });
+        }
+    }
+    for a in &allows {
+        if !RULES.iter().any(|(name, _)| *name == a.rule) {
+            findings.push(Finding {
+                rule: "unjustified-allow",
+                path: path.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!("allow({}) names a rule that does not exist", a.rule),
+            });
+        } else if !a.justified {
+            findings.push(Finding {
+                rule: "unjustified-allow",
+                path: path.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "allow({}) carries no justification; write `// xgs-lint: allow({}): <why>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col));
+    FileLint {
+        findings,
+        justified_allows: allows
+            .iter()
+            .filter(|a| a.justified && RULES.iter().any(|(name, _)| *name == a.rule))
+            .count(),
+    }
+}
+
+/// The machine-readable report, in the workspace's hand-rolled JSON
+/// schema (see README "Static analysis"): scanned-file count, justified
+/// allow count, the rule table, and one object per finding.
+pub fn report_json(files: usize, justified_allows: usize, findings: &[Finding]) -> String {
+    let mut s = String::with_capacity(256 + findings.len() * 96);
+    s.push_str("{\"files\":");
+    s.push_str(&files.to_string());
+    s.push_str(",\"allows\":");
+    s.push_str(&justified_allows.to_string());
+    s.push_str(",\"rules\":[");
+    for (i, (name, _)) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        s.push_str(name);
+        s.push('"');
+    }
+    s.push_str("],\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"rule\":\"");
+        s.push_str(f.rule);
+        s.push_str("\",\"path\":");
+        json_string(&f.path, &mut s);
+        s.push_str(",\"line\":");
+        s.push_str(&f.line.to_string());
+        s.push_str(",\"col\":");
+        s.push_str(&f.col.to_string());
+        s.push_str(",\"message\":");
+        json_string(&f.message, &mut s);
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_string(v: &str, out: &mut String) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- scoping
+
+/// Files whose request-handling / frame paths must be panic-free and use
+/// bounded reads: the server's request pipeline plus both shard layers.
+fn network_scoped(path: &str) -> bool {
+    path.ends_with("crates/server/src/server.rs")
+        || path.ends_with("crates/server/src/batch.rs")
+        || path.ends_with("crates/server/src/registry.rs")
+        || path.ends_with("crates/server/src/protocol.rs")
+        || path.ends_with("crates/runtime/src/shard.rs")
+        || path.ends_with("crates/cholesky/src/shard.rs")
+}
+
+/// Files that dispatch on wire frame or op kinds.
+fn frame_scoped(path: &str) -> bool {
+    path.ends_with("crates/runtime/src/shard.rs")
+        || path.ends_with("crates/cholesky/src/shard.rs")
+        || path.ends_with("crates/server/src/protocol.rs")
+        || path.ends_with("crates/server/src/server.rs")
+}
+
+/// The server crate's lock-order discipline (see `crates/server/src/lib.rs`).
+fn lock_scoped(path: &str) -> bool {
+    path.contains("crates/server/src/")
+}
+
+// ----------------------------------------------------------------- allows
+
+/// Scan line comments for `xgs-lint: allow(rule)[: justification]`.
+///
+/// Only plain `//` comments qualify — doc comments (`///`, `//!`) can
+/// *talk about* the syntax without suppressing anything.
+fn parse_allows(src: &[u8], toks: &[Token], idx: &LineIndex) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        if matches!(text.get(2), Some(b'/') | Some(b'!')) {
+            continue;
+        }
+        let body = trim_ascii(&text[2.min(text.len())..]);
+        if !body.starts_with(b"xgs-lint:") {
+            continue;
+        }
+        let mut rest = body;
+        while let Some(pos) = find(rest, b"xgs-lint:") {
+            rest = &rest[pos + b"xgs-lint:".len()..];
+            let Some(ap) = find(rest, b"allow(") else {
+                break;
+            };
+            rest = &rest[ap + b"allow(".len()..];
+            let Some(close) = rest.iter().position(|&b| b == b')') else {
+                break;
+            };
+            let rule = String::from_utf8_lossy(&rest[..close]).trim().to_string();
+            rest = &rest[close + 1..];
+            // Justification: any text after the `)`, past a `:` or dash.
+            let just = rest
+                .iter()
+                .position(|&b| !matches!(b, b':' | b'-' | b' ' | b'\t'))
+                .map(|p| &rest[p..])
+                .unwrap_or(b"");
+            allows.push(Allow {
+                rule,
+                line: idx.line(t.start),
+                justified: !just.is_empty(),
+            });
+        }
+    }
+    allows
+}
+
+fn find(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+fn trim_ascii(mut b: &[u8]) -> &[u8] {
+    while let Some((f, rest)) = b.split_first() {
+        if f.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    b
+}
+
+// ----------------------------------------------------------- test regions
+
+/// Byte spans covered by `#[cfg(test)]` items (and `#[test]` functions):
+/// the panic/read rules don't apply there. Detected as the token sequence
+/// `# [ cfg ( test ) ]` / `# [ test ]` followed by an item whose body is
+/// the next brace-balanced block (or a `;`-terminated item).
+fn test_regions(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        let hit = starts_with_seq(&sig[i..], &[b"#", b"[", b"cfg", b"(", b"test", b")", b"]"])
+            || starts_with_seq(&sig[i..], &[b"#", b"[", b"test", b"]"]);
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let start = sig[i].start;
+        // Find the item body: first `{` before any top-level `;`.
+        let mut j = i;
+        let mut depth = 0usize;
+        let mut end = None;
+        while j < sig.len() {
+            let s = &sig[j];
+            if s.is_punct(b'{') {
+                depth += 1;
+            } else if s.is_punct(b'}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end = Some(s.start + 1);
+                    break;
+                }
+            } else if s.is_punct(b';') && depth == 0 {
+                end = Some(s.start + 1);
+                break;
+            }
+            j += 1;
+        }
+        let end = end.unwrap_or(sig.last().map(|s| s.start + 1).unwrap_or(start));
+        regions.push((start, end));
+        i = j.max(i) + 1;
+    }
+    regions
+}
+
+fn starts_with_seq(sig: &[Sig<'_>], seq: &[&[u8]]) -> bool {
+    seq.len() <= sig.len()
+        && seq.iter().zip(sig).all(|(want, s)| match s.kind {
+            TokenKind::Ident => s.text == *want,
+            TokenKind::Punct(b) => *want == [b],
+            _ => false,
+        })
+}
+
+// ------------------------------------------------------------------ rules
+
+type Raw = Vec<(usize, &'static str, String)>;
+
+/// `no-partial-cmp-sort`: any `.partial_cmp(` *call* is a finding
+/// (`fn partial_cmp` trait implementations are fine — no leading dot).
+fn rule_partial_cmp(_path: &str, sig: &[Sig<'_>], out: &mut Raw) {
+    for w in 1..sig.len() {
+        if sig[w].is_ident(b"partial_cmp") && sig[w - 1].is_punct(b'.') {
+            out.push((
+                sig[w].start,
+                "no-partial-cmp-sort",
+                "call goes through partial_cmp; use f64::total_cmp for a NaN-safe total order"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Identifiers that hold raw wire payloads: indexing them without `get`
+/// turns a short frame into a panic instead of a typed protocol error.
+const WIRE_BUFFERS: &[&[u8]] = &[b"payload"];
+
+/// `no-panic-in-network-path`.
+fn rule_no_panic(_path: &str, sig: &[Sig<'_>], in_test: &dyn Fn(usize) -> bool, out: &mut Raw) {
+    const PANIC_MACROS: &[&[u8]] = &[b"panic", b"unreachable", b"todo", b"unimplemented"];
+    for w in 0..sig.len() {
+        let s = &sig[w];
+        if in_test(s.start) {
+            continue;
+        }
+        if w > 0 && sig[w - 1].is_punct(b'.') && (s.is_ident(b"unwrap") || s.is_ident(b"expect")) {
+            out.push((
+                s.start,
+                "no-panic-in-network-path",
+                format!(
+                    "{}() in a network path; route the failure through the typed error enum",
+                    String::from_utf8_lossy(s.text)
+                ),
+            ));
+        }
+        if PANIC_MACROS.iter().any(|m| s.is_ident(m))
+            && sig.get(w + 1).is_some_and(|n| n.is_punct(b'!'))
+        {
+            out.push((
+                s.start,
+                "no-panic-in-network-path",
+                format!(
+                    "{}! in a network path; route the failure through the typed error enum",
+                    String::from_utf8_lossy(s.text)
+                ),
+            ));
+        }
+        if WIRE_BUFFERS.iter().any(|b| s.is_ident(b))
+            && sig.get(w + 1).is_some_and(|n| n.is_punct(b'['))
+        {
+            out.push((
+                s.start,
+                "no-panic-in-network-path",
+                format!(
+                    "indexing wire buffer `{}` can panic on a short frame; use .get(..) and return a protocol error",
+                    String::from_utf8_lossy(s.text)
+                ),
+            ));
+        }
+    }
+}
+
+/// `bounded-read-only`.
+fn rule_bounded_read(_path: &str, sig: &[Sig<'_>], in_test: &dyn Fn(usize) -> bool, out: &mut Raw) {
+    const UNBOUNDED: &[&[u8]] = &[b"read_line", b"read_to_end", b"read_to_string"];
+    for w in 1..sig.len() {
+        let s = &sig[w];
+        if in_test(s.start) || !sig[w - 1].is_punct(b'.') {
+            continue;
+        }
+        if UNBOUNDED.iter().any(|m| s.is_ident(m)) {
+            out.push((
+                s.start,
+                "bounded-read-only",
+                format!(
+                    "{}() is unbounded on a network stream; use the fill_buf bounded reader or deadline'd frame reads",
+                    String::from_utf8_lossy(s.text)
+                ),
+            ));
+        }
+    }
+}
+
+/// `no-unjustified-unsafe`: every `unsafe` keyword needs a justified allow.
+fn rule_unsafe(_path: &str, sig: &[Sig<'_>], out: &mut Raw) {
+    for s in sig {
+        if s.is_ident(b"unsafe") {
+            out.push((
+                s.start,
+                "no-unjustified-unsafe",
+                "unsafe requires `// xgs-lint: allow(no-unjustified-unsafe): <why it is sound>`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `frame-kind-exhaustive`: inside a `match` whose scrutinee names a wire
+/// kind (`kind`, `task_kind`, `op`) or whose arms use `K_*`/`KIND_*`
+/// constants, a bare `_ =>` arm is a finding — unknown wire values must be
+/// bound to a name and answered with a protocol error so that adding a
+/// frame kind can never be silently mis-dispatched. Test regions are
+/// exempt (tests may deliberately construct partial matches).
+fn rule_frame_exhaustive(
+    _path: &str,
+    sig: &[Sig<'_>],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Raw,
+) {
+    const SCRUTINEES: &[&[u8]] = &[b"kind", b"task_kind", b"frame_kind", b"op"];
+    let mut w = 0;
+    while w < sig.len() {
+        if !sig[w].is_ident(b"match") {
+            w += 1;
+            continue;
+        }
+        // Scrutinee: tokens up to the match's `{` (at bracket depth 0).
+        let mut j = w + 1;
+        let mut paren = 0i32;
+        let mut kindy = false;
+        while j < sig.len() {
+            let s = &sig[j];
+            if s.is_punct(b'(') || s.is_punct(b'[') {
+                paren += 1;
+            } else if s.is_punct(b')') || s.is_punct(b']') {
+                paren -= 1;
+            } else if s.is_punct(b'{') && paren == 0 {
+                break;
+            } else if SCRUTINEES.iter().any(|n| s.is_ident(n)) {
+                kindy = true;
+            }
+            j += 1;
+        }
+        if j >= sig.len() {
+            break;
+        }
+        // Body span: matching close brace.
+        let open = j;
+        let mut depth = 0i32;
+        let mut close = sig.len();
+        while j < sig.len() {
+            if sig[j].is_punct(b'{') {
+                depth += 1;
+            } else if sig[j].is_punct(b'}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let body = &sig[open + 1..close.min(sig.len())];
+        let uses_kind_consts = body.iter().any(|s| {
+            s.kind == TokenKind::Ident
+                && (s.text.starts_with(b"K_") || s.text.starts_with(b"KIND_"))
+        });
+        if kindy || uses_kind_consts {
+            for win in body.windows(3) {
+                if win[0].is_ident(b"_")
+                    && win[1].is_punct(b'=')
+                    && win[2].is_punct(b'>')
+                    && !in_test(win[0].start)
+                {
+                    out.push((
+                        win[0].start,
+                        "frame-kind-exhaustive",
+                        "wildcard `_ =>` on a wire kind match; bind the value (`other =>`) and return a protocol error"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        w = open + 1;
+    }
+}
+
+/// The declared server lock order, least to greatest. Acquisitions must
+/// strictly increase in rank while any lock is held.
+const LOCK_ORDER: &[(&[u8], &str)] = &[
+    (b"inner", "BatchQueue::inner"),
+    (b"models", "ModelRegistry::models"),
+    (b"metrics", "Shared::metrics"),
+];
+
+/// `lock-order`: intra-procedural check that `.lock()` receivers in
+/// `crates/server` respect [`LOCK_ORDER`]. Lock identity is the last path
+/// segment before `.lock()`; a guard bound with `let` is held to the end
+/// of its block (or an explicit `drop(guard)`), an unbound `.lock()`
+/// temporary to the end of its statement.
+fn rule_lock_order(_path: &str, sig: &[Sig<'_>], in_test: &dyn Fn(usize) -> bool, out: &mut Raw) {
+    struct Held {
+        rank: usize,
+        name: &'static str,
+        depth: i32,
+        var: Option<Vec<u8>>,
+    }
+    let mut w = 0;
+    while w < sig.len() {
+        if !sig[w].is_ident(b"fn") || in_test(sig[w].start) {
+            w += 1;
+            continue;
+        }
+        // Find the body opening brace (skipping the signature).
+        let mut j = w + 1;
+        while j < sig.len() && !sig[j].is_punct(b'{') && !sig[j].is_punct(b';') {
+            j += 1;
+        }
+        if j >= sig.len() || sig[j].is_punct(b';') {
+            w = j + 1;
+            continue;
+        }
+        let mut depth = 1i32;
+        let mut held: Vec<Held> = Vec::new();
+        // `let` binding name of the statement in progress, if any.
+        let mut stmt_let: Option<Vec<u8>> = None;
+        j += 1;
+        while j < sig.len() && depth > 0 {
+            let s = &sig[j];
+            if s.is_punct(b'{') {
+                depth += 1;
+            } else if s.is_punct(b'}') {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            } else if s.is_punct(b';') {
+                held.retain(|h| h.var.is_some() || h.depth < depth);
+                stmt_let = None;
+            } else if s.is_ident(b"let") {
+                // `let [mut] name = ...`
+                let mut k = j + 1;
+                if sig.get(k).is_some_and(|s| s.is_ident(b"mut")) {
+                    k += 1;
+                }
+                stmt_let = sig
+                    .get(k)
+                    .filter(|s| s.kind == TokenKind::Ident)
+                    .map(|s| s.text.to_vec());
+            } else if s.is_ident(b"drop")
+                && sig.get(j + 1).is_some_and(|n| n.is_punct(b'('))
+                && sig.get(j + 3).is_some_and(|n| n.is_punct(b')'))
+            {
+                if let Some(v) = sig.get(j + 2) {
+                    held.retain(|h| h.var.as_deref() != Some(v.text));
+                }
+            } else if s.is_ident(b"lock")
+                && j >= 2
+                && sig[j - 1].is_punct(b'.')
+                && sig.get(j + 1).is_some_and(|n| n.is_punct(b'('))
+            {
+                let recv = &sig[j - 2];
+                if let Some(rank) = LOCK_ORDER.iter().position(|(n, _)| recv.is_ident(n)) {
+                    let name = LOCK_ORDER[rank].1;
+                    if let Some(h) = held.iter().find(|h| h.rank >= rank) {
+                        out.push((
+                            s.start,
+                            "lock-order",
+                            format!(
+                                "acquired {} while holding {}; the declared order is {}",
+                                name,
+                                h.name,
+                                "BatchQueue::inner < ModelRegistry::models < Shared::metrics"
+                            ),
+                        ));
+                    }
+                    held.push(Held {
+                        rank,
+                        name,
+                        depth,
+                        var: stmt_let.clone(),
+                    });
+                }
+            }
+            j += 1;
+        }
+        w = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src.as_bytes())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn partial_cmp_call_flagged_impl_not() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(
+            rules_hit("crates/x/src/lib.rs", src),
+            ["no-partial-cmp-sort"]
+        );
+        let imp =
+            "impl PartialOrd for T { fn partial_cmp(&self, o: &T) -> Option<Ordering> { None } }";
+        assert!(rules_hit("crates/x/src/lib.rs", imp).is_empty());
+    }
+
+    #[test]
+    fn string_literals_never_trigger() {
+        let src = r#"fn f() { let s = "x.unwrap() unsafe _ =>"; }"#;
+        assert!(rules_hit("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    // xgs-lint: allow(no-partial-cmp-sort): NaN-free by construction\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        assert!(rules_hit("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_finding() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    // xgs-lint: allow(no-partial-cmp-sort)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        let hit = rules_hit("crates/x/src/lib.rs", src);
+        assert!(hit.contains(&"no-partial-cmp-sort"), "{hit:?}");
+        assert!(hit.contains(&"unjustified-allow"), "{hit:?}");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_from_panic_rules() {
+        let src = "fn run() -> Result<(), E> { Ok(()) }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { run().unwrap(); }\n}";
+        assert!(rules_hit("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn frame_wildcard_flagged_binding_ok() {
+        let bad = "fn f(kind: u8) { match kind { K_HELLO => a(), _ => b(), } }";
+        assert_eq!(
+            rules_hit("crates/runtime/src/shard.rs", bad),
+            ["frame-kind-exhaustive"]
+        );
+        let good = "fn f(kind: u8) { match kind { K_HELLO => a(), other => err(other), } }";
+        assert!(rules_hit("crates/runtime/src/shard.rs", good).is_empty());
+        // Matches on non-kind scrutinees keep their wildcard freedom.
+        let unrelated = "fn f(x: u8) { match x { 1 => a(), _ => b(), } }";
+        assert!(rules_hit("crates/runtime/src/shard.rs", unrelated).is_empty());
+    }
+
+    #[test]
+    fn lock_order_violations() {
+        let bad = "fn f(&self) { let m = self.metrics.lock(); let q = self.inner.lock(); }";
+        assert_eq!(rules_hit("crates/server/src/batch.rs", bad), ["lock-order"]);
+        let good = "fn f(&self) { let q = self.inner.lock(); let m = self.metrics.lock(); }";
+        assert!(rules_hit("crates/server/src/batch.rs", good).is_empty());
+        // Dropping the guard releases it.
+        let dropped =
+            "fn f(&self) { let m = self.metrics.lock(); drop(m); let q = self.inner.lock(); }";
+        assert!(rules_hit("crates/server/src/batch.rs", dropped).is_empty());
+        // Scoped guard released at end of block.
+        let scoped = "fn f(&self) { { let m = self.metrics.lock(); } let q = self.inner.lock(); }";
+        assert!(rules_hit("crates/server/src/batch.rs", scoped).is_empty());
+        // Unbound temporary released at end of statement.
+        let stmt = "fn f(&self) { self.metrics.lock().bump(); self.inner.lock().push(1); }";
+        assert!(rules_hit("crates/server/src/batch.rs", stmt).is_empty());
+        // Same-rank reacquisition (self-deadlock) is also a violation.
+        let twice = "fn f(&self) { let a = self.inner.lock(); let b = self.inner.lock(); }";
+        assert_eq!(
+            rules_hit("crates/server/src/batch.rs", twice),
+            ["lock-order"]
+        );
+    }
+
+    #[test]
+    fn bounded_read_and_wire_index() {
+        let src =
+            "fn f(r: &mut R, payload: &[u8]) -> Res { r.read_line(&mut s); decode(&payload[8..]) }";
+        let hit = rules_hit("crates/cholesky/src/shard.rs", src);
+        assert!(hit.contains(&"bounded-read-only"), "{hit:?}");
+        assert!(hit.contains(&"no-panic-in-network-path"), "{hit:?}");
+    }
+
+    #[test]
+    fn unsafe_needs_justified_allow() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        assert_eq!(
+            rules_hit("crates/x/src/lib.rs", bad),
+            ["no-unjustified-unsafe"]
+        );
+        let good = "fn f() {\n    // xgs-lint: allow(no-unjustified-unsafe): checked invariant above\n    unsafe { core::hint::unreachable_unchecked() }\n}";
+        assert!(rules_hit("crates/x/src/lib.rs", good).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Golden fixtures, one pair per rule: a minimal violating source that
+//! must produce exactly that finding, and the same source with a
+//! justified `xgs-lint: allow` that must lint clean (and be counted).
+//!
+//! The fixture code lives in string literals, so running `xgs-lint` over
+//! this test file itself stays quiet — the rule engine only matches
+//! identifier tokens, never literal or comment contents.
+
+use xgs_analysis::{lint_file, RULES};
+
+/// Assert `src` at `path` yields exactly one finding of `rule` on `line`.
+fn expect_one(path: &str, src: &str, rule: &str, line: usize) {
+    let lint = lint_file(path, src.as_bytes());
+    assert_eq!(
+        lint.findings.len(),
+        1,
+        "{rule}: expected one finding, got {:#?}",
+        lint.findings
+    );
+    let f = &lint.findings[0];
+    assert_eq!(f.rule, rule);
+    assert_eq!(f.line, line, "{rule}: wrong line in {f}");
+    assert_eq!(f.path, path);
+}
+
+/// Assert `src` at `path` lints clean with exactly one justified allow.
+fn expect_allowed(path: &str, src: &str) {
+    let lint = lint_file(path, src.as_bytes());
+    assert_eq!(
+        lint.findings,
+        vec![],
+        "justified allow must suppress the finding"
+    );
+    assert_eq!(lint.justified_allows, 1);
+}
+
+#[test]
+fn rules_table_is_complete() {
+    let names: Vec<&str> = RULES.iter().map(|(n, _)| *n).collect();
+    for want in [
+        "no-partial-cmp-sort",
+        "no-panic-in-network-path",
+        "bounded-read-only",
+        "no-unjustified-unsafe",
+        "frame-kind-exhaustive",
+        "lock-order",
+        "unjustified-allow",
+    ] {
+        assert!(names.contains(&want), "missing rule {want}");
+    }
+}
+
+#[test]
+fn golden_no_partial_cmp_sort() {
+    let bad = "pub fn order(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).expect(\"nan\"));\n}\n";
+    expect_one("crates/core/src/sortfix.rs", bad, "no-partial-cmp-sort", 2);
+
+    let ok = "pub fn order(v: &mut [f64]) {\n    // xgs-lint: allow(no-partial-cmp-sort): inputs are covariance diagonals, NaN-free by construction\n    v.sort_by(|a, b| a.partial_cmp(b).expect(\"nan\"));\n}\n";
+    expect_allowed("crates/core/src/sortfix.rs", ok);
+}
+
+#[test]
+fn golden_no_panic_in_network_path() {
+    let bad = "fn handle(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    expect_one(
+        "crates/server/src/server.rs",
+        bad,
+        "no-panic-in-network-path",
+        2,
+    );
+
+    let ok = "fn handle(x: Option<u32>) -> u32 {\n    // xgs-lint: allow(no-panic-in-network-path): startup-only path, runs before any client connects\n    x.unwrap()\n}\n";
+    expect_allowed("crates/server/src/server.rs", ok);
+}
+
+#[test]
+fn golden_no_panic_skips_test_modules() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1u32).unwrap();\n    }\n}\n";
+    let lint = lint_file("crates/server/src/server.rs", src.as_bytes());
+    assert_eq!(lint.findings, vec![], "unwrap in tests is fine");
+}
+
+#[test]
+fn golden_bounded_read_only() {
+    let bad = "use std::io::Read;\nfn slurp(r: &mut impl Read) -> String {\n    let mut s = String::new();\n    let _ = r.read_to_string(&mut s);\n    s\n}\n";
+    expect_one("crates/server/src/protocol.rs", bad, "bounded-read-only", 4);
+
+    let ok = "use std::io::Read;\nfn slurp(r: &mut impl Read) -> String {\n    let mut s = String::new();\n    // xgs-lint: allow(bounded-read-only): source is a take()-capped reader, bounded upstream\n    let _ = r.read_to_string(&mut s);\n    s\n}\n";
+    expect_allowed("crates/server/src/protocol.rs", ok);
+}
+
+#[test]
+fn golden_no_unjustified_unsafe() {
+    let bad = "pub fn deref(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    expect_one(
+        "crates/kernels/src/simd.rs",
+        bad,
+        "no-unjustified-unsafe",
+        2,
+    );
+
+    let ok = "pub fn deref(p: *const u8) -> u8 {\n    // xgs-lint: allow(no-unjustified-unsafe): caller contract guarantees p is valid for reads\n    unsafe { *p }\n}\n";
+    expect_allowed("crates/kernels/src/simd.rs", ok);
+}
+
+#[test]
+fn golden_frame_kind_exhaustive() {
+    let bad = "const K_PING: u8 = 9;\nfn dispatch(kind: u8) -> u32 {\n    match kind {\n        K_PING => 1,\n        _ => 0,\n    }\n}\n";
+    expect_one(
+        "crates/runtime/src/shard.rs",
+        bad,
+        "frame-kind-exhaustive",
+        5,
+    );
+
+    let ok = "const K_PING: u8 = 9;\nfn dispatch(kind: u8) -> u32 {\n    match kind {\n        K_PING => 1,\n        // xgs-lint: allow(frame-kind-exhaustive): forward-compat fallthrough, unknown frames are dropped by design\n        _ => 0,\n    }\n}\n";
+    expect_allowed("crates/runtime/src/shard.rs", ok);
+}
+
+#[test]
+fn golden_lock_order() {
+    let bad = "fn drain(q: &BatchQueue, reg: &ModelRegistry) {\n    let models = reg.models.lock();\n    let inner = q.inner.lock();\n    drop((models, inner));\n}\n";
+    expect_one("crates/server/src/drainer.rs", bad, "lock-order", 3);
+
+    let ok = "fn drain(q: &BatchQueue, reg: &ModelRegistry) {\n    let models = reg.models.lock();\n    // xgs-lint: allow(lock-order): models is dropped before inner is used, see teardown protocol\n    let inner = q.inner.lock();\n    drop((models, inner));\n}\n";
+    expect_allowed("crates/server/src/drainer.rs", ok);
+}
+
+#[test]
+fn golden_unjustified_allow_is_a_finding() {
+    // An allow with no justification suppresses nothing and is itself
+    // reported, so the original finding also survives.
+    let src = "pub fn deref(p: *const u8) -> u8 {\n    // xgs-lint: allow(no-unjustified-unsafe)\n    unsafe { *p }\n}\n";
+    let lint = lint_file("crates/kernels/src/simd.rs", src.as_bytes());
+    let mut rules: Vec<&str> = lint.findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    assert_eq!(rules, vec!["no-unjustified-unsafe", "unjustified-allow"]);
+    assert_eq!(lint.justified_allows, 0);
+}
+
+#[test]
+fn golden_allow_of_unknown_rule_is_a_finding() {
+    let src = "// xgs-lint: allow(no-such-rule): misspelled\npub fn f() {}\n";
+    let lint = lint_file("crates/core/src/x.rs", src.as_bytes());
+    assert_eq!(lint.findings.len(), 1, "{:#?}", lint.findings);
+    assert_eq!(lint.findings[0].rule, "unjustified-allow");
+    assert!(
+        lint.findings[0].message.contains("does not exist"),
+        "{}",
+        lint.findings[0].message
+    );
+}
+
+#[test]
+fn golden_clean_file_is_clean() {
+    let src = "//! A well-behaved module.\npub fn add(a: u64, b: u64) -> u64 {\n    a.wrapping_add(b)\n}\n";
+    for path in [
+        "crates/core/src/x.rs",
+        "crates/server/src/server.rs",
+        "crates/runtime/src/shard.rs",
+    ] {
+        let lint = lint_file(path, src.as_bytes());
+        assert_eq!(lint.findings, vec![]);
+        assert_eq!(lint.justified_allows, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the hand-rolled lexer: on *arbitrary* byte strings
+//! — valid Rust, mangled Rust, or pure noise — `lex` must neither panic
+//! nor drop a byte. Every downstream rule assumes token spans tile the
+//! file exactly.
+
+use proptest::prelude::*;
+use xgs_analysis::lexer::{lex, LineIndex};
+
+/// Lexer stress fragments: every delimiter whose state machine has a
+/// tricky tail (unterminated strings, raw-string hashes, block-comment
+/// nesting, char-vs-lifetime, numeric suffix edges).
+const SPICE: &[&[u8]] = &[
+    b"r#\"",
+    b"\"",
+    b"'",
+    b"b'x'",
+    b"/*",
+    b"*/",
+    b"//",
+    b"\\",
+    b"0x",
+    b"..",
+    b"r##\"",
+    b"'a",
+    b"1e",
+    b"1e-",
+    b"br#\"",
+    b"\"#",
+    b"#\"",
+    b"r#raw",
+    b"0b1_",
+    b"'\\''",
+    b"\xF0\x9F\xA6\x80",
+];
+
+/// Byte soup: mostly printable ASCII and raw bytes, with lexer stress
+/// fragments spliced in. Values `0..256` map to that byte; higher values
+/// pick a fragment.
+fn byte_soup() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u32..(256 + SPICE.len() as u32), 120).prop_map(|vals| {
+        let mut out = Vec::new();
+        for v in vals {
+            if v < 256 {
+                out.push(v as u8);
+            } else {
+                out.extend_from_slice(SPICE[(v - 256) as usize]);
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexing_is_total_and_lossless(bytes in byte_soup()) {
+        let toks = lex(&bytes);
+        let mut off = 0usize;
+        for t in &toks {
+            prop_assert!(t.start == off, "gap or overlap at offset {}", t.start);
+            prop_assert!(t.end > t.start, "empty token at {}", t.start);
+            off = t.end;
+        }
+        prop_assert!(off == bytes.len(), "tokens must tile the whole input");
+    }
+
+    #[test]
+    fn line_index_agrees_with_newlines(bytes in byte_soup()) {
+        let idx = LineIndex::new(&bytes);
+        let lines = 1 + bytes.iter().filter(|&&b| b == b'\n').count();
+        for off in 0..bytes.len() {
+            let (line, col) = idx.locate(off);
+            prop_assert!(line >= 1 && line <= lines, "line {} of {}", line, lines);
+            prop_assert!(col >= 1);
+        }
+    }
+}

@@ -285,6 +285,15 @@ impl TiledFactor {
             }
         }
 
+        // Static gate ahead of thread spawn: the built DAG's per-kernel
+        // counts must match the closed form for `nt` (the executor's own
+        // precheck then covers acyclicity and hazard edges).
+        if opts.precheck {
+            if let Err(e) = xgs_analysis::check_cholesky_census(g.task_kinds(), nt) {
+                panic!("cholesky DAG precheck: {e}");
+            }
+        }
+
         let report = execute_opts(g, workers, opts);
         let res = match failed.load(Ordering::Acquire) {
             p if p >= 0 => Err(FactorError::NotPositiveDefinite { pivot: p as usize }),

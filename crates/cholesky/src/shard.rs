@@ -49,8 +49,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xgs_runtime::shard::{read_frame, write_frame, FrameError, WireReader, WireWriter};
 use xgs_runtime::{
-    block_cyclic_owner, check_schedule, task_census, Access, DataId, KernelStats, MetricsReport,
-    TaskOrder, WorkerStats,
+    block_cyclic_owner, check_schedule, crosscheck_static_edges, precheck_env_default, task_census,
+    Access, DataId, KernelStats, MetricsReport, TaskOrder, WorkerStats,
 };
 use xgs_tile::wire::{decode_tile, encode_tile};
 use xgs_tile::Tile;
@@ -119,6 +119,16 @@ pub struct ShardOptions {
     /// Run the completion order through the hazard-edge validator
     /// (default: on in debug builds, like the shared-memory executor).
     pub validate: bool,
+    /// Statically check the sharded plan before any frame is sent: the
+    /// `xgs-analysis` checker replays the coordinator's exact emission
+    /// order over the block-cyclic owner map and proves every remote
+    /// operand has a matching TILE transfer, nothing is sent to its own
+    /// shard, no tile is used stale, and the per-kernel census matches the
+    /// closed form; the static hazard-edge derivation is also
+    /// cross-checked against the validator's. Default: on in debug
+    /// builds, opt-in in release via `XGS_PRECHECK=1` (see
+    /// [`xgs_runtime::precheck_env_default`]).
+    pub precheck: bool,
 }
 
 impl ShardOptions {
@@ -130,6 +140,7 @@ impl ShardOptions {
             grid_q,
             deadline: Duration::from_secs(120),
             validate: cfg!(debug_assertions),
+            precheck: precheck_env_default(),
         }
     }
 }
@@ -168,6 +179,28 @@ fn proto_err(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_string())
 }
 
+/// The wire task kinds, decoded once so every later dispatch is an
+/// exhaustive enum match (the `frame-kind-exhaustive` lint rule).
+#[derive(Clone, Copy)]
+enum WireTask {
+    Potrf,
+    Trsm,
+    Syrk,
+    Gemm,
+}
+
+impl WireTask {
+    fn from_wire(kind: u8) -> Option<WireTask> {
+        match kind {
+            KIND_POTRF => Some(WireTask::Potrf),
+            KIND_TRSM => Some(WireTask::Trsm),
+            KIND_SYRK => Some(WireTask::Syrk),
+            KIND_GEMM => Some(WireTask::Gemm),
+            _unknown => None,
+        }
+    }
+}
+
 /// Serve one coordinator connection: receive owned tiles, execute assigned
 /// tasks, publish written tiles when asked, and exit on `SHUTDOWN` (or a
 /// clean coordinator close). Returns the number of tasks executed.
@@ -203,7 +236,10 @@ pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
             K_TILE => {
                 let i = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
                 let j = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
-                let tile = decode_tile(&payload[8..]).map_err(|e| proto_err(&e.to_string()))?;
+                let body = payload
+                    .get(8..)
+                    .ok_or_else(|| proto_err("short TILE frame"))?;
+                let tile = decode_tile(body).map_err(|e| proto_err(&e.to_string()))?;
                 store.insert((i, j), tile);
             }
             K_TASK => {
@@ -218,12 +254,14 @@ pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
                 let tol = r.get_f64().map_err(|e| proto_err(&e.to_string()))?;
                 let publish = r.get_u8().map_err(|e| proto_err(&e.to_string()))? != 0;
 
-                let written = match task_kind {
-                    KIND_POTRF => (k, k),
-                    KIND_TRSM => (i, k),
-                    KIND_SYRK => (i, i),
-                    KIND_GEMM => (i, j),
-                    _ => return Err(proto_err("unknown task kind")),
+                let Some(task) = WireTask::from_wire(task_kind) else {
+                    return Err(proto_err("unknown task kind"));
+                };
+                let written = match task {
+                    WireTask::Potrf => (k, k),
+                    WireTask::Trsm => (i, k),
+                    WireTask::Syrk => (i, i),
+                    WireTask::Gemm => (i, j),
                 };
                 let mut target = store
                     .remove(&written)
@@ -237,16 +275,18 @@ pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
                 let t0 = Instant::now();
                 let mut ok = 1u8;
                 let mut pivot = 0u64;
-                match task_kind {
-                    KIND_POTRF => {
+                match task {
+                    WireTask::Potrf => {
                         if let Err(e) = potrf_diag(&mut target) {
                             ok = 0;
                             pivot = e.pivot as u64;
                         }
                     }
-                    KIND_TRSM => trsm_panel(operand((k, k))?, &mut target),
-                    KIND_SYRK => syrk_diag(operand((i, k))?, &mut target),
-                    _ => gemm_update(operand((i, k))?, operand((j, k))?, &mut target, tol),
+                    WireTask::Trsm => trsm_panel(operand((k, k))?, &mut target),
+                    WireTask::Syrk => syrk_diag(operand((i, k))?, &mut target),
+                    WireTask::Gemm => {
+                        gemm_update(operand((i, k))?, operand((j, k))?, &mut target, tol)
+                    }
                 }
                 let elapsed = t0.elapsed().as_secs_f64();
 
@@ -525,62 +565,29 @@ impl TiledFactor {
 
         // Canonical DAG in insertion order: task_id == index. Also the
         // access lists the validator re-derives hazard edges from.
-        let mut meta: Vec<TaskMeta> = Vec::new();
-        let mut accesses: Vec<Vec<Access>> = Vec::new();
-        let data = |i: usize, j: usize| DataId(layout.stored_index(i, j) as u64);
-        for k in 0..nt {
-            meta.push(TaskMeta {
-                kind: KIND_POTRF,
-                k: k as u32,
-                i: k as u32,
-                j: k as u32,
-                owner: block_cyclic_owner(k, k, p, q),
-                tol: 0.0,
-            });
-            accesses.push(vec![Access::write(data(k, k))]);
-            for i in k + 1..nt {
-                meta.push(TaskMeta {
-                    kind: KIND_TRSM,
-                    k: k as u32,
-                    i: i as u32,
-                    j: k as u32,
-                    owner: block_cyclic_owner(i, k, p, q),
-                    tol: 0.0,
-                });
-                accesses.push(vec![Access::read(data(k, k)), Access::write(data(i, k))]);
-            }
-            for i in k + 1..nt {
-                for j in k + 1..=i {
-                    if i == j {
-                        meta.push(TaskMeta {
-                            kind: KIND_SYRK,
-                            k: k as u32,
-                            i: i as u32,
-                            j: i as u32,
-                            owner: block_cyclic_owner(i, i, p, q),
-                            tol: 0.0,
-                        });
-                        accesses.push(vec![Access::read(data(i, k)), Access::write(data(i, i))]);
-                    } else {
-                        meta.push(TaskMeta {
-                            kind: KIND_GEMM,
-                            k: k as u32,
-                            i: i as u32,
-                            j: j as u32,
-                            owner: block_cyclic_owner(i, j, p, q),
-                            tol: self.tols[layout.stored_index(i, j)],
-                        });
-                        accesses.push(vec![
-                            Access::read(data(i, k)),
-                            Access::read(data(j, k)),
-                            Access::write(data(i, j)),
-                        ]);
-                    }
-                }
-            }
-        }
+        let (meta, accesses) = canonical_tasks(self, p, q);
         let total = meta.len();
         let census = task_census(meta.iter().map(|m| m.owner), workers);
+
+        // Static safety gate before any worker sees a frame: replay the
+        // exact emission plan (owner placement, census, operand versions,
+        // forward/publish protocol) and cross-check the statically derived
+        // hazard edges against the post-run validator's derivation.
+        if opts.precheck {
+            let plan = build_shard_plan(&meta, nt, p, q, workers);
+            let summary = xgs_analysis::check_shard_plan(&plan)
+                .map_err(|e| ShardError::Protocol(format!("shard plan precheck: {e}")))?;
+            for (w, (&got, &want)) in summary.per_worker.iter().zip(census.iter()).enumerate() {
+                if got != want {
+                    return Err(ShardError::Protocol(format!(
+                        "shard plan precheck: plan places {got} tasks on worker {w}, \
+                         census says {want}"
+                    )));
+                }
+            }
+            crosscheck_static_edges(&accesses)
+                .map_err(|e| ShardError::Protocol(format!("shard plan precheck: {e}")))?;
+        }
 
         // Spin up reader threads over cloned handles; writes stay on the
         // original streams in this thread.
@@ -709,10 +716,12 @@ fn run_steps(
         co.send(m.owner, K_TASK, &w.buf)
     };
     let forward = |co: &mut Coordinator, drive: &Drive, key: (u32, u32), to: usize| {
-        let payload = drive
-            .tiles
-            .get(&key)
-            .expect("published tile must precede its forward");
+        let payload = drive.tiles.get(&key).ok_or_else(|| {
+            ShardError::Protocol(format!(
+                "tile ({},{}) forwarded before its producer published it",
+                key.0, key.1
+            ))
+        })?;
         co.send(to, K_TILE, payload)
     };
     // Index of task `m` in canonical order, maintained incrementally.
@@ -735,17 +744,10 @@ fn run_steps(
 
         // Forward L_kk to every *other* owner of a TRSM in this panel,
         // then release the TRSMs (publish: a panel tile's final write).
-        let kk_owner = meta[potrf_id].owner;
         let trsm_ids: Vec<usize> = (next_id..next_id + (nt - 1 - k)).collect();
         next_id += trsm_ids.len();
-        let mut sent = vec![false; workers];
-        sent[kk_owner] = true;
-        for &id in &trsm_ids {
-            let o = meta[id].owner;
-            if !sent[o] {
-                sent[o] = true;
-                forward(co, drive, (k as u32, k as u32), o)?;
-            }
+        for o in kk_forward_targets(k, nt, p, q, workers) {
+            forward(co, drive, (k as u32, k as u32), o)?;
         }
         for &id in &trsm_ids {
             send_task(co, id, &meta[id], true)?;
@@ -757,21 +759,8 @@ fn run_steps(
         // Forward each finished panel (r, k) to every other worker that
         // consumes it this step: syrk(r,r), gemm(r,j) as A, gemm(i,r) as B.
         for r in k + 1..nt {
-            let mut sent = vec![false; workers];
-            sent[block_cyclic_owner(r, k, p, q)] = true;
-            let mut push = |co: &mut Coordinator, o: usize| -> Result<(), ShardError> {
-                if !sent[o] {
-                    sent[o] = true;
-                    forward(co, drive, (r as u32, k as u32), o)?;
-                }
-                Ok(())
-            };
-            push(co, block_cyclic_owner(r, r, p, q))?;
-            for j in k + 1..r {
-                push(co, block_cyclic_owner(r, j, p, q))?;
-            }
-            for i in r + 1..nt {
-                push(co, block_cyclic_owner(i, r, p, q))?;
+            for o in panel_forward_targets(k, r, nt, p, q, workers) {
+                forward(co, drive, (r as u32, k as u32), o)?;
             }
         }
 
@@ -797,8 +786,10 @@ fn run_steps(
                 .tiles
                 .get(&(i as u32, j as u32))
                 .ok_or_else(|| ShardError::Protocol(format!("tile ({i},{j}) never published")))?;
-            let tile =
-                decode_tile(&payload[8..]).map_err(|e| ShardError::Protocol(e.to_string()))?;
+            let body = payload
+                .get(8..)
+                .ok_or_else(|| ShardError::Protocol(format!("short published tile ({i},{j})")))?;
+            let tile = decode_tile(body).map_err(|e| ShardError::Protocol(e.to_string()))?;
             *f.tiles[layout.stored_index(i, j)].lock() = tile;
         }
     }
@@ -828,6 +819,230 @@ fn run_steps(
         },
         worker_tasks: Vec::new(), // stamped by the caller from the census
     })
+}
+
+/// The canonical right-looking Cholesky task list over `f`'s tile grid:
+/// insertion order is task id, owners follow [`block_cyclic_owner`] on the
+/// `p x q` grid. Second element is the per-task access lists the hazard
+/// validator (and the static cross-check) re-derives edges from.
+fn canonical_tasks(f: &TiledFactor, p: usize, q: usize) -> (Vec<TaskMeta>, Vec<Vec<Access>>) {
+    let layout = f.layout;
+    let nt = layout.nt();
+    let mut meta: Vec<TaskMeta> = Vec::new();
+    let mut accesses: Vec<Vec<Access>> = Vec::new();
+    let data = |i: usize, j: usize| DataId(layout.stored_index(i, j) as u64);
+    for k in 0..nt {
+        meta.push(TaskMeta {
+            kind: KIND_POTRF,
+            k: k as u32,
+            i: k as u32,
+            j: k as u32,
+            owner: block_cyclic_owner(k, k, p, q),
+            tol: 0.0,
+        });
+        accesses.push(vec![Access::write(data(k, k))]);
+        for i in k + 1..nt {
+            meta.push(TaskMeta {
+                kind: KIND_TRSM,
+                k: k as u32,
+                i: i as u32,
+                j: k as u32,
+                owner: block_cyclic_owner(i, k, p, q),
+                tol: 0.0,
+            });
+            accesses.push(vec![Access::read(data(k, k)), Access::write(data(i, k))]);
+        }
+        for i in k + 1..nt {
+            for j in k + 1..=i {
+                if i == j {
+                    meta.push(TaskMeta {
+                        kind: KIND_SYRK,
+                        k: k as u32,
+                        i: i as u32,
+                        j: i as u32,
+                        owner: block_cyclic_owner(i, i, p, q),
+                        tol: 0.0,
+                    });
+                    accesses.push(vec![Access::read(data(i, k)), Access::write(data(i, i))]);
+                } else {
+                    meta.push(TaskMeta {
+                        kind: KIND_GEMM,
+                        k: k as u32,
+                        i: i as u32,
+                        j: j as u32,
+                        owner: block_cyclic_owner(i, j, p, q),
+                        tol: f.tols[layout.stored_index(i, j)],
+                    });
+                    accesses.push(vec![
+                        Access::read(data(i, k)),
+                        Access::read(data(j, k)),
+                        Access::write(data(i, j)),
+                    ]);
+                }
+            }
+        }
+    }
+    (meta, accesses)
+}
+
+/// Workers, other than `(k, k)`'s owner, that run a TRSM in panel `k` and
+/// therefore need `L_kk` forwarded. First-consumer order, deduplicated.
+/// Shared by [`run_steps`] (emission) and [`build_shard_plan`] (precheck)
+/// so the checked plan is the executed plan by construction.
+fn kk_forward_targets(k: usize, nt: usize, p: usize, q: usize, workers: usize) -> Vec<usize> {
+    let mut sent = vec![false; workers];
+    sent[block_cyclic_owner(k, k, p, q)] = true;
+    let mut out = Vec::new();
+    for i in k + 1..nt {
+        let o = block_cyclic_owner(i, k, p, q);
+        if !sent[o] {
+            sent[o] = true;
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// Workers, other than `(r, k)`'s owner, that consume the finished panel
+/// tile `(r, k)` in step `k`'s trailing update: SYRK `(r, r)`, GEMM
+/// `(r, j)` as the A operand, GEMM `(i, r)` as the B operand.
+/// First-consumer order, deduplicated. Shared like [`kk_forward_targets`].
+fn panel_forward_targets(
+    k: usize,
+    r: usize,
+    nt: usize,
+    p: usize,
+    q: usize,
+    workers: usize,
+) -> Vec<usize> {
+    let mut sent = vec![false; workers];
+    sent[block_cyclic_owner(r, k, p, q)] = true;
+    let mut out = Vec::new();
+    let mut consumers = vec![block_cyclic_owner(r, r, p, q)];
+    for j in k + 1..r {
+        consumers.push(block_cyclic_owner(r, j, p, q));
+    }
+    for i in r + 1..nt {
+        consumers.push(block_cyclic_owner(i, r, p, q));
+    }
+    for o in consumers {
+        if !sent[o] {
+            sent[o] = true;
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// Mirror [`run_steps`]'s frame emission as a pure data structure so
+/// [`xgs_analysis::check_shard_plan`] can replay it before any worker is
+/// contacted. Tasks are `meta` in canonical order; events are the exact
+/// TILE/TASK sequence: initial distribution, then per step the POTRF,
+/// `L_kk` forwards, TRSMs, panel forwards, and trailing updates.
+fn build_shard_plan(
+    meta: &[TaskMeta],
+    nt: usize,
+    p: usize,
+    q: usize,
+    workers: usize,
+) -> xgs_analysis::ShardPlan {
+    use xgs_analysis::{PlanEvent, PlanTask};
+    let tasks: Vec<PlanTask> = meta
+        .iter()
+        .map(|m| {
+            let (k, i, j) = (m.k as usize, m.i as usize, m.j as usize);
+            match m.kind {
+                KIND_POTRF => PlanTask {
+                    kind: "potrf",
+                    owner: m.owner,
+                    reads: Vec::new(),
+                    write: (k, k),
+                    publish: true,
+                },
+                KIND_TRSM => PlanTask {
+                    kind: "trsm",
+                    owner: m.owner,
+                    reads: vec![(k, k)],
+                    write: (i, k),
+                    publish: true,
+                },
+                KIND_SYRK => PlanTask {
+                    kind: "syrk",
+                    owner: m.owner,
+                    reads: vec![(i, k)],
+                    write: (i, i),
+                    publish: false,
+                },
+                KIND_GEMM => PlanTask {
+                    kind: "gemm",
+                    owner: m.owner,
+                    reads: vec![(i, k), (j, k)],
+                    write: (i, j),
+                    publish: false,
+                },
+                // Locally-built meta never carries other kinds; a poisoned
+                // kind string makes the census check reject it loudly.
+                _unknown => PlanTask {
+                    kind: "unknown",
+                    owner: m.owner,
+                    reads: Vec::new(),
+                    write: (i, j),
+                    publish: false,
+                },
+            }
+        })
+        .collect();
+
+    let mut events = Vec::new();
+    for j in 0..nt {
+        for i in j..nt {
+            events.push(PlanEvent::Transfer {
+                tile: (i, j),
+                to: block_cyclic_owner(i, j, p, q),
+                initial: true,
+            });
+        }
+    }
+    let mut next_id = 0usize;
+    for k in 0..nt {
+        events.push(PlanEvent::Task(next_id));
+        next_id += 1;
+        for o in kk_forward_targets(k, nt, p, q, workers) {
+            events.push(PlanEvent::Transfer {
+                tile: (k, k),
+                to: o,
+                initial: false,
+            });
+        }
+        for _i in k + 1..nt {
+            events.push(PlanEvent::Task(next_id));
+            next_id += 1;
+        }
+        for r in k + 1..nt {
+            for o in panel_forward_targets(k, r, nt, p, q, workers) {
+                events.push(PlanEvent::Transfer {
+                    tile: (r, k),
+                    to: o,
+                    initial: false,
+                });
+            }
+        }
+        for i in k + 1..nt {
+            for _j in k + 1..=i {
+                events.push(PlanEvent::Task(next_id));
+                next_id += 1;
+            }
+        }
+    }
+    debug_assert_eq!(next_id, meta.len());
+    xgs_analysis::ShardPlan {
+        nt,
+        p,
+        q,
+        workers,
+        tasks,
+        events,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1079,6 +1294,98 @@ mod tests {
         for h in handles {
             let _ = h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn shard_plan_precheck_accepts_real_plans() {
+        // Every grid the equivalence tests use, plus a ragged one.
+        for workers in [1usize, 2, 3, 4, 6] {
+            let f = build(200, 64, Variant::DenseF64);
+            let (p, q) = grid_shape(workers);
+            let (meta, accesses) = canonical_tasks(&f, p, q);
+            let plan = build_shard_plan(&meta, f.nt(), p, q, workers);
+            let summary = xgs_analysis::check_shard_plan(&plan)
+                .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+            assert_eq!(summary.tasks as usize, meta.len());
+            let census = task_census(meta.iter().map(|m| m.owner), workers);
+            assert_eq!(summary.per_worker, census);
+            xgs_runtime::crosscheck_static_edges(&accesses).unwrap();
+        }
+    }
+
+    #[test]
+    fn shard_plan_missing_tile_rejected_with_diagnostic() {
+        let f = build(200, 64, Variant::DenseF64);
+        let (p, q) = grid_shape(4);
+        let (meta, _) = canonical_tasks(&f, p, q);
+        let mut plan = build_shard_plan(&meta, f.nt(), p, q, 4);
+
+        // Drop the initial TILE transfer seeding tile (1, 0) to its owner:
+        // the first TRSM that writes it must be rejected, and the message
+        // must say which task, which tile, and which worker.
+        let victim = plan
+            .events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    xgs_analysis::PlanEvent::Transfer {
+                        tile: (1, 0),
+                        initial: true,
+                        ..
+                    }
+                )
+            })
+            .expect("plan seeds every stored tile");
+        plan.events.remove(victim);
+        let err = xgs_analysis::check_shard_plan(&plan).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("trsm") && msg.contains("(1,0)"),
+            "diagnostic should name the kernel and tile: {msg}"
+        );
+    }
+
+    #[test]
+    fn shard_plan_forward_before_publish_rejected() {
+        let f = build(200, 64, Variant::DenseF64);
+        let (p, q) = grid_shape(4);
+        let (meta, _) = canonical_tasks(&f, p, q);
+        let mut plan = build_shard_plan(&meta, f.nt(), p, q, 4);
+
+        // Move the first non-initial forward ahead of every task: the tile
+        // it ships hasn't been produced yet.
+        let fwd = plan
+            .events
+            .iter()
+            .position(|e| matches!(e, xgs_analysis::PlanEvent::Transfer { initial: false, .. }))
+            .expect("multi-worker plans forward tiles");
+        let ev = plan.events.remove(fwd);
+        plan.events.insert(0, ev);
+        let err = xgs_analysis::check_shard_plan(&plan).unwrap_err();
+        assert!(
+            matches!(err, xgs_analysis::PlanError::ForwardBeforeProduce { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn shard_plan_misplaced_task_rejected() {
+        let f = build(200, 64, Variant::DenseF64);
+        let (p, q) = grid_shape(4);
+        let (mut meta, _) = canonical_tasks(&f, p, q);
+        // Place the first TRSM on the wrong worker.
+        let t = meta
+            .iter()
+            .position(|m| m.kind == KIND_TRSM)
+            .expect("nt > 1 has TRSMs");
+        meta[t].owner = (meta[t].owner + 1) % 4;
+        let plan = build_shard_plan(&meta, f.nt(), p, q, 4);
+        let err = xgs_analysis::check_shard_plan(&plan).unwrap_err();
+        assert!(
+            matches!(err, xgs_analysis::PlanError::WrongOwner { .. }),
+            "got {err}"
+        );
     }
 
     #[test]

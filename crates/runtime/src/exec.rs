@@ -15,7 +15,7 @@
 //! (per-kernel timings, queue depth, worker balance, conversion traffic).
 
 use crate::convert::conversion_counts;
-use crate::graph::{TaskGraph, TaskId};
+use crate::graph::{Access, TaskGraph, TaskId};
 use crate::metrics::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
 use crate::stats::TraceEvent;
 use crate::validate::{check_schedule, describe_violations, TaskOrder, UNRECORDED};
@@ -110,6 +110,15 @@ pub struct ExecOptions {
     pub validate_every: usize,
     /// Aggregate a [`MetricsReport`] onto the report (cheap; default on).
     pub metrics: bool,
+    /// Run the pre-execution graph checker (`xgs-analysis`) before any
+    /// worker starts: cycle detection over the dependency lists, and a
+    /// cross-check that the statically derived hazard-edge set is
+    /// element-wise identical to the schedule validator's independently
+    /// derived edges. A failure is a graph-construction bug and panics
+    /// with the checker's diagnostic. Defaults to on in debug builds and
+    /// off in release; `XGS_PRECHECK=1` in the environment opts in
+    /// everywhere (see [`precheck_env_default`]).
+    pub precheck: bool,
 }
 
 impl Default for ExecOptions {
@@ -120,7 +129,63 @@ impl Default for ExecOptions {
             validate: cfg!(debug_assertions),
             validate_every: 1,
             metrics: true,
+            precheck: precheck_env_default(),
         }
+    }
+}
+
+/// The default for the pre-execution checks ([`ExecOptions::precheck`],
+/// `ShardOptions::precheck` in `xgs-cholesky`): on under
+/// `debug_assertions`, and opt-in in release builds by setting
+/// `XGS_PRECHECK=1` (any value other than `0`/empty counts). Read once
+/// and cached for the process lifetime.
+pub fn precheck_env_default() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| {
+        cfg!(debug_assertions)
+            || std::env::var("XGS_PRECHECK")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false)
+    })
+}
+
+/// The pre-execution check behind [`ExecOptions::precheck`]: acyclicity
+/// over the unpacked dependency lists, then element-wise agreement between
+/// the statically derived hazard edges (`xgs-analysis`, an independent
+/// implementation) and the schedule validator's own derivation. Panics
+/// with a task-labelled diagnostic on failure — both conditions are
+/// graph-construction bugs, never user errors.
+fn precheck_graph(
+    dependents: &[Vec<TaskId>],
+    accesses: &[Vec<Access>],
+    kinds: &[&'static str],
+    coords: &[Option<(u32, u32)>],
+) {
+    let label = |t: usize| -> String {
+        let kind = kinds.get(t).copied().unwrap_or("?");
+        match coords.get(t).copied().flatten() {
+            Some((i, j)) => format!("{kind}({i},{j})#{t}"),
+            None => format!("{kind}#{t}"),
+        }
+    };
+    if let Err(e) =
+        xgs_analysis::check_acyclic(dependents.len(), |t| dependents[t].iter().map(|d| d.0))
+    {
+        if let xgs_analysis::GraphError::Cycle(path) = &e {
+            let named: Vec<String> = path.iter().map(|&t| label(t)).collect();
+            panic!(
+                "pre-execution graph check failed: {e} [{}]",
+                named.join(" -> ")
+            );
+        }
+        panic!("pre-execution graph check failed: {e}");
+    }
+    match crate::validate::crosscheck_static_edges(accesses) {
+        Ok(_) => {}
+        Err(msg) => panic!(
+            "pre-execution graph check failed: static hazard edges diverge \
+             from the schedule validator's derivation: {msg}"
+        ),
     }
 }
 
@@ -238,7 +303,8 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
     let mut coords: Vec<Option<(u32, u32)>> = Vec::with_capacity(n);
     let mut priorities: Vec<i64> = Vec::with_capacity(n);
     let mut dep_counts: Vec<AtomicUsize> = Vec::with_capacity(n);
-    let mut accesses = Vec::with_capacity(if opts.validate { n } else { 0 });
+    let keep_accesses = opts.validate || opts.precheck;
+    let mut accesses = Vec::with_capacity(if keep_accesses { n } else { 0 });
     let mut initial_ready: Vec<ReadyTask> = Vec::new();
     for (idx, mut t) in graph.tasks.into_iter().enumerate() {
         closures.push(t.closure.take());
@@ -247,7 +313,7 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
         coords.push(t.coords);
         priorities.push(t.priority);
         dep_counts.push(AtomicUsize::new(t.n_deps));
-        if opts.validate {
+        if keep_accesses {
             accesses.push(std::mem::take(&mut t.accesses));
         }
         if t.n_deps == 0 {
@@ -256,6 +322,14 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
                 id: TaskId(idx),
             });
         }
+    }
+
+    // Pre-execution graph check: prove the graph acyclic (a cycle would
+    // hang the pool — the post-run validator can never see it because a
+    // cyclic graph never completes) and prove the static hazard-edge
+    // derivation agrees with the validator's, before any worker spawns.
+    if opts.precheck {
+        precheck_graph(&dependents, &accesses, &kinds, &coords);
     }
     // Closures must be callable from any worker; wrap in per-task Mutex-free
     // Option slots guarded by the DAG's exclusivity (each task runs once).

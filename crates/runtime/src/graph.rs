@@ -187,6 +187,12 @@ impl TaskGraph {
         id
     }
 
+    /// Kind label of every task, in insertion (task-id) order. Cheap view
+    /// for static checks such as the Cholesky kernel census.
+    pub fn task_kinds(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.tasks.iter().map(|t| t.kind)
+    }
+
     /// Longest path length (in tasks) — a lower bound on parallel steps.
     pub fn critical_path_len(&self) -> usize {
         let n = self.tasks.len();

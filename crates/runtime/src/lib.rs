@@ -32,7 +32,10 @@ pub use convert::{conversion_counts, count_conversion, reset_conversion_counts, 
 pub use distsim::{
     block_cyclic_owner, simulate, simulate_with_metrics, MachineSpec, SimResult, SimTask,
 };
-pub use exec::{execute, execute_opts, execute_with_policy, ExecOptions, ExecReport, SchedPolicy};
+pub use exec::{
+    execute, execute_opts, execute_with_policy, precheck_env_default, ExecOptions, ExecReport,
+    SchedPolicy,
+};
 pub use graph::{Access, AccessMode, DataId, TaskGraph, TaskId};
 pub use json::{escape_json, parse_json, JsonError, JsonValue};
 pub use metrics::{KernelStats, MetricsReport, QueueDepthStats, TimeHistogram, WorkerStats};
@@ -40,4 +43,7 @@ pub use shard::{
     read_frame, task_census, write_frame, FrameError, WireReader, WireWriter, MAX_FRAME_BYTES,
 };
 pub use stats::{chrome_trace_json, kind_summary, TraceEvent};
-pub use validate::{check_schedule, Hazard, TaskOrder, ValidationSummary, Violation, UNRECORDED};
+pub use validate::{
+    check_schedule, crosscheck_static_edges, derived_edges, Hazard, TaskOrder, ValidationSummary,
+    Violation, UNRECORDED,
+};

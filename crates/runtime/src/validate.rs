@@ -126,12 +126,10 @@ pub fn check_schedule(
         "schedule check needs one order record per task"
     );
 
-    let mut last_writer: HashMap<DataId, TaskId> = HashMap::new();
-    let mut readers: HashMap<DataId, Vec<TaskId>> = HashMap::new();
     let mut summary = ValidationSummary::default();
     let mut violations = Vec::new();
 
-    let mut check = |pred: TaskId, succ: TaskId, data: DataId, hazard: Hazard| {
+    for_each_edge(accesses, |pred, succ, data, hazard| {
         if !order[pred.0].is_recorded() || !order[succ.0].is_recorded() {
             summary.edges_skipped += 1;
             return;
@@ -150,7 +148,87 @@ pub fn check_schedule(
                 hazard,
             });
         }
-    };
+    });
+
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(violations)
+    }
+}
+
+/// The validator's hazard-edge list as data, in derivation order. This is
+/// the same walk [`check_schedule`] performs — the pre-execution checker
+/// (`xgs-analysis`) re-derives the list with its own independent
+/// implementation and the executor asserts element-wise equality.
+pub fn derived_edges(accesses: &[Vec<Access>]) -> Vec<(TaskId, TaskId, DataId, Hazard)> {
+    let mut edges = Vec::new();
+    for_each_edge(accesses, |pred, succ, data, hazard| {
+        edges.push((pred, succ, data, hazard));
+    });
+    edges
+}
+
+/// Cross-check [`derived_edges`] against `xgs_analysis::hazard_edges`,
+/// the deliberately independent re-implementation in the zero-dependency
+/// analysis crate. The two walk the same access lists with separately
+/// written code; element-wise equality (same edges, same order, same
+/// hazard classes) is the executor's pre-flight proof that the static
+/// and dynamic views of the graph agree.
+///
+/// Returns the common edge count, or a description of the first
+/// divergence.
+pub fn crosscheck_static_edges(accesses: &[Vec<Access>]) -> Result<usize, String> {
+    let spec: Vec<Vec<xgs_analysis::AccessSpec>> = accesses
+        .iter()
+        .map(|list| {
+            list.iter()
+                .map(|a| match a.mode {
+                    AccessMode::Read => xgs_analysis::AccessSpec::read(a.data.0),
+                    AccessMode::Write => xgs_analysis::AccessSpec::write(a.data.0),
+                })
+                .collect()
+        })
+        .collect();
+    let statics = xgs_analysis::hazard_edges(&spec);
+    let dynamics = derived_edges(accesses);
+    if statics.len() != dynamics.len() {
+        return Err(format!(
+            "static derivation found {} edges, validator found {}",
+            statics.len(),
+            dynamics.len()
+        ));
+    }
+    for (i, (s, (pred, succ, data, hazard))) in statics.iter().zip(&dynamics).enumerate() {
+        let dyn_kind = match hazard {
+            Hazard::Raw => xgs_analysis::HazardKind::Raw,
+            Hazard::War => xgs_analysis::HazardKind::War,
+            Hazard::Waw => xgs_analysis::HazardKind::Waw,
+        };
+        if (s.pred, s.succ, s.data, s.kind) != (pred.0, succ.0, data.0, dyn_kind) {
+            return Err(format!(
+                "edge {i} diverges: static {}->{} on data {} ({}), validator {}->{} on data {} ({})",
+                s.pred,
+                s.succ,
+                s.data,
+                s.kind,
+                pred.0,
+                succ.0,
+                data.0,
+                hazard.name()
+            ));
+        }
+    }
+    Ok(statics.len())
+}
+
+/// Walk every hazard edge implied by the access lists, in insertion
+/// order. Each task contributes edges against the *pre-task* state: all
+/// of its accesses are matched against earlier tasks before any of them
+/// update the writer/reader tables.
+fn for_each_edge(accesses: &[Vec<Access>], mut visit: impl FnMut(TaskId, TaskId, DataId, Hazard)) {
+    let mut last_writer: HashMap<DataId, TaskId> = HashMap::new();
+    let mut readers: HashMap<DataId, Vec<TaskId>> = HashMap::new();
 
     for (idx, accs) in accesses.iter().enumerate() {
         let id = TaskId(idx);
@@ -158,16 +236,16 @@ pub fn check_schedule(
             match acc.mode {
                 AccessMode::Read => {
                     if let Some(&w) = last_writer.get(&acc.data) {
-                        check(w, id, acc.data, Hazard::Raw);
+                        visit(w, id, acc.data, Hazard::Raw);
                     }
                 }
                 AccessMode::Write => {
                     if let Some(&w) = last_writer.get(&acc.data) {
-                        check(w, id, acc.data, Hazard::Waw);
+                        visit(w, id, acc.data, Hazard::Waw);
                     }
                     for &r in readers.get(&acc.data).into_iter().flatten() {
                         if r != id {
-                            check(r, id, acc.data, Hazard::War);
+                            visit(r, id, acc.data, Hazard::War);
                         }
                     }
                 }
@@ -182,12 +260,6 @@ pub fn check_schedule(
                 }
             }
         }
-    }
-
-    if violations.is_empty() {
-        Ok(summary)
-    } else {
-        Err(violations)
     }
 }
 

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use xgs_runtime::{
-    check_schedule, execute_opts, Access, DataId, ExecOptions, SchedPolicy, TaskGraph, TaskOrder,
+    check_schedule, crosscheck_static_edges, derived_edges, execute_opts, Access, DataId,
+    ExecOptions, SchedPolicy, TaskGraph, TaskOrder,
 };
 
 /// Random access lists over a small data pool, from a splitmix-style LCG.
@@ -69,6 +70,20 @@ proptest! {
             );
             prop_assert!(v.raw_edges >= 1);
         }
+    }
+
+    #[test]
+    fn static_edges_match_dynamic_derivation(seed in 0u64..1_000_000) {
+        // The pre-execution checker (xgs-analysis) and the post-run
+        // validator derive hazard edges independently; on any access
+        // lists they must agree edge-for-edge, in order.
+        let accesses = random_accesses(seed, 60);
+        let checked = match crosscheck_static_edges(&accesses) {
+            Ok(n) => n,
+            Err(e) => return Err(e),
+        };
+        prop_assert_eq!(checked, derived_edges(&accesses).len());
+        prop_assert!(checked >= 1, "seeded RAW edge missing");
     }
 
     #[test]

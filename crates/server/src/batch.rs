@@ -161,9 +161,16 @@ impl BatchQueue {
                     let same = inner.jobs[i].model == batch[0].model
                         && inner.jobs[i].uncertainty == batch[0].uncertainty;
                     if same {
-                        let job = inner.jobs.remove(i).unwrap();
-                        points += job.points.len();
-                        batch.push(job);
+                        // The loop guard keeps `i` in range so `remove`
+                        // yields the job; the `None` arm skips it rather
+                        // than trusting that proof with a panic.
+                        match inner.jobs.remove(i) {
+                            Some(job) => {
+                                points += job.points.len();
+                                batch.push(job);
+                            }
+                            None => i += 1,
+                        }
                     } else {
                         i += 1;
                     }

@@ -21,6 +21,22 @@
 //! the hand-rolled reader/writers in `xgs-runtime`. See the repository
 //! README ("Prediction service protocol") for the wire grammar and the
 //! `loadgen` binary for a replay client.
+//!
+//! # Lock order
+//!
+//! The server holds three long-lived mutexes. Whenever more than one is
+//! held at a time, they must be acquired in this order (and a single
+//! rank must never be re-acquired while held):
+//!
+//! 1. [`batch::BatchQueue`] `inner` — queue state, shortest hold times;
+//! 2. [`registry::ModelRegistry`] `models` — the model table, held
+//!    across factor lookups;
+//! 3. `server::Shared` `metrics` — the counters, innermost because every
+//!    path increments something on the way out.
+//!
+//! The order is machine-checked: `xgs-lint`'s `lock-order` rule walks
+//! every function in this crate and flags any `.lock()` acquisition whose
+//! rank is ≤ a rank already held (see `crates/analysis/src/rules.rs`).
 
 pub mod batch;
 pub mod loadgen;

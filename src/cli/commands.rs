@@ -94,6 +94,11 @@ COMMANDS:
   bayes     posterior sampling over the covariance parameters (MCMC)
             --data <csv> --start <θ,..> [--kernel ...] [--variant ...]
             [--iterations <k>] [--burn-in <k>] [--seed <s>]
+
+ENVIRONMENT:
+  XGS_PRECHECK=1  run the pre-execution DAG/shard-plan safety checks
+                  (xgs-analysis) in release builds too; always on in
+                  debug builds. See README \"Static analysis\".
 ";
 
 fn parse_family(args: &Args) -> Result<ModelFamily, CmdError> {

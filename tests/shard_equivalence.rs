@@ -349,6 +349,7 @@ fn half_written_tile_frame_times_out_instead_of_hanging() {
         grid_q: 1,
         deadline: Duration::from_secs(2),
         validate: false,
+        precheck: true,
     };
     let t0 = Instant::now();
     let err = f
