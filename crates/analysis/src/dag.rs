@@ -339,6 +339,10 @@ pub struct PlanTask {
     /// Whether the worker sends the written tile back (its value is final
     /// and other shards / the coordinator will need it).
     pub publish: bool,
+    /// Wire bytes of the publish TILE frame (0 when `publish` is false).
+    /// Computed by the caller from the tile's declared format — this crate
+    /// stays dependency-free, so byte accounting is plain numbers here.
+    pub publish_bytes: u64,
 }
 
 /// One coordinator-side event, in emission order. FIFO per-stream
@@ -353,6 +357,9 @@ pub enum PlanEvent {
         tile: (usize, usize),
         to: usize,
         initial: bool,
+        /// Wire bytes of this TILE frame, caller-computed from the tile's
+        /// declared precision and structure.
+        bytes: u64,
     },
     /// Dispatch of `tasks[index]` to its owner.
     Task(usize),
@@ -487,6 +494,12 @@ pub struct PlanSummary {
     pub tasks: u64,
     pub transfers: u64,
     pub forwards: u64,
+    /// TILE frames the plan moves: seeds + forwards + publishes.
+    pub tile_frames: u64,
+    /// Total wire bytes of those TILE frames, from the caller-supplied
+    /// per-event byte counts. The coordinator asserts its measured TILE
+    /// census equals this when tile formats are static (dense storage).
+    pub tile_bytes: u64,
     /// Tasks per worker under the owner map.
     pub per_worker: Vec<u64>,
 }
@@ -525,10 +538,17 @@ pub fn check_shard_plan(plan: &ShardPlan) -> Result<PlanSummary, PlanError> {
     let mut published: HashMap<(usize, usize), u64> = HashMap::new();
     let mut transfers = 0u64;
     let mut forwards = 0u64;
+    let mut tile_frames = 0u64;
+    let mut tile_bytes = 0u64;
     let mut per_worker = vec![0u64; workers];
     for ev in &plan.events {
         match ev {
-            PlanEvent::Transfer { tile, to, initial } => {
+            PlanEvent::Transfer {
+                tile,
+                to,
+                initial,
+                bytes,
+            } => {
                 let cur = version.get(tile).copied().unwrap_or(0);
                 let owner = block_cyclic_owner(tile.0, tile.1, p, q);
                 if *initial {
@@ -560,6 +580,8 @@ pub fn check_shard_plan(plan: &ShardPlan) -> Result<PlanSummary, PlanError> {
                     });
                 }
                 transfers += 1;
+                tile_frames += 1;
+                tile_bytes += bytes;
             }
             PlanEvent::Task(t) => {
                 let task = plan
@@ -585,6 +607,8 @@ pub fn check_shard_plan(plan: &ShardPlan) -> Result<PlanSummary, PlanError> {
                 held[task.owner].insert(task.write, *v);
                 if task.publish {
                     published.insert(task.write, *v);
+                    tile_frames += 1;
+                    tile_bytes += task.publish_bytes;
                 }
                 per_worker[task.owner] += 1;
             }
@@ -594,6 +618,8 @@ pub fn check_shard_plan(plan: &ShardPlan) -> Result<PlanSummary, PlanError> {
         tasks: plan.tasks.len() as u64,
         transfers,
         forwards,
+        tile_frames,
+        tile_bytes,
         per_worker,
     })
 }
@@ -676,5 +702,39 @@ mod tests {
             check_cholesky_census(short.iter().copied(), 5),
             Err(GraphError::Census { kind: "potrf", .. })
         ));
+    }
+
+    #[test]
+    fn plan_summary_accumulates_tile_bytes() {
+        // Smallest real plan: nt = 1, one worker, one POTRF. One seed in,
+        // one publish out; the summary must add both frames and byte counts.
+        let plan = ShardPlan {
+            nt: 1,
+            p: 1,
+            q: 1,
+            workers: 1,
+            tasks: vec![PlanTask {
+                kind: "potrf",
+                owner: 0,
+                reads: Vec::new(),
+                write: (0, 0),
+                publish: true,
+                publish_bytes: 77,
+            }],
+            events: vec![
+                PlanEvent::Transfer {
+                    tile: (0, 0),
+                    to: 0,
+                    initial: true,
+                    bytes: 123,
+                },
+                PlanEvent::Task(0),
+            ],
+        };
+        let s = check_shard_plan(&plan).unwrap();
+        assert_eq!(s.tile_frames, 2);
+        assert_eq!(s.tile_bytes, 200);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.forwards, 0);
     }
 }

@@ -46,6 +46,10 @@ pub const RULES: &[(&str, &str)] = &[
         "crates/server locks acquire in the declared order: BatchQueue::inner < ModelRegistry::models < Shared::metrics",
     ),
     (
+        "no-unbounded-channel-send",
+        "no unbounded mpsc channel() in shard coordinator/reader paths; bound the queue or justify the allow",
+    ),
+    (
         "unjustified-allow",
         "an `xgs-lint: allow(...)` comment without justification text",
     ),
@@ -112,7 +116,7 @@ pub fn lint_source(path: &str, src: &[u8]) -> Vec<Finding> {
 pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
     let toks = lex(src);
     let idx = LineIndex::new(src);
-    let sig: Vec<Sig<'_>> = toks
+    let mut sig: Vec<Sig<'_>> = toks
         .iter()
         .filter(|t| {
             !matches!(
@@ -126,6 +130,8 @@ pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
             start: t.start,
         })
         .collect();
+    resolve_use_aliases(&mut sig);
+    let sig = sig;
     let allows = parse_allows(src, &toks, &idx);
     let tests = test_regions(&sig);
     let in_test = |off: usize| tests.iter().any(|&(s, e)| off >= s && off < e);
@@ -135,6 +141,7 @@ pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
     if network_scoped(path) {
         rule_no_panic(path, &sig, &in_test, &mut raw);
         rule_bounded_read(path, &sig, &in_test, &mut raw);
+        rule_unbounded_channel(path, &sig, &in_test, &mut raw);
     }
     rule_unsafe(path, &sig, &mut raw);
     if frame_scoped(path) {
@@ -277,6 +284,51 @@ fn frame_scoped(path: &str) -> bool {
 /// The server crate's lock-order discipline (see `crates/server/src/lib.rs`).
 fn lock_scoped(path: &str) -> bool {
     path.contains("crates/server/src/")
+}
+
+// ---------------------------------------------------------------- aliases
+
+/// Resolve `use path::Orig as Alias;` renames: every later `Alias` ident
+/// token is rewritten to read `Orig`, so token-pattern rules see through
+/// import aliasing (`use std::sync::mpsc::channel as chan; chan()` is
+/// still a `channel()` call to the rules). Both texts are slices of the
+/// same source buffer, so the rewrite is a pointer swap, not a copy.
+/// Underscore imports (`use T as _;`) bind nothing and are skipped.
+fn resolve_use_aliases(sig: &mut [Sig<'_>]) {
+    // Collect (alias, original) pairs from `Orig as Alias` inside `use`
+    // statements (including grouped `use a::{B as C, D as E};` lists).
+    let mut renames: Vec<(&[u8], &[u8])> = Vec::new();
+    let mut w = 0;
+    while w < sig.len() {
+        if !sig[w].is_ident(b"use") {
+            w += 1;
+            continue;
+        }
+        let mut j = w + 1;
+        while j < sig.len() && !sig[j].is_punct(b';') {
+            if sig[j].is_ident(b"as")
+                && j >= 1
+                && sig[j - 1].kind == TokenKind::Ident
+                && sig.get(j + 1).is_some_and(|a| {
+                    a.kind == TokenKind::Ident && a.text != b"_" && a.text != b"as"
+                })
+            {
+                renames.push((sig[j + 1].text, sig[j - 1].text));
+            }
+            j += 1;
+        }
+        w = j + 1;
+    }
+    if renames.is_empty() {
+        return;
+    }
+    for s in sig.iter_mut() {
+        if s.kind == TokenKind::Ident {
+            if let Some(&(_, orig)) = renames.iter().find(|(alias, _)| *alias == s.text) {
+                s.text = orig;
+            }
+        }
+    }
 }
 
 // ----------------------------------------------------------------- allows
@@ -479,6 +531,41 @@ fn rule_bounded_read(_path: &str, sig: &[Sig<'_>], in_test: &dyn Fn(usize) -> bo
                     "{}() is unbounded on a network stream; use the fill_buf bounded reader or deadline'd frame reads",
                     String::from_utf8_lossy(s.text)
                 ),
+            ));
+        }
+    }
+}
+
+/// `no-unbounded-channel-send`: a zero-argument `channel()` call builds an
+/// unbounded mpsc queue. In the shard coordinator/reader fan-in a slow
+/// consumer then buffers without limit (every TILE publish is a full tile
+/// payload), so the bound — or the reasoned decision not to have one —
+/// must be explicit: use `sync_channel(n)` or carry a justified allow.
+/// Alias-resolved (`use ...::channel as chan;` does not hide the call).
+fn rule_unbounded_channel(
+    _path: &str,
+    sig: &[Sig<'_>],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Raw,
+) {
+    for w in 0..sig.len() {
+        let s = &sig[w];
+        if !s.is_ident(b"channel") || in_test(s.start) {
+            continue;
+        }
+        // A call with no arguments: `channel ( )`. Method position
+        // (`.channel()`) is some other API, not std::sync::mpsc.
+        if w > 0 && sig[w - 1].is_punct(b'.') {
+            continue;
+        }
+        if sig.get(w + 1).is_some_and(|n| n.is_punct(b'('))
+            && sig.get(w + 2).is_some_and(|n| n.is_punct(b')'))
+        {
+            out.push((
+                s.start,
+                "no-unbounded-channel-send",
+                "unbounded channel() in a shard network path; use sync_channel(n) or justify why depth is bounded elsewhere"
+                    .to_string(),
             ));
         }
     }
@@ -773,6 +860,51 @@ mod tests {
         let hit = rules_hit("crates/cholesky/src/shard.rs", src);
         assert!(hit.contains(&"bounded-read-only"), "{hit:?}");
         assert!(hit.contains(&"no-panic-in-network-path"), "{hit:?}");
+    }
+
+    #[test]
+    fn unbounded_channel_flagged_bounded_ok() {
+        let bad = "fn f() { let (tx, rx) = channel(); }";
+        assert_eq!(
+            rules_hit("crates/cholesky/src/shard.rs", bad),
+            ["no-unbounded-channel-send"]
+        );
+        let bounded = "fn f() { let (tx, rx) = sync_channel(8); }";
+        assert!(rules_hit("crates/cholesky/src/shard.rs", bounded).is_empty());
+        // With-capacity constructors of other queue types are not mpsc.
+        let method = "fn f(b: &B) { let c = b.channel(); }";
+        assert!(rules_hit("crates/cholesky/src/shard.rs", method).is_empty());
+        // Outside the network scope the rule does not apply.
+        assert!(rules_hit("crates/x/src/lib.rs", bad).is_empty());
+        // A justified allow is the sanctioned escape hatch.
+        let allowed = "fn f() {\n    // xgs-lint: allow(no-unbounded-channel-send): depth bounded by in-flight DONEs\n    let (tx, rx) = channel();\n}";
+        assert!(rules_hit("crates/cholesky/src/shard.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn use_alias_resolution_sees_through_renames() {
+        // The aliased call is still a zero-arg mpsc channel construction.
+        let aliased = "use std::sync::mpsc::channel as chan;\nfn f() { let (tx, rx) = chan(); }";
+        assert_eq!(
+            rules_hit("crates/cholesky/src/shard.rs", aliased),
+            ["no-unbounded-channel-send"]
+        );
+        // Grouped imports resolve too.
+        let grouped =
+            "use std::sync::mpsc::{channel as fanin, Receiver};\nfn f() { let x = fanin(); }";
+        assert_eq!(
+            rules_hit("crates/cholesky/src/shard.rs", grouped),
+            ["no-unbounded-channel-send"]
+        );
+        // `as _` binds nothing; expression casts are not aliases.
+        let cast = "use std::io::Read as _;\nfn f(x: u8) -> u64 { x as u64 }";
+        assert!(rules_hit("crates/cholesky/src/shard.rs", cast).is_empty());
+        // Unaliased names keep working when renames exist elsewhere.
+        let mixed = "use std::sync::mpsc::sync_channel as sc;\nfn f() { let a = sc(4); let b = channel(); }";
+        assert_eq!(
+            rules_hit("crates/cholesky/src/shard.rs", mixed),
+            ["no-unbounded-channel-send"]
+        );
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! missing on one side counts as 0). This is how CI proves that a real
 //! sharded factorization executed exactly the task census the distributed
 //! event simulator projected. Exit code 1 on any mismatch.
+//!
+//! `--assert-wire-equal tile,task,...` does the same for the bytes-on-wire
+//! census: the listed frame kinds must agree in both frame count and total
+//! bytes. A sharded run held to a `scale --metrics` projection this way
+//! proves the coordinator measured exactly the closed-form TILE bytes the
+//! simulator predicted. `--assert-wire-below <kind>` checks the candidate
+//! moved strictly fewer bytes of that kind than the baseline (the
+//! mixed-precision wire must beat dense f64, not just match it).
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -55,6 +63,8 @@ fn main() -> ExitCode {
     // value never masquerades as an input path.
     let mut paths: Vec<&String> = Vec::new();
     let mut assert_counts: Vec<String> = Vec::new();
+    let mut assert_wire_equal: Vec<String> = Vec::new();
+    let mut assert_wire_below: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +74,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 assert_counts.extend(list.split(',').map(|s| s.trim().to_string()));
+                i += 2;
+            }
+            "--assert-wire-equal" => {
+                let Some(list) = args.get(i + 1) else {
+                    eprintln!(
+                        "metrics_diff: --assert-wire-equal needs a frame kind list (e.g. tile,task)"
+                    );
+                    return ExitCode::from(2);
+                };
+                assert_wire_equal.extend(list.split(',').map(|s| s.trim().to_string()));
+                i += 2;
+            }
+            "--assert-wire-below" => {
+                let Some(list) = args.get(i + 1) else {
+                    eprintln!("metrics_diff: --assert-wire-below needs a frame kind (e.g. tile)");
+                    return ExitCode::from(2);
+                };
+                assert_wire_below.extend(list.split(',').map(|s| s.trim().to_string()));
                 i += 2;
             }
             flag if flag.starts_with("--") => {
@@ -78,7 +106,8 @@ fn main() -> ExitCode {
     }
     if paths.len() != 2 {
         eprintln!(
-            "usage: metrics_diff [--assert-counts k1,k2,..] <baseline.json> <candidate.json>"
+            "usage: metrics_diff [--assert-counts k1,k2,..] [--assert-wire-equal k1,k2,..] \
+             [--assert-wire-below k1,..] <baseline.json> <candidate.json>"
         );
         return ExitCode::from(2);
     }
@@ -158,6 +187,39 @@ fn main() -> ExitCode {
         );
     }
 
+    // Bytes-on-wire census, when either run carries one.
+    if !base.wire.is_empty() || !cand.wire.is_empty() {
+        let mut frame_kinds: Vec<&str> = base.wire.iter().map(|w| w.kind).collect();
+        for w in &cand.wire {
+            if !frame_kinds.contains(&w.kind) {
+                frame_kinds.push(w.kind);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>12} | {:>10} {:>10} | {:>14} {:>14} | {:>8}",
+            "wire", "frames A", "frames B", "bytes A", "bytes B", "d bytes"
+        );
+        for kind in frame_kinds {
+            let a = base.wire.iter().find(|w| w.kind == kind);
+            let b = cand.wire.iter().find(|w| w.kind == kind);
+            let fmt = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+            let _ = writeln!(
+                out,
+                "{:>12} | {:>10} {:>10} | {:>14} {:>14} | {:>8}",
+                kind,
+                fmt(a.map(|w| w.frames)),
+                fmt(b.map(|w| w.frames)),
+                fmt(a.map(|w| w.bytes)),
+                fmt(b.map(|w| w.bytes)),
+                rel_change(
+                    a.map_or(0.0, |w| w.bytes as f64),
+                    b.map_or(0.0, |w| w.bytes as f64)
+                )
+            );
+        }
+    }
+
     if let (Some(va), Some(vb)) = (&base.validation, &cand.validation) {
         let _ = writeln!(
             out,
@@ -179,6 +241,33 @@ fn main() -> ExitCode {
         let (a, b) = (count(&base), count(&cand));
         if a != b {
             eprintln!("metrics_diff: {kind} count mismatch: {a} (baseline) != {b} (candidate)");
+            mismatches += 1;
+        }
+    }
+    let wire = |r: &MetricsReport, kind: &str| {
+        r.wire
+            .iter()
+            .find(|w| w.kind == kind)
+            .map_or((0, 0), |w| (w.frames, w.bytes))
+    };
+    for kind in &assert_wire_equal {
+        let (af, ab) = wire(&base, kind);
+        let (bf, bb) = wire(&cand, kind);
+        if (af, ab) != (bf, bb) {
+            eprintln!(
+                "metrics_diff: {kind} wire mismatch: {af} frames / {ab} bytes (baseline) != \
+                 {bf} frames / {bb} bytes (candidate)"
+            );
+            mismatches += 1;
+        }
+    }
+    for kind in &assert_wire_below {
+        let (_, ab) = wire(&base, kind);
+        let (_, bb) = wire(&cand, kind);
+        if bb >= ab {
+            eprintln!(
+                "metrics_diff: {kind} wire bytes not reduced: {bb} (candidate) >= {ab} (baseline)"
+            );
             mismatches += 1;
         }
     }

@@ -46,17 +46,17 @@ pub struct DagStats {
     pub nominal_flops: f64,
 }
 
+/// Bytes one remote read of tile `(i, j)` moves, in wire-frame units
+/// ([`crate::shard::tile_wire_frame_bytes`]): header, coordinates, and
+/// the per-precision `xgs_tile::wire` payload. Using the real frame size
+/// keeps the simulator's `comm_bytes` directly comparable to a sharded
+/// run's measured TILE census.
 fn tile_bytes(meta: &dyn TileMetaSource, nb: usize, i: usize, j: usize) -> f64 {
-    let p = meta.precision(i, j);
-    if meta.is_dense(i, j) {
-        (nb * nb * p.bytes()) as f64
-    } else {
-        (meta.rank(i, j) * 2 * nb * p.bytes()) as f64
-    }
+    crate::shard::tile_wire_frame_bytes(meta, nb, nb, i, j) as f64
 }
 
 /// Effective TLR compute precision (no FP16 low-rank path).
-fn lr_precision(p: Precision) -> Precision {
+pub(crate) fn lr_precision(p: Precision) -> Precision {
     if p == Precision::F16 {
         Precision::F32
     } else {

@@ -23,7 +23,7 @@ pub mod solve;
 pub use dag::{cholesky_dag, DagOptions, DagStats};
 pub use factor::{FactorError, TiledFactor};
 pub use shard::{
-    grid_shape, spawn_local_workers, spawn_workers, worker_loop, ShardError, ShardOptions,
-    ShardProcesses, ShardReport, ShardRunner,
+    grid_shape, project_wire_census, spawn_local_workers, spawn_workers, tile_wire_frame_bytes,
+    worker_loop, ShardError, ShardOptions, ShardProcesses, ShardReport, ShardRunner,
 };
 pub use solve::{logdet, solve_lower, solve_lower_transpose};

@@ -36,6 +36,7 @@
 //! | `SHUTDOWN` | c→w | empty |
 //! | `BYE`      | w→c | `tasks_executed` |
 
+use crate::dag::{lr_precision, TileMetaSource};
 use crate::factor::{FactorError, TiledFactor};
 use crate::kernels::{gemm_update, potrf_diag, syrk_diag, trsm_panel};
 use std::collections::HashMap;
@@ -47,13 +48,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xgs_runtime::shard::{read_frame, write_frame, FrameError, WireReader, WireWriter};
-use xgs_runtime::{
-    block_cyclic_owner, check_schedule, crosscheck_static_edges, precheck_env_default, task_census,
-    Access, DataId, KernelStats, MetricsReport, TaskOrder, WorkerStats,
+use xgs_kernels::Precision;
+use xgs_runtime::shard::{
+    read_frame, write_frame, FrameError, WireReader, WireWriter, FRAME_HEADER_BYTES,
 };
-use xgs_tile::wire::{decode_tile, encode_tile};
-use xgs_tile::Tile;
+use xgs_runtime::{
+    block_cyclic_owner, check_schedule, conversion_counts, count_conversion,
+    crosscheck_static_edges, precheck_env_default, task_census, Access, DataId, KernelStats,
+    MetricsReport, TaskOrder, WireStats, WorkerStats,
+};
+use xgs_tile::wire::{
+    decode_tile, dense_payload_len, encode_tile, encoded_len, low_rank_payload_len, wire_elements,
+};
+use xgs_tile::{Tile, TileLayout};
 
 /// Frame kinds of the coordinator/worker protocol.
 pub const K_HELLO: u8 = 1;
@@ -67,6 +74,102 @@ const KIND_POTRF: u8 = 0;
 const KIND_TRSM: u8 = 1;
 const KIND_SYRK: u8 = 2;
 const KIND_GEMM: u8 = 3;
+
+/// Bytes a TILE frame carries before the `xgs_tile::wire` body: the two
+/// `u32` tile coordinates.
+pub const TILE_COORD_BYTES: usize = 8;
+
+/// Fixed payload sizes of the non-TILE frames, byte-for-byte the layouts
+/// in the module table above. Planned and projected byte censuses use
+/// these so they speak the same units as the measured one.
+const HELLO_PAYLOAD_BYTES: usize = 28;
+const TASK_PAYLOAD_BYTES: usize = 30;
+const DONE_PAYLOAD_BYTES: usize = 26;
+const BYE_PAYLOAD_BYTES: usize = 8;
+
+/// Metrics keys of the frame kinds, indexed `K_* - 1`.
+const FRAME_KIND_NAMES: [&str; 6] = ["hello", "tile", "task", "done", "shutdown", "bye"];
+
+/// Per-frame-kind `{frames, bytes}` tally. Bytes count whole frames —
+/// header plus payload — in both directions, as seen from the coordinator.
+#[derive(Clone, Copy, Default)]
+struct WireCensus {
+    counts: [(u64, u64); 6],
+}
+
+impl WireCensus {
+    fn record(&mut self, kind: u8, payload_len: usize) {
+        self.record_many(kind, 1, payload_len);
+    }
+
+    fn record_many(&mut self, kind: u8, frames: u64, payload_len: usize) {
+        debug_assert!((K_HELLO..=K_BYE).contains(&kind));
+        let c = &mut self.counts[(kind - 1) as usize];
+        c.0 += frames;
+        c.1 += frames * (FRAME_HEADER_BYTES + payload_len) as u64;
+    }
+
+    fn merge(&mut self, other: &WireCensus) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+    }
+
+    fn to_stats(self) -> Vec<WireStats> {
+        let mut out = Vec::new();
+        for (idx, &(frames, bytes)) in self.counts.iter().enumerate() {
+            if frames > 0 {
+                out.push(WireStats {
+                    kind: FRAME_KIND_NAMES[idx],
+                    frames,
+                    bytes,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Wire bytes of the TILE frame that ships tile `(i, j)` in the format
+/// `meta` declares for it: frame header, coordinates, then the
+/// [`xgs_tile::wire`] body at the tile's storage precision (low-rank
+/// tiles ship `U`/`V` at the TLR compute precision, rank capped at the
+/// tile's short dimension). Exact for static formats; for TLR tiles it is
+/// the pre-factorization estimate, since ranks drift as the trailing
+/// update recompresses.
+pub fn tile_wire_frame_bytes(
+    meta: &dyn TileMetaSource,
+    rows: usize,
+    cols: usize,
+    i: usize,
+    j: usize,
+) -> u64 {
+    let body = if meta.is_dense(i, j) {
+        dense_payload_len(rows, cols, meta.precision(i, j))
+    } else {
+        let rank = meta.rank(i, j).min(rows.min(cols));
+        low_rank_payload_len(rows, cols, rank, lr_precision(meta.precision(i, j)))
+    };
+    (FRAME_HEADER_BYTES + TILE_COORD_BYTES + body) as u64
+}
+
+/// Tally the element-format conversions one wire crossing performs:
+/// encoding demotes the f64-emulated buffer to the tile's storage width,
+/// decoding promotes it back. Both directions are exact (tile values are
+/// pre-rounded through their format), but they are real conversions and
+/// the runtime's global counters are the ledger the paper's
+/// "convert on the fly" accounting reads. Counters are per-process: a
+/// coordinator's report covers its own encodes/decodes, not a remote
+/// worker's.
+fn count_wire_conversion(tile: &Tile, encode: bool) {
+    let elems = wire_elements(tile) as u64;
+    if encode {
+        count_conversion(Precision::F64, tile.precision, elems);
+    } else {
+        count_conversion(tile.precision, Precision::F64, elems);
+    }
+}
 
 /// Failure of a sharded factorization.
 #[derive(Debug)]
@@ -240,6 +343,7 @@ pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
                     .get(8..)
                     .ok_or_else(|| proto_err("short TILE frame"))?;
                 let tile = decode_tile(body).map_err(|e| proto_err(&e.to_string()))?;
+                count_wire_conversion(&tile, false);
                 store.insert((i, j), tile);
             }
             K_TASK => {
@@ -295,6 +399,7 @@ pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
                     w.put_u32(written.0);
                     w.put_u32(written.1);
                     encode_tile(&target, &mut w.buf);
+                    count_wire_conversion(&target, true);
                     write_frame(&mut stream, K_TILE, &w.buf)?;
                 }
                 store.insert(written, target);
@@ -429,6 +534,8 @@ struct Drive {
     bye: Vec<Option<u64>>,
     /// Earliest global pivot failure, if any.
     failed: Option<usize>,
+    /// Frames/bytes received from workers (TILE publishes, DONE, BYE).
+    census: WireCensus,
 }
 
 impl Drive {
@@ -440,6 +547,7 @@ impl Drive {
     ) -> Result<(), ShardError> {
         match ev {
             Event::Tile { payload } => {
+                self.census.record(K_TILE, payload.len());
                 let mut r = WireReader::new(&payload);
                 let i = r
                     .get_u32()
@@ -458,6 +566,7 @@ impl Drive {
                 pivot,
                 elapsed,
             } => {
+                self.census.record(K_DONE, DONE_PAYLOAD_BYTES);
                 let idx = task_id as usize;
                 let m = meta.get(idx).ok_or_else(|| {
                     ShardError::Protocol(format!("unexpected DONE for task {task_id}"))
@@ -484,6 +593,7 @@ impl Drive {
                 Ok(())
             }
             Event::Bye { from, tasks } => {
+                self.census.record(K_BYE, BYE_PAYLOAD_BYTES);
                 self.bye[from] = Some(tasks);
                 Ok(())
             }
@@ -499,10 +609,14 @@ struct Coordinator<'a> {
     streams: &'a mut [TcpStream],
     rx: Receiver<Event>,
     deadline: Instant,
+    /// Frames/bytes sent to workers (HELLO, TILE seeds/forwards, TASK,
+    /// SHUTDOWN).
+    census: WireCensus,
 }
 
 impl Coordinator<'_> {
     fn send(&mut self, worker: usize, kind: u8, payload: &[u8]) -> Result<(), ShardError> {
+        self.census.record(kind, payload.len());
         write_frame(&mut self.streams[worker], kind, payload).map_err(|e| ShardError::WorkerLost {
             worker,
             detail: format!("write failed: {e}"),
@@ -560,6 +674,7 @@ impl TiledFactor {
             )));
         }
         let t0 = Instant::now();
+        let conv0 = conversion_counts();
         let layout = self.layout;
         let nt = layout.nt();
 
@@ -571,10 +686,12 @@ impl TiledFactor {
 
         // Static safety gate before any worker sees a frame: replay the
         // exact emission plan (owner placement, census, operand versions,
-        // forward/publish protocol) and cross-check the statically derived
-        // hazard edges against the post-run validator's derivation.
+        // forward/publish protocol, TILE frame bytes) and cross-check the
+        // statically derived hazard edges against the post-run validator's
+        // derivation.
+        let mut planned_tiles: Option<(u64, u64)> = None;
         if opts.precheck {
-            let plan = build_shard_plan(&meta, nt, p, q, workers);
+            let plan = build_shard_plan(self, &meta, nt, p, q, workers);
             let summary = xgs_analysis::check_shard_plan(&plan)
                 .map_err(|e| ShardError::Protocol(format!("shard plan precheck: {e}")))?;
             for (w, (&got, &want)) in summary.per_worker.iter().zip(census.iter()).enumerate() {
@@ -587,11 +704,23 @@ impl TiledFactor {
             }
             crosscheck_static_edges(&accesses)
                 .map_err(|e| ShardError::Protocol(format!("shard plan precheck: {e}")))?;
+            // With static formats (every stored tile dense) the plan's TILE
+            // byte budget is exact, so the measured census must hit it to
+            // the byte. TLR ranks drift during the trailing update, so
+            // there the budget is only an estimate and the check is off.
+            if self.tiles.iter().all(|t| t.lock().is_dense()) {
+                planned_tiles = Some((summary.tile_frames, summary.tile_bytes));
+            }
         }
 
         // Spin up reader threads over cloned handles; writes stay on the
         // original streams in this thread.
         let stop = Arc::new(AtomicBool::new(false));
+        // Reader threads must never block sending into the coordinator,
+        // which may itself be blocked writing to a worker — a bounded
+        // fan-in channel here can deadlock the whole run. Depth is bounded
+        // in practice by frames in flight (one publish + one DONE per task).
+        // xgs-lint: allow(no-unbounded-channel-send): bounding would deadlock; see above
         let (tx, rx) = channel();
         let mut readers = Vec::with_capacity(workers);
         for (w, s) in streams.iter().enumerate() {
@@ -622,11 +751,13 @@ impl TiledFactor {
             workers: vec![WorkerStats::default(); workers],
             bye: vec![None; workers],
             failed: None,
+            census: WireCensus::default(),
         };
         let mut co = Coordinator {
             streams: &mut streams,
             rx,
             deadline: t0 + opts.deadline,
+            census: WireCensus::default(),
         };
 
         let result = run_steps(self, &mut co, &mut drive, &meta, p, q, nt, workers);
@@ -651,6 +782,26 @@ impl TiledFactor {
             }
         }
         report.worker_tasks = census;
+        report.metrics.conversions = conversion_counts().since(&conv0);
+
+        // The bytes the plan budgeted are the bytes the wire carried — a
+        // mismatch means the encoder and the static model disagree about
+        // the format of some tile, which is exactly the bug class the
+        // f64-everywhere regression was.
+        if let Some((frames, bytes)) = planned_tiles {
+            let (got_frames, got_bytes) = report
+                .metrics
+                .wire
+                .iter()
+                .find(|w| w.kind == "tile")
+                .map_or((0, 0), |w| (w.frames, w.bytes));
+            if (got_frames, got_bytes) != (frames, bytes) {
+                return Err(ShardError::Protocol(format!(
+                    "wire census mismatch: plan budgeted {frames} TILE frames / {bytes} bytes, \
+                     coordinator observed {got_frames} frames / {got_bytes} bytes"
+                )));
+            }
+        }
 
         if opts.validate {
             let summary = check_schedule(&accesses, &drive.order).map_err(|v| {
@@ -699,7 +850,10 @@ fn run_steps(
             let mut w = WireWriter::new();
             w.put_u32(i as u32);
             w.put_u32(j as u32);
-            f.with_tile(i, j, |t| encode_tile(t, &mut w.buf));
+            f.with_tile(i, j, |t| {
+                encode_tile(t, &mut w.buf);
+                count_wire_conversion(t, true);
+            });
             co.send(block_cyclic_owner(i, j, p, q), K_TILE, &w.buf)?;
         }
     }
@@ -790,6 +944,7 @@ fn run_steps(
                 .get(8..)
                 .ok_or_else(|| ShardError::Protocol(format!("short published tile ({i},{j})")))?;
             let tile = decode_tile(body).map_err(|e| ShardError::Protocol(e.to_string()))?;
+            count_wire_conversion(&tile, false);
             *f.tiles[layout.stored_index(i, j)].lock() = tile;
         }
     }
@@ -808,6 +963,10 @@ fn run_steps(
         .copied()
         .collect();
     kernels.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+    // One census for both directions: coordinator-side sends plus the
+    // worker frames the reader threads drained.
+    let mut wire = co.census;
+    wire.merge(&drive.census);
     Ok(ShardReport {
         metrics: MetricsReport {
             wall_seconds: 0.0, // stamped by the caller
@@ -815,6 +974,7 @@ fn run_steps(
             workers,
             kernels,
             worker_stats: drive.workers.clone(),
+            wire: wire.to_stats(),
             ..MetricsReport::default()
         },
         worker_tasks: Vec::new(), // stamped by the caller from the census
@@ -934,12 +1094,76 @@ fn panel_forward_targets(
     out
 }
 
+/// Closed-form projection of a sharded run's whole wire traffic, per
+/// frame kind: replays exactly the frame sequence [`run_steps`] emits
+/// (HELLO per worker, tile seeding, per step the POTRF publish, `L_kk`
+/// forwards, TRSM publishes and panel forwards, one TASK/DONE pair per
+/// task, SHUTDOWN/BYE per worker) over the block-cyclic owner map, with
+/// TILE frame sizes from `meta`'s per-tile formats
+/// ([`tile_wire_frame_bytes`]). For static formats this equals the
+/// measured census byte-for-byte — `metrics_diff --assert-wire-equal
+/// tile` holds a real run to it in CI; with TLR storage the ranks drift
+/// during the trailing update and the TILE row is an estimate.
+pub fn project_wire_census(
+    meta: &dyn TileMetaSource,
+    n: usize,
+    nb: usize,
+    workers: usize,
+) -> Vec<WireStats> {
+    let layout = TileLayout::new(n, nb);
+    let nt = layout.nt();
+    let (p, q) = grid_shape(workers);
+    let mut census = WireCensus::default();
+    let tile_payload = |i: usize, j: usize| -> usize {
+        tile_wire_frame_bytes(meta, layout.tile_dim(i), layout.tile_dim(j), i, j) as usize
+            - FRAME_HEADER_BYTES
+    };
+    census.record_many(K_HELLO, workers as u64, HELLO_PAYLOAD_BYTES);
+    // Seeding: every stored tile to its owner.
+    for j in 0..nt {
+        for i in j..nt {
+            census.record(K_TILE, tile_payload(i, j));
+        }
+    }
+    for k in 0..nt {
+        // POTRF publish, then L_kk forwarded to the other TRSM owners.
+        let kk = tile_payload(k, k);
+        census.record(K_TILE, kk);
+        census.record_many(
+            K_TILE,
+            kk_forward_targets(k, nt, p, q, workers).len() as u64,
+            kk,
+        );
+        // TRSM publishes, then each panel tile to its trailing consumers.
+        for r in k + 1..nt {
+            let rk = tile_payload(r, k);
+            census.record(K_TILE, rk);
+            census.record_many(
+                K_TILE,
+                panel_forward_targets(k, r, nt, p, q, workers).len() as u64,
+                rk,
+            );
+        }
+    }
+    // One TASK down and one DONE back per task; SHUTDOWN/BYE per worker.
+    let tasks = (nt + nt * (nt - 1) / 2 + (nt * nt * nt - nt) / 6) as u64;
+    census.record_many(K_TASK, tasks, TASK_PAYLOAD_BYTES);
+    census.record_many(K_DONE, tasks, DONE_PAYLOAD_BYTES);
+    census.record_many(K_SHUTDOWN, workers as u64, 0);
+    census.record_many(K_BYE, workers as u64, BYE_PAYLOAD_BYTES);
+    census.to_stats()
+}
+
 /// Mirror [`run_steps`]'s frame emission as a pure data structure so
 /// [`xgs_analysis::check_shard_plan`] can replay it before any worker is
 /// contacted. Tasks are `meta` in canonical order; events are the exact
 /// TILE/TASK sequence: initial distribution, then per step the POTRF,
-/// `L_kk` forwards, TRSMs, panel forwards, and trailing updates.
+/// `L_kk` forwards, TRSMs, panel forwards, and trailing updates. Every
+/// transfer and publish carries its wire frame size, computed from the
+/// tile as `f` holds it now — exact for static formats, an estimate once
+/// TLR ranks drift.
 fn build_shard_plan(
+    f: &TiledFactor,
     meta: &[TaskMeta],
     nt: usize,
     p: usize,
@@ -947,6 +1171,9 @@ fn build_shard_plan(
     workers: usize,
 ) -> xgs_analysis::ShardPlan {
     use xgs_analysis::{PlanEvent, PlanTask};
+    let frame = |i: usize, j: usize| -> u64 {
+        (FRAME_HEADER_BYTES + TILE_COORD_BYTES + f.with_tile(i, j, encoded_len)) as u64
+    };
     let tasks: Vec<PlanTask> = meta
         .iter()
         .map(|m| {
@@ -958,6 +1185,7 @@ fn build_shard_plan(
                     reads: Vec::new(),
                     write: (k, k),
                     publish: true,
+                    publish_bytes: frame(k, k),
                 },
                 KIND_TRSM => PlanTask {
                     kind: "trsm",
@@ -965,6 +1193,7 @@ fn build_shard_plan(
                     reads: vec![(k, k)],
                     write: (i, k),
                     publish: true,
+                    publish_bytes: frame(i, k),
                 },
                 KIND_SYRK => PlanTask {
                     kind: "syrk",
@@ -972,6 +1201,7 @@ fn build_shard_plan(
                     reads: vec![(i, k)],
                     write: (i, i),
                     publish: false,
+                    publish_bytes: 0,
                 },
                 KIND_GEMM => PlanTask {
                     kind: "gemm",
@@ -979,6 +1209,7 @@ fn build_shard_plan(
                     reads: vec![(i, k), (j, k)],
                     write: (i, j),
                     publish: false,
+                    publish_bytes: 0,
                 },
                 // Locally-built meta never carries other kinds; a poisoned
                 // kind string makes the census check reject it loudly.
@@ -988,6 +1219,7 @@ fn build_shard_plan(
                     reads: Vec::new(),
                     write: (i, j),
                     publish: false,
+                    publish_bytes: 0,
                 },
             }
         })
@@ -1000,6 +1232,7 @@ fn build_shard_plan(
                 tile: (i, j),
                 to: block_cyclic_owner(i, j, p, q),
                 initial: true,
+                bytes: frame(i, j),
             });
         }
     }
@@ -1012,6 +1245,7 @@ fn build_shard_plan(
                 tile: (k, k),
                 to: o,
                 initial: false,
+                bytes: frame(k, k),
             });
         }
         for _i in k + 1..nt {
@@ -1024,6 +1258,7 @@ fn build_shard_plan(
                     tile: (r, k),
                     to: o,
                     initial: false,
+                    bytes: frame(r, k),
                 });
             }
         }
@@ -1209,9 +1444,13 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
-    use xgs_tile::{FlopKernelModel, SymTileMatrix, TlrConfig, Variant};
+    use xgs_tile::{FlopKernelModel, PrecisionRule, SymTileMatrix, TlrConfig, Variant};
 
     fn build(n: usize, nb: usize, variant: Variant) -> TiledFactor {
+        build_with_config(n, TlrConfig::new(variant, nb))
+    }
+
+    fn build_with_config(n: usize, cfg: TlrConfig) -> TiledFactor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let mut locs = jittered_grid(n, &mut rng);
         morton_order(&mut locs);
@@ -1220,12 +1459,7 @@ mod tests {
             dense_rate: 45.0e9,
             mem_factor: 1.0,
         };
-        TiledFactor::from_matrix(SymTileMatrix::generate(
-            &kernel,
-            &locs,
-            TlrConfig::new(variant, nb),
-            &model,
-        ))
+        TiledFactor::from_matrix(SymTileMatrix::generate(&kernel, &locs, cfg, &model))
     }
 
     #[test]
@@ -1242,7 +1476,11 @@ mod tests {
 
     #[test]
     fn sharded_matches_sequential_bitwise_in_process() {
-        for (shards, variant) in [(4usize, Variant::DenseF64), (3, Variant::MpDense)] {
+        for (shards, variant) in [
+            (4usize, Variant::DenseF64),
+            (3, Variant::MpDense),
+            (4, Variant::MpDenseTlr),
+        ] {
             let mut seq = build(200, 64, variant);
             seq.factorize_seq().unwrap();
 
@@ -1303,7 +1541,7 @@ mod tests {
             let f = build(200, 64, Variant::DenseF64);
             let (p, q) = grid_shape(workers);
             let (meta, accesses) = canonical_tasks(&f, p, q);
-            let plan = build_shard_plan(&meta, f.nt(), p, q, workers);
+            let plan = build_shard_plan(&f, &meta, f.nt(), p, q, workers);
             let summary = xgs_analysis::check_shard_plan(&plan)
                 .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
             assert_eq!(summary.tasks as usize, meta.len());
@@ -1318,7 +1556,7 @@ mod tests {
         let f = build(200, 64, Variant::DenseF64);
         let (p, q) = grid_shape(4);
         let (meta, _) = canonical_tasks(&f, p, q);
-        let mut plan = build_shard_plan(&meta, f.nt(), p, q, 4);
+        let mut plan = build_shard_plan(&f, &meta, f.nt(), p, q, 4);
 
         // Drop the initial TILE transfer seeding tile (1, 0) to its owner:
         // the first TRSM that writes it must be rejected, and the message
@@ -1351,7 +1589,7 @@ mod tests {
         let f = build(200, 64, Variant::DenseF64);
         let (p, q) = grid_shape(4);
         let (meta, _) = canonical_tasks(&f, p, q);
-        let mut plan = build_shard_plan(&meta, f.nt(), p, q, 4);
+        let mut plan = build_shard_plan(&f, &meta, f.nt(), p, q, 4);
 
         // Move the first non-initial forward ahead of every task: the tile
         // it ships hasn't been produced yet.
@@ -1380,7 +1618,7 @@ mod tests {
             .position(|m| m.kind == KIND_TRSM)
             .expect("nt > 1 has TRSMs");
         meta[t].owner = (meta[t].owner + 1) % 4;
-        let plan = build_shard_plan(&meta, f.nt(), p, q, 4);
+        let plan = build_shard_plan(&f, &meta, f.nt(), p, q, 4);
         let err = xgs_analysis::check_shard_plan(&plan).unwrap_err();
         assert!(
             matches!(err, xgs_analysis::PlanError::WrongOwner { .. }),
@@ -1406,5 +1644,104 @@ mod tests {
             shd.to_dense_lower().as_slice()
         );
         assert!(report.worker_tasks.contains(&0), "idle workers");
+    }
+
+    /// Pre-factorization snapshot of every stored tile's wire-relevant
+    /// format, so the projection can be compared against a run that has
+    /// since mutated the factor in place.
+    struct CapturedMeta {
+        layout: TileLayout,
+        dense: Vec<bool>,
+        rank: Vec<usize>,
+        prec: Vec<Precision>,
+    }
+
+    impl CapturedMeta {
+        fn of(f: &TiledFactor) -> CapturedMeta {
+            let mut m = CapturedMeta {
+                layout: f.layout,
+                dense: Vec::new(),
+                rank: Vec::new(),
+                prec: Vec::new(),
+            };
+            for t in &f.tiles {
+                let t = t.lock();
+                m.dense.push(t.is_dense());
+                m.rank.push(t.rank().unwrap_or(0));
+                m.prec.push(t.precision);
+            }
+            m
+        }
+    }
+
+    impl TileMetaSource for CapturedMeta {
+        fn is_dense(&self, i: usize, j: usize) -> bool {
+            self.dense[self.layout.stored_index(i, j)]
+        }
+        fn rank(&self, i: usize, j: usize) -> usize {
+            self.rank[self.layout.stored_index(i, j)]
+        }
+        fn precision(&self, i: usize, j: usize) -> Precision {
+            self.prec[self.layout.stored_index(i, j)]
+        }
+    }
+
+    #[test]
+    fn measured_wire_census_matches_projection_for_static_formats() {
+        for variant in [Variant::DenseF64, Variant::MpDense] {
+            let mut cfg = TlrConfig::new(variant, 64);
+            if variant == Variant::MpDense {
+                // The data-independent band rule (diagonal f64, everything
+                // else f16) pins the formats, so the projection is exact
+                // and the narrow-payload savings are guaranteed — the same
+                // setup CI's measured-vs-projected comparison runs.
+                cfg.precision_rule = PrecisionRule::Band {
+                    f64_band: 1,
+                    f32_band: 1,
+                };
+            }
+            let mut shd = build_with_config(200, cfg);
+            let meta = CapturedMeta::of(&shd);
+            let (streams, handles) = spawn_local_workers(4).unwrap();
+            let report = shd
+                .factorize_sharded(streams, &ShardOptions::for_workers(4))
+                .unwrap();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+            let projected = project_wire_census(&meta, 200, 64, 4);
+            assert_eq!(
+                report.metrics.wire, projected,
+                "measured census must equal the closed-form projection ({variant:?})"
+            );
+            let tile = |w: &[WireStats]| {
+                w.iter()
+                    .find(|s| s.kind == "tile")
+                    .map_or((0, 0), |s| (s.frames, s.bytes))
+            };
+            let (frames, bytes) = tile(&report.metrics.wire);
+            assert!(frames > 0 && bytes > 0);
+            if variant == Variant::MpDense {
+                // Narrow tiles really shrink the wire: strictly below the
+                // dense-f64 projection of the same grid, and the report's
+                // conversion ledger shows the demotions/promotions.
+                let dense = CapturedMeta {
+                    layout: meta.layout,
+                    dense: meta.dense.clone(),
+                    rank: meta.rank.clone(),
+                    prec: vec![Precision::F64; meta.prec.len()],
+                };
+                let (_, dense_bytes) = tile(&project_wire_census(&dense, 200, 64, 4));
+                assert!(
+                    bytes < dense_bytes,
+                    "MP TILE bytes {bytes} should be below dense-f64 {dense_bytes}"
+                );
+                let c = &report.metrics.conversions;
+                assert!(
+                    c.f64_to_f16 > 0 && c.f16_to_f64 > 0,
+                    "wire crossings must be ledgered: {c:?}"
+                );
+            }
+        }
     }
 }

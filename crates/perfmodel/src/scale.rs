@@ -208,7 +208,12 @@ pub fn project_with_metrics(cfg: &ScaleConfig) -> (Projection, Option<MetricsRep
     };
     let (tasks, _stats) = cholesky_dag(&profile, &opts);
     let machine = cfg.node.machine(p * q);
-    let (r, metrics) = simulate_with_metrics(&tasks, &machine);
+    let (r, mut metrics) = simulate_with_metrics(&tasks, &machine);
+    // Closed-form frame census of the sharded protocol under this
+    // profile's formats: a real sharded run of the same grid must measure
+    // exactly these TILE frames/bytes when formats are static
+    // (`metrics_diff --assert-wire-equal tile`).
+    metrics.wire = xgs_cholesky::project_wire_census(&profile, cfg.n, cfg.nb, cfg.nodes);
     let fp = footprint_bytes(&profile);
     let nominal = {
         let n = cfg.n as f64;
@@ -472,6 +477,30 @@ mod tests {
         let (pa, ma) = project_with_metrics(&big);
         assert!(!pa.event_simulated);
         assert!(ma.is_none());
+    }
+
+    #[test]
+    fn event_projection_exports_wire_census() {
+        let tile = |v: SolverVariant| {
+            let c = cfg(4000, 4, Correlation::Weak, v);
+            let (_, metrics) = project_with_metrics(&c);
+            let m = metrics.expect("event engine produces metrics");
+            let kinds: Vec<&str> = m.wire.iter().map(|w| w.kind).collect();
+            for k in ["hello", "tile", "task", "done", "shutdown", "bye"] {
+                assert!(kinds.contains(&k), "missing frame kind {k} in {kinds:?}");
+            }
+            let t = m.wire.iter().find(|w| w.kind == "tile").unwrap();
+            assert!(t.frames > 0 && t.bytes > 0);
+            (t.frames, t.bytes)
+        };
+        let (dense_frames, dense_bytes) = tile(SolverVariant::DenseF64);
+        let (mp_frames, mp_bytes) = tile(SolverVariant::MpDense);
+        // Same protocol, same frame count — only the payload widths shrink.
+        assert_eq!(dense_frames, mp_frames);
+        assert!(
+            mp_bytes < dense_bytes,
+            "MP TILE bytes {mp_bytes} should be below dense-f64 {dense_bytes}"
+        );
     }
 
     #[test]

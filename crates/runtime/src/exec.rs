@@ -553,6 +553,7 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
                 })
                 .collect(),
             conversions: conversion_counts().since(&conversions_before),
+            wire: Vec::new(),
             validation,
         }
     });

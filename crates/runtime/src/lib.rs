@@ -38,9 +38,12 @@ pub use exec::{
 };
 pub use graph::{Access, AccessMode, DataId, TaskGraph, TaskId};
 pub use json::{escape_json, parse_json, JsonError, JsonValue};
-pub use metrics::{KernelStats, MetricsReport, QueueDepthStats, TimeHistogram, WorkerStats};
+pub use metrics::{
+    KernelStats, MetricsReport, QueueDepthStats, TimeHistogram, WireStats, WorkerStats,
+};
 pub use shard::{
-    read_frame, task_census, write_frame, FrameError, WireReader, WireWriter, MAX_FRAME_BYTES,
+    read_frame, task_census, write_frame, FrameError, WireReader, WireWriter, FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
 };
 pub use stats::{chrome_trace_json, kind_summary, TraceEvent};
 pub use validate::{

@@ -142,6 +142,19 @@ pub struct WorkerStats {
     pub parks: u64,
 }
 
+/// Bytes-on-wire census for one frame kind of the shard protocol
+/// ("hello", "tile", ...). `bytes` counts full frames — the 5-byte
+/// length/kind header plus the payload — in both directions, as seen from
+/// the coordinator (the hub sees all traffic). The distsim projection
+/// budgets with the same closed form, so measured and projected censuses
+/// are directly comparable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    pub kind: &'static str,
+    pub frames: u64,
+    pub bytes: u64,
+}
+
 /// Everything the runtime observed about one graph execution.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsReport {
@@ -155,6 +168,9 @@ pub struct MetricsReport {
     /// Precision conversions performed during the run (delta of the
     /// process-global [`crate::convert`] counters).
     pub conversions: ConversionCounts,
+    /// Bytes-on-wire census per frame kind (sharded runs and distsim
+    /// projections; empty for in-process executions).
+    pub wire: Vec<WireStats>,
     /// Present when the schedule validator ran (and passed).
     pub validation: Option<ValidationSummary>,
 }
@@ -185,6 +201,15 @@ impl MetricsReport {
             w.busy_seconds += ow.busy_seconds;
             w.tasks += ow.tasks;
             w.parks += ow.parks;
+        }
+        for ow in &other.wire {
+            match self.wire.iter_mut().find(|w| w.kind == ow.kind) {
+                Some(w) => {
+                    w.frames += ow.frames;
+                    w.bytes += ow.bytes;
+                }
+                None => self.wire.push(*ow),
+            }
         }
         let c = &other.conversions;
         self.conversions.f64_to_f32 += c.f64_to_f32;
@@ -244,6 +269,17 @@ impl MetricsReport {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let wire = self
+            .wire
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"kind\":\"{}\",\"frames\":{},\"bytes\":{}}}",
+                    w.kind, w.frames, w.bytes
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let c = &self.conversions;
         let validation = match &self.validation {
             Some(v) => format!(
@@ -264,6 +300,7 @@ impl MetricsReport {
                 "\"conversions\":{{\"f64_to_f32\":{},\"f64_to_f16\":{},\"f32_to_f64\":{},",
                 "\"f32_to_f16\":{},\"f16_to_f32\":{},\"f16_to_f64\":{},\"total\":{},",
                 "\"demotions\":{},\"promotions\":{}}},",
+                "\"wire\":[{}],",
                 "\"validation\":{}}}"
             ),
             self.wall_seconds,
@@ -283,6 +320,7 @@ impl MetricsReport {
             c.total(),
             c.demotions(),
             c.promotions(),
+            wire,
             validation
         )
     }
@@ -321,6 +359,12 @@ impl MetricsReport {
                 "evict",
                 "even",
                 "odd",
+                "hello",
+                "tile",
+                "task",
+                "done",
+                "shutdown",
+                "bye",
             ];
             KNOWN
                 .iter()
@@ -389,6 +433,14 @@ impl MetricsReport {
                 f16_to_f32: count(c.get("f16_to_f32")),
                 f16_to_f64: count(c.get("f16_to_f64")),
             };
+        }
+
+        for w in doc.get("wire").and_then(JsonValue::as_array).unwrap_or(&[]) {
+            report.wire.push(WireStats {
+                kind: intern_kind(w.get("kind").and_then(JsonValue::as_str).unwrap_or("?")),
+                frames: count(w.get("frames")),
+                bytes: count(w.get("bytes")),
+            });
         }
 
         match doc.get("validation") {
@@ -575,6 +627,16 @@ mod tests {
             ..MetricsReport::default()
         };
         m.conversions.f64_to_f32 = 9;
+        m.wire.push(WireStats {
+            kind: "tile",
+            frames: 40,
+            bytes: 123456,
+        });
+        m.wire.push(WireStats {
+            kind: "task",
+            frames: 55,
+            bytes: 1925,
+        });
         m.queue_depth.sample(2);
         m.queue_depth.sample(4);
         let mut gemm = KernelStats::new("gemm");
@@ -602,6 +664,7 @@ mod tests {
         assert_eq!(back.worker_stats.len(), 3);
         assert_eq!(back.worker_stats[0].tasks, 8);
         assert_eq!(back.conversions.f64_to_f32, 9);
+        assert_eq!(back.wire, m.wire);
         assert_eq!(back.validation, m.validation);
         // A reparsed report can merge with a live one (kind interning gives
         // back pointer-comparable statics for known kinds).
@@ -626,6 +689,32 @@ mod tests {
         let minimal = MetricsReport::from_json("{}").unwrap();
         assert_eq!(minimal.tasks, 0);
         assert!(minimal.kernels.is_empty());
+        assert!(minimal.wire.is_empty());
         assert!(minimal.validation.is_none());
+    }
+
+    #[test]
+    fn wire_census_merges_by_kind() {
+        let mk = |frames, bytes| MetricsReport {
+            wire: vec![WireStats {
+                kind: "tile",
+                frames,
+                bytes,
+            }],
+            ..MetricsReport::default()
+        };
+        let mut a = mk(10, 1000);
+        a.merge(&mk(5, 500));
+        a.merge(&MetricsReport {
+            wire: vec![WireStats {
+                kind: "done",
+                frames: 3,
+                bytes: 93,
+            }],
+            ..MetricsReport::default()
+        });
+        assert_eq!(a.wire.len(), 2);
+        let tile = a.wire.iter().find(|w| w.kind == "tile").unwrap();
+        assert_eq!((tile.frames, tile.bytes), (15, 1500));
     }
 }

@@ -30,6 +30,10 @@ use std::time::{Duration, Instant};
 /// emits, while bounding what a misbehaving peer can make us allocate.
 pub const MAX_FRAME_BYTES: usize = 1 << 26;
 
+/// Bytes of the fixed frame header preceding every payload. Byte censuses
+/// (planned or measured) count full frames, i.e. header plus payload.
+pub const FRAME_HEADER_BYTES: usize = 5;
+
 /// Poll interval for interruptible reads: how long a blocked read waits
 /// before re-checking the stop flag (mirrors the server's `READ_POLL`).
 pub const READ_POLL: Duration = Duration::from_millis(50);

@@ -6,26 +6,47 @@
 //! equal the single-process ones bit for bit, so values go over the wire as
 //! their raw IEEE-754 bit patterns, never through a decimal round trip.
 //!
-//! Payload layout (all integers little-endian, floats as LE `to_bits`):
+//! Elements are packed at the tile's **declared precision** — 8 B/elt for
+//! F64, 4 B/elt for F32, 2 B/elt for F16 — so the paper's communication-
+//! volume reductions (§VI) survive the wire, not just the in-memory
+//! footprint. A `Tile`'s values are already rounded through its precision
+//! (a constructor invariant, re-established by `enforce_precision` after
+//! every kernel write), so the narrow formats represent them *exactly*:
+//! packing is `f32::to_bits` / `Half::from_f64` on values that are already
+//! f32- / binary16-representable, and unpacking promotes back without
+//! error. decode(encode(t)) is therefore bitwise `t` at every width.
+//!
+//! Payload layout (all integers little-endian, elements as LE bit patterns
+//! of the declared width `w = 8/4/2` for F64/F32/F16):
 //!
 //! ```text
 //! [u8 tag: 0=dense 1=low-rank][u8 precision: 0=F64 1=F32 2=F16]
 //! [u32 rows][u32 cols]
-//! dense:    rows*cols f64 bit patterns (storage order)
-//! low-rank: [u32 rank], rows*rank U bits, cols*rank V bits
+//! dense:    rows*cols elements, w bytes each (storage order)
+//! low-rank: [u32 rank], rows*rank U elements, cols*rank V elements
 //! ```
+//!
+//! so a dense payload is exactly `10 + w*rows*cols` bytes and a low-rank
+//! payload `14 + w*rank*(rows+cols)` bytes ([`encoded_len`] is the closed
+//! form; the sharded coordinator, the shard-plan checker and the distsim
+//! projection all budget wire traffic through it).
 //!
 //! Decoding goes through [`Tile::dense`]/[`Tile::low_rank`], which re-round
 //! the buffer through the declared precision. That is a no-op here — the
-//! sender's payload was already rounded (a `Tile` invariant), and
-//! `round_through` is idempotent — so decode(encode(t)) is bitwise `t`.
+//! promoted values are already representable — so the round trip stays
+//! bitwise.
 
 use crate::tile::{Tile, TileStorage};
-use xgs_kernels::Precision;
+use xgs_kernels::{Half, Precision};
 use xgs_linalg::{LowRank, Matrix};
 
 const TAG_DENSE: u8 = 0;
 const TAG_LOWRANK: u8 = 1;
+
+/// Fixed header bytes of a dense payload (tag, precision, rows, cols).
+pub const DENSE_HEADER_BYTES: usize = 10;
+/// Fixed header bytes of a low-rank payload (dense header + rank).
+pub const LOWRANK_HEADER_BYTES: usize = 14;
 
 /// Structurally invalid tile payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,14 +60,61 @@ impl std::fmt::Display for WireTileError {
 
 impl std::error::Error for WireTileError {}
 
+/// Number of elements a tile ships: `rows*cols` dense, `rank*(rows+cols)`
+/// low-rank. The wire conversion count for a non-F64 tile is exactly this
+/// (one demotion per element at encode, one promotion at decode).
+pub fn wire_elements(tile: &Tile) -> usize {
+    match &tile.storage {
+        TileStorage::Dense(_) => tile.rows() * tile.cols(),
+        TileStorage::LowRank(lr) => lr.storage_len(),
+    }
+}
+
+/// Exact encoded payload length of a dense tile: `10 + w*rows*cols`.
+pub fn dense_payload_len(rows: usize, cols: usize, precision: Precision) -> usize {
+    DENSE_HEADER_BYTES + precision.bytes() * rows * cols
+}
+
+/// Exact encoded payload length of a low-rank tile:
+/// `14 + w*rank*(rows+cols)`.
+pub fn low_rank_payload_len(rows: usize, cols: usize, rank: usize, precision: Precision) -> usize {
+    LOWRANK_HEADER_BYTES + precision.bytes() * rank * (rows + cols)
+}
+
+/// Exact byte length [`encode_tile`] appends for `tile`.
+pub fn encoded_len(tile: &Tile) -> usize {
+    match &tile.storage {
+        TileStorage::Dense(_) => dense_payload_len(tile.rows(), tile.cols(), tile.precision),
+        TileStorage::LowRank(lr) => {
+            low_rank_payload_len(tile.rows(), tile.cols(), lr.rank(), tile.precision)
+        }
+    }
+}
+
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
-    buf.reserve(vs.len() * 8);
-    for &v in vs {
-        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+/// Pack `vs` at `precision`'s width. The values are already rounded through
+/// `precision` (tile invariant), so the narrow casts are exact.
+fn put_values(buf: &mut Vec<u8>, vs: &[f64], precision: Precision) {
+    buf.reserve(vs.len() * precision.bytes());
+    match precision {
+        Precision::F64 => {
+            for &v in vs {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Precision::F32 => {
+            for &v in vs {
+                buf.extend_from_slice(&(v as f32).to_bits().to_le_bytes());
+            }
+        }
+        Precision::F16 => {
+            for &v in vs {
+                buf.extend_from_slice(&Half::from_f64(v).0.to_le_bytes());
+            }
+        }
     }
 }
 
@@ -67,7 +135,8 @@ fn precision_from_code(c: u8) -> Result<Precision, WireTileError> {
     }
 }
 
-/// Serialize a tile into `out` (appends; does not clear).
+/// Serialize a tile into `out` (appends; does not clear). Appends exactly
+/// [`encoded_len`]`(tile)` bytes.
 pub fn encode_tile(tile: &Tile, out: &mut Vec<u8>) {
     match &tile.storage {
         TileStorage::Dense(m) => {
@@ -75,7 +144,7 @@ pub fn encode_tile(tile: &Tile, out: &mut Vec<u8>) {
             out.push(precision_code(tile.precision));
             put_u32(out, tile.rows() as u32);
             put_u32(out, tile.cols() as u32);
-            put_f64s(out, m.as_slice());
+            put_values(out, m.as_slice(), tile.precision);
         }
         TileStorage::LowRank(lr) => {
             out.push(TAG_LOWRANK);
@@ -83,8 +152,8 @@ pub fn encode_tile(tile: &Tile, out: &mut Vec<u8>) {
             put_u32(out, tile.rows() as u32);
             put_u32(out, tile.cols() as u32);
             put_u32(out, lr.rank() as u32);
-            put_f64s(out, lr.u.as_slice());
-            put_f64s(out, lr.v.as_slice());
+            put_values(out, lr.u.as_slice(), tile.precision);
+            put_values(out, lr.v.as_slice(), tile.precision);
         }
     }
 }
@@ -115,19 +184,33 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, WireTileError> {
+    /// Read `n` elements packed at `precision`'s width, promoted to f64.
+    /// Promotion is exact at every width, so the values decode to the same
+    /// f64 bit patterns the encoder started from.
+    fn values(&mut self, n: usize, precision: Precision) -> Result<Vec<f64>, WireTileError> {
+        let w = precision.bytes();
         let bytes = self.take(
-            n.checked_mul(8)
+            n.checked_mul(w)
                 .ok_or(WireTileError("tile element count overflows"))?,
         )?;
-        Ok(bytes
-            .chunks_exact(8)
-            .map(|c| {
-                f64::from_bits(u64::from_le_bytes([
-                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
-                ]))
-            })
-            .collect())
+        Ok(match precision {
+            Precision::F64 => bytes
+                .chunks_exact(8)
+                .map(|c| {
+                    f64::from_bits(u64::from_le_bytes([
+                        c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                    ]))
+                })
+                .collect(),
+            Precision::F32 => bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])) as f64)
+                .collect(),
+            Precision::F16 => bytes
+                .chunks_exact(2)
+                .map(|c| Half(u16::from_le_bytes([c[0], c[1]])).to_f64())
+                .collect(),
+        })
     }
 }
 
@@ -141,21 +224,30 @@ pub fn decode_tile(buf: &[u8]) -> Result<Tile, WireTileError> {
     let cols = c.u32()? as usize;
     let tile = match tag {
         TAG_DENSE => {
-            let data = c.f64s(
+            let data = c.values(
                 rows.checked_mul(cols)
                     .ok_or(WireTileError("tile dims overflow"))?,
+                precision,
             )?;
             Tile::dense(Matrix::from_vec(rows, cols, data), precision)
         }
         TAG_LOWRANK => {
             let rank = c.u32()? as usize;
-            let u = c.f64s(
+            // A factorization rank beyond min(rows, cols) is never produced
+            // by any compressor; reject before allocating whatever the
+            // frame claims.
+            if rank > rows.min(cols) {
+                return Err(WireTileError("low-rank rank exceeds tile dims"));
+            }
+            let u = c.values(
                 rows.checked_mul(rank)
                     .ok_or(WireTileError("tile dims overflow"))?,
+                precision,
             )?;
-            let v = c.f64s(
+            let v = c.values(
                 cols.checked_mul(rank)
                     .ok_or(WireTileError("tile dims overflow"))?,
+                precision,
             )?;
             Tile::low_rank(
                 LowRank {
@@ -196,6 +288,16 @@ mod tests {
             .collect()
     }
 
+    fn lr_tile(rows: usize, cols: usize, rank: usize, p: Precision, seed: u64) -> Tile {
+        Tile::low_rank(
+            LowRank {
+                u: rnd(rows, rank, seed),
+                v: rnd(cols, rank, seed + 1),
+            },
+            p,
+        )
+    }
+
     #[test]
     fn dense_tiles_round_trip_bitwise_in_every_precision() {
         for p in [Precision::F64, Precision::F32, Precision::F16] {
@@ -211,25 +313,65 @@ mod tests {
     }
 
     #[test]
-    fn low_rank_tiles_round_trip_bitwise() {
-        let lr = LowRank {
-            u: rnd(20, 4, 7),
-            v: rnd(15, 4, 8),
-        };
-        let t = Tile::low_rank(lr, Precision::F32);
-        let mut buf = Vec::new();
-        encode_tile(&t, &mut buf);
-        let back = decode_tile(&buf).unwrap();
-        assert_eq!(back.rank(), Some(4));
-        assert_eq!(back.precision, Precision::F32);
-        // Factor buffers themselves must match bitwise, not just the product.
-        match (&back.storage, &t.storage) {
-            (TileStorage::LowRank(a), TileStorage::LowRank(b)) => {
-                assert_eq!(a.u.as_slice(), b.u.as_slice());
-                assert_eq!(a.v.as_slice(), b.v.as_slice());
+    fn low_rank_tiles_round_trip_bitwise_in_every_precision() {
+        for p in [Precision::F64, Precision::F32, Precision::F16] {
+            let t = lr_tile(20, 15, 4, p, 7);
+            let mut buf = Vec::new();
+            encode_tile(&t, &mut buf);
+            let back = decode_tile(&buf).unwrap();
+            assert_eq!(back.rank(), Some(4));
+            assert_eq!(back.precision, p);
+            // Factor buffers themselves must match bitwise, not just the
+            // product.
+            match (&back.storage, &t.storage) {
+                (TileStorage::LowRank(a), TileStorage::LowRank(b)) => {
+                    assert_eq!(a.u.as_slice(), b.u.as_slice(), "precision {p:?}");
+                    assert_eq!(a.v.as_slice(), b.v.as_slice(), "precision {p:?}");
+                }
+                _ => panic!("storage kind changed over the wire"),
             }
-            _ => panic!("storage kind changed over the wire"),
         }
+    }
+
+    #[test]
+    fn payload_length_is_the_closed_form_at_every_width() {
+        // Acceptance: an F16 dense payload is header + 2*rows*cols bytes
+        // (F32: 4x, F64: 8x); low-rank: header + w*rank*(rows+cols).
+        for (p, w) in [
+            (Precision::F64, 8),
+            (Precision::F32, 4),
+            (Precision::F16, 2),
+        ] {
+            let t = Tile::dense(rnd(13, 7, 3), p);
+            let mut buf = Vec::new();
+            encode_tile(&t, &mut buf);
+            assert_eq!(buf.len(), DENSE_HEADER_BYTES + w * 13 * 7, "dense {p:?}");
+            assert_eq!(buf.len(), encoded_len(&t));
+            assert_eq!(buf.len(), dense_payload_len(13, 7, p));
+
+            let t = lr_tile(20, 15, 4, p, 9);
+            let mut buf = Vec::new();
+            encode_tile(&t, &mut buf);
+            assert_eq!(
+                buf.len(),
+                LOWRANK_HEADER_BYTES + w * 4 * (20 + 15),
+                "low-rank {p:?}"
+            );
+            assert_eq!(buf.len(), encoded_len(&t));
+            assert_eq!(buf.len(), low_rank_payload_len(20, 15, 4, p));
+        }
+    }
+
+    #[test]
+    fn wire_elements_counts_shipped_values() {
+        assert_eq!(
+            wire_elements(&Tile::dense(rnd(13, 7, 3), Precision::F16)),
+            91
+        );
+        assert_eq!(
+            wire_elements(&lr_tile(20, 15, 4, Precision::F32, 5)),
+            4 * 35
+        );
     }
 
     #[test]
@@ -239,24 +381,67 @@ mod tests {
         let mut buf = Vec::new();
         encode_tile(&t, &mut buf);
         assert_eq!(bits(&decode_tile(&buf).unwrap()), bits(&t));
+        // Narrow widths: subnormals and signed zero at that width.
+        let m = Matrix::from_vec(
+            2,
+            2,
+            vec![-0.0, 6.103515625e-5, -65504.0, 5.960464477539063e-8],
+        );
+        let t = Tile::dense(m, Precision::F16);
+        let mut buf = Vec::new();
+        encode_tile(&t, &mut buf);
+        assert_eq!(bits(&decode_tile(&buf).unwrap()), bits(&t));
     }
 
     #[test]
-    fn malformed_payloads_are_rejected() {
-        let t = Tile::dense(rnd(4, 4, 9), Precision::F64);
+    fn malformed_payloads_are_rejected_at_every_width() {
+        for p in [Precision::F64, Precision::F32, Precision::F16] {
+            for t in [Tile::dense(rnd(4, 4, 9), p), lr_tile(6, 5, 2, p, 11)] {
+                let mut buf = Vec::new();
+                encode_tile(&t, &mut buf);
+
+                assert!(decode_tile(&[]).is_err());
+                assert!(
+                    decode_tile(&buf[..buf.len() - 1]).is_err(),
+                    "{p:?} truncated"
+                );
+                let mut long = buf.clone();
+                long.push(0);
+                assert!(decode_tile(&long).is_err(), "{p:?} trailing");
+                let mut bad_tag = buf.clone();
+                bad_tag[0] = 9;
+                assert!(decode_tile(&bad_tag).is_err(), "{p:?} tag");
+                let mut bad_prec = buf;
+                bad_prec[1] = 7;
+                assert!(decode_tile(&bad_prec).is_err(), "{p:?} precision");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_rank_is_rejected_before_allocation() {
+        let t = lr_tile(6, 5, 2, Precision::F32, 13);
         let mut buf = Vec::new();
         encode_tile(&t, &mut buf);
+        // Claim rank 6 > min(6, 5): must be rejected up front, not read as
+        // a (huge) element count.
+        buf[10..14].copy_from_slice(&6u32.to_le_bytes());
+        let err = decode_tile(&buf).unwrap_err();
+        assert_eq!(err.0, "low-rank rank exceeds tile dims");
+        // A wildly large claimed rank must not trigger an allocation.
+        buf[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_tile(&buf).is_err());
+    }
 
-        assert!(decode_tile(&[]).is_err());
-        assert!(decode_tile(&buf[..buf.len() - 1]).is_err());
-        let mut long = buf.clone();
-        long.push(0);
-        assert!(decode_tile(&long).is_err());
-        let mut bad_tag = buf.clone();
-        bad_tag[0] = 9;
-        assert!(decode_tile(&bad_tag).is_err());
-        let mut bad_prec = buf;
-        bad_prec[1] = 7;
-        assert!(decode_tile(&bad_prec).is_err());
+    #[test]
+    fn f16_payload_is_a_quarter_of_f64() {
+        let mk = |p| {
+            let t = Tile::dense(rnd(16, 16, 21), p);
+            let mut buf = Vec::new();
+            encode_tile(&t, &mut buf);
+            buf.len() - DENSE_HEADER_BYTES
+        };
+        assert_eq!(mk(Precision::F16) * 4, mk(Precision::F64));
+        assert_eq!(mk(Precision::F32) * 2, mk(Precision::F64));
     }
 }
