@@ -420,6 +420,30 @@ pub enum PlanError {
     Census(GraphError),
     /// Event references a task id outside `tasks`.
     BadEvent { index: usize },
+    /// A recovery replay seeds a tile wrongly (ownership, finality, dup).
+    RecoveryBadSeed {
+        tile: (usize, usize),
+        why: &'static str,
+    },
+    /// A recovery replay forwards a tile it must not.
+    RecoveryBadForward {
+        tile: (usize, usize),
+        why: &'static str,
+    },
+    /// A recovery replay re-dispatches a task it must not.
+    RecoveryBadReplay { task: usize, why: &'static str },
+    /// A replayed task would read an operand at the wrong version.
+    RecoveryStaleOperand {
+        task: usize,
+        tile: (usize, usize),
+        have: Option<u64>,
+        want: u64,
+    },
+    /// The replay ends short of the lost shard's dispatched state.
+    RecoveryIncomplete { why: String },
+    /// The recovery plan's completed/dispatched bookkeeping contradicts
+    /// itself (or the base plan).
+    RecoveryInconsistent { why: String },
 }
 
 impl fmt::Display for PlanError {
@@ -481,6 +505,34 @@ impl fmt::Display for PlanError {
             PlanError::Census(e) => write!(f, "{e}"),
             PlanError::BadEvent { index } => {
                 write!(f, "plan event references task {index} out of range")
+            }
+            PlanError::RecoveryBadSeed { tile, why } => {
+                write!(f, "recovery seed of tile ({},{}): {why}", tile.0, tile.1)
+            }
+            PlanError::RecoveryBadForward { tile, why } => {
+                write!(f, "recovery forward of tile ({},{}): {why}", tile.0, tile.1)
+            }
+            PlanError::RecoveryBadReplay { task, why } => {
+                write!(f, "recovery replay of task {task}: {why}")
+            }
+            PlanError::RecoveryStaleOperand {
+                task,
+                tile,
+                have,
+                want,
+            } => write!(
+                f,
+                "replayed task {task} reads tile ({},{}) at version {want}, replay delivers {}",
+                tile.0,
+                tile.1,
+                match have {
+                    Some(v) => format!("version {v}"),
+                    None => "nothing".to_string(),
+                }
+            ),
+            PlanError::RecoveryIncomplete { why } => write!(f, "recovery incomplete: {why}"),
+            PlanError::RecoveryInconsistent { why } => {
+                write!(f, "recovery bookkeeping inconsistent: {why}")
             }
         }
     }
@@ -622,6 +674,270 @@ pub fn check_shard_plan(plan: &ShardPlan) -> Result<PlanSummary, PlanError> {
         tile_bytes,
         per_worker,
     })
+}
+
+// --------------------------------------------------------- recovery plans
+
+/// One frame of a worker-replacement replay, in the order the coordinator
+/// will emit them onto the replacement's FIFO stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// Seed a tile the lost shard owned from the coordinator's *original*
+    /// storage — its final value was not yet published, so the replayed
+    /// writers rebuild it from scratch.
+    SeedOriginal { tile: (usize, usize) },
+    /// Seed an owned tile from its *published* (final) bytes: its last
+    /// writer completed before the death, so nothing needs re-running.
+    SeedPublished { tile: (usize, usize) },
+    /// Re-forward a published tile another shard produced (an operand the
+    /// lost shard had received).
+    Forward { tile: (usize, usize) },
+    /// Re-dispatch base-plan task `task` to the replacement.
+    Replay { task: usize },
+}
+
+/// A replacement replay to be validated against the [`ShardPlan`] it
+/// recovers: which worker died, which tasks had completed (`DONE`
+/// processed) and which had been dispatched, and the frame sequence the
+/// coordinator intends to send.
+#[derive(Clone, Debug)]
+pub struct RecoveryPlan {
+    /// Grid slot of the dead worker.
+    pub lost: usize,
+    /// Per base-plan task: completion at the moment of death.
+    pub completed: Vec<bool>,
+    /// Per base-plan task: dispatched (sent) at the moment of death.
+    pub dispatched: Vec<bool>,
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// What a verified recovery replay looks like, for logging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoverySummary {
+    pub seeds: u64,
+    /// Of those, seeds shipped from published (final) bytes — work the
+    /// replay did *not* redo.
+    pub published_seeds: u64,
+    pub forwards: u64,
+    pub replays: u64,
+}
+
+/// Statically verify a worker-replacement replay against its base plan.
+///
+/// The contract: after the replacement processes the event sequence, its
+/// shard state must be *bitwise* the state the lost worker would have had
+/// after processing every frame it had been sent — because workers are
+/// deterministic functions of their FIFO input. Concretely:
+///
+/// * seeds cover exactly the lost shard's owned tiles, from published
+///   bytes iff the tile's final writer completed;
+/// * forwards re-deliver only published-final tiles the shard doesn't own;
+/// * every replayed task was dispatched, is owned by the lost worker,
+///   writes a not-yet-final tile, and — replayed in original dispatch
+///   order — sees each operand at exactly the version the original
+///   execution saw (completed predecessors count, replayed ones rebuild);
+/// * every dispatched task of the lost worker whose written tile is not
+///   final is replayed (otherwise the run would hang or finish wrong),
+///   and every owned tile ends at the version the dispatched prefix
+///   produces.
+pub fn check_recovery_plan(
+    base: &ShardPlan,
+    rec: &RecoveryPlan,
+) -> Result<RecoverySummary, PlanError> {
+    let (p, q, workers) = (base.p, base.q, base.workers);
+    let n = base.tasks.len();
+    if rec.lost >= workers {
+        return Err(PlanError::Grid { p, q, workers });
+    }
+    if rec.completed.len() != n || rec.dispatched.len() != n {
+        return Err(PlanError::RecoveryInconsistent {
+            why: format!(
+                "completed/dispatched vectors ({}/{}) do not match {n} plan tasks",
+                rec.completed.len(),
+                rec.dispatched.len()
+            ),
+        });
+    }
+    for (t, (&c, &d)) in rec.completed.iter().zip(rec.dispatched.iter()).enumerate() {
+        if c && !d {
+            return Err(PlanError::RecoveryInconsistent {
+                why: format!("task {t} completed but never dispatched"),
+            });
+        }
+    }
+
+    // Writers of each tile in id order. Completed writers must form a
+    // prefix (same-worker FIFO guarantees it in any real trace); the
+    // death-time version of a tile is that prefix's length.
+    let mut writers: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (t, task) in base.tasks.iter().enumerate() {
+        writers.entry(task.write).or_default().push(t);
+    }
+    let mut death_version: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut final_tiles: HashMap<(usize, usize), bool> = HashMap::new();
+    for (tile, ws) in &writers {
+        let done = ws.iter().take_while(|&&w| rec.completed[w]).count();
+        if ws.iter().skip(done).any(|&w| rec.completed[w]) {
+            return Err(PlanError::RecoveryInconsistent {
+                why: format!(
+                    "completed writers of tile ({},{}) are not a prefix of its write order",
+                    tile.0, tile.1
+                ),
+            });
+        }
+        death_version.insert(*tile, done as u64);
+        let last = *ws.last().unwrap_or(&0);
+        final_tiles.insert(
+            *tile,
+            done == ws.len() && base.tasks[last].publish && rec.completed[last],
+        );
+    }
+    let is_final = |tile: &(usize, usize)| final_tiles.get(tile).copied().unwrap_or(false);
+    // Version task `t`'s original execution saw for tile `r`: the number
+    // of `r`-writers dispatched before it.
+    let seen_version = |r: &(usize, usize), t: usize| -> u64 {
+        writers
+            .get(r)
+            .map_or(0, |ws| ws.iter().take_while(|&&w| w < t).count() as u64)
+    };
+
+    let mut local: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut last_replay: Option<usize> = None;
+    let mut summary = RecoverySummary {
+        seeds: 0,
+        published_seeds: 0,
+        forwards: 0,
+        replays: 0,
+    };
+    let mut replayed = vec![false; n];
+    for ev in &rec.events {
+        match *ev {
+            RecoveryEvent::SeedOriginal { tile } | RecoveryEvent::SeedPublished { tile } => {
+                let published = matches!(ev, RecoveryEvent::SeedPublished { .. });
+                if block_cyclic_owner(tile.0, tile.1, p, q) != rec.lost {
+                    return Err(PlanError::RecoveryBadSeed {
+                        tile,
+                        why: "seeds a tile the lost worker does not own",
+                    });
+                }
+                if published != is_final(&tile) {
+                    return Err(PlanError::RecoveryBadSeed {
+                        tile,
+                        why: if published {
+                            "published-bytes seed of a tile whose final writer has not completed"
+                        } else {
+                            "original-bytes seed of an already-final tile (its writers must \
+                             not re-run)"
+                        },
+                    });
+                }
+                let v = if published {
+                    death_version.get(&tile).copied().unwrap_or(0)
+                } else {
+                    0
+                };
+                if local.insert(tile, v).is_some() {
+                    return Err(PlanError::RecoveryBadSeed {
+                        tile,
+                        why: "tile seeded twice",
+                    });
+                }
+                summary.seeds += 1;
+                summary.published_seeds += published as u64;
+            }
+            RecoveryEvent::Forward { tile } => {
+                if block_cyclic_owner(tile.0, tile.1, p, q) == rec.lost {
+                    return Err(PlanError::RecoveryBadForward {
+                        tile,
+                        why: "forwards a tile the lost worker owns (must be seeded instead)",
+                    });
+                }
+                if !is_final(&tile) {
+                    return Err(PlanError::RecoveryBadForward {
+                        tile,
+                        why: "forwards a tile that is not published-final",
+                    });
+                }
+                local.insert(tile, death_version.get(&tile).copied().unwrap_or(0));
+                summary.forwards += 1;
+            }
+            RecoveryEvent::Replay { task } => {
+                let Some(meta) = base.tasks.get(task) else {
+                    return Err(PlanError::BadEvent { index: task });
+                };
+                if meta.owner != rec.lost {
+                    return Err(PlanError::RecoveryBadReplay {
+                        task,
+                        why: "replays a task the lost worker does not own",
+                    });
+                }
+                if !rec.dispatched[task] {
+                    return Err(PlanError::RecoveryBadReplay {
+                        task,
+                        why: "replays a task that was never dispatched",
+                    });
+                }
+                if is_final(&meta.write) {
+                    return Err(PlanError::RecoveryBadReplay {
+                        task,
+                        why: "re-runs a writer of an already-final tile (would double-apply)",
+                    });
+                }
+                if last_replay.is_some_and(|prev| prev >= task) {
+                    return Err(PlanError::RecoveryBadReplay {
+                        task,
+                        why: "replays out of original dispatch order",
+                    });
+                }
+                last_replay = Some(task);
+                for need in meta.reads.iter().chain(std::iter::once(&meta.write)) {
+                    let want = seen_version(need, task);
+                    let have = local.get(need).copied();
+                    if have != Some(want) {
+                        return Err(PlanError::RecoveryStaleOperand {
+                            task,
+                            tile: *need,
+                            have,
+                            want,
+                        });
+                    }
+                }
+                *local.entry(meta.write).or_insert(0) += 1;
+                replayed[task] = true;
+                summary.replays += 1;
+            }
+        }
+    }
+
+    // Completeness: every dispatched lost-worker task writing a non-final
+    // tile is replayed, and every owned tile ends at its dispatched-prefix
+    // version.
+    for (t, task) in base.tasks.iter().enumerate() {
+        if task.owner == rec.lost && rec.dispatched[t] && !is_final(&task.write) && !replayed[t] {
+            return Err(PlanError::RecoveryIncomplete {
+                why: format!(
+                    "dispatched task {t} writes non-final tile ({},{}) but is not replayed",
+                    task.write.0, task.write.1
+                ),
+            });
+        }
+    }
+    for (tile, ws) in &writers {
+        if block_cyclic_owner(tile.0, tile.1, p, q) != rec.lost {
+            continue;
+        }
+        let want = ws.iter().take_while(|&&w| rec.dispatched[w]).count() as u64;
+        let have = local.get(tile).copied();
+        if have != Some(want) {
+            return Err(PlanError::RecoveryIncomplete {
+                why: format!(
+                    "owned tile ({},{}) ends at version {have:?}, dispatched prefix needs {want}",
+                    tile.0, tile.1
+                ),
+            });
+        }
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]

@@ -25,8 +25,9 @@ pub mod lexer;
 pub mod rules;
 
 pub use dag::{
-    block_cyclic_owner, check_acyclic, check_cholesky_census, check_shard_plan, hazard_edges,
-    AccessSpec, Edge, GraphError, HazardKind, KernelCensus, PlanError, PlanEvent, PlanSummary,
-    PlanTask, ShardPlan,
+    block_cyclic_owner, check_acyclic, check_cholesky_census, check_recovery_plan,
+    check_shard_plan, hazard_edges, AccessSpec, Edge, GraphError, HazardKind, KernelCensus,
+    PlanError, PlanEvent, PlanSummary, PlanTask, RecoveryEvent, RecoveryPlan, RecoverySummary,
+    ShardPlan,
 };
 pub use rules::{lint_file, lint_source, report_json, FileLint, Finding, RULES};

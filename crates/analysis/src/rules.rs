@@ -50,6 +50,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no unbounded mpsc channel() in shard coordinator/reader paths; bound the queue or justify the allow",
     ),
     (
+        "no-heartbeat-in-hot-loop",
+        "liveness HEARTBEAT frames are never emitted from a loop that also emits per-task TASK frames",
+    ),
+    (
         "unjustified-allow",
         "an `xgs-lint: allow(...)` comment without justification text",
     ),
@@ -146,6 +150,7 @@ pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
     rule_unsafe(path, &sig, &mut raw);
     if frame_scoped(path) {
         rule_frame_exhaustive(path, &sig, &in_test, &mut raw);
+        rule_heartbeat_hot_loop(path, &sig, &in_test, &mut raw);
     }
     if lock_scoped(path) {
         rule_lock_order(path, &sig, &in_test, &mut raw);
@@ -271,6 +276,7 @@ fn network_scoped(path: &str) -> bool {
         || path.ends_with("crates/server/src/protocol.rs")
         || path.ends_with("crates/runtime/src/shard.rs")
         || path.ends_with("crates/cholesky/src/shard.rs")
+        || path.ends_with("crates/fleet/src/lib.rs")
 }
 
 /// Files that dispatch on wire frame or op kinds.
@@ -279,6 +285,7 @@ fn frame_scoped(path: &str) -> bool {
         || path.ends_with("crates/cholesky/src/shard.rs")
         || path.ends_with("crates/server/src/protocol.rs")
         || path.ends_with("crates/server/src/server.rs")
+        || path.ends_with("crates/fleet/src/lib.rs")
 }
 
 /// The server crate's lock-order discipline (see `crates/server/src/lib.rs`).
@@ -665,6 +672,110 @@ fn rule_frame_exhaustive(
     }
 }
 
+/// `no-heartbeat-in-hot-loop`: a loop body that *emits* `K_HEARTBEAT`
+/// through a send primitive and also emits `K_TASK` is mixing liveness
+/// traffic into the per-task send path. Heartbeats exist to bound death
+/// detection when the hot path is quiet; riding them on task dispatch
+/// makes their cadence a function of load (a stalled dispatcher stops
+/// heartbeating exactly when liveness matters) and doubles the frame
+/// rate of the hottest loop. Receive-side dispatch (`K_HEARTBEAT` as a
+/// match pattern) is fine — only send-call arguments count.
+fn rule_heartbeat_hot_loop(
+    _path: &str,
+    sig: &[Sig<'_>],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Raw,
+) {
+    /// Offset of the first `send`-like call whose argument list names
+    /// `konst`, if any.
+    fn emit_site(body: &[Sig<'_>], konst: &[u8]) -> Option<usize> {
+        const SENDS: &[&[u8]] = &[b"send", b"write_frame", b"send_frame"];
+        let mut i = 0;
+        while i < body.len() {
+            let callee = &body[i];
+            if callee.kind == TokenKind::Ident
+                && SENDS.iter().any(|n| callee.is_ident(n))
+                && body.get(i + 1).is_some_and(|s| s.is_punct(b'('))
+            {
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                while j < body.len() {
+                    let s = &body[j];
+                    if s.is_punct(b'(') {
+                        depth += 1;
+                    } else if s.is_punct(b')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if s.is_ident(konst) {
+                        return Some(callee.start);
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    let mut w = 0;
+    while w < sig.len() {
+        let s = &sig[w];
+        if !(s.is_ident(b"loop") || s.is_ident(b"while") || s.is_ident(b"for")) {
+            w += 1;
+            continue;
+        }
+        // Loop header: tokens up to the body's `{` at bracket depth 0.
+        let mut j = w + 1;
+        let mut paren = 0i32;
+        while j < sig.len() {
+            let t = &sig[j];
+            if t.is_punct(b'(') || t.is_punct(b'[') {
+                paren += 1;
+            } else if t.is_punct(b')') || t.is_punct(b']') {
+                paren -= 1;
+            } else if t.is_punct(b'{') && paren == 0 {
+                break;
+            }
+            j += 1;
+        }
+        if j >= sig.len() {
+            break;
+        }
+        let open = j;
+        let mut depth = 0i32;
+        let mut close = sig.len();
+        while j < sig.len() {
+            if sig[j].is_punct(b'{') {
+                depth += 1;
+            } else if sig[j].is_punct(b'}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let body = &sig[open + 1..close.min(sig.len())];
+        if let Some(hb) = emit_site(body, b"K_HEARTBEAT") {
+            if emit_site(body, b"K_TASK").is_some() && !in_test(hb) {
+                out.push((
+                    hb,
+                    "no-heartbeat-in-hot-loop",
+                    "HEARTBEAT emitted from a loop that also sends TASK frames; liveness \
+                     traffic must not ride the per-task send path"
+                        .to_string(),
+                ));
+            }
+        }
+        // Step inside the header so nested loops are scanned too.
+        w = open + 1;
+    }
+}
+
 /// The declared server lock order, least to greatest. Acquisitions must
 /// strictly increase in rank while any lock is held.
 const LOCK_ORDER: &[(&[u8], &str)] = &[
@@ -827,6 +938,37 @@ mod tests {
         // Matches on non-kind scrutinees keep their wildcard freedom.
         let unrelated = "fn f(x: u8) { match x { 1 => a(), _ => b(), } }";
         assert!(rules_hit("crates/runtime/src/shard.rs", unrelated).is_empty());
+        // The registration/liveness kinds are wire kinds like any other.
+        let fleet = "fn f(kind: u8) { match kind { K_JOIN => a(), K_HEARTBEAT => b(), K_ASSIGN => c(), _ => d(), } }";
+        assert_eq!(
+            rules_hit("crates/fleet/src/lib.rs", fleet),
+            ["frame-kind-exhaustive"]
+        );
+    }
+
+    #[test]
+    fn heartbeat_in_hot_loop_flagged_separate_loops_ok() {
+        // Liveness frames on the per-task send path: flagged.
+        let bad = "fn f(co: &mut C) { for id in order { co.send(w, K_TASK, &t); co.send(w, K_HEARTBEAT, &hb); } }";
+        assert_eq!(
+            rules_hit("crates/cholesky/src/shard.rs", bad),
+            ["no-heartbeat-in-hot-loop"]
+        );
+        // Heartbeats from their own (drain/monitor) loop: fine.
+        let good = "fn f(co: &mut C) { for id in order { co.send(w, K_TASK, &t); } for w in 0..n { co.send(w, K_HEARTBEAT, &hb); } }";
+        assert!(rules_hit("crates/cholesky/src/shard.rs", good).is_empty());
+        // Receive-side dispatch on K_HEARTBEAT next to a TASK send is not
+        // an emission: only send-call arguments count.
+        let dispatch = "fn f() { loop { match kind { K_HEARTBEAT => pong(), other => err(other), } co.send(w, K_TASK, &t); } }";
+        assert!(rules_hit("crates/cholesky/src/shard.rs", dispatch).is_empty());
+        // A nested hot loop inside a quiet outer loop is still caught.
+        let nested = "fn f() { loop { step(); while go { write_frame(s, K_TASK, &t); write_frame(s, K_HEARTBEAT, &hb); } } }";
+        assert_eq!(
+            rules_hit("crates/fleet/src/lib.rs", nested),
+            ["no-heartbeat-in-hot-loop"]
+        );
+        // Outside the frame-scoped files the rule does not apply.
+        assert!(rules_hit("crates/x/src/lib.rs", bad).is_empty());
     }
 
     #[test]

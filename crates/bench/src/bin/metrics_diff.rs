@@ -28,6 +28,13 @@
 //! simulator predicted. `--assert-wire-below <kind>` checks the candidate
 //! moved strictly fewer bytes of that kind than the baseline (the
 //! mixed-precision wire must beat dense f64, not just match it).
+//!
+//! `--expect-count kind=N` and `--expect-min kind=N` assert on the
+//! *candidate alone*: its count for `kind` must equal (resp. reach) `N`,
+//! with a missing kind counting as 0. This is how the CI chaos smoke
+//! holds a fault-injected run to its recovery contract — exactly one
+//! `worker_death`, at least one `panel_replay` — without needing a
+//! baseline that also lost a worker. Exit code 1 on any miss.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -65,6 +72,8 @@ fn main() -> ExitCode {
     let mut assert_counts: Vec<String> = Vec::new();
     let mut assert_wire_equal: Vec<String> = Vec::new();
     let mut assert_wire_below: Vec<String> = Vec::new();
+    // (kind, n, exact): candidate-only count assertions.
+    let mut expect: Vec<(String, u64, bool)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -94,6 +103,19 @@ fn main() -> ExitCode {
                 assert_wire_below.extend(list.split(',').map(|s| s.trim().to_string()));
                 i += 2;
             }
+            flag @ ("--expect-count" | "--expect-min") => {
+                let exact = flag == "--expect-count";
+                let parsed = args.get(i + 1).and_then(|spec| {
+                    let (kind, n) = spec.split_once('=')?;
+                    Some((kind.trim().to_string(), n.trim().parse::<u64>().ok()?))
+                });
+                let Some((kind, n)) = parsed else {
+                    eprintln!("metrics_diff: {flag} needs kind=N (e.g. worker_death=1)");
+                    return ExitCode::from(2);
+                };
+                expect.push((kind, n, exact));
+                i += 2;
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("metrics_diff: unknown flag '{flag}'");
                 return ExitCode::from(2);
@@ -107,7 +129,8 @@ fn main() -> ExitCode {
     if paths.len() != 2 {
         eprintln!(
             "usage: metrics_diff [--assert-counts k1,k2,..] [--assert-wire-equal k1,k2,..] \
-             [--assert-wire-below k1,..] <baseline.json> <candidate.json>"
+             [--assert-wire-below k1,..] [--expect-count kind=N] [--expect-min kind=N] \
+             <baseline.json> <candidate.json>"
         );
         return ExitCode::from(2);
     }
@@ -258,6 +281,19 @@ fn main() -> ExitCode {
                 "metrics_diff: {kind} wire mismatch: {af} frames / {ab} bytes (baseline) != \
                  {bf} frames / {bb} bytes (candidate)"
             );
+            mismatches += 1;
+        }
+    }
+    for (kind, n, exact) in &expect {
+        let got = cand
+            .kernels
+            .iter()
+            .find(|k| k.kind == kind.as_str())
+            .map_or(0, |k| k.count);
+        let ok = if *exact { got == *n } else { got >= *n };
+        if !ok {
+            let rel = if *exact { "==" } else { ">=" };
+            eprintln!("metrics_diff: candidate {kind} count {got}, expected {rel} {n}");
             mismatches += 1;
         }
     }

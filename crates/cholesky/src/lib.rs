@@ -23,7 +23,9 @@ pub mod solve;
 pub use dag::{cholesky_dag, DagOptions, DagStats};
 pub use factor::{FactorError, TiledFactor};
 pub use shard::{
-    grid_shape, project_wire_census, spawn_local_workers, spawn_workers, tile_wire_frame_bytes,
-    worker_loop, ShardError, ShardOptions, ShardProcesses, ShardReport, ShardRunner,
+    admit_worker, grid_shape, project_wire_census, project_wire_census_warm, spawn_local_workers,
+    spawn_workers, tile_wire_frame_bytes, worker_loop, worker_loop_with, ChaosSpec, JoinInfo,
+    NoReplacement, ReplacementOrigin, ReplacementSource, ReplacementWorker, ShardBackend,
+    ShardError, ShardOptions, ShardProcesses, ShardReport, ShardRunner, WorkerOptions,
 };
 pub use solve::{logdet, solve_lower, solve_lower_transpose};

@@ -29,12 +29,36 @@
 //!
 //! | kind | dir | payload |
 //! |------|-----|---------|
-//! | `HELLO`    | c→w | `worker_id, p, q, nt, nb, n` |
-//! | `TILE`     | both | `i, j, tile bytes` ([`xgs_tile::wire`]) |
-//! | `TASK`     | c→w | `kind, task_id, k, i, j, tol, publish` |
-//! | `DONE`     | w→c | `task_id, kind, ok, pivot, elapsed` |
-//! | `SHUTDOWN` | c→w | empty |
-//! | `BYE`      | w→c | `tasks_executed` |
+//! | `HELLO`     | c→w | `version, worker_id, p, q, nt, nb, n` |
+//! | `TILE`      | both | `i, j, tile bytes` ([`xgs_tile::wire`]) |
+//! | `TASK`      | c→w | `kind, task_id, k, i, j, tol, publish` |
+//! | `DONE`      | w→c | `task_id, kind, ok, pivot, elapsed` |
+//! | `SHUTDOWN`  | c→w | empty |
+//! | `BYE`       | w→c | `tasks_executed` |
+//! | `JOIN`      | w→c | `version, cores, precision_mask` |
+//! | `HEARTBEAT` | c→w `nonce`, w→c `nonce, tasks_executed` |
+//! | `ASSIGN`    | c→w | `version, member_id, role` |
+//!
+//! `JOIN`/`ASSIGN` form the registration handshake a worker performs once
+//! per connection, before any `HELLO` ([`admit_worker`]); `HEARTBEAT` is
+//! the liveness probe and the warm-fleet end-of-run census carrier.
+//! Variable-length payload decoding is forward-compatible: a decoder
+//! accepts any payload at least as long as the fields it knows and
+//! ignores trailing bytes, so the protocol can grow fields; the leading
+//! version byte on `HELLO`/`JOIN`/`ASSIGN` is what rejects genuinely
+//! incompatible peers with a clear error.
+//!
+//! Elasticity: [`TiledFactor::factorize_elastic`] accepts a
+//! [`ReplacementSource`]. When a worker dies mid-run the coordinator does
+//! not fail the factorization — it takes a replacement connection,
+//! rebuilds the lost shard's state by replaying that worker's logged
+//! frame prefix (seeding finally-published tiles from the coordinator's
+//! published-tile map instead of re-running their producers), and
+//! re-dispatches only the tasks whose written tiles were not yet final.
+//! Every recovery plan is validated by `xgs-analysis` (`check_shard_plan`
+//! on the base plan plus `check_recovery_plan` on the replay) before any
+//! frame is sent. Workers are deterministic functions of their FIFO input
+//! stream, so the recovered factor stays bitwise-equal to sequential.
 
 use crate::dag::{lr_precision, TileMetaSource};
 use crate::factor::{FactorError, TiledFactor};
@@ -69,6 +93,15 @@ pub const K_TASK: u8 = 3;
 pub const K_DONE: u8 = 4;
 pub const K_SHUTDOWN: u8 = 5;
 pub const K_BYE: u8 = 6;
+pub const K_JOIN: u8 = 7;
+pub const K_HEARTBEAT: u8 = 8;
+pub const K_ASSIGN: u8 = 9;
+
+/// Version byte leading `HELLO`, `JOIN` and `ASSIGN` payloads. Bumped
+/// whenever a frame layout changes incompatibly; both sides reject a
+/// mismatched peer with a protocol error naming the two versions instead
+/// of mis-decoding a garbled frame.
+pub const PROTO_VERSION: u8 = 2;
 
 const KIND_POTRF: u8 = 0;
 const KIND_TRSM: u8 = 1;
@@ -80,21 +113,37 @@ const KIND_GEMM: u8 = 3;
 pub const TILE_COORD_BYTES: usize = 8;
 
 /// Fixed payload sizes of the non-TILE frames, byte-for-byte the layouts
-/// in the module table above. Planned and projected byte censuses use
-/// these so they speak the same units as the measured one.
-const HELLO_PAYLOAD_BYTES: usize = 28;
+/// in the module table above. Decoders accept payloads *at least* this
+/// long (trailing bytes are future fields, ignored); planned and
+/// projected byte censuses use these so they speak the same units as the
+/// measured one.
+const HELLO_PAYLOAD_BYTES: usize = 29;
 const TASK_PAYLOAD_BYTES: usize = 30;
 const DONE_PAYLOAD_BYTES: usize = 26;
 const BYE_PAYLOAD_BYTES: usize = 8;
+const JOIN_PAYLOAD_BYTES: usize = 6;
+const ASSIGN_PAYLOAD_BYTES: usize = 6;
+const HEARTBEAT_PING_BYTES: usize = 8;
+const HEARTBEAT_ECHO_BYTES: usize = 16;
 
 /// Metrics keys of the frame kinds, indexed `K_* - 1`.
-const FRAME_KIND_NAMES: [&str; 6] = ["hello", "tile", "task", "done", "shutdown", "bye"];
+const FRAME_KIND_NAMES: [&str; 9] = [
+    "hello",
+    "tile",
+    "task",
+    "done",
+    "shutdown",
+    "bye",
+    "join",
+    "heartbeat",
+    "assign",
+];
 
 /// Per-frame-kind `{frames, bytes}` tally. Bytes count whole frames —
 /// header plus payload — in both directions, as seen from the coordinator.
 #[derive(Clone, Copy, Default)]
 struct WireCensus {
-    counts: [(u64, u64); 6],
+    counts: [(u64, u64); 9],
 }
 
 impl WireCensus {
@@ -103,7 +152,7 @@ impl WireCensus {
     }
 
     fn record_many(&mut self, kind: u8, frames: u64, payload_len: usize) {
-        debug_assert!((K_HELLO..=K_BYE).contains(&kind));
+        debug_assert!((K_HELLO..=K_ASSIGN).contains(&kind));
         let c = &mut self.counts[(kind - 1) as usize];
         c.0 += frames;
         c.1 += frames * (FRAME_HEADER_BYTES + payload_len) as u64;
@@ -232,6 +281,14 @@ pub struct ShardOptions {
     /// builds, opt-in in release via `XGS_PRECHECK=1` (see
     /// [`xgs_runtime::precheck_env_default`]).
     pub precheck: bool,
+    /// Leave workers warm after the run instead of draining them with
+    /// `SHUTDOWN`/`BYE`: the end-of-run census rides a `HEARTBEAT`
+    /// exchange (whose echo carries the executed-task count `BYE` would),
+    /// the sockets stay open, and the same fleet serves the next
+    /// factorization after a state-resetting `HELLO`. This is how the
+    /// persistent fleet (`xgs-fleet`) avoids paying process spawn per
+    /// factorization.
+    pub persistent: bool,
 }
 
 impl ShardOptions {
@@ -244,6 +301,7 @@ impl ShardOptions {
             deadline: Duration::from_secs(120),
             validate: cfg!(debug_assertions),
             precheck: precheck_env_default(),
+            persistent: false,
         }
     }
 }
@@ -304,29 +362,208 @@ impl WireTask {
     }
 }
 
-/// Serve one coordinator connection: receive owned tiles, execute assigned
-/// tasks, publish written tiles when asked, and exit on `SHUTDOWN` (or a
-/// clean coordinator close). Returns the number of tasks executed.
+/// How a chaos-injected worker dies (fault-matrix tests and the CI chaos
+/// smoke). The spec targets one fleet member by its `ASSIGN`ed id, so a
+/// whole fleet can inherit the same environment variable and still lose
+/// exactly one deterministic worker — respawned replacements get fresh
+/// member ids and never re-trigger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Fleet member id (`ASSIGN` payload) the spec targets.
+    pub member: u32,
+    /// When to die.
+    pub trigger: ChaosTrigger,
+    /// Die by `SIGKILL` (out-of-process workers) or by silently dropping
+    /// the connection (in-process worker threads, which must not take the
+    /// test process down with them).
+    pub disconnect: bool,
+}
+
+/// When a [`ChaosSpec`] fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosTrigger {
+    /// On receipt of the `n`-th `TASK` frame (0-based), before executing
+    /// it: `TaskStart(0)` dies while the coordinator is still seeding its
+    /// first panel, a mid-range value dies mid-panel.
+    TaskStart(u64),
+    /// On the first drain-phase frame (`SHUTDOWN` or `HEARTBEAT`): every
+    /// task is done, the coordinator is gathering — the departed-worker
+    /// path, no replay needed.
+    Drain,
+}
+
+impl ChaosSpec {
+    /// Parse the `XGS_CHAOS_ABORT` format: `member=M,tasks=N` (die on
+    /// receipt of the N-th TASK) or `member=M,on=drain`.
+    pub fn parse(spec: &str) -> Option<ChaosSpec> {
+        let mut member = None;
+        let mut trigger = None;
+        for part in spec.split(',') {
+            let (key, val) = part.trim().split_once('=')?;
+            match (key.trim(), val.trim()) {
+                ("member", v) => member = v.parse::<u32>().ok(),
+                ("tasks", v) => trigger = Some(ChaosTrigger::TaskStart(v.parse().ok()?)),
+                ("on", "drain") => trigger = Some(ChaosTrigger::Drain),
+                _other => return None,
+            }
+        }
+        Some(ChaosSpec {
+            member: member?,
+            trigger: trigger?,
+            disconnect: false,
+        })
+    }
+
+    fn fire(&self) -> ChaosDeath {
+        if self.disconnect {
+            return ChaosDeath::Disconnect;
+        }
+        // A real SIGKILL — the abrupt death the fault matrix specifies —
+        // delivered by the only route std offers; abort() is the fallback
+        // and is just as unannounced at the protocol level.
+        let pid = std::process::id().to_string();
+        let _ = Command::new("kill").args(["-KILL", &pid]).status();
+        std::process::abort();
+    }
+}
+
+/// What [`ChaosSpec::fire`] resolved to (only `Disconnect` ever returns).
+enum ChaosDeath {
+    Disconnect,
+}
+
+/// Knobs of [`worker_loop_with`]; [`Default`] is what `worker --connect`
+/// uses unless flags override it.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerOptions {
+    /// How long to wait for the supervisor's `ASSIGN` after sending
+    /// `JOIN`. A coordinator that never acknowledges must not wedge the
+    /// worker forever on a fresh socket: expiry is an error the CLI turns
+    /// into a nonzero exit with a diagnostic.
+    pub handshake_timeout: Duration,
+    /// Per-frame stall budget of the main loop. Warm fleets heartbeat
+    /// idle members well inside this, so expiry means the supervisor is
+    /// gone or wedged. `None` blocks forever (in-process test workers).
+    pub idle_timeout: Option<Duration>,
+    /// Fault injection, `None` in production.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> WorkerOptions {
+        WorkerOptions {
+            handshake_timeout: Duration::from_secs(30),
+            idle_timeout: Some(Duration::from_secs(300)),
+            chaos: None,
+        }
+    }
+}
+
+/// [`worker_loop_with`] with default options and no registration
+/// handshake deadline concerns for callers that predate the fleet;
+/// in-process test workers use this.
+pub fn worker_loop(stream: TcpStream) -> io::Result<u64> {
+    worker_loop_with(
+        stream,
+        WorkerOptions {
+            idle_timeout: None,
+            ..WorkerOptions::default()
+        },
+    )
+}
+
+/// Serve one coordinator connection: register (`JOIN` → `ASSIGN`), then
+/// receive owned tiles, execute assigned tasks, publish written tiles when
+/// asked, echo `HEARTBEAT` liveness probes, and exit on `SHUTDOWN` (or a
+/// clean coordinator close). Returns the number of tasks executed since
+/// the last `HELLO`.
 ///
 /// The worker is deliberately dumb: it has no view of the DAG and trusts
 /// the coordinator's stream order for operand availability — which the
 /// coordinator guarantees by forwarding operands before dependent tasks on
 /// the same FIFO stream.
-pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
+pub fn worker_loop_with(mut stream: TcpStream, opts: WorkerOptions) -> io::Result<u64> {
     let _ = stream.set_nodelay(true);
+
+    // Registration: advertise capabilities, wait (bounded) for the grid
+    // assignment. A supervisor that never answers is an error, not a hang.
+    let mut w = WireWriter::new();
+    w.put_u8(PROTO_VERSION);
+    w.put_u32(std::thread::available_parallelism().map_or(1, |c| c.get()) as u32);
+    // Precision mask: bit 0 = f64, bit 1 = f32, bit 2 = f16. Every build
+    // of this binary supports all three emulated widths.
+    w.put_u8(0b111);
+    write_frame(&mut stream, K_JOIN, &w.buf)?;
+    let member_id = match read_frame(&mut stream, Some(opts.handshake_timeout), None) {
+        Ok((K_ASSIGN, payload)) => {
+            if payload.len() < ASSIGN_PAYLOAD_BYTES {
+                return Err(proto_err("short ASSIGN frame"));
+            }
+            let mut r = WireReader::new(&payload);
+            let version = r.get_u8().map_err(|e| proto_err(&e.to_string()))?;
+            if version != PROTO_VERSION {
+                return Err(proto_err(&format!(
+                    "supervisor speaks protocol version {version}, this worker requires \
+                     {PROTO_VERSION}; upgrade the older binary"
+                )));
+            }
+            let member = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
+            let _role = r.get_u8().map_err(|e| proto_err(&e.to_string()))?;
+            member
+        }
+        Ok((other, _)) => {
+            return Err(proto_err(&format!(
+                "expected ASSIGN to acknowledge JOIN, got frame kind {other}"
+            )))
+        }
+        Err(FrameError::Stalled) => {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "no JOIN acknowledgement within {:?}; supervisor unreachable or wedged",
+                    opts.handshake_timeout
+                ),
+            ))
+        }
+        Err(e) => return Err(io::Error::other(e.to_string())),
+    };
+    let chaos = opts.chaos.filter(|c| c.member == member_id);
+
     let mut store: HashMap<(u32, u32), Tile> = HashMap::new();
     let mut nb: usize = 0;
     let mut executed: u64 = 0;
+    // Lifetime task counter: chaos triggers count across `HELLO` resets so
+    // a spec fires at most once per process even in multi-run fleets.
+    let mut lifetime_executed: u64 = 0;
     loop {
-        let (kind, payload) = match read_frame(&mut stream, None, None) {
+        let (kind, payload) = match read_frame(&mut stream, opts.idle_timeout, None) {
             Ok(f) => f,
             // Coordinator vanished: exit quietly, nothing to clean up.
             Err(FrameError::Closed) => return Ok(executed),
+            Err(FrameError::Stalled) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "no frame within {:?}; supervisor heartbeats have stopped",
+                        opts.idle_timeout.unwrap_or_default()
+                    ),
+                ))
+            }
             Err(e) => return Err(io::Error::other(e.to_string())),
         };
         let mut r = WireReader::new(&payload);
         match kind {
             K_HELLO => {
+                if payload.len() < HELLO_PAYLOAD_BYTES {
+                    return Err(proto_err("short HELLO frame"));
+                }
+                let version = r.get_u8().map_err(|e| proto_err(&e.to_string()))?;
+                if version != PROTO_VERSION {
+                    return Err(proto_err(&format!(
+                        "coordinator speaks protocol version {version}, this worker requires \
+                         {PROTO_VERSION}; upgrade the older binary"
+                    )));
+                }
                 let _worker_id = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
                 let _p = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
                 let _q = r.get_u32().map_err(|e| proto_err(&e.to_string()))?;
@@ -349,6 +586,13 @@ pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
             K_TASK => {
                 if nb == 0 {
                     return Err(proto_err("TASK before HELLO"));
+                }
+                if let Some(c) = chaos {
+                    if c.trigger == ChaosTrigger::TaskStart(lifetime_executed) {
+                        match c.fire() {
+                            ChaosDeath::Disconnect => return Ok(executed),
+                        }
+                    }
                 }
                 let task_kind = r.get_u8().map_err(|e| proto_err(&e.to_string()))?;
                 let task_id = r.get_u64().map_err(|e| proto_err(&e.to_string()))?;
@@ -412,16 +656,110 @@ pub fn worker_loop(mut stream: TcpStream) -> io::Result<u64> {
                 w.put_u64(pivot);
                 w.put_f64(elapsed);
                 write_frame(&mut stream, K_DONE, &w.buf)?;
+                lifetime_executed += 1;
+            }
+            K_HEARTBEAT => {
+                if let Some(c) = chaos {
+                    if c.trigger == ChaosTrigger::Drain {
+                        match c.fire() {
+                            ChaosDeath::Disconnect => return Ok(executed),
+                        }
+                    }
+                }
+                let nonce = r.get_u64().map_err(|e| proto_err(&e.to_string()))?;
+                let mut w = WireWriter::new();
+                w.put_u64(nonce);
+                w.put_u64(executed);
+                write_frame(&mut stream, K_HEARTBEAT, &w.buf)?;
             }
             K_SHUTDOWN => {
+                if let Some(c) = chaos {
+                    if c.trigger == ChaosTrigger::Drain {
+                        match c.fire() {
+                            ChaosDeath::Disconnect => return Ok(executed),
+                        }
+                    }
+                }
                 let mut w = WireWriter::new();
                 w.put_u64(executed);
                 write_frame(&mut stream, K_BYE, &w.buf)?;
                 return Ok(executed);
             }
+            K_JOIN | K_ASSIGN => {
+                return Err(proto_err(
+                    "registration frame after the handshake already completed",
+                ))
+            }
             other => return Err(proto_err(&format!("unexpected frame kind {other}"))),
         }
     }
+}
+
+/// What a worker advertised in its `JOIN` frame.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinInfo {
+    pub version: u8,
+    /// `available_parallelism` on the worker's host.
+    pub cores: u32,
+    /// Bit 0 = f64, bit 1 = f32, bit 2 = f16.
+    pub precisions: u8,
+}
+
+/// Supervisor side of the registration handshake: read the worker's
+/// `JOIN` (bounded by `deadline`), verify the protocol version, and
+/// answer with an `ASSIGN` carrying `member_id` and the standby/active
+/// role. Every acceptor — [`spawn_workers`], [`spawn_local_workers`], the
+/// `xgs-fleet` supervisor — admits connections through here, so the
+/// handshake cannot drift between entry points.
+pub fn admit_worker(
+    stream: &mut TcpStream,
+    member_id: u32,
+    standby: bool,
+    deadline: Duration,
+) -> Result<JoinInfo, ShardError> {
+    let info = match read_frame(stream, Some(deadline), None) {
+        Ok((K_JOIN, payload)) => {
+            if payload.len() < JOIN_PAYLOAD_BYTES {
+                return Err(ShardError::Protocol(format!(
+                    "JOIN payload of {} bytes, need at least {JOIN_PAYLOAD_BYTES}",
+                    payload.len()
+                )));
+            }
+            let mut r = WireReader::new(&payload);
+            let parse = |e: FrameError| ShardError::Protocol(e.to_string());
+            let info = JoinInfo {
+                version: r.get_u8().map_err(parse)?,
+                cores: r.get_u32().map_err(parse)?,
+                precisions: r.get_u8().map_err(parse)?,
+            };
+            if info.version != PROTO_VERSION {
+                return Err(ShardError::Protocol(format!(
+                    "worker speaks protocol version {}, this supervisor requires \
+                     {PROTO_VERSION}; upgrade the older worker binary",
+                    info.version
+                )));
+            }
+            info
+        }
+        Ok((other, _)) => {
+            return Err(ShardError::Protocol(format!(
+                "expected JOIN as a dialing worker's first frame, got kind {other}"
+            )))
+        }
+        Err(FrameError::Stalled) => {
+            return Err(ShardError::Spawn(format!(
+                "worker sent no JOIN within {deadline:?}"
+            )))
+        }
+        Err(e) => return Err(ShardError::Spawn(format!("JOIN read failed: {e}"))),
+    };
+    let mut w = WireWriter::new();
+    w.put_u8(PROTO_VERSION);
+    w.put_u32(member_id);
+    w.put_u8(standby as u8);
+    write_frame(stream, K_ASSIGN, &w.buf)
+        .map_err(|e| ShardError::Spawn(format!("ASSIGN write failed: {e}")))?;
+    Ok(info)
 }
 
 // ---------------------------------------------------------------------------
@@ -454,6 +792,10 @@ enum Event {
         from: usize,
         tasks: u64,
     },
+    Heartbeat {
+        from: usize,
+        tasks: u64,
+    },
     Lost {
         from: usize,
         detail: String,
@@ -462,11 +804,27 @@ enum Event {
 
 /// Reader thread: drain one worker's frames into the event channel. Exits
 /// after `BYE`, on stop, or on connection loss (reported as `Lost`).
+/// Each thread sends at most one `Lost`, always as its final event — the
+/// coordinator relies on that to run at most one recovery per worker
+/// incarnation, with every pre-death frame already processed.
 fn reader_thread(worker: usize, mut stream: TcpStream, tx: Sender<Event>, stop: Arc<AtomicBool>) {
     loop {
         match read_frame(&mut stream, None, Some(&stop)) {
             Ok((K_TILE, payload)) => {
                 if tx.send(Event::Tile { payload }).is_err() {
+                    return;
+                }
+            }
+            Ok((K_HEARTBEAT, payload)) => {
+                let mut r = WireReader::new(&payload);
+                let (_nonce, tasks) = (r.get_u64().unwrap_or(0), r.get_u64().unwrap_or(0));
+                if tx
+                    .send(Event::Heartbeat {
+                        from: worker,
+                        tasks,
+                    })
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -519,6 +877,12 @@ fn reader_thread(worker: usize, mut stream: TcpStream, tx: Sender<Event>, stop: 
     }
 }
 
+/// Indices into [`Drive::events`], the fleet lifecycle counters the
+/// metrics report carries alongside the kernel stats.
+const EV_WORKER_DEATH: usize = 0;
+const EV_PANEL_REPLAY: usize = 1;
+const EV_STANDBY_PROMOTE: usize = 2;
+
 /// Coordinator bookkeeping while a sharded run is in flight.
 struct Drive {
     /// Published tiles, keyed `(i, j)`, still in wire encoding so relaying
@@ -527,11 +891,25 @@ struct Drive {
     /// Completion order in DONE-processing sequence (validator input).
     order: Vec<TaskOrder>,
     done: Vec<bool>,
+    /// Whether a task has *ever* completed: replayed tasks keep their
+    /// original [`TaskOrder`] stamp, because consumers already read the
+    /// originally published value — re-stamping would fabricate RAW
+    /// violations in the post-run validator.
+    completed_once: Vec<bool>,
     done_count: usize,
     seq: u64,
     kernels: [KernelStats; 4],
+    /// Fleet lifecycle events, indexed by the `EV_*` constants.
+    events: [KernelStats; 3],
     workers: Vec<WorkerStats>,
+    /// End-of-run executed-task census, from `BYE` (one-shot runs) or the
+    /// drain `HEARTBEAT` echo (persistent runs).
     bye: Vec<Option<u64>>,
+    /// Workers that died after every task completed: the factor is fully
+    /// published, so they are recorded as deaths but not replaced.
+    departed: Vec<bool>,
+    /// How many worker recoveries ran (0 on the happy path).
+    recoveries: u32,
     /// Earliest global pivot failure, if any.
     failed: Option<usize>,
     /// Frames/bytes received from workers (TILE publishes, DONE, BYE).
@@ -578,11 +956,14 @@ impl Drive {
                 }
                 self.done[idx] = true;
                 self.done_count += 1;
-                self.order[idx] = TaskOrder {
-                    start_seq: 2 * self.seq,
-                    end_seq: 2 * self.seq + 1,
-                };
-                self.seq += 1;
+                if !self.completed_once[idx] {
+                    self.completed_once[idx] = true;
+                    self.order[idx] = TaskOrder {
+                        start_seq: 2 * self.seq,
+                        end_seq: 2 * self.seq + 1,
+                    };
+                    self.seq += 1;
+                }
                 self.kernels[kind as usize].record(elapsed);
                 self.workers[from].busy_seconds += elapsed;
                 self.workers[from].tasks += 1;
@@ -597,11 +978,63 @@ impl Drive {
                 self.bye[from] = Some(tasks);
                 Ok(())
             }
+            Event::Heartbeat { from, tasks } => {
+                self.census.record(K_HEARTBEAT, HEARTBEAT_ECHO_BYTES);
+                self.bye[from] = Some(tasks);
+                Ok(())
+            }
             Event::Lost { from, detail } => Err(ShardError::WorkerLost {
                 worker: from,
                 detail,
             }),
         }
+    }
+}
+
+/// One frame the coordinator sent to a specific worker, minus liveness
+/// traffic: the logical prefix a replacement must replay. Everything
+/// needed to rebuild the frame is re-derivable — seeds re-encode from the
+/// (untouched until gather) factor or, when the tile has since been
+/// finally published, from the coordinator's published-tile map; forwards
+/// re-send published bytes; tasks re-encode from `meta`, skipping those
+/// whose written tile is already final.
+#[derive(Clone, Copy)]
+enum LoggedFrame {
+    Seed { i: u32, j: u32 },
+    Forward { i: u32, j: u32 },
+    Task { id: usize },
+}
+
+/// Where a replacement worker came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplacementOrigin {
+    /// A standby admitted earlier, promoted into the grid slot.
+    Standby,
+    /// A worker spawned (or dialed in) after the death.
+    Respawn,
+}
+
+/// A replacement connection handed to the coordinator mid-run.
+#[derive(Debug)]
+pub struct ReplacementWorker {
+    /// Registered connection (the `JOIN`/`ASSIGN` handshake already ran).
+    pub stream: TcpStream,
+    pub origin: ReplacementOrigin,
+}
+
+/// Supplies replacement workers during [`TiledFactor::factorize_elastic`].
+/// Returning `None` declines: the run fails with the original
+/// [`ShardError::WorkerLost`], exactly like the pre-elastic coordinator.
+pub trait ReplacementSource {
+    fn replace(&mut self, worker: usize) -> Option<ReplacementWorker>;
+}
+
+/// The spawn-only behavior: no replacements, any death fails the run.
+pub struct NoReplacement;
+
+impl ReplacementSource for NoReplacement {
+    fn replace(&mut self, _worker: usize) -> Option<ReplacementWorker> {
+        None
     }
 }
 
@@ -612,43 +1045,336 @@ struct Coordinator<'a> {
     /// Frames/bytes sent to workers (HELLO, TILE seeds/forwards, TASK,
     /// SHUTDOWN).
     census: WireCensus,
+    /// Per-worker logical frame log (current incarnation), the replay
+    /// source on recovery.
+    sent_log: Vec<Vec<LoggedFrame>>,
+    /// TASK frames sent to each worker's current incarnation — what its
+    /// end-of-run census must report back.
+    sent_tasks: Vec<u64>,
+    /// Tasks dispatched so far, globally (recovery-plan input).
+    dispatched: Vec<bool>,
+    /// Workers whose socket failed a write: subsequent writes are
+    /// swallowed (but still logged) until the reader surfaces the death
+    /// as a `Lost` event and recovery swaps the stream. The frames are in
+    /// the log, so the replay covers them.
+    dead: Vec<bool>,
 }
 
 impl Coordinator<'_> {
     fn send(&mut self, worker: usize, kind: u8, payload: &[u8]) -> Result<(), ShardError> {
         self.census.record(kind, payload.len());
-        write_frame(&mut self.streams[worker], kind, payload).map_err(|e| ShardError::WorkerLost {
-            worker,
-            detail: format!("write failed: {e}"),
-        })
-    }
-
-    /// Pump events until `pred` holds (checked after each event).
-    fn wait_until(
-        &mut self,
-        drive: &mut Drive,
-        meta: &[TaskMeta],
-        layout: &xgs_tile::TileLayout,
-        phase: &'static str,
-        mut pred: impl FnMut(&Drive) -> bool,
-    ) -> Result<(), ShardError> {
-        while !pred(drive) {
-            let remaining = self.deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(ShardError::Timeout { phase });
-            }
-            match self.rx.recv_timeout(remaining) {
-                Ok(ev) => drive.handle(ev, meta, layout)?,
-                Err(RecvTimeoutError::Timeout) => return Err(ShardError::Timeout { phase }),
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(ShardError::Protocol(
-                        "all worker connections closed unexpectedly".into(),
-                    ))
-                }
-            }
+        if self.dead[worker] {
+            return Ok(());
+        }
+        if let Err(e) = write_frame(&mut self.streams[worker], kind, payload) {
+            // Don't fail here: the worker's reader thread delivers the
+            // authoritative `Lost` event (after any frames the worker got
+            // out before dying), and recovery — or the no-replacement
+            // error path — runs from `wait_until`. Until then the stream
+            // is write-dead and frames land only in the log.
+            let _ = e;
+            self.dead[worker] = true;
         }
         Ok(())
     }
+
+    fn log(&mut self, worker: usize, frame: LoggedFrame) {
+        if let LoggedFrame::Task { .. } = frame {
+            self.sent_tasks[worker] += 1;
+        }
+        self.sent_log[worker].push(frame);
+    }
+}
+
+/// Everything [`recover`] needs besides the coordinator/drive pair.
+struct RecoveryCtx<'s> {
+    source: &'s mut dyn ReplacementSource,
+    readers: &'s mut Vec<std::thread::JoinHandle<()>>,
+    tx: Sender<Event>,
+    stop: Arc<AtomicBool>,
+    /// Tile `(i, j)` → id of its finally-publishing task (`POTRF` for the
+    /// diagonal, the step-`j` `TRSM` for panel tiles): a tile is *final*
+    /// exactly when that task has completed.
+    publisher: HashMap<(u32, u32), usize>,
+    /// `(p, q, nt, workers)`.
+    grid: (usize, usize, usize, usize),
+}
+
+/// Pump events until `pred` holds (checked after each event). A `Lost`
+/// event routes through [`recover`] instead of failing the run.
+#[allow(clippy::too_many_arguments)]
+fn wait_until(
+    f: &TiledFactor,
+    co: &mut Coordinator,
+    drive: &mut Drive,
+    rec: &mut RecoveryCtx,
+    meta: &[TaskMeta],
+    layout: &xgs_tile::TileLayout,
+    phase: &'static str,
+    mut pred: impl FnMut(&Drive) -> bool,
+) -> Result<(), ShardError> {
+    while !pred(drive) {
+        let remaining = co.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ShardError::Timeout { phase });
+        }
+        match co.rx.recv_timeout(remaining) {
+            Ok(Event::Lost { from, detail }) => {
+                recover(f, co, drive, rec, meta, layout, from, detail)?
+            }
+            Ok(ev) => drive.handle(ev, meta, layout)?,
+            Err(RecvTimeoutError::Timeout) => return Err(ShardError::Timeout { phase }),
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(ShardError::Protocol(
+                    "all worker connections closed unexpectedly".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn hello_payload(worker: usize, layout: &TileLayout, p: usize, q: usize, nt: usize) -> Vec<u8> {
+    let mut h = WireWriter::new();
+    h.put_u8(PROTO_VERSION);
+    h.put_u32(worker as u32);
+    h.put_u32(p as u32);
+    h.put_u32(q as u32);
+    h.put_u32(nt as u32);
+    h.put_u32(layout.tile_size() as u32);
+    h.put_u64(layout.n() as u64);
+    h.buf
+}
+
+/// Encode the coordinator's stored tile `(i, j)` as a seeding TILE frame.
+fn seed_payload(f: &TiledFactor, i: usize, j: usize) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(i as u32);
+    w.put_u32(j as u32);
+    f.with_tile(i, j, |t| {
+        encode_tile(t, &mut w.buf);
+        count_wire_conversion(t, true);
+    });
+    w.buf
+}
+
+fn task_payload(id: usize, m: &TaskMeta, publish: bool) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(m.kind);
+    w.put_u64(id as u64);
+    w.put_u32(m.k);
+    w.put_u32(m.i);
+    w.put_u32(m.j);
+    w.put_f64(m.tol);
+    w.put_u8(publish as u8);
+    w.buf
+}
+
+/// The tile task `m` writes.
+fn write_tile(m: &TaskMeta) -> (u32, u32) {
+    match m.kind {
+        KIND_POTRF => (m.k, m.k),
+        KIND_TRSM => (m.i, m.k),
+        KIND_SYRK => (m.i, m.i),
+        // GEMM and (unreachable for locally built meta) anything else.
+        _kind_gemm_or_unknown => (m.i, m.j),
+    }
+}
+
+/// Recover from the death of `lost`'s current incarnation.
+///
+/// If every task has already completed, the factor is fully published and
+/// the worker is only marked departed (the gather needs nothing further
+/// from it). Otherwise a replacement is taken from the source and the lost
+/// shard's state is rebuilt by replaying the worker's logged frame prefix:
+/// tiles whose final value was already published are seeded from the
+/// coordinator's published bytes ("replay from the last published tile
+/// versions"), everything else re-runs. Workers are deterministic
+/// functions of their FIFO input stream, so the rebuilt state — and the
+/// finished factor — is bitwise identical to an undisturbed run.
+///
+/// The replay is validated before a single frame is sent:
+/// `check_shard_plan` re-proves the base plan and
+/// [`xgs_analysis::check_recovery_plan`] replays the recovery events
+/// against it (seed/forward legality, operand versions, re-dispatch
+/// completeness).
+#[allow(clippy::too_many_arguments)]
+fn recover(
+    f: &TiledFactor,
+    co: &mut Coordinator,
+    drive: &mut Drive,
+    rec: &mut RecoveryCtx,
+    meta: &[TaskMeta],
+    layout: &xgs_tile::TileLayout,
+    lost: usize,
+    detail: String,
+) -> Result<(), ShardError> {
+    let t_rec = Instant::now();
+    if drive.departed[lost] {
+        return Ok(());
+    }
+    co.dead[lost] = true;
+    if drive.done_count == meta.len() {
+        // Death during gather/drain: every task is done and every final
+        // tile is already in `drive.tiles` — record the death, skip the
+        // worker in the census, and let the run finish without it.
+        drive.departed[lost] = true;
+        drive.events[EV_WORKER_DEATH].record(0.0);
+        return Ok(());
+    }
+    let Some(repl) = rec.source.replace(lost) else {
+        return Err(ShardError::WorkerLost {
+            worker: lost,
+            detail,
+        });
+    };
+    drive.events[EV_WORKER_DEATH].record(0.0);
+    let (p, q, nt, workers) = rec.grid;
+
+    // Tiles whose final publishing task has completed. Stable across the
+    // resets below: only non-final-writing tasks are reset, and they are
+    // never a tile's final publisher.
+    let final_tiles: std::collections::HashSet<(u32, u32)> = rec
+        .publisher
+        .iter()
+        .filter(|&(_, &id)| drive.done[id])
+        .map(|(&t, _)| t)
+        .collect();
+
+    // Build the recovery event list in the original per-worker frame
+    // order, and validate it against the re-proven base plan before any
+    // frame is sent.
+    let old_log = std::mem::take(&mut co.sent_log[lost]);
+    let mut revents = Vec::with_capacity(old_log.len());
+    for fr in &old_log {
+        match *fr {
+            LoggedFrame::Seed { i, j } => {
+                let tile = (i as usize, j as usize);
+                revents.push(if final_tiles.contains(&(i, j)) {
+                    xgs_analysis::RecoveryEvent::SeedPublished { tile }
+                } else {
+                    xgs_analysis::RecoveryEvent::SeedOriginal { tile }
+                });
+            }
+            LoggedFrame::Forward { i, j } => {
+                revents.push(xgs_analysis::RecoveryEvent::Forward {
+                    tile: (i as usize, j as usize),
+                });
+            }
+            LoggedFrame::Task { id } => {
+                if !final_tiles.contains(&write_tile(&meta[id])) {
+                    revents.push(xgs_analysis::RecoveryEvent::Replay { task: id });
+                }
+            }
+        }
+    }
+    let base = build_shard_plan(f, meta, nt, p, q, workers);
+    xgs_analysis::check_shard_plan(&base)
+        .map_err(|e| ShardError::Protocol(format!("recovery base plan rejected: {e}")))?;
+    let rplan = xgs_analysis::RecoveryPlan {
+        lost,
+        completed: drive.done.clone(),
+        dispatched: co.dispatched.clone(),
+        events: revents,
+    };
+    xgs_analysis::check_recovery_plan(&base, &rplan)
+        .map_err(|e| ShardError::Protocol(format!("recovery plan rejected: {e}")))?;
+
+    // Reset completed tasks the replacement will re-run, so their fresh
+    // DONEs are accepted (their original order stamps stay — consumers
+    // read the originally published values).
+    for fr in &old_log {
+        if let LoggedFrame::Task { id } = *fr {
+            if !final_tiles.contains(&write_tile(&meta[id])) && drive.done[id] {
+                drive.done[id] = false;
+                drive.done_count -= 1;
+            }
+        }
+    }
+
+    // Swap in the replacement and give it a reader.
+    co.streams[lost] = repl.stream;
+    co.dead[lost] = false;
+    co.sent_tasks[lost] = 0;
+    let _ = co.streams[lost].set_nodelay(true);
+    match co.streams[lost].try_clone() {
+        Ok(clone) => {
+            let tx = rec.tx.clone();
+            let stop = Arc::clone(&rec.stop);
+            rec.readers.push(std::thread::spawn(move || {
+                reader_thread(lost, clone, tx, stop)
+            }));
+        }
+        Err(e) => {
+            // Treat an uncloneable replacement as instantly dead: the
+            // synthetic Lost re-enters recovery for another replacement.
+            let tx = rec.tx.clone();
+            let synth = format!("replacement stream clone failed: {e}");
+            rec.readers.push(std::thread::spawn(move || {
+                let _ = tx.send(Event::Lost {
+                    from: lost,
+                    detail: synth,
+                });
+            }));
+        }
+    }
+
+    // Replay the validated plan: HELLO resets the worker, then the logged
+    // prefix with final tiles seeded from their published bytes and
+    // final-writing tasks skipped.
+    co.send(lost, K_HELLO, &hello_payload(lost, layout, p, q, nt))?;
+    let mut panels: Vec<u32> = Vec::new();
+    for fr in old_log {
+        match fr {
+            LoggedFrame::Seed { i, j } => {
+                if final_tiles.contains(&(i, j)) {
+                    let payload = drive.tiles.get(&(i, j)).cloned().ok_or_else(|| {
+                        ShardError::Protocol(format!(
+                            "final tile ({i},{j}) missing from the published map"
+                        ))
+                    })?;
+                    co.send(lost, K_TILE, &payload)?;
+                } else {
+                    let payload = seed_payload(f, i as usize, j as usize);
+                    co.send(lost, K_TILE, &payload)?;
+                }
+                co.log(lost, fr);
+            }
+            LoggedFrame::Forward { i, j } => {
+                let payload = drive.tiles.get(&(i, j)).cloned().ok_or_else(|| {
+                    ShardError::Protocol(format!(
+                        "forwarded tile ({i},{j}) missing from the published map"
+                    ))
+                })?;
+                co.send(lost, K_TILE, &payload)?;
+                co.log(lost, fr);
+            }
+            LoggedFrame::Task { id } => {
+                let m = &meta[id];
+                if final_tiles.contains(&write_tile(m)) {
+                    continue;
+                }
+                let publish = matches!(m.kind, KIND_POTRF | KIND_TRSM);
+                let payload = task_payload(id, m, publish);
+                co.send(lost, K_TASK, &payload)?;
+                co.log(lost, fr);
+                if !panels.contains(&m.k) {
+                    panels.push(m.k);
+                }
+            }
+        }
+    }
+    // One panel_replay event per affected step, stamped with the recovery
+    // wall time so the report shows what the death cost.
+    let dt = t_rec.elapsed().as_secs_f64();
+    for _k in &panels {
+        drive.events[EV_PANEL_REPLAY].record(dt);
+    }
+    if repl.origin == ReplacementOrigin::Standby {
+        drive.events[EV_STANDBY_PROMOTE].record(0.0);
+    }
+    drive.recoveries += 1;
+    Ok(())
 }
 
 impl TiledFactor {
@@ -657,7 +1383,9 @@ impl TiledFactor {
     /// [`spawn_workers`] or [`spawn_local_workers`]).
     ///
     /// Drives exactly one factorization, then shuts the workers down
-    /// (`SHUTDOWN` → `BYE` drain). Tile `(i, j)` tasks run on worker
+    /// (`SHUTDOWN` → `BYE` drain) and closes the sockets. Any worker death
+    /// fails the run — this is [`TiledFactor::factorize_elastic`] with
+    /// [`NoReplacement`]. Tile `(i, j)` tasks run on worker
     /// `block_cyclic_owner(i, j, p, q)`; per-tile kernel order matches
     /// [`TiledFactor::factorize_seq`], so the result is bitwise identical
     /// to the single-process factor.
@@ -665,6 +1393,31 @@ impl TiledFactor {
         &mut self,
         mut streams: Vec<TcpStream>,
         opts: &ShardOptions,
+    ) -> Result<ShardReport, ShardError> {
+        let mut none = NoReplacement;
+        let result = self.factorize_elastic(&mut streams, opts, &mut none);
+        for s in streams.iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        result
+    }
+
+    /// Factorize over `streams` with elastic worker recovery: when a
+    /// worker dies mid-run, `source` supplies a replacement (a promoted
+    /// standby or a fresh respawn) and the coordinator replays the lost
+    /// shard's frame prefix from the last published tile versions instead
+    /// of failing — see [`recover`]. With [`ShardOptions::persistent`]
+    /// the fleet stays warm afterwards: no `SHUTDOWN`, sockets stay open,
+    /// and the executed-task census rides a `HEARTBEAT` exchange.
+    ///
+    /// On error (and always when not persistent) the sockets are shut
+    /// down before returning, so a failed run can never leave a worker
+    /// half-driven.
+    pub fn factorize_elastic(
+        &mut self,
+        streams: &mut Vec<TcpStream>,
+        opts: &ShardOptions,
+        source: &mut dyn ReplacementSource,
     ) -> Result<ShardReport, ShardError> {
         let workers = streams.len();
         let (p, q) = (opts.grid_p, opts.grid_q);
@@ -734,12 +1487,26 @@ impl TiledFactor {
                 reader_thread(w, clone, tx, stop)
             }));
         }
-        drop(tx);
+
+        // Tile (i, j) -> the task whose completion makes it final.
+        let mut publisher: HashMap<(u32, u32), usize> = HashMap::new();
+        for (id, m) in meta.iter().enumerate() {
+            match m.kind {
+                KIND_POTRF => {
+                    publisher.insert((m.k, m.k), id);
+                }
+                KIND_TRSM => {
+                    publisher.insert((m.i, m.k), id);
+                }
+                _other => {}
+            }
+        }
 
         let mut drive = Drive {
             tiles: HashMap::new(),
             order: vec![TaskOrder::default(); total],
             done: vec![false; total],
+            completed_once: vec![false; total],
             done_count: 0,
             seq: 0,
             kernels: [
@@ -748,38 +1515,85 @@ impl TiledFactor {
                 KernelStats::new("syrk"),
                 KernelStats::new("gemm"),
             ],
+            events: [
+                KernelStats::new("worker_death"),
+                KernelStats::new("panel_replay"),
+                KernelStats::new("standby_promote"),
+            ],
             workers: vec![WorkerStats::default(); workers],
             bye: vec![None; workers],
+            departed: vec![false; workers],
+            recoveries: 0,
             failed: None,
             census: WireCensus::default(),
         };
         let mut co = Coordinator {
-            streams: &mut streams,
+            streams,
             rx,
             deadline: t0 + opts.deadline,
             census: WireCensus::default(),
+            sent_log: vec![Vec::new(); workers],
+            sent_tasks: vec![0; workers],
+            dispatched: vec![false; total],
+            dead: vec![false; workers],
+        };
+        let mut rec = RecoveryCtx {
+            source,
+            readers: &mut readers,
+            tx,
+            stop: Arc::clone(&stop),
+            publisher,
+            grid: (p, q, nt, workers),
         };
 
-        let result = run_steps(self, &mut co, &mut drive, &meta, p, q, nt, workers);
+        let result = run_steps(
+            self,
+            &mut co,
+            &mut drive,
+            &mut rec,
+            &meta,
+            p,
+            q,
+            nt,
+            workers,
+            opts.persistent,
+        );
+        drop(rec);
 
-        // Every exit path tears the connections down so reader threads and
-        // worker processes cannot outlive the run.
+        // Reader threads never outlive the run: the stop flag unblocks
+        // them even when the sockets stay open for a warm fleet. Sockets
+        // are torn down unless this persistent run succeeded.
         stop.store(true, Ordering::Release);
-        for s in co.streams.iter() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        let warm = opts.persistent && result.is_ok();
+        if !warm {
+            for s in co.streams.iter() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
         }
+        let sent_tasks = co.sent_tasks.clone();
         drop(co);
         for r in readers {
             let _ = r.join();
         }
         let mut report = result?;
 
-        for (w, (got, want)) in drive.bye.iter().zip(census.iter()).enumerate() {
-            if *got != Some(*want) {
+        // Census: each surviving incarnation must report back exactly the
+        // TASK frames the coordinator sent it. Workers that departed after
+        // the last DONE have nothing left to prove. Without recoveries the
+        // sent counts are the block-cyclic census itself.
+        for (w, &want) in sent_tasks.iter().enumerate() {
+            if drive.departed[w] {
+                continue;
+            }
+            let got = drive.bye[w];
+            if got != Some(want) {
                 return Err(ShardError::Protocol(format!(
-                    "worker {w} executed {got:?} tasks, census says {want}"
+                    "worker {w} executed {got:?} tasks, coordinator sent {want}"
                 )));
             }
+        }
+        if drive.recoveries == 0 {
+            debug_assert_eq!(sent_tasks, census);
         }
         report.worker_tasks = census;
         report.metrics.conversions = conversion_counts().since(&conv0);
@@ -787,8 +1601,9 @@ impl TiledFactor {
         // The bytes the plan budgeted are the bytes the wire carried — a
         // mismatch means the encoder and the static model disagree about
         // the format of some tile, which is exactly the bug class the
-        // f64-everywhere regression was.
-        if let Some((frames, bytes)) = planned_tiles {
+        // f64-everywhere regression was. Replays legitimately resend TILE
+        // frames, so the exact-byte check only binds undisturbed runs.
+        if let (Some((frames, bytes)), 0) = (planned_tiles, drive.recoveries) {
             let (got_frames, got_bytes) = report
                 .metrics
                 .wire
@@ -817,57 +1632,52 @@ impl TiledFactor {
     }
 }
 
-/// The per-step drive loop, separated so `factorize_sharded` can run the
+/// The per-step drive loop, separated so `factorize_elastic` can run the
 /// teardown on every exit path.
 #[allow(clippy::too_many_arguments)]
 fn run_steps(
     f: &mut TiledFactor,
     co: &mut Coordinator,
     drive: &mut Drive,
+    rec: &mut RecoveryCtx,
     meta: &[TaskMeta],
     p: usize,
     q: usize,
     nt: usize,
     workers: usize,
+    persistent: bool,
 ) -> Result<ShardReport, ShardError> {
     let layout = f.layout;
     let total = meta.len();
 
     // HELLO + initial tile distribution: each worker gets the stored tiles
-    // it owns, before any task can reference them (stream FIFO).
+    // it owns, before any task can reference them (stream FIFO). HELLO is
+    // not logged — a replacement's replay opens with its own HELLO.
     for w in 0..workers {
-        let mut h = WireWriter::new();
-        h.put_u32(w as u32);
-        h.put_u32(p as u32);
-        h.put_u32(q as u32);
-        h.put_u32(nt as u32);
-        h.put_u32(layout.tile_size() as u32);
-        h.put_u64(layout.n() as u64);
-        co.send(w, K_HELLO, &h.buf)?;
+        let payload = hello_payload(w, &layout, p, q, nt);
+        co.send(w, K_HELLO, &payload)?;
     }
     for j in 0..nt {
         for i in j..nt {
-            let mut w = WireWriter::new();
-            w.put_u32(i as u32);
-            w.put_u32(j as u32);
-            f.with_tile(i, j, |t| {
-                encode_tile(t, &mut w.buf);
-                count_wire_conversion(t, true);
-            });
-            co.send(block_cyclic_owner(i, j, p, q), K_TILE, &w.buf)?;
+            let payload = seed_payload(f, i, j);
+            let owner = block_cyclic_owner(i, j, p, q);
+            co.send(owner, K_TILE, &payload)?;
+            co.log(
+                owner,
+                LoggedFrame::Seed {
+                    i: i as u32,
+                    j: j as u32,
+                },
+            );
         }
     }
 
     let send_task = |co: &mut Coordinator, id: usize, m: &TaskMeta, publish: bool| {
-        let mut w = WireWriter::new();
-        w.put_u8(m.kind);
-        w.put_u64(id as u64);
-        w.put_u32(m.k);
-        w.put_u32(m.i);
-        w.put_u32(m.j);
-        w.put_f64(m.tol);
-        w.put_u8(publish as u8);
-        co.send(m.owner, K_TASK, &w.buf)
+        co.dispatched[id] = true;
+        let payload = task_payload(id, m, publish);
+        co.send(m.owner, K_TASK, &payload)?;
+        co.log(m.owner, LoggedFrame::Task { id });
+        Ok::<(), ShardError>(())
     };
     let forward = |co: &mut Coordinator, drive: &Drive, key: (u32, u32), to: usize| {
         let payload = drive.tiles.get(&key).ok_or_else(|| {
@@ -876,7 +1686,9 @@ fn run_steps(
                 key.0, key.1
             ))
         })?;
-        co.send(to, K_TILE, payload)
+        co.send(to, K_TILE, payload)?;
+        co.log(to, LoggedFrame::Forward { i: key.0, j: key.1 });
+        Ok::<(), ShardError>(())
     };
     // Index of task `m` in canonical order, maintained incrementally.
     let mut next_id = 0usize;
@@ -887,7 +1699,7 @@ fn run_steps(
         let potrf_id = next_id;
         send_task(co, potrf_id, &meta[potrf_id], true)?;
         next_id += 1;
-        co.wait_until(drive, meta, &layout, "potrf", |d| {
+        wait_until(f, co, drive, rec, meta, &layout, "potrf", |d| {
             d.done[potrf_id] || d.failed.is_some()
         })?;
         if let Some(pivot) = drive.failed {
@@ -906,7 +1718,7 @@ fn run_steps(
         for &id in &trsm_ids {
             send_task(co, id, &meta[id], true)?;
         }
-        co.wait_until(drive, meta, &layout, "trsm", |d| {
+        wait_until(f, co, drive, rec, meta, &layout, "trsm", |d| {
             trsm_ids.iter().all(|&id| d.done[id])
         })?;
 
@@ -930,7 +1742,9 @@ fn run_steps(
     }
     debug_assert_eq!(next_id, total);
 
-    co.wait_until(drive, meta, &layout, "drain", |d| d.done_count == total)?;
+    wait_until(f, co, drive, rec, meta, &layout, "drain", |d| {
+        d.done_count == total
+    })?;
 
     // Gather: every stored tile's final write is a published POTRF (diag)
     // or TRSM (panel) output, so the tile map now holds the whole factor.
@@ -949,11 +1763,34 @@ fn run_steps(
         }
     }
 
-    for w in 0..workers {
-        co.send(w, K_SHUTDOWN, &[])?;
+    // End-of-run census. One-shot runs terminate the workers (SHUTDOWN →
+    // BYE); a persistent fleet instead pings each live worker once with a
+    // HEARTBEAT whose echo carries the same executed-task count, leaving
+    // the connection warm for the next factorization. Workers that
+    // departed after the final DONE have nothing to report.
+    if persistent {
+        for w in 0..workers {
+            if drive.departed[w] {
+                continue;
+            }
+            let mut hb = WireWriter::new();
+            hb.put_u64(w as u64);
+            co.send(w, K_HEARTBEAT, &hb.buf)?;
+        }
+    } else {
+        for w in 0..workers {
+            if drive.departed[w] {
+                continue;
+            }
+            co.send(w, K_SHUTDOWN, &[])?;
+        }
     }
-    co.wait_until(drive, meta, &layout, "shutdown", |d| {
-        d.bye.iter().all(Option::is_some)
+    let phase = if persistent { "census" } else { "shutdown" };
+    wait_until(f, co, drive, rec, meta, &layout, phase, |d| {
+        d.bye
+            .iter()
+            .zip(d.departed.iter())
+            .all(|(b, &dep)| dep || b.is_some())
     })?;
 
     let mut kernels: Vec<KernelStats> = drive
@@ -963,6 +1800,11 @@ fn run_steps(
         .copied()
         .collect();
     kernels.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+    // Fleet lifecycle events ride the same kernel-stats schema (count +
+    // seconds), trailing the compute kernels, so `metrics_diff
+    // --assert-counts worker_death,panel_replay` can hold a chaos run to
+    // an exact recovery profile.
+    kernels.extend(drive.events.iter().filter(|e| e.count > 0).copied());
     // One census for both directions: coordinator-side sends plus the
     // worker frames the reader threads drained.
     let mut wire = co.census;
@@ -1151,6 +1993,34 @@ pub fn project_wire_census(
     census.record_many(K_DONE, tasks, DONE_PAYLOAD_BYTES);
     census.record_many(K_SHUTDOWN, workers as u64, 0);
     census.record_many(K_BYE, workers as u64, BYE_PAYLOAD_BYTES);
+    census.to_stats()
+}
+
+/// [`project_wire_census`] for a *persistent* (warm-fleet) factorization:
+/// the drive loop is identical except the drain — no `SHUTDOWN`/`BYE`;
+/// instead one `HEARTBEAT` ping per worker and one echo back carry the
+/// executed-task census while the connections stay open for the next run.
+pub fn project_wire_census_warm(
+    meta: &dyn TileMetaSource,
+    n: usize,
+    nb: usize,
+    workers: usize,
+) -> Vec<WireStats> {
+    let mut census = WireCensus::default();
+    for row in project_wire_census(meta, n, nb, workers) {
+        match row.kind {
+            "shutdown" | "bye" => {}
+            other => {
+                let kind = FRAME_KIND_NAMES
+                    .iter()
+                    .position(|&n| n == other)
+                    .map_or(K_HELLO, |idx| idx as u8 + 1);
+                census.counts[kind as usize - 1] = (row.frames, row.bytes);
+            }
+        }
+    }
+    census.record_many(K_HEARTBEAT, workers as u64, HEARTBEAT_PING_BYTES);
+    census.record_many(K_HEARTBEAT, workers as u64, HEARTBEAT_ECHO_BYTES);
     census.to_stats()
 }
 
@@ -1375,6 +2245,17 @@ pub fn spawn_workers(
             Err(e) => return Err(ShardError::Spawn(e.to_string())),
         }
     }
+    // Registration: read each worker's JOIN, assign it the grid slot
+    // matching its accept order.
+    let admit_deadline = deadline.saturating_duration_since(Instant::now());
+    for (w, s) in procs.streams.iter_mut().enumerate() {
+        admit_worker(
+            s,
+            w as u32,
+            false,
+            admit_deadline.max(Duration::from_secs(1)),
+        )?;
+    }
     Ok(procs)
 }
 
@@ -1387,14 +2268,33 @@ pub type LocalWorkerHandle = std::thread::JoinHandle<io::Result<u64>>;
 /// results — used by the property-test sweep where spawning real processes
 /// per case would dominate the runtime.
 pub fn spawn_local_workers(shards: usize) -> io::Result<(Vec<TcpStream>, Vec<LocalWorkerHandle>)> {
+    spawn_local_workers_with(
+        shards,
+        WorkerOptions {
+            idle_timeout: None,
+            ..WorkerOptions::default()
+        },
+    )
+}
+
+/// [`spawn_local_workers`] with explicit [`WorkerOptions`] — the chaos
+/// fault-matrix tests inject in-process `Disconnect` deaths through here.
+pub fn spawn_local_workers_with(
+    shards: usize,
+    opts: WorkerOptions,
+) -> io::Result<(Vec<TcpStream>, Vec<LocalWorkerHandle>)> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let mut streams = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
-    for _ in 0..shards {
-        let conn = TcpStream::connect(addr)?;
+    for w in 0..shards {
+        let mut conn = TcpStream::connect(addr)?;
         let (server_end, _) = listener.accept()?;
-        handles.push(std::thread::spawn(move || worker_loop(server_end)));
+        handles.push(std::thread::spawn(move || {
+            worker_loop_with(server_end, opts)
+        }));
+        admit_worker(&mut conn, w as u32, false, Duration::from_secs(10))
+            .map_err(|e| io::Error::other(e.to_string()))?;
         streams.push(conn);
     }
     Ok((streams, handles))
@@ -1436,6 +2336,27 @@ impl ShardRunner {
         f.factorize_sharded(streams, &opts)
         // `procs` drops here: surviving children (all of them, after a
         // clean BYE drain) are killed/reaped.
+    }
+}
+
+/// Anything that can run a sharded factorization for the higher layers
+/// (`FactorEngine::Sharded`, the prediction server). [`ShardRunner`] is
+/// the one-shot spawn-per-run strategy; the `xgs-fleet` supervisor is the
+/// persistent warm-fleet strategy with standby promotion and replay.
+pub trait ShardBackend: Send + Sync + std::fmt::Debug {
+    fn factorize(&self, f: &mut TiledFactor) -> Result<ShardReport, ShardError>;
+
+    /// Human-readable strategy tag for logs and `serve` banners.
+    fn describe(&self) -> String;
+}
+
+impl ShardBackend for ShardRunner {
+    fn factorize(&self, f: &mut TiledFactor) -> Result<ShardReport, ShardError> {
+        ShardRunner::factorize(self, f)
+    }
+
+    fn describe(&self) -> String {
+        format!("spawn-per-run x{}", self.shards)
     }
 }
 
@@ -1743,5 +2664,464 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn event_count(report: &ShardReport, kind: &str) -> u64 {
+        report
+            .metrics
+            .kernels
+            .iter()
+            .find(|k| k.kind == kind)
+            .map_or(0, |k| k.count)
+    }
+
+    /// In-process [`ReplacementSource`]: dials a fresh loopback worker
+    /// thread per death, registered through the same `JOIN`/`ASSIGN`
+    /// handshake real fleet members use.
+    struct LocalRespawn {
+        listener: TcpListener,
+        handles: Vec<LocalWorkerHandle>,
+        next_member: u32,
+        origin: ReplacementOrigin,
+    }
+
+    impl LocalRespawn {
+        fn new(origin: ReplacementOrigin) -> LocalRespawn {
+            LocalRespawn {
+                listener: TcpListener::bind("127.0.0.1:0").unwrap(),
+                handles: Vec::new(),
+                next_member: 100,
+                origin,
+            }
+        }
+    }
+
+    impl ReplacementSource for LocalRespawn {
+        fn replace(&mut self, _worker: usize) -> Option<ReplacementWorker> {
+            let addr = self.listener.local_addr().ok()?;
+            let mut conn = TcpStream::connect(addr).ok()?;
+            let (server_end, _) = self.listener.accept().ok()?;
+            self.handles
+                .push(std::thread::spawn(move || worker_loop(server_end)));
+            let standby = self.origin == ReplacementOrigin::Standby;
+            admit_worker(
+                &mut conn,
+                self.next_member,
+                standby,
+                Duration::from_secs(10),
+            )
+            .ok()?;
+            self.next_member += 1;
+            Some(ReplacementWorker {
+                stream: conn,
+                origin: self.origin,
+            })
+        }
+    }
+
+    fn chaos_workers(shards: usize, chaos: ChaosSpec) -> (Vec<TcpStream>, Vec<LocalWorkerHandle>) {
+        spawn_local_workers_with(
+            shards,
+            WorkerOptions {
+                idle_timeout: None,
+                chaos: Some(chaos),
+                ..WorkerOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn elastic_recovery_mid_panel_stays_bitwise() {
+        for origin in [ReplacementOrigin::Respawn, ReplacementOrigin::Standby] {
+            let mut seq = build(200, 64, Variant::DenseF64);
+            seq.factorize_seq().unwrap();
+
+            let mut shd = build(200, 64, Variant::DenseF64);
+            // Member 3 owns tiles (1,1), (3,1) and (3,3) on the 2x2 grid;
+            // dying on receipt of its fourth TASK — the step-1 POTRF —
+            // leaves completed-but-unpublished trailing work to replay
+            // while the coordinator is blocked on that very panel.
+            let (mut streams, handles) = chaos_workers(
+                4,
+                ChaosSpec {
+                    member: 3,
+                    trigger: ChaosTrigger::TaskStart(3),
+                    disconnect: true,
+                },
+            );
+            let mut source = LocalRespawn::new(origin);
+            let mut opts = ShardOptions::for_workers(4);
+            opts.validate = true;
+            let report = shd
+                .factorize_elastic(&mut streams, &opts, &mut source)
+                .unwrap();
+            drop(streams);
+            for h in handles.into_iter().chain(source.handles) {
+                let _ = h.join().unwrap();
+            }
+
+            assert_eq!(
+                seq.to_dense_lower().as_slice(),
+                shd.to_dense_lower().as_slice(),
+                "recovered factor must stay bitwise equal to sequential ({origin:?})"
+            );
+            assert_eq!(event_count(&report, "worker_death"), 1);
+            assert!(event_count(&report, "panel_replay") >= 1);
+            let promoted = u64::from(origin == ReplacementOrigin::Standby);
+            assert_eq!(event_count(&report, "standby_promote"), promoted);
+            // Replay re-runs tasks, so the hazard validator must still see
+            // a clean linearization (original order stamps).
+            let v = report.metrics.validation.expect("validation forced on");
+            assert_eq!(v.war_edges, 0);
+        }
+    }
+
+    #[test]
+    fn repeated_deaths_still_recover() {
+        // The same member id is never reassigned, but a respawned member
+        // can die again: target the second incarnation too by killing
+        // member 100 (the first respawn) after one task.
+        let mut seq = build(200, 64, Variant::DenseF64);
+        seq.factorize_seq().unwrap();
+        let mut shd = build(200, 64, Variant::DenseF64);
+        let chaos = ChaosSpec {
+            member: 3,
+            trigger: ChaosTrigger::TaskStart(3),
+            disconnect: true,
+        };
+        let (mut streams, handles) = chaos_workers(4, chaos);
+
+        struct ChaosRespawn {
+            inner: LocalRespawn,
+            second_death: ChaosSpec,
+        }
+        impl ReplacementSource for ChaosRespawn {
+            fn replace(&mut self, _worker: usize) -> Option<ReplacementWorker> {
+                let addr = self.inner.listener.local_addr().ok()?;
+                let mut conn = TcpStream::connect(addr).ok()?;
+                let (server_end, _) = self.inner.listener.accept().ok()?;
+                let opts = WorkerOptions {
+                    idle_timeout: None,
+                    chaos: Some(self.second_death),
+                    ..WorkerOptions::default()
+                };
+                self.inner.handles.push(std::thread::spawn(move || {
+                    worker_loop_with(server_end, opts)
+                }));
+                let member = self.inner.next_member;
+                self.inner.next_member += 1;
+                admit_worker(&mut conn, member, false, Duration::from_secs(10)).ok()?;
+                Some(ReplacementWorker {
+                    stream: conn,
+                    origin: ReplacementOrigin::Respawn,
+                })
+            }
+        }
+        let mut source = ChaosRespawn {
+            inner: LocalRespawn::new(ReplacementOrigin::Respawn),
+            second_death: ChaosSpec {
+                member: 100,
+                trigger: ChaosTrigger::TaskStart(2),
+                disconnect: true,
+            },
+        };
+        let report = shd
+            .factorize_elastic(&mut streams, &ShardOptions::for_workers(4), &mut source)
+            .unwrap();
+        drop(streams);
+        for h in handles.into_iter().chain(source.inner.handles) {
+            let _ = h.join().unwrap();
+        }
+        assert_eq!(
+            seq.to_dense_lower().as_slice(),
+            shd.to_dense_lower().as_slice()
+        );
+        assert_eq!(event_count(&report, "worker_death"), 2);
+    }
+
+    #[test]
+    fn drain_death_departs_without_replacement() {
+        // Dying on the SHUTDOWN frame means every task is done and the
+        // factor is fully published: even with no replacement source the
+        // run must succeed, recording the death but no replay.
+        let mut seq = build(200, 64, Variant::DenseF64);
+        seq.factorize_seq().unwrap();
+        let mut shd = build(200, 64, Variant::DenseF64);
+        let (streams, handles) = chaos_workers(
+            4,
+            ChaosSpec {
+                member: 2,
+                trigger: ChaosTrigger::Drain,
+                disconnect: true,
+            },
+        );
+        let report = shd
+            .factorize_sharded(streams, &ShardOptions::for_workers(4))
+            .unwrap();
+        for h in handles {
+            let _ = h.join().unwrap();
+        }
+        assert_eq!(
+            seq.to_dense_lower().as_slice(),
+            shd.to_dense_lower().as_slice()
+        );
+        assert_eq!(event_count(&report, "worker_death"), 1);
+        assert_eq!(event_count(&report, "panel_replay"), 0);
+        assert_eq!(event_count(&report, "standby_promote"), 0);
+    }
+
+    #[test]
+    fn death_without_replacement_still_fails() {
+        let mut shd = build(200, 64, Variant::DenseF64);
+        let (streams, handles) = chaos_workers(
+            4,
+            ChaosSpec {
+                member: 3,
+                trigger: ChaosTrigger::TaskStart(3),
+                disconnect: true,
+            },
+        );
+        let err = shd
+            .factorize_sharded(streams, &ShardOptions::for_workers(4))
+            .unwrap_err();
+        assert!(
+            matches!(err, ShardError::WorkerLost { worker: 3, .. }),
+            "got {err}"
+        );
+        for h in handles {
+            let _ = h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn warm_fleet_survives_two_runs_and_matches_warm_projection() {
+        let mut seq = build(200, 64, Variant::DenseF64);
+        seq.factorize_seq().unwrap();
+
+        let (mut streams, handles) = spawn_local_workers(4).unwrap();
+        let mut opts = ShardOptions::for_workers(4);
+        opts.persistent = true;
+        let mut none = NoReplacement;
+        let mut reports = Vec::new();
+        for _run in 0..2 {
+            let mut shd = build(200, 64, Variant::DenseF64);
+            let report = shd
+                .factorize_elastic(&mut streams, &opts, &mut none)
+                .unwrap();
+            assert_eq!(
+                seq.to_dense_lower().as_slice(),
+                shd.to_dense_lower().as_slice(),
+                "warm-fleet factorization must stay bitwise"
+            );
+            reports.push(report);
+        }
+        // No SHUTDOWN/BYE in a warm run; the census rides HEARTBEAT and
+        // the whole wire matches the warm projection exactly.
+        let shd = build(200, 64, Variant::DenseF64);
+        let meta = CapturedMeta::of(&shd);
+        let projected = project_wire_census_warm(&meta, 200, 64, 4);
+        for report in &reports {
+            assert_eq!(report.metrics.wire, projected);
+            assert!(report.metrics.wire.iter().all(|w| w.kind != "bye"));
+        }
+        // Dropping the connections retires the still-warm workers.
+        drop(streams);
+        for h in handles {
+            let _ = h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_without_join_ack_times_out_with_diagnostic() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conn = TcpStream::connect(addr).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+        // Supervisor side (conn) never answers the JOIN.
+        let err = worker_loop_with(
+            server_end,
+            WorkerOptions {
+                handshake_timeout: Duration::from_millis(200),
+                idle_timeout: None,
+                chaos: None,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            err.to_string().contains("JOIN acknowledgement"),
+            "diagnostic should say what was missing: {err}"
+        );
+        drop(conn);
+    }
+
+    #[test]
+    fn join_decoding_is_forward_compatible_and_version_gated() {
+        // Trailing bytes after the known JOIN fields are future protocol
+        // growth, not an error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut worker_side = TcpStream::connect(addr).unwrap();
+        let (mut sup_side, _) = listener.accept().unwrap();
+        let mut w = WireWriter::new();
+        w.put_u8(PROTO_VERSION);
+        w.put_u32(8);
+        w.put_u8(0b111);
+        w.put_u64(0xDEAD_BEEF); // a field from the future
+        write_frame(&mut worker_side, K_JOIN, &w.buf).unwrap();
+        let info = admit_worker(&mut sup_side, 7, true, Duration::from_secs(5)).unwrap();
+        assert_eq!((info.cores, info.precisions), (8, 0b111));
+
+        // An old worker (version byte below ours) is named and rejected.
+        let mut old_worker = TcpStream::connect(addr).unwrap();
+        let (mut sup_side, _) = listener.accept().unwrap();
+        let mut w = WireWriter::new();
+        w.put_u8(PROTO_VERSION - 1);
+        w.put_u32(8);
+        w.put_u8(0b111);
+        write_frame(&mut old_worker, K_JOIN, &w.buf).unwrap();
+        let err = admit_worker(&mut sup_side, 8, false, Duration::from_secs(5)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("protocol version") && msg.contains("upgrade"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn hello_accepts_trailing_bytes_and_rejects_old_version() {
+        // Drive a real worker loop by hand: JOIN/ASSIGN, then a HELLO
+        // padded with future fields, then SHUTDOWN — must exit cleanly.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut sup = TcpStream::connect(addr).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+        let handle = std::thread::spawn(move || worker_loop(server_end));
+        admit_worker(&mut sup, 0, false, Duration::from_secs(5)).unwrap();
+        let mut h = WireWriter::new();
+        h.put_u8(PROTO_VERSION);
+        for _ in 0..4 {
+            h.put_u32(1);
+        }
+        h.put_u32(64);
+        h.put_u64(64);
+        h.put_u64(0xFEED); // future field
+        write_frame(&mut sup, K_HELLO, &h.buf).unwrap();
+        write_frame(&mut sup, K_SHUTDOWN, &[]).unwrap();
+        let (kind, _) = read_frame(&mut sup, Some(Duration::from_secs(5)), None).unwrap();
+        assert_eq!(kind, K_BYE);
+        handle.join().unwrap().unwrap();
+
+        // Same dance with a version-1 HELLO: the worker must refuse with
+        // an error naming the versions, not mis-decode.
+        let mut sup = TcpStream::connect(addr).unwrap();
+        let (server_end, _) = listener.accept().unwrap();
+        let handle = std::thread::spawn(move || worker_loop(server_end));
+        admit_worker(&mut sup, 0, false, Duration::from_secs(5)).unwrap();
+        let mut h = WireWriter::new();
+        h.put_u8(PROTO_VERSION - 1);
+        for _ in 0..4 {
+            h.put_u32(1);
+        }
+        h.put_u32(64);
+        h.put_u64(64);
+        write_frame(&mut sup, K_HELLO, &h.buf).unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("protocol version"), "got: {err}");
+    }
+
+    #[test]
+    fn chaos_spec_parses_both_trigger_forms() {
+        assert_eq!(
+            ChaosSpec::parse("member=1,tasks=5"),
+            Some(ChaosSpec {
+                member: 1,
+                trigger: ChaosTrigger::TaskStart(5),
+                disconnect: false,
+            })
+        );
+        assert_eq!(
+            ChaosSpec::parse("member=3,on=drain"),
+            Some(ChaosSpec {
+                member: 3,
+                trigger: ChaosTrigger::Drain,
+                disconnect: false,
+            })
+        );
+        assert_eq!(ChaosSpec::parse("member=1"), None);
+        assert_eq!(ChaosSpec::parse("tasks=2"), None);
+        assert_eq!(ChaosSpec::parse("member=x,tasks=2"), None);
+        assert_eq!(ChaosSpec::parse("member=1,on=fire"), None);
+    }
+
+    #[test]
+    fn recovery_plan_validator_rejects_bad_replays() {
+        use xgs_analysis::{RecoveryEvent, RecoveryPlan};
+        let f = build(200, 64, Variant::DenseF64);
+        let (p, q) = grid_shape(4);
+        let (meta, _) = canonical_tasks(&f, p, q);
+        let base = build_shard_plan(&f, &meta, f.nt(), p, q, 4);
+        let n = meta.len();
+
+        // A legal "death before anything ran" plan: worker 1 lost with
+        // nothing dispatched — replay is just its seeds from originals.
+        let seeds = |lost: usize| -> Vec<RecoveryEvent> {
+            let mut ev = Vec::new();
+            for j in 0..f.nt() {
+                for i in j..f.nt() {
+                    if block_cyclic_owner(i, j, p, q) == lost {
+                        ev.push(RecoveryEvent::SeedOriginal { tile: (i, j) });
+                    }
+                }
+            }
+            ev
+        };
+        let ok = RecoveryPlan {
+            lost: 1,
+            completed: vec![false; n],
+            dispatched: vec![false; n],
+            events: seeds(1),
+        };
+        xgs_analysis::check_recovery_plan(&base, &ok).unwrap();
+
+        // Claiming published bytes for a tile that is not final: rejected.
+        let mut bad = ok.clone();
+        if let Some(RecoveryEvent::SeedOriginal { tile }) = bad.events.first().copied() {
+            bad.events[0] = RecoveryEvent::SeedPublished { tile };
+        }
+        let err = xgs_analysis::check_recovery_plan(&base, &bad).unwrap_err();
+        assert!(
+            matches!(err, xgs_analysis::PlanError::RecoveryBadSeed { .. }),
+            "got {err}"
+        );
+
+        // A dispatched, uncompleted task that is never replayed: rejected
+        // as incomplete.
+        let victim = meta.iter().position(|m| m.owner == 1).unwrap();
+        let mut dispatched = vec![false; n];
+        dispatched[victim] = true;
+        let missing = RecoveryPlan {
+            lost: 1,
+            completed: vec![false; n],
+            dispatched,
+            events: seeds(1),
+        };
+        let err = xgs_analysis::check_recovery_plan(&base, &missing).unwrap_err();
+        assert!(
+            matches!(err, xgs_analysis::PlanError::RecoveryIncomplete { .. }),
+            "got {err}"
+        );
+
+        // Replaying another worker's task: rejected.
+        let foreign = meta.iter().position(|m| m.owner == 0).unwrap();
+        let mut stolen = ok.clone();
+        stolen.dispatched[foreign] = true;
+        stolen.events.push(RecoveryEvent::Replay { task: foreign });
+        let err = xgs_analysis::check_recovery_plan(&base, &stolen).unwrap_err();
+        assert!(
+            matches!(err, xgs_analysis::PlanError::RecoveryBadReplay { .. }),
+            "got {err}"
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! quadratic form `‖L^{-1}Z‖²`.
 
 use std::sync::Arc;
-use xgs_cholesky::{logdet, solve_lower, FactorError, ShardError, ShardRunner, TiledFactor};
+use xgs_cholesky::{logdet, solve_lower, FactorError, ShardBackend, ShardError, TiledFactor};
 use xgs_covariance::{CovarianceKernel, Location};
 use xgs_runtime::ExecReport;
 use xgs_tile::{KernelTimeModel, SymTileMatrix, TlrConfig};
@@ -20,9 +20,11 @@ pub enum FactorEngine {
     Sequential,
     /// In-process task runtime on this many threads (0 = all cores).
     Threads(usize),
-    /// Multi-process 2D block-cyclic sharding: a fresh worker fleet per
-    /// factorization, driven by the runner's coordinator.
-    Sharded(Arc<ShardRunner>),
+    /// Multi-process 2D block-cyclic sharding. The backend decides the
+    /// fleet strategy: `ShardRunner` spawns a fresh fleet per
+    /// factorization, the `xgs-fleet` supervisor keeps a persistent warm
+    /// fleet with standby promotion and panel-replay recovery.
+    Sharded(Arc<dyn ShardBackend>),
 }
 
 impl FactorEngine {

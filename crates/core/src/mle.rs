@@ -7,7 +7,7 @@ use crate::optimizer::pso::{particle_swarm, PsoOptions};
 use crate::optimizer::transform::{forward_all, inverse_all};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use xgs_cholesky::{ShardError, ShardRunner};
+use xgs_cholesky::{ShardBackend, ShardError};
 use xgs_covariance::Location;
 use xgs_runtime::MetricsReport;
 use xgs_tile::{KernelTimeModel, TlrConfig};
@@ -30,8 +30,9 @@ pub struct FitOptions {
     /// Worker threads per likelihood evaluation (1 = sequential engine).
     pub workers: usize,
     /// When set, every factorization fans out to worker *processes* via
-    /// this runner (overrides `workers`).
-    pub shard: Option<Arc<ShardRunner>>,
+    /// this backend (overrides `workers`) — a spawn-per-run `ShardRunner`
+    /// or the persistent `xgs-fleet` supervisor.
+    pub shard: Option<Arc<dyn ShardBackend>>,
 }
 
 impl Default for FitOptions {
@@ -92,7 +93,7 @@ pub fn fit(
     let start = forward_all(&transforms, &start_nat);
 
     let engine = match &opts.shard {
-        Some(runner) => FactorEngine::Sharded(Arc::clone(runner)),
+        Some(backend) => FactorEngine::Sharded(Arc::clone(backend)),
         None => FactorEngine::from_workers(opts.workers),
     };
 

@@ -365,6 +365,13 @@ impl MetricsReport {
                 "done",
                 "shutdown",
                 "bye",
+                "join",
+                "heartbeat",
+                "assign",
+                "worker_join",
+                "worker_death",
+                "panel_replay",
+                "standby_promote",
             ];
             KNOWN
                 .iter()

@@ -41,7 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use xgs_cholesky::ShardRunner;
+use xgs_cholesky::ShardBackend;
 use xgs_core::FactorEngine;
 use xgs_runtime::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
 
@@ -71,9 +71,11 @@ pub struct ServerConfig {
     /// further `predict`s are shed with a `retry_after_ms` hint instead of
     /// queued.
     pub max_queued_points: usize,
-    /// When set, `load` requests factorize on this multi-process runner (a
-    /// fresh worker fleet per factorization) instead of in-process threads.
-    pub shard: Option<Arc<ShardRunner>>,
+    /// When set, `load` requests factorize on this multi-process backend
+    /// instead of in-process threads. The CLI passes the `xgs-fleet`
+    /// supervisor here: one persistent warm fleet across every `load`,
+    /// instead of paying a fresh fleet spawn per factorization.
+    pub shard: Option<Arc<dyn ShardBackend>>,
 }
 
 impl Default for ServerConfig {
@@ -252,7 +254,7 @@ pub fn serve(config: &ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Re
         metrics: Mutex::new(ServerMetrics::new(solvers)),
         max_batch_points: config.max_batch_points.max(1),
         load_engine: match &config.shard {
-            Some(runner) => FactorEngine::Sharded(runner.clone()),
+            Some(backend) => FactorEngine::Sharded(backend.clone()),
             None => FactorEngine::from_workers(0),
         },
     });

@@ -9,13 +9,14 @@ use crate::cli::io;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use xgs_cholesky::{worker_loop, ShardRunner};
+use xgs_cholesky::{worker_loop_with, ChaosSpec, ShardBackend, WorkerOptions};
 use xgs_core::mle::{FitOptimizer, FitOptions};
 use xgs_core::{
     krige, log_likelihood_engine, mspe, simulate_field, FactorEngine, ModelFamily,
     NelderMeadOptions, PsoOptions,
 };
 use xgs_covariance::{jittered_grid, morton_order, spacetime_grid, CovarianceKernel};
+use xgs_fleet::{FleetConfig, Supervisor};
 use xgs_perfmodel::{project_with_metrics, Correlation, ScaleConfig, SolverVariant};
 use xgs_tile::{
     decision_heatmap, FlopKernelModel, PrecisionRule, SymTileMatrix, TlrConfig, Variant,
@@ -66,13 +67,14 @@ COMMANDS:
             --data <csv> [--kernel matern|gneiting] [--variant dense|mp|mp-tlr]
             [--tile <nb>] [--start <θ,..>] [--max-evals <k>]
             [--optimizer nm|pso] [--workers <w>] [--precision-rule adaptive|band]
-            [--shards <k>]  (factorize on k worker processes, see README)
+            [--shards <k>]  (factorize on a warm fleet of k workers, see README)
+            [--standbys <k>]  (warm spare workers promoted on death)
             [--se]  (append observed-information standard errors)
             [--metrics <json>]  (write merged runtime metrics, see README)
   predict   kriging at target sites
             --data <csv> --targets <csv> --theta <θ,..> [--kernel ...]
             [--variant ...] [--tile <nb>] [--uncertainty] [--out <csv>]
-            [--shards <k>]  (factorize on k worker processes)
+            [--shards <k>] [--standbys <k>]  (warm worker fleet)
             [--metrics <json>]  (write the factorization's runtime metrics)
   maps      per-tile format decision map (Fig. 9 style)
             --data <csv> --theta <θ,..> [--kernel ...] [--variant ...] [--tile <nb>]
@@ -85,12 +87,14 @@ COMMANDS:
             [--name <model>] [--addr <host:port>] [--solvers <k>] [--max-batch <points>]
             [--queue-points <budget>]  (shed predicts past this backlog)
             [--max-models <k>] [--model-ttl <seconds>]  (registry LRU/TTL eviction)
-            [--shards <k>]  (factorize models on k worker processes)
+            [--shards <k>] [--standbys <k>]  (persistent warm worker fleet)
             [--metrics <json>]  (write the server metrics after shutdown)
             protocol: newline-delimited JSON over TCP, see README;
             stop with {\"op\":\"shutdown\"} (drains in-flight batches)
-  worker    one shard of a --shards factorization (started automatically)
-            --connect <host:port>  (coordinator address)
+  worker    one shard of a --shards factorization (started automatically;
+            external machines may dial a fleet's registration address)
+            --connect <host:port>  (supervisor registration address)
+            [--handshake-timeout <s>] [--idle-timeout <s>]  (liveness budgets)
   bayes     posterior sampling over the covariance parameters (MCMC)
             --data <csv> --start <θ,..> [--kernel ...] [--variant ...]
             [--iterations <k>] [--burn-in <k>] [--seed <s>]
@@ -99,6 +103,9 @@ ENVIRONMENT:
   XGS_PRECHECK=1  run the pre-execution DAG/shard-plan safety checks
                   (xgs-analysis) in release builds too; always on in
                   debug builds. See README \"Static analysis\".
+  XGS_CHAOS_ABORT=member=M,tasks=N | member=M,on=drain
+                  fault injection: the fleet member with ASSIGNed id M
+                  SIGKILLs itself at the named point (chaos tests only).
 ";
 
 fn parse_family(args: &Args) -> Result<ModelFamily, CmdError> {
@@ -177,22 +184,31 @@ fn write_metrics(
     Ok(())
 }
 
-/// `--shards N`: a runner that fans each factorization out to N worker
-/// processes of this same executable (0 / absent = in-process engines).
-fn shard_runner(args: &Args) -> Result<Option<Arc<ShardRunner>>, CmdError> {
+/// `--shards N`: a persistent warm fleet (`xgs-fleet`) of N worker
+/// processes of this same executable, reused across every factorization
+/// the command makes, with standby promotion / local respawn when a
+/// worker dies mid-run (0 / absent = in-process engines). `--standbys K`
+/// registers K warm spares beyond the grid.
+fn shard_backend(args: &Args) -> Result<Option<Arc<dyn ShardBackend>>, CmdError> {
     match args.usize_or("shards", 0)? {
         0 => Ok(None),
-        n => Ok(Some(Arc::new(ShardRunner::from_current_exe(n).map_err(
-            |e| CmdError::Run(format!("cannot locate the worker executable: {e}")),
-        )?))),
+        n => {
+            let exe = std::env::current_exe()
+                .map_err(|e| CmdError::Run(format!("cannot locate the worker executable: {e}")))?;
+            let mut cfg = FleetConfig::process(exe, n);
+            cfg.standbys = args.usize_or("standbys", 0)?;
+            let fleet = Supervisor::start(cfg)
+                .map_err(|e| CmdError::Run(format!("cannot start the worker fleet: {e}")))?;
+            Ok(Some(Arc::new(fleet) as Arc<dyn ShardBackend>))
+        }
     }
 }
 
 /// Engine selection shared by `predict` and `serve`: sharded when
 /// `--shards` is set, otherwise the `--workers` convention.
 fn factor_engine(args: &Args) -> Result<FactorEngine, CmdError> {
-    Ok(match shard_runner(args)? {
-        Some(runner) => FactorEngine::Sharded(runner),
+    Ok(match shard_backend(args)? {
+        Some(backend) => FactorEngine::Sharded(backend),
         None => FactorEngine::from_workers(args.usize_or("workers", 0)?),
     })
 }
@@ -291,7 +307,7 @@ pub fn cmd_fit(args: &Args) -> Result<String, CmdError> {
         optimizer,
         start,
         workers,
-        shard: shard_runner(args)?,
+        shard: shard_backend(args)?,
     };
 
     let (r, secs) = {
@@ -510,9 +526,9 @@ pub fn cmd_serve(args: &Args) -> Result<String, CmdError> {
     let name = args.str_or("name", "default");
     let n = ds.locs.len();
 
-    let shard = shard_runner(args)?;
+    let shard = shard_backend(args)?;
     let engine = match &shard {
-        Some(runner) => FactorEngine::Sharded(Arc::clone(runner)),
+        Some(backend) => FactorEngine::Sharded(Arc::clone(backend)),
         None => FactorEngine::from_workers(args.usize_or("workers", 0)?),
     };
     let (plan, llh) =
@@ -605,15 +621,36 @@ pub fn cmd_bayes(args: &Args) -> Result<String, CmdError> {
     Ok(out)
 }
 
-/// `worker` — one shard of a multi-process factorization. Connects back to
-/// the coordinator (the process that was started with `--shards`) and
-/// executes the tile tasks it owns under the 2D block-cyclic distribution
-/// until told to shut down. Not meant to be started by hand.
+/// `worker` — one shard of a multi-process factorization. Registers with
+/// the supervisor (the process that was started with `--shards`, or an
+/// `xgs-fleet` registration address) via `JOIN`/`ASSIGN` and executes the
+/// tile tasks it owns under the 2D block-cyclic distribution until told
+/// to shut down. A supervisor that never acknowledges the `JOIN` (or
+/// goes silent past the idle budget) is a nonzero exit with a
+/// diagnostic, never an indefinite block on a fresh socket. Not meant to
+/// be started by hand.
 pub fn cmd_worker(args: &Args) -> Result<String, CmdError> {
     let addr = args.require("connect")?;
     let stream = std::net::TcpStream::connect(addr)
         .map_err(|e| CmdError::Run(format!("cannot reach coordinator at {addr}: {e}")))?;
-    let executed = worker_loop(stream).map_err(|e| CmdError::Run(format!("worker failed: {e}")))?;
+    let mut opts = WorkerOptions::default();
+    match args.f64_or("handshake-timeout", 0.0)? {
+        t if t > 0.0 => opts.handshake_timeout = std::time::Duration::from_secs_f64(t),
+        _ => {}
+    }
+    match args.f64_or("idle-timeout", 0.0)? {
+        t if t > 0.0 => opts.idle_timeout = Some(std::time::Duration::from_secs_f64(t)),
+        _ => {}
+    }
+    // Fault injection for the chaos tests: inherited by every fleet
+    // member, but the spec names one member id, so exactly one worker
+    // dies and its respawned replacement (fresh id) never re-triggers.
+    opts.chaos = std::env::var("XGS_CHAOS_ABORT")
+        .ok()
+        .as_deref()
+        .and_then(ChaosSpec::parse);
+    let executed =
+        worker_loop_with(stream, opts).map_err(|e| CmdError::Run(format!("worker failed: {e}")))?;
     Ok(format!("worker drained after {executed} tasks\n"))
 }
 

@@ -18,7 +18,10 @@ use std::time::{Duration, Instant};
 use exageostat_rs::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xgs_cholesky::{spawn_workers, ShardError, ShardOptions, ShardRunner, TiledFactor};
+use xgs_cholesky::{
+    spawn_workers, ShardBackend, ShardError, ShardOptions, ShardRunner, TiledFactor,
+};
+use xgs_fleet::{FleetConfig, Supervisor};
 use xgs_server::{loadgen, LoadgenConfig, ModelRegistry, ServerConfig};
 
 const EXE: &str = env!("CARGO_BIN_EXE_exageostat");
@@ -198,7 +201,7 @@ fn sharded_server_predictions_are_checksum_identical_to_unsharded() {
          \"variant\":\"dense\",\"tile\":48,\"locs\":[{locs_json}],\"z\":[{z_json}]}}"
     );
 
-    let run_one = |shard: Option<Arc<ShardRunner>>| -> u64 {
+    let run_one = |shard: Option<Arc<dyn ShardBackend>>| -> u64 {
         let cfg = ServerConfig {
             shard,
             ..Default::default()
@@ -308,6 +311,155 @@ fn killed_worker_fails_cleanly_within_deadline() {
     );
 }
 
+/// Count live processes whose command line mentions `needle` — the
+/// supervisor's registration address is unique per test, so this is the
+/// orphan check: after the fleet drops, no worker of that fleet may
+/// survive.
+fn procs_mentioning(needle: &str) -> usize {
+    let mut n = 0;
+    let Ok(dir) = std::fs::read_dir("/proc") else {
+        return 0;
+    };
+    for entry in dir.flatten() {
+        let cmdline = entry.path().join("cmdline");
+        if let Ok(bytes) = std::fs::read(&cmdline) {
+            let line = String::from_utf8_lossy(&bytes).replace('\0', " ");
+            if line.contains(needle) && line.contains("worker") {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn event_count(rep: &xgs_cholesky::ShardReport, kind: &str) -> u64 {
+    rep.metrics
+        .kernels
+        .iter()
+        .find(|k| k.kind == kind)
+        .map_or(0, |k| k.count)
+}
+
+/// The fault matrix over *real* worker processes: SIGKILL one worker at
+/// each phase of a warm-fleet factorization — while the coordinator is
+/// still seeding, mid-panel, and during the end-of-run gather — and
+/// assert the recovered factor is bitwise-equal to sequential, the run
+/// finishes within deadline, the lifecycle events are in the metrics,
+/// and no orphan worker process survives the fleet.
+#[test]
+fn warm_fleet_survives_sigkill_at_every_phase() {
+    let deadline = Duration::from_secs(60);
+    let mut reference = TiledFactor::from_matrix(matrix(300, 50, 13, Variant::DenseF64));
+    reference.factorize_seq().unwrap();
+
+    // Phase 1 — seeding: the worker is already dead when the coordinator
+    // starts sending HELLO/seed frames (killed while idle in the pool;
+    // members 0..3 are the grid, member 4 the standby).
+    {
+        let mut cfg = FleetConfig::process(EXE.into(), 4);
+        cfg.standbys = 1;
+        cfg.deadline = deadline;
+        cfg.heartbeat_every = Duration::from_secs(3600); // kill beats the monitor
+        let fleet = Supervisor::start(cfg).unwrap();
+        let addr = fleet.addr().to_string();
+        assert!(fleet.kill_member(1), "grid member 1 must exist");
+        let t0 = Instant::now();
+        let mut f = TiledFactor::from_matrix(matrix(300, 50, 13, Variant::DenseF64));
+        let rep = fleet.factorize(&mut f).expect("seeding-phase death");
+        assert!(t0.elapsed() < deadline, "took {:?}", t0.elapsed());
+        assert_bitwise_equal(&reference.to_dense_lower(), &f.to_dense_lower(), "seeding");
+        assert_eq!(event_count(&rep, "worker_death"), 1, "seeding");
+        assert_eq!(event_count(&rep, "standby_promote"), 1, "seeding");
+        drop(fleet);
+        assert_eq!(procs_mentioning(&addr), 0, "seeding: orphan workers");
+    }
+
+    // Phase 2 — mid-panel: member 3 SIGKILLs itself on receipt of its
+    // fourth TASK (a trailing-update/panel boundary), forcing a replay of
+    // the affected panel's tasks from the last published tile versions.
+    {
+        let mut cfg = FleetConfig::process(EXE.into(), 4);
+        cfg.deadline = deadline;
+        cfg.env = vec![(
+            "XGS_CHAOS_ABORT".to_string(),
+            "member=3,tasks=3".to_string(),
+        )];
+        let fleet = Supervisor::start(cfg).unwrap();
+        let addr = fleet.addr().to_string();
+        let t0 = Instant::now();
+        let mut f = TiledFactor::from_matrix(matrix(300, 50, 13, Variant::DenseF64));
+        let rep = fleet.factorize(&mut f).expect("mid-panel death");
+        assert!(t0.elapsed() < deadline, "took {:?}", t0.elapsed());
+        assert_bitwise_equal(
+            &reference.to_dense_lower(),
+            &f.to_dense_lower(),
+            "mid-panel",
+        );
+        assert_eq!(event_count(&rep, "worker_death"), 1, "mid-panel");
+        assert!(event_count(&rep, "panel_replay") >= 1, "mid-panel");
+        // No standby registered: recovery respawned locally.
+        assert_eq!(event_count(&rep, "standby_promote"), 0, "mid-panel");
+        drop(fleet);
+        assert_eq!(procs_mentioning(&addr), 0, "mid-panel: orphan workers");
+    }
+
+    // Phase 3 — gather: member 2 dies on the drain heartbeat, after its
+    // last task. The departed-worker path: no replacement, no replay, the
+    // factor is already complete and exact.
+    {
+        let mut cfg = FleetConfig::process(EXE.into(), 4);
+        cfg.deadline = deadline;
+        cfg.heartbeat_every = Duration::from_secs(3600); // only the drain pings
+        cfg.env = vec![(
+            "XGS_CHAOS_ABORT".to_string(),
+            "member=2,on=drain".to_string(),
+        )];
+        let fleet = Supervisor::start(cfg).unwrap();
+        let addr = fleet.addr().to_string();
+        let t0 = Instant::now();
+        let mut f = TiledFactor::from_matrix(matrix(300, 50, 13, Variant::DenseF64));
+        let rep = fleet.factorize(&mut f).expect("gather-phase death");
+        assert!(t0.elapsed() < deadline, "took {:?}", t0.elapsed());
+        assert_bitwise_equal(&reference.to_dense_lower(), &f.to_dense_lower(), "gather");
+        assert_eq!(event_count(&rep, "worker_death"), 1, "gather");
+        assert_eq!(event_count(&rep, "panel_replay"), 0, "gather");
+        drop(fleet);
+        assert_eq!(procs_mentioning(&addr), 0, "gather: orphan workers");
+    }
+}
+
+/// Satellite regression: a `worker --connect` whose supervisor never
+/// acknowledges the JOIN must exit nonzero with a diagnostic within its
+/// handshake budget — never block forever on the fresh socket.
+#[test]
+fn worker_without_join_ack_exits_nonzero_with_diagnostic() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    // Accept and go silent: no ASSIGN ever comes.
+    let silent = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+    let t0 = Instant::now();
+    let out = std::process::Command::new(EXE)
+        .args(["worker", "--connect", &addr, "--handshake-timeout", "1"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "worker must fail when the JOIN is never acknowledged"
+    );
+    assert!(
+        stderr.contains("no JOIN acknowledgement"),
+        "diagnostic missing: {stderr}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "worker blocked {:?} past its handshake budget",
+        t0.elapsed()
+    );
+    drop(silent.join());
+}
+
 /// Fault injection: a worker that answers with a *half-written* tile frame
 /// and then stalls forever. The coordinator must expire its deadline and
 /// return `Timeout` instead of blocking on the truncated frame.
@@ -350,6 +502,7 @@ fn half_written_tile_frame_times_out_instead_of_hanging() {
         deadline: Duration::from_secs(2),
         validate: false,
         precheck: true,
+        persistent: false,
     };
     let t0 = Instant::now();
     let err = f
