@@ -54,6 +54,10 @@ pub const RULES: &[(&str, &str)] = &[
         "liveness HEARTBEAT frames are never emitted from a loop that also emits per-task TASK frames",
     ),
     (
+        "no-raw-parallelism-probe",
+        "machine-size probes go through xgs_runtime::logical_cores(), never raw available_parallelism()/num_cpus::get()",
+    ),
+    (
         "unjustified-allow",
         "an `xgs-lint: allow(...)` comment without justification text",
     ),
@@ -155,6 +159,7 @@ pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
     if lock_scoped(path) {
         rule_lock_order(path, &sig, &in_test, &mut raw);
     }
+    rule_raw_parallelism_probe(path, &sig, &mut raw);
 
     // Nested matches can surface one site twice (outer and inner scan).
     raw.sort_by_key(|(off, rule, _)| (*off, *rule));
@@ -776,6 +781,43 @@ fn rule_heartbeat_hot_loop(
     }
 }
 
+/// `no-raw-parallelism-probe`: every layer that sizes itself by the
+/// machine must route through the one shared helper
+/// (`xgs_runtime::logical_cores()`) so the executor, the shard workers'
+/// JOIN advertisement, the bench defaults, and the rayon pool all agree
+/// on the same number. A direct `available_parallelism()` call or a
+/// `num_cpus::get()` path expression anywhere else is a finding; the
+/// helper itself carries the justified allow. Alias-resolved, so
+/// `use std::thread::available_parallelism as cores;` does not hide the
+/// probe. Tests are *not* exempt: a test probing the machine directly is
+/// exactly the inconsistency the rule exists to prevent.
+fn rule_raw_parallelism_probe(_path: &str, sig: &[Sig<'_>], out: &mut Raw) {
+    for w in 0..sig.len() {
+        let s = &sig[w];
+        if s.is_ident(b"available_parallelism") && sig.get(w + 1).is_some_and(|n| n.is_punct(b'('))
+        {
+            out.push((
+                s.start,
+                "no-raw-parallelism-probe",
+                "raw available_parallelism() probe; use xgs_runtime::logical_cores() so every layer sizes itself identically"
+                    .to_string(),
+            ));
+        }
+        if s.is_ident(b"num_cpus")
+            && sig.get(w + 1).is_some_and(|n| n.is_punct(b':'))
+            && sig.get(w + 2).is_some_and(|n| n.is_punct(b':'))
+            && sig.get(w + 3).is_some_and(|n| n.is_ident(b"get"))
+        {
+            out.push((
+                s.start,
+                "no-raw-parallelism-probe",
+                "raw num_cpus::get() probe; use xgs_runtime::logical_cores() so every layer sizes itself identically"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// The declared server lock order, least to greatest. Acquisitions must
 /// strictly increase in rank while any lock is held.
 const LOCK_ORDER: &[(&[u8], &str)] = &[
@@ -1047,6 +1089,35 @@ mod tests {
             rules_hit("crates/cholesky/src/shard.rs", mixed),
             ["no-unbounded-channel-send"]
         );
+    }
+
+    #[test]
+    fn raw_parallelism_probe_flagged_helper_allowed() {
+        let bad = "fn workers() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }";
+        assert_eq!(
+            rules_hit("crates/x/src/lib.rs", bad),
+            ["no-raw-parallelism-probe"]
+        );
+        let ncpus = "fn workers() -> usize { num_cpus::get() }";
+        assert_eq!(
+            rules_hit("crates/x/src/lib.rs", ncpus),
+            ["no-raw-parallelism-probe"]
+        );
+        // The shared helper is the one sanctioned site, via the allow.
+        let helper = "pub fn logical_cores() -> usize {\n    // xgs-lint: allow(no-raw-parallelism-probe): this is the shared helper itself\n    num_cpus::get()\n}";
+        assert!(rules_hit("crates/runtime/src/lib.rs", helper).is_empty());
+        // Aliasing the std probe does not hide it.
+        let aliased = "use std::thread::available_parallelism as cores;\nfn f() -> usize { cores().map(|n| n.get()).unwrap_or(1) }";
+        assert_eq!(
+            rules_hit("crates/x/src/lib.rs", aliased),
+            ["no-raw-parallelism-probe"]
+        );
+        // Unrelated `get` calls and doc-comment mentions are inert.
+        let quiet = "/// Calls `num_cpus::get()` internally.\nfn f(m: &M) -> usize { m.get() }";
+        assert!(rules_hit("crates/x/src/lib.rs", quiet).is_empty());
+        // Routing through the helper is what the rule wants to see.
+        let routed = "fn f() -> usize { xgs_runtime::logical_cores() }";
+        assert!(rules_hit("crates/x/src/lib.rs", routed).is_empty());
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn rules_table_is_complete() {
         "no-unjustified-unsafe",
         "frame-kind-exhaustive",
         "lock-order",
+        "no-raw-parallelism-probe",
         "unjustified-allow",
     ] {
         assert!(names.contains(&want), "missing rule {want}");
@@ -124,6 +125,28 @@ fn golden_lock_order() {
 
     let ok = "fn drain(q: &BatchQueue, reg: &ModelRegistry) {\n    let models = reg.models.lock();\n    // xgs-lint: allow(lock-order): models is dropped before inner is used, see teardown protocol\n    let inner = q.inner.lock();\n    drop((models, inner));\n}\n";
     expect_allowed("crates/server/src/drainer.rs", ok);
+}
+
+#[test]
+fn golden_no_raw_parallelism_probe() {
+    let bad = "pub fn default_workers() -> usize {\n    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)\n}\n";
+    expect_one(
+        "crates/core/src/engine.rs",
+        bad,
+        "no-raw-parallelism-probe",
+        2,
+    );
+
+    let ncpus = "pub fn default_workers() -> usize {\n    num_cpus::get()\n}\n";
+    expect_one(
+        "crates/core/src/engine.rs",
+        ncpus,
+        "no-raw-parallelism-probe",
+        2,
+    );
+
+    let ok = "pub fn logical_cores() -> usize {\n    // xgs-lint: allow(no-raw-parallelism-probe): this is the shared helper itself\n    num_cpus::get()\n}\n";
+    expect_allowed("crates/runtime/src/lib.rs", ok);
 }
 
 #[test]

@@ -1,0 +1,212 @@
+//! The per-PR perf trajectory record: one binary, one JSON.
+//!
+//! Runs the four throughput surfaces every speed claim in ROADMAP.md
+//! rests on — raw GEMM (naive vs cache-blocked at the same size), MLE
+//! fit, batch kriging, and the live prediction service under loadgen —
+//! and writes `results/BENCH_<pr>.json` so successive PRs leave a
+//! comparable trail. Latencies are medians over `XGS_REPS` repetitions;
+//! the serve section reports loadgen's p50/p99.
+//!
+//! ```text
+//! cargo run -p xgs-bench --release --bin bench_suite
+//! XGS_BENCH_OUT=results/BENCH_8.json XGS_REPS=5 cargo run -p xgs-bench --release --bin bench_suite
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xgs_bench::{demo_model, env_usize, quartiles, random_buffer, timed};
+use xgs_cholesky::TiledFactor;
+use xgs_core::mle::FitOptimizer;
+use xgs_core::{fit, krige, FitOptions, ModelFamily, PsoOptions};
+use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
+use xgs_kernels::{gemm, gemm_naive, Trans};
+use xgs_server::{build_plan, loadgen, serve, LoadgenConfig, ModelRegistry, ServerConfig};
+use xgs_tile::{SymTileMatrix, TlrConfig, Variant};
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut secs: Vec<f64> = (0..reps).map(|_| timed(&mut f).1).collect();
+    let (_, median, _) = quartiles(&mut secs);
+    median
+}
+
+fn main() {
+    let reps = env_usize("XGS_REPS", 3);
+    let out = std::env::var("XGS_BENCH_OUT").unwrap_or_else(|_| "results/BENCH_8.json".into());
+    let pool0 = rayon::global_pool_stats();
+    println!(
+        "-- bench suite: {} pool workers, {reps} reps, out = {out} --",
+        pool0.threads
+    );
+
+    // 1. GEMM: the ISSUE's headline number. Same size, same inputs, the
+    // naive triple loop vs the dispatching entry point (which takes the
+    // blocked path at this size). FLOP count is 2*m*n*k.
+    let nk = env_usize("XGS_GEMM_N", 256);
+    let a = random_buffer(nk * nk, 11);
+    let b = random_buffer(nk * nk, 13);
+    let mut c = vec![0.0f64; nk * nk];
+    let flops = 2.0 * (nk as f64).powi(3);
+    let naive = median_secs(reps, || {
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            nk,
+            nk,
+            nk,
+            1.0,
+            &a,
+            nk,
+            &b,
+            nk,
+            0.0,
+            &mut c,
+            nk,
+        )
+    });
+    let blocked = median_secs(reps, || {
+        gemm(
+            Trans::No,
+            Trans::No,
+            nk,
+            nk,
+            nk,
+            1.0,
+            &a,
+            nk,
+            &b,
+            nk,
+            0.0,
+            &mut c,
+            nk,
+        )
+    });
+    println!(
+        "gemm {nk}: naive {:.2} GF/s, blocked {:.2} GF/s ({:.2}x)",
+        flops / naive / 1e9,
+        flops / blocked / 1e9,
+        naive / blocked
+    );
+
+    // 2. Fit: a small PSO MLE over the mixed-precision engine.
+    let n_fit = env_usize("XGS_FIT_N", 400);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut locs = jittered_grid(n_fit, &mut rng);
+    morton_order(&mut locs);
+    let kernel = Matern::new(MaternParams::new(1.0, 0.1, 0.5));
+    let z = xgs_core::simulate_field(&kernel, &locs, 6);
+    let model = demo_model();
+    let cfg = TlrConfig::new(Variant::MpDense, 64);
+    let opts = FitOptions {
+        optimizer: FitOptimizer::ParticleSwarm(PsoOptions {
+            particles: 8,
+            iterations: 5,
+            ..PsoOptions::default()
+        }),
+        ..FitOptions::default()
+    };
+    let fit_s = median_secs(reps, || {
+        let r = fit(ModelFamily::MaternSpace, &locs, &z, &cfg, &model, &opts);
+        assert!(r.llh.is_finite());
+    });
+    println!("fit n={n_fit}: {fit_s:.3} s");
+
+    // 3. Predict: batch kriging throughput against a prebuilt factor.
+    let n_pred = env_usize("XGS_PRED_N", 1000);
+    let factor = {
+        let m = SymTileMatrix::generate(&kernel, &locs, cfg, &model);
+        let mut f = TiledFactor::from_matrix(m);
+        f.factorize_seq().expect("SPD");
+        f
+    };
+    let mut prng = StdRng::seed_from_u64(17);
+    let targets = jittered_grid(n_pred, &mut prng);
+    let pred_s = median_secs(reps, || {
+        let r = krige(&kernel, &locs, &z, &factor, &targets, true);
+        assert_eq!(r.mean.len(), n_pred);
+    });
+    println!(
+        "predict {n_pred} pts: {pred_s:.3} s ({:.0} pts/s)",
+        n_pred as f64 / pred_s
+    );
+
+    // 4. Serve: in-process server + loadgen, the same loop the CI smoke
+    // step drives across a process boundary.
+    let (plan, _llh) = build_plan(
+        ModelFamily::MaternSpace,
+        &[1.0, 0.1, 0.5],
+        Variant::MpDense,
+        64,
+        locs.clone(),
+        &z,
+        2,
+    )
+    .expect("plan builds");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("default", plan);
+    let handle = serve(
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            solvers: 2,
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("bind loopback");
+    let report = loadgen::run(&LoadgenConfig {
+        addr: handle.addr().to_string(),
+        requests: env_usize("XGS_SERVE_REQS", 300),
+        conns: 4,
+        points: 4,
+        uncertainty: true,
+        seed: 42,
+        connect_timeout: Duration::from_secs(5),
+        shutdown: true,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen");
+    assert_eq!(report.errors, 0, "{}", report.summary());
+    handle.join();
+    println!("serve: {}", report.summary());
+
+    let pool = rayon::global_pool_stats().since(&pool0);
+    let json = format!(
+        concat!(
+            "{{\"pr\":8,",
+            "\"pool\":{{\"workers\":{},\"jobs\":{},\"inline_jobs\":{},\"steals\":{}}},",
+            "\"gemm\":{{\"n\":{},\"naive_s\":{:.6},\"blocked_s\":{:.6},",
+            "\"naive_gflops\":{:.3},\"blocked_gflops\":{:.3},\"speedup\":{:.3}}},",
+            "\"fit\":{{\"n\":{},\"median_s\":{:.4}}},",
+            "\"predict\":{{\"points\":{},\"median_s\":{:.4},\"points_per_s\":{:.1}}},",
+            "\"serve\":{{\"requests\":{},\"throughput_rps\":{:.1},",
+            "\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"checksum\":\"{:016x}\"}}}}"
+        ),
+        pool0.threads,
+        pool.jobs,
+        pool.inline_jobs,
+        pool.steals,
+        nk,
+        naive,
+        blocked,
+        flops / naive / 1e9,
+        flops / blocked / 1e9,
+        naive / blocked,
+        n_fit,
+        fit_s,
+        n_pred,
+        pred_s,
+        n_pred as f64 / pred_s,
+        report.sent,
+        report.throughput,
+        report.p50_ms,
+        report.p99_ms,
+        report.checksum,
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {out}");
+}

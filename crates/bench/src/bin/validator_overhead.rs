@@ -24,10 +24,7 @@ fn main() {
     let n = env_usize("XGS_N", 3000);
     let nb = env_usize("XGS_NB", 64);
     let reps = env_usize("XGS_REPS", 3);
-    let workers = env_usize(
-        "XGS_WORKERS",
-        std::thread::available_parallelism().map_or(4, |p| p.get()),
-    );
+    let workers = env_usize("XGS_WORKERS", xgs_runtime::logical_cores());
     let nt = n.div_ceil(nb);
     let tasks = nt + nt * (nt - 1) / 2 + nt * (nt * nt - 1) / 6;
     println!(

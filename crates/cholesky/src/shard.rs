@@ -489,7 +489,7 @@ pub fn worker_loop_with(mut stream: TcpStream, opts: WorkerOptions) -> io::Resul
     // assignment. A supervisor that never answers is an error, not a hang.
     let mut w = WireWriter::new();
     w.put_u8(PROTO_VERSION);
-    w.put_u32(std::thread::available_parallelism().map_or(1, |c| c.get()) as u32);
+    w.put_u32(xgs_runtime::logical_cores() as u32);
     // Precision mask: bit 0 = f64, bit 1 = f32, bit 2 = f16. Every build
     // of this binary supports all three emulated widths.
     w.put_u8(0b111);
@@ -699,7 +699,7 @@ pub fn worker_loop_with(mut stream: TcpStream, opts: WorkerOptions) -> io::Resul
 #[derive(Clone, Copy, Debug)]
 pub struct JoinInfo {
     pub version: u8,
-    /// `available_parallelism` on the worker's host.
+    /// `xgs_runtime::logical_cores()` on the worker's host.
     pub cores: u32,
     /// Bit 0 = f64, bit 1 = f32, bit 2 = f16.
     pub precisions: u8,

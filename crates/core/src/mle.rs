@@ -126,6 +126,7 @@ pub fn fit(
         }
     };
 
+    let pool_before = rayon::global_pool_stats();
     let (theta, llh, evals, converged) = match &opts.optimizer {
         FitOptimizer::NelderMead(nm) => {
             let r = nelder_mead(objective, &start, nm);
@@ -139,7 +140,21 @@ pub fn fit(
             (inverse_all(&transforms, &r.x), -r.f, r.evals, true)
         }
     };
-    let (factorizations, metrics) = accum.into_inner();
+    let (factorizations, mut metrics) = accum.into_inner();
+    // Attribute the fit's share of the shared work-stealing pool (covariance
+    // assembly, PSO fan-out, blocked kernels) to the merged report.
+    let pool = rayon::global_pool_stats().since(&pool_before);
+    if pool.jobs + pool.inline_jobs > 0 {
+        if let Some(m) = metrics.as_mut() {
+            m.pool = Some(xgs_runtime::PoolCounters {
+                workers: pool.threads,
+                jobs: pool.jobs,
+                inline_jobs: pool.inline_jobs,
+                steals: pool.steals,
+                parks: pool.parks,
+            });
+        }
+    }
     FitResult {
         theta,
         llh,

@@ -3,9 +3,11 @@
 //! The paper's weak-scaling strategy (§VI-D): PSO "requires launching a set
 //! of independent executions for the log-likelihood function that allows
 //! parallel execution of the MLE operation" — particles evaluate their
-//! positions embarrassingly in parallel (rayon here; independent node
-//! groups on Fugaku), synchronize loosely each iteration, and iterate to
-//! convergence.
+//! positions concurrently (fanned across the in-tree work-stealing pool
+//! here; independent node groups on Fugaku), synchronize loosely each
+//! iteration, and iterate to convergence. Evaluation order never affects
+//! results: positions are updated from a sequential RNG after a full
+//! synchronization, so 1-thread and N-thread runs are bitwise identical.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

@@ -1,7 +1,8 @@
 //! Covariance matrix assembly from locations + a kernel.
 //!
 //! The generation phase of the paper's pipeline: `Σ(θ)_{ij} = C(s_i - s_j)`.
-//! Assembly is embarrassingly parallel over columns (rayon), and the blocked
+//! Assembly fans out per-column chunks across the shared work-stealing
+//! pool (`rayon::par_chunks_mut`), and the blocked
 //! entry point [`cov_block`] is what the tile layer calls to generate one
 //! tile at a time without ever materializing the full matrix.
 

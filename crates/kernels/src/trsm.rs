@@ -9,11 +9,91 @@
 //! * [`trsm_left_lower_notrans`] — `B <- L^{-1} B`: forward substitution for
 //!   the log-likelihood quadratic form and the prediction solves.
 //! * [`trsm_left_lower_trans`] — `B <- L^{-T} B`: backward substitution.
+//!
+//! Each has a blocked path that solves `NB`-order diagonal blocks with the
+//! unblocked substitution and pushes the rank-`NB` cross-block updates
+//! through the cache-blocked [`gemm`]. Dispatch depends only on the
+//! triangle's order — never on the number of right-hand sides — and every
+//! right-hand-side column is processed independently, so a batched
+//! multi-RHS solve stays bitwise identical to solving each column alone
+//! (the server's batched==singleton guarantee).
 
+use crate::gemm::{gemm, Trans};
 use crate::Real;
+
+/// Diagonal-block order of the blocked solves; at or below this the
+/// unblocked substitution runs directly.
+const NB: usize = 64;
+
+fn scale<T: Real>(m: usize, n: usize, alpha: T, b: &mut [T], ldb: usize) {
+    if alpha == T::ONE {
+        return;
+    }
+    for j in 0..n {
+        for x in b[j * ldb..j * ldb + m].iter_mut() {
+            *x = *x * alpha;
+        }
+    }
+}
 
 /// `B <- alpha * B * L^{-T}` with `L` lower triangular `n x n`, `B` `m x n`.
 pub fn trsm_right_lower_trans<T: Real>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    l: &[T],
+    ldl: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(ldl >= n.max(1));
+    assert!(ldb >= m.max(1));
+    if n > 0 {
+        assert!(l.len() >= ldl * (n - 1) + n);
+        assert!(b.len() >= ldb * (n - 1) + m);
+    }
+    if n <= NB {
+        return trsm_right_lower_trans_unblocked(m, n, alpha, l, ldl, b, ldb);
+    }
+    scale(m, n, alpha, b, ldb);
+    for j0 in (0..n).step_by(NB) {
+        let nb = NB.min(n - j0);
+        if j0 > 0 {
+            // B[:, j0 block] -= X[:, <j0] * L[j0 block, <j0]^T. The solved
+            // columns live strictly left of the block, so a column split
+            // gives disjoint borrows.
+            let (solved, rest) = b.split_at_mut(j0 * ldb);
+            gemm(
+                Trans::No,
+                Trans::Yes,
+                m,
+                nb,
+                j0,
+                -T::ONE,
+                solved,
+                ldb,
+                &l[j0..],
+                ldl,
+                T::ONE,
+                rest,
+                ldb,
+            );
+        }
+        trsm_right_lower_trans_unblocked(
+            m,
+            nb,
+            T::ONE,
+            &l[j0 + j0 * ldl..],
+            ldl,
+            &mut b[j0 * ldb..],
+            ldb,
+        );
+    }
+}
+
+/// Unblocked reference for [`trsm_right_lower_trans`] (also the
+/// diagonal-block solver of the blocked path).
+pub fn trsm_right_lower_trans_unblocked<T: Real>(
     m: usize,
     n: usize,
     alpha: T,
@@ -75,6 +155,63 @@ pub fn trsm_left_lower_notrans<T: Real>(
         assert!(l.len() >= ldl * (m - 1) + m);
         assert!(b.len() >= ldb * (n - 1) + m);
     }
+    if m <= NB {
+        return trsm_left_lower_notrans_unblocked(m, n, alpha, l, ldl, b, ldb);
+    }
+    scale(m, n, alpha, b, ldb);
+    for i0 in (0..m).step_by(NB) {
+        let nb = NB.min(m - i0);
+        trsm_left_lower_notrans_unblocked(
+            nb,
+            n,
+            T::ONE,
+            &l[i0 + i0 * ldl..],
+            ldl,
+            &mut b[i0..],
+            ldb,
+        );
+        let mb = m - i0 - nb;
+        if mb > 0 {
+            // B[i0+nb.., :] -= L[i0+nb.., i0 block] * X[i0 block, :]. The
+            // solved rows interleave with the updated rows inside each
+            // column, so copy the solved block (nb x n) out before the
+            // rectangular update.
+            let xblk = copy_rows(b, i0, nb, n, ldb);
+            gemm(
+                Trans::No,
+                Trans::No,
+                mb,
+                n,
+                nb,
+                -T::ONE,
+                &l[i0 + nb + i0 * ldl..],
+                ldl,
+                &xblk,
+                nb,
+                T::ONE,
+                &mut b[i0 + nb..],
+                ldb,
+            );
+        }
+    }
+}
+
+/// Unblocked reference for [`trsm_left_lower_notrans`].
+pub fn trsm_left_lower_notrans_unblocked<T: Real>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    l: &[T],
+    ldl: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(ldl >= m.max(1));
+    assert!(ldb >= m.max(1));
+    if m > 0 && n > 0 {
+        assert!(l.len() >= ldl * (m - 1) + m);
+        assert!(b.len() >= ldb * (n - 1) + m);
+    }
     for j in 0..n {
         let col = &mut b[j * ldb..j * ldb + m];
         if alpha != T::ONE {
@@ -114,6 +251,59 @@ pub fn trsm_left_lower_trans<T: Real>(
         assert!(l.len() >= ldl * (m - 1) + m);
         assert!(b.len() >= ldb * (n - 1) + m);
     }
+    if m <= NB {
+        return trsm_left_lower_trans_unblocked(m, n, alpha, l, ldl, b, ldb);
+    }
+    scale(m, n, alpha, b, ldb);
+    let nblocks = m.div_ceil(NB);
+    for blk in (0..nblocks).rev() {
+        let i0 = blk * NB;
+        let nb = NB.min(m - i0);
+        let mb = m - i0 - nb;
+        // Work on a copy of the block rows: they alias the already-solved
+        // rows below within each column of `b`.
+        let mut rows = copy_rows(b, i0, nb, n, ldb);
+        if mb > 0 {
+            // rows -= L[i0+nb.., i0 block]^T * X[i0+nb.., :].
+            gemm(
+                Trans::Yes,
+                Trans::No,
+                nb,
+                n,
+                mb,
+                -T::ONE,
+                &l[i0 + nb + i0 * ldl..],
+                ldl,
+                &b[i0 + nb..],
+                ldb,
+                T::ONE,
+                &mut rows,
+                nb,
+            );
+        }
+        trsm_left_lower_trans_unblocked(nb, n, T::ONE, &l[i0 + i0 * ldl..], ldl, &mut rows, nb);
+        for j in 0..n {
+            b[i0 + j * ldb..i0 + j * ldb + nb].copy_from_slice(&rows[j * nb..j * nb + nb]);
+        }
+    }
+}
+
+/// Unblocked reference for [`trsm_left_lower_trans`].
+pub fn trsm_left_lower_trans_unblocked<T: Real>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    l: &[T],
+    ldl: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(ldl >= m.max(1));
+    assert!(ldb >= m.max(1));
+    if m > 0 && n > 0 {
+        assert!(l.len() >= ldl * (m - 1) + m);
+        assert!(b.len() >= ldb * (n - 1) + m);
+    }
     for j in 0..n {
         let col = &mut b[j * ldb..j * ldb + m];
         if alpha != T::ONE {
@@ -131,6 +321,16 @@ pub fn trsm_left_lower_trans<T: Real>(
             col[i] = s / l[i + i * ldl];
         }
     }
+}
+
+/// Copy rows `i0..i0+nb` of the `? x n` matrix `b` into a dense `nb x n`
+/// buffer (leading dimension `nb`).
+fn copy_rows<T: Real>(b: &[T], i0: usize, nb: usize, n: usize, ldb: usize) -> Vec<T> {
+    let mut out = vec![T::ZERO; nb * n.max(1)];
+    for j in 0..n {
+        out[j * nb..j * nb + nb].copy_from_slice(&b[i0 + j * ldb..i0 + j * ldb + nb]);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -241,6 +441,73 @@ mod tests {
         trsm_left_lower_trans(m, n, 1.0, &l, m, &mut b, m);
         for (bi, xi) in b.iter().zip(&x) {
             assert!((bi - xi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blocked_variants_match_unblocked_beyond_block_size() {
+        // Triangle order > NB with an awkward remainder, padded leading
+        // dimensions, several right-hand sides, alpha != 1.
+        let mt = NB * 2 + 11; // triangle order for the left solves
+        let nrhs = 7;
+        let ldl = mt + 4;
+        let mut l = vec![0f64; ldl * mt];
+        let dense = lower(mt, 21);
+        for j in 0..mt {
+            l[j * ldl..j * ldl + mt].copy_from_slice(&dense[j * mt..j * mt + mt]);
+        }
+        // Left notrans.
+        let ldb = mt + 2;
+        let b0 = fill(ldb * nrhs, 22);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        trsm_left_lower_notrans(mt, nrhs, 1.5, &l, ldl, &mut b1, ldb);
+        trsm_left_lower_notrans_unblocked(mt, nrhs, 1.5, &l, ldl, &mut b2, ldb);
+        for (x, y) in b1.iter().zip(&b2) {
+            assert!((x - y).abs() < 1e-9, "notrans: {x} vs {y}");
+        }
+        // Left trans.
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        trsm_left_lower_trans(mt, nrhs, 0.7, &l, ldl, &mut b1, ldb);
+        trsm_left_lower_trans_unblocked(mt, nrhs, 0.7, &l, ldl, &mut b2, ldb);
+        for (x, y) in b1.iter().zip(&b2) {
+            assert!((x - y).abs() < 1e-9, "trans: {x} vs {y}");
+        }
+        // Right trans: B is rows x mt.
+        let rows = 9;
+        let ldb = rows + 3;
+        let b0 = fill(ldb * mt, 23);
+        let mut b1 = b0.clone();
+        let mut b2 = b0.clone();
+        trsm_right_lower_trans(rows, mt, -0.9, &l, ldl, &mut b1, ldb);
+        trsm_right_lower_trans_unblocked(rows, mt, -0.9, &l, ldl, &mut b2, ldb);
+        for (x, y) in b1.iter().zip(&b2) {
+            assert!((x - y).abs() < 1e-9, "right: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn left_solves_batched_rhs_bitwise_equals_singleton() {
+        // The server's batched==singleton guarantee must survive blocking:
+        // each RHS column of a multi-RHS solve is bitwise identical to a
+        // one-column solve.
+        let m = NB + 33;
+        let nrhs = 5;
+        let l = lower(m, 31);
+        let b0 = fill(m * nrhs, 32);
+        for solve in [
+            trsm_left_lower_notrans::<f64>
+                as fn(usize, usize, f64, &[f64], usize, &mut [f64], usize),
+            trsm_left_lower_trans::<f64>,
+        ] {
+            let mut batched = b0.clone();
+            solve(m, nrhs, 1.0, &l, m, &mut batched, m);
+            for j in 0..nrhs {
+                let mut single = b0[j * m..(j + 1) * m].to_vec();
+                solve(m, 1, 1.0, &l, m, &mut single, m);
+                assert_eq!(&batched[j * m..(j + 1) * m], &single[..], "rhs {j}");
+            }
         }
     }
 

@@ -289,7 +289,7 @@ pub fn execute_with_policy(
 #[allow(clippy::needless_range_loop)]
 pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> ExecReport {
     let workers = if workers == 0 {
-        num_cpus::get()
+        crate::logical_cores()
     } else {
         workers
     };
@@ -555,6 +555,7 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
             conversions: conversion_counts().since(&conversions_before),
             wire: Vec::new(),
             validation,
+            pool: None,
         }
     });
 

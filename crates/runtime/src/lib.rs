@@ -39,7 +39,8 @@ pub use exec::{
 pub use graph::{Access, AccessMode, DataId, TaskGraph, TaskId};
 pub use json::{escape_json, parse_json, JsonError, JsonValue};
 pub use metrics::{
-    KernelStats, MetricsReport, QueueDepthStats, TimeHistogram, WireStats, WorkerStats,
+    KernelStats, MetricsReport, PoolCounters, QueueDepthStats, TimeHistogram, WireStats,
+    WorkerStats,
 };
 pub use shard::{
     read_frame, task_census, write_frame, FrameError, WireReader, WireWriter, FRAME_HEADER_BYTES,
@@ -50,3 +51,16 @@ pub use validate::{
     check_schedule, crosscheck_static_edges, derived_edges, Hazard, TaskOrder, ValidationSummary,
     Violation, UNRECORDED,
 };
+
+/// The one shared logical-core probe.
+///
+/// Every layer that sizes itself by the machine — the executor's default
+/// worker count, the shard workers' JOIN core advertisement, the bench
+/// defaults, and (via the same `num_cpus` vendor shim) the `rayon` pool —
+/// must go through this helper so they all advertise the same number.
+/// Probing `available_parallelism` or `num_cpus::get()` directly anywhere
+/// else is flagged by the `no-raw-parallelism-probe` lint.
+pub fn logical_cores() -> usize {
+    // xgs-lint: allow(no-raw-parallelism-probe): this is the shared helper itself
+    num_cpus::get()
+}

@@ -155,6 +155,19 @@ pub struct WireStats {
     pub bytes: u64,
 }
 
+/// Work-stealing pool activity during a run: a delta of the `rayon` pool's
+/// cumulative counters. `jobs` counts chunks executed by pool workers,
+/// `inline_jobs` chunks the submitting thread ran while waiting, `steals`
+/// deque-to-deque ticket thefts, `parks` worker sleeps on an empty pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    pub workers: usize,
+    pub jobs: u64,
+    pub inline_jobs: u64,
+    pub steals: u64,
+    pub parks: u64,
+}
+
 /// Everything the runtime observed about one graph execution.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsReport {
@@ -173,6 +186,9 @@ pub struct MetricsReport {
     pub wire: Vec<WireStats>,
     /// Present when the schedule validator ran (and passed).
     pub validation: Option<ValidationSummary>,
+    /// Present when intra-kernel parallel work ran on the shared
+    /// work-stealing pool during the measured region.
+    pub pool: Option<PoolCounters>,
 }
 
 impl MetricsReport {
@@ -221,6 +237,17 @@ impl MetricsReport {
         match (&mut self.validation, &other.validation) {
             (Some(a), Some(b)) => a.add(b),
             (None, Some(b)) => self.validation = Some(*b),
+            _ => {}
+        }
+        match (&mut self.pool, &other.pool) {
+            (Some(a), Some(b)) => {
+                a.workers = a.workers.max(b.workers);
+                a.jobs += b.jobs;
+                a.inline_jobs += b.inline_jobs;
+                a.steals += b.steals;
+                a.parks += b.parks;
+            }
+            (None, Some(b)) => self.pool = Some(*b),
             _ => {}
         }
     }
@@ -291,6 +318,16 @@ impl MetricsReport {
             ),
             None => "null".to_string(),
         };
+        let pool = match &self.pool {
+            Some(p) => format!(
+                concat!(
+                    "{{\"workers\":{},\"jobs\":{},\"inline_jobs\":{},",
+                    "\"steals\":{},\"parks\":{}}}"
+                ),
+                p.workers, p.jobs, p.inline_jobs, p.steals, p.parks
+            ),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"wall_seconds\":{},\"tasks\":{},\"workers\":{},",
@@ -301,7 +338,8 @@ impl MetricsReport {
                 "\"f32_to_f16\":{},\"f16_to_f32\":{},\"f16_to_f64\":{},\"total\":{},",
                 "\"demotions\":{},\"promotions\":{}}},",
                 "\"wire\":[{}],",
-                "\"validation\":{}}}"
+                "\"validation\":{},",
+                "\"pool\":{}}}"
             ),
             self.wall_seconds,
             self.tasks,
@@ -321,7 +359,8 @@ impl MetricsReport {
             c.demotions(),
             c.promotions(),
             wire,
-            validation
+            validation,
+            pool
         )
     }
 
@@ -458,6 +497,18 @@ impl MetricsReport {
                     war_edges: count(v.get("war_edges")),
                     waw_edges: count(v.get("waw_edges")),
                     edges_skipped: count(v.get("edges_skipped")),
+                });
+            }
+            _ => {}
+        }
+        match doc.get("pool") {
+            Some(p) if !p.is_null() => {
+                report.pool = Some(PoolCounters {
+                    workers: count(p.get("workers")) as usize,
+                    jobs: count(p.get("jobs")),
+                    inline_jobs: count(p.get("inline_jobs")),
+                    steals: count(p.get("steals")),
+                    parks: count(p.get("parks")),
                 });
             }
             _ => {}
@@ -603,6 +654,40 @@ mod tests {
     fn json_validation_null_when_not_run() {
         let m = MetricsReport::default();
         assert!(m.to_json().contains("\"validation\":null"));
+        assert!(m.to_json().contains("\"pool\":null"));
+    }
+
+    #[test]
+    fn pool_counters_merge_and_survive_json() {
+        let mk = |jobs, steals| MetricsReport {
+            pool: Some(PoolCounters {
+                workers: 4,
+                jobs,
+                inline_jobs: 1,
+                steals,
+                parks: 2,
+            }),
+            ..MetricsReport::default()
+        };
+        let mut a = MetricsReport::default();
+        a.merge(&mk(10, 3)); // None + Some adopts
+        a.merge(&mk(5, 1)); // Some + Some sums counters, maxes workers
+        let p = a.pool.unwrap();
+        assert_eq!(p.workers, 4);
+        assert_eq!(p.jobs, 15);
+        assert_eq!(p.inline_jobs, 2);
+        assert_eq!(p.steals, 4);
+        assert_eq!(p.parks, 4);
+        let back = MetricsReport::from_json(&a.to_json()).expect("parse own export");
+        assert_eq!(back.pool, a.pool);
+        // Reports written before the pool existed parse with pool = None.
+        let legacy = MetricsReport::default()
+            .to_json()
+            .replace(",\"pool\":null", "");
+        assert!(MetricsReport::from_json(&legacy)
+            .expect("legacy")
+            .pool
+            .is_none());
     }
 
     #[test]
@@ -630,6 +715,13 @@ mod tests {
                 war_edges: 3,
                 waw_edges: 1,
                 edges_skipped: 7,
+            }),
+            pool: Some(PoolCounters {
+                workers: 4,
+                jobs: 120,
+                inline_jobs: 17,
+                steals: 9,
+                parks: 33,
             }),
             ..MetricsReport::default()
         };
@@ -673,6 +765,7 @@ mod tests {
         assert_eq!(back.conversions.f64_to_f32, 9);
         assert_eq!(back.wire, m.wire);
         assert_eq!(back.validation, m.validation);
+        assert_eq!(back.pool, m.pool);
         // A reparsed report can merge with a live one (kind interning gives
         // back pointer-comparable statics for known kinds).
         let mut live = MetricsReport::default();

@@ -1,41 +1,670 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a **real work-stealing thread
+//! pool** — not a sequential façade.
 //!
-//! The `par_iter`/`par_chunks_mut` entry points return plain std
-//! iterators, so downstream adaptor chains (`map`, `enumerate`,
-//! `for_each`, `collect`) compile unchanged but execute sequentially.
-//! This container is single-core (`available_parallelism() == 1`), so the
-//! fallback costs nothing here; on multi-core hosts swap in real rayon or
-//! upgrade this shim to scoped threads (tracked in ROADMAP.md).
+//! The `par_iter`/`par_chunks_mut` entry points fan work across a lazily
+//! initialized global pool of `std::thread` workers (one per logical CPU,
+//! the same count `num_cpus::get()` reports to the rest of the workspace;
+//! `RAYON_NUM_THREADS` overrides it, exactly like upstream). The pool uses
+//! the mutex'd ready-queue pattern proven in `xgs-runtime::exec`: one
+//! `Mutex<VecDeque>` deque per worker plus a shared injector; an idle
+//! worker pops its own deque LIFO, then the injector, then *steals* FIFO
+//! from a sibling's deque.
+//!
+//! Scheduling model: every parallel call builds one [`BatchCore`] — a
+//! shared chunk counter over the work items — and injects *tickets* into
+//! the pool. A ticket is an invitation to claim chunks from the counter
+//! until it runs dry; the calling thread claims chunks itself while it
+//! waits, so completion **never depends on the pool picking tickets up**.
+//! That property makes a 1-thread pool, nested `par_iter` inside a pool
+//! worker, and a fully busy pool all deadlock-free by construction, and it
+//! is what makes the lifetime erasure below sound (see `run_batch`).
+//!
+//! Guarantees relied on throughout the workspace:
+//!
+//! * **Order preservation** — `collect` places result `i` at index `i`;
+//!   `par_chunks_mut(k).enumerate()` hands chunk `j` its true index. Output
+//!   is bitwise identical for every pool size, including 1.
+//! * **Panic propagation** — a panicking closure poisons the batch
+//!   (remaining chunks are claimed but skipped), the first payload is
+//!   rethrown on the calling thread, and the pool stays usable.
+//! * **Determinism** — the pool never reorders *results*, only execution.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod prelude {
     pub use super::{IntoParallelRefIterator, ParallelSliceMut};
 }
 
-/// `par_iter()` on slices and anything derefing to one (e.g. `Vec`).
-pub trait IntoParallelRefIterator<T> {
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+// ------------------------------------------------------------------ pool
+
+/// Cumulative counters of one pool (monotone; diff two snapshots to get a
+/// per-run delta). `jobs` counts chunks executed by pool workers,
+/// `inline_jobs` chunks the calling thread claimed while waiting, `steals`
+/// deque-to-deque ticket thefts, `parks` worker sleeps on an empty pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub threads: usize,
+    pub jobs: u64,
+    pub inline_jobs: u64,
+    pub steals: u64,
+    pub parks: u64,
 }
 
-impl<T> IntoParallelRefIterator<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+impl PoolStats {
+    /// Counter delta since `earlier` (thread count carries over).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            inline_jobs: self.inline_jobs.saturating_sub(earlier.inline_jobs),
+            steals: self.steals.saturating_sub(earlier.steals),
+            parks: self.parks.saturating_sub(earlier.parks),
+        }
     }
 }
+
+/// One parallel call: a chunk counter shared by the caller and however
+/// many pool workers pick its tickets up.
+struct BatchCore {
+    /// The work, one call per chunk index. Lifetime-erased by `run_batch`,
+    /// which guarantees no dereference can happen after it returns: every
+    /// use is preceded by a successful claim (`next < total`), and
+    /// `run_batch` only returns once `done == total`, after which every
+    /// claim fails.
+    run: &'static (dyn Fn(usize) + Sync),
+    total: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    /// Set on the first panic: later chunks are claimed-and-skipped so the
+    /// batch still completes (poisoned, never deadlocked).
+    poisoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+impl BatchCore {
+    fn new(run: &'static (dyn Fn(usize) + Sync), total: usize) -> BatchCore {
+        BatchCore {
+            run,
+            total,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        }
+    }
+
+    /// Claim and run chunks until the counter is exhausted. Returns how
+    /// many chunks this thread ran.
+    fn work(&self) -> u64 {
+        let mut ran = 0u64;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return ran;
+            }
+            if !self.poisoned.load(Ordering::Relaxed) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.run)(i))) {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            ran += 1;
+            // Release pairs with the caller's Acquire when it observes the
+            // batch finished: chunk writes happen-before result reads.
+            if self.done.fetch_add(1, Ordering::Release) + 1 == self.total {
+                let mut f = self.finished.lock().unwrap_or_else(|e| e.into_inner());
+                *f = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A ticket in a worker deque: run chunks of this batch until dry.
+type Job = Arc<BatchCore>;
+
+struct Shared {
+    /// Per-worker deques plus the shared injector — the same mutex'd
+    /// ready-queue shape as `xgs-runtime::exec`, split per worker so
+    /// stealing is observable and contention is local.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    injector: Mutex<VecDeque<Job>>,
+    /// Sleep coordination: workers re-scan all queues while holding this
+    /// lock before waiting, and pushers bump-and-notify under it, so a
+    /// push can never slip between a worker's last scan and its sleep.
+    idle: Mutex<()>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    next_deque: AtomicUsize,
+    jobs: AtomicU64,
+    inline_jobs: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+/// A pool of worker threads. The process-global instance lives forever;
+/// explicitly built pools ([`ThreadPool`]) join their workers on drop.
+pub struct Registry {
+    threads: usize,
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Registry {
+    fn new(threads: usize) -> Arc<Registry> {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: Mutex::new(()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_deque: AtomicUsize::new(0),
+            jobs: AtomicU64::new(0),
+            inline_jobs: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        });
+        let registry = Arc::new(Registry {
+            threads,
+            shared: Arc::clone(&shared),
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let reg = Arc::clone(&registry);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{w}"))
+                    .spawn(move || worker_loop(reg, w))
+                    .expect("spawn pool worker"),
+            );
+        }
+        *registry.handles.lock().unwrap_or_else(|e| e.into_inner()) = handles;
+        registry
+    }
+
+    /// Number of worker threads (≥ 1).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            jobs: self.shared.jobs.load(Ordering::Relaxed),
+            inline_jobs: self.shared.inline_jobs.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            parks: self.shared.parks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Spread `tickets` clones of the batch across worker deques (rotating
+    /// start, one per deque) and wake everyone.
+    fn inject(&self, core: &Job, tickets: usize) {
+        if tickets == 0 {
+            return;
+        }
+        let start = self.shared.next_deque.fetch_add(1, Ordering::Relaxed);
+        for t in 0..tickets {
+            let d = (start + t) % self.threads;
+            self.shared.deques[d]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(Arc::clone(core));
+        }
+        // Bump under the idle lock so a worker between "scanned empty" and
+        // "waiting" cannot miss the push (it either sees the jobs when it
+        // re-scans under this lock, or it is already waiting and gets the
+        // notification).
+        drop(self.shared.idle.lock().unwrap_or_else(|e| e.into_inner()));
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        drop(self.shared.idle.lock().unwrap_or_else(|e| e.into_inner()));
+        self.shared.available.notify_all();
+        for h in self
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, me: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&registry)));
+    while let Some(job) = find_job(&registry, me) {
+        let ran = job.work();
+        registry.shared.jobs.fetch_add(ran, Ordering::Relaxed);
+    }
+}
+
+/// Pop own deque LIFO, then the injector, then steal FIFO; park when the
+/// whole pool is empty. `None` means shutdown.
+fn find_job(registry: &Registry, me: usize) -> Option<Job> {
+    let shared = &registry.shared;
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return None;
+        }
+        // Own deque first (LIFO: freshest, cache-warm work) ...
+        if let Some(j) = shared.deques[me]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_back()
+        {
+            return Some(j);
+        }
+        // ... then the injector ...
+        if let Some(j) = shared
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some(j);
+        }
+        // ... then steal FIFO (oldest, largest-remaining batches).
+        for off in 1..registry.threads {
+            let victim = (me + off) % registry.threads;
+            if let Some(j) = shared.deques[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(j);
+            }
+        }
+        // Nothing anywhere: sleep, then re-scan on wake. The re-scan under
+        // the idle lock plus `inject`'s bump-under-lock rules out a lost
+        // wakeup.
+        let guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+        let empty = shared
+            .deques
+            .iter()
+            .all(|d| d.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+            && shared
+                .injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty();
+        if empty && !shared.shutdown.load(Ordering::Relaxed) {
+            shared.parks.fetch_add(1, Ordering::Relaxed);
+            drop(
+                shared
+                    .available
+                    .wait(guard)
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
+        }
+    }
+}
+
+thread_local! {
+    /// Registry override for this thread: set inside `ThreadPool::install`
+    /// and permanently on every pool worker, so nested parallel calls land
+    /// on the pool that is already running them.
+    static CURRENT: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+fn global_registry() -> Arc<Registry> {
+    Arc::clone(GLOBAL.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(num_cpus::get);
+        Registry::new(threads)
+    }))
+}
+
+fn current_registry() -> Arc<Registry> {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(global_registry)
+}
+
+/// Worker count of the pool the current thread would submit to.
+pub fn current_num_threads() -> usize {
+    current_registry().num_threads()
+}
+
+/// Snapshot of the **global** pool's cumulative counters (the pool the
+/// workspace's `par_iter` sites use unless running under
+/// [`ThreadPool::install`]). Instantiates the pool if needed.
+pub fn global_pool_stats() -> PoolStats {
+    global_registry().stats()
+}
+
+/// Run `total` chunks of `run` across the current pool, blocking until
+/// every chunk has finished and rethrowing the first panic.
+fn run_batch(total: usize, run: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    let registry = current_registry();
+    // SAFETY (lifetime erasure): tickets holding this `&'static` may
+    // outlive the frame, but `run` is only dereferenced after a successful
+    // chunk claim (`next < total`). We return only once `done == total`,
+    // and `done` reaches `total` only after `next` has passed it — so by
+    // the time the borrow expires, every future claim fails before
+    // touching `run`. A leftover ticket is an Arc'd counter probe, nothing
+    // more.
+    let run_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(run) };
+    let core: Job = Arc::new(BatchCore::new(run_static, total));
+    // The caller claims chunks too, so only `total - 1` tickets can ever
+    // be useful; completion does not depend on any of them running.
+    let tickets = registry.num_threads().min(total.saturating_sub(1));
+    registry.inject(&core, tickets);
+    let ran = core.work();
+    registry
+        .shared
+        .inline_jobs
+        .fetch_add(ran, Ordering::Relaxed);
+    // Wait out chunks claimed by pool workers that are still running.
+    {
+        let mut f = core.finished.lock().unwrap_or_else(|e| e.into_inner());
+        while !*f {
+            f = core.finished_cv.wait(f).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    // Acquire pairs with the Release on the final `done` increment.
+    core.done.load(Ordering::Acquire);
+    let payload = core.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
+
+/// Items per chunk for an `n`-item batch: coarse enough to amortize the
+/// claim, fine enough that `threads` workers stay balanced.
+fn chunk_len(n: usize, threads: usize) -> usize {
+    (n / (threads * 8)).max(1)
+}
+
+// ----------------------------------------------------------- thread pool
+
+/// Error building a [`ThreadPool`] (kept for API parity with upstream; the
+/// in-tree builder cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicitly sized pool, mirroring upstream's API subset.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// `0` (the default) means one worker per logical CPU.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            num_cpus::get()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool {
+            registry: Registry::new(threads),
+        })
+    }
+}
+
+/// An explicitly sized pool. Parallel calls made inside
+/// [`ThreadPool::install`] (and from this pool's own workers) run here
+/// instead of the global pool — how the test suite proves pool-size
+/// invariance (1 worker vs N must be bitwise identical).
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Cumulative counters for this pool.
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats()
+    }
+
+    /// Run `f` with this pool as the current thread's submission target,
+    /// restoring the previous target afterwards (panic-safe).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Arc<Registry>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&self.registry)));
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+// ------------------------------------------------------------ par_iter
+
+/// `par_iter()` on slices and anything derefing to one (e.g. `Vec`).
+pub trait IntoParallelRefIterator<T> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let slice = self.slice;
+        let threads = current_num_threads();
+        let per = chunk_len(slice.len(), threads);
+        let chunks = slice.len().div_ceil(per);
+        run_batch(chunks, &|ci| {
+            let start = ci * per;
+            let end = (start + per).min(slice.len());
+            for item in &slice[start..end] {
+                f(item);
+            }
+        });
+    }
+}
+
+/// The result of [`ParIter::map`]: a lazy parallel map, realized by
+/// `collect` (order-preserving) or `for_each`.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    /// Parallel map with **order-preserving** collection: element `i` of
+    /// the output is `f(&input[i])` regardless of pool size or schedule.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let slice = self.slice;
+        let f = &self.f;
+        let n = slice.len();
+        let threads = current_num_threads();
+        let per = chunk_len(n, threads);
+        let chunks = n.div_ceil(per);
+        // One slot per chunk: filled exactly once by whichever thread
+        // claims the chunk, then drained in index order. No unsafe,
+        // panic-safe (partially computed chunks drop normally), and only
+        // `U: Send` is required.
+        let slots: Vec<Mutex<Option<Vec<U>>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        run_batch(chunks, &|ci| {
+            let start = ci * per;
+            let end = (start + per).min(n);
+            let out: Vec<U> = slice[start..end].iter().map(f).collect();
+            *slots[ci].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+        });
+        let mut all = Vec::with_capacity(n);
+        for s in slots {
+            let part = s
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("batch completed, every chunk slot is set");
+            all.extend(part);
+        }
+        all.into_iter().collect()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        let slice = self.slice;
+        ParIter { slice }.for_each(|item| g(f(item)));
+    }
+}
+
+// ------------------------------------------------------- par_chunks_mut
 
 /// `par_chunks_mut()` on mutable slices.
 pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk: chunk_size,
+        }
     }
 }
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut {
+            slice: self.slice,
+            chunk: self.chunk,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// [`ParChunksMut`] with chunk indices attached.
+pub struct EnumChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> EnumChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let chunk = self.chunk;
+        let chunks = len.div_ceil(chunk);
+        let base = self.slice.as_mut_ptr() as usize;
+        run_batch(chunks, &|ci| {
+            let start = ci * chunk;
+            let end = (start + chunk).min(len);
+            // SAFETY: chunk `ci` covers `[start, end)` and chunk ranges
+            // are pairwise disjoint (each batch index is claimed exactly
+            // once), so each reconstructed sub-slice is an exclusive borrow
+            // of its own region for the duration of the call; the parent
+            // `&mut` borrow outlives the batch because `run_batch` blocks
+            // until every chunk is done.
+            let sub =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
+            f((ci, sub));
+        });
+    }
+}
+
+// ------------------------------------------------------------------ tests
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
 
     #[test]
     fn par_iter_map_collect() {
@@ -53,5 +682,123 @@ mod tests {
             }
         });
         assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn collect_preserves_order_at_scale() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 3 + 1).collect();
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(*o, i * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_actually_runs_on_multiple_threads() {
+        // 64 sleepy items on a 4-thread pool: more than one distinct
+        // thread id must participate (the caller is one of them).
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids = Mutex::new(std::collections::HashSet::new());
+        let v: Vec<u32> = (0..64).collect();
+        pool.install(|| {
+            v.par_iter().for_each(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(ids.lock().unwrap().len() >= 2);
+        let stats = pool.stats();
+        assert!(stats.jobs > 0, "pool workers never ran a chunk: {stats:?}");
+    }
+
+    #[test]
+    fn one_thread_pool_matches_many() {
+        let v: Vec<u64> = (0..997).collect();
+        let run = |threads| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| -> Vec<u64> {
+                v.par_iter().map(|&x| x.wrapping_mul(0x9E37) ^ 7).collect()
+            })
+        };
+        assert_eq!(run(1), run(5));
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let v: Vec<i32> = (0..100).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                v.par_iter().for_each(|&x| {
+                    if x == 37 {
+                        panic!("chunk 37 exploded");
+                    }
+                });
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("exploded"), "unexpected payload {msg}");
+        // The pool is poisoned-job-free and immediately reusable.
+        let sum: Vec<i32> = pool.install(|| v.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(sum.len(), 100);
+        assert_eq!(sum[99], 100);
+    }
+
+    #[test]
+    fn nested_par_iter_inside_pool_worker_does_not_deadlock() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let outer: Vec<usize> = (0..8).collect();
+        let total = AtomicUsize::new(0);
+        pool.install(|| {
+            outer.par_iter().for_each(|&o| {
+                let inner: Vec<usize> = (0..50).collect();
+                let s: Vec<usize> = inner.par_iter().map(|&i| i + o).collect();
+                total.fetch_add(s.iter().sum::<usize>(), AOrd::Relaxed);
+            });
+        });
+        // sum_o sum_i (i + o) = 8 * (49*50/2) + 50 * (0..8).sum()
+        assert_eq!(total.load(AOrd::Relaxed), 8 * 1225 + 50 * 28);
+    }
+
+    #[test]
+    fn empty_slice_and_oversized_chunks() {
+        let empty: Vec<f64> = Vec::new();
+        let out: Vec<f64> = empty.par_iter().map(|x| x * 2.0).collect();
+        assert!(out.is_empty());
+        let mut nothing: Vec<u8> = Vec::new();
+        nothing.par_chunks_mut(16).enumerate().for_each(|(_, _)| {
+            panic!("no chunks on an empty slice");
+        });
+        // chunk size > len: exactly one chunk, index 0, full slice.
+        let mut small = vec![1u8, 2, 3];
+        let seen = AtomicUsize::new(0);
+        small.par_chunks_mut(1000).enumerate().for_each(|(j, c)| {
+            assert_eq!(j, 0);
+            assert_eq!(c.len(), 3);
+            seen.fetch_add(1, AOrd::Relaxed);
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert_eq!(seen.load(AOrd::Relaxed), 1);
+        assert_eq!(small, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_monotone_and_delta() {
+        let before = global_pool_stats();
+        let v: Vec<u32> = (0..256).collect();
+        let _: Vec<u32> = v.par_iter().map(|&x| x ^ 1).collect();
+        let after = global_pool_stats();
+        let d = after.since(&before);
+        assert!(d.jobs + d.inline_jobs > 0, "no chunks recorded: {d:?}");
+        assert_eq!(after.threads, current_num_threads());
     }
 }
