@@ -276,6 +276,7 @@ fn json_string(v: &str, out: &mut String) {
 /// bounded reads: the server's request pipeline plus both shard layers.
 fn network_scoped(path: &str) -> bool {
     path.ends_with("crates/server/src/server.rs")
+        || path.ends_with("crates/server/src/reactor.rs")
         || path.ends_with("crates/server/src/batch.rs")
         || path.ends_with("crates/server/src/registry.rs")
         || path.ends_with("crates/server/src/protocol.rs")

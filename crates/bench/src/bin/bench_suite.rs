@@ -5,11 +5,14 @@
 //! fit, batch kriging, and the live prediction service under loadgen —
 //! and writes `results/BENCH_<pr>.json` so successive PRs leave a
 //! comparable trail. Latencies are medians over `XGS_REPS` repetitions;
-//! the serve section reports loadgen's p50/p99.
+//! the serve sections report loadgen's p50/p99 for BOTH frontends
+//! (thread-per-connection under `"serve"`, epoll reactor under
+//! `"serve_reactor"`), and the two replays of the same seeded stream must
+//! agree on the response checksum.
 //!
 //! ```text
 //! cargo run -p xgs-bench --release --bin bench_suite
-//! XGS_BENCH_OUT=results/BENCH_8.json XGS_REPS=5 cargo run -p xgs-bench --release --bin bench_suite
+//! XGS_BENCH_OUT=results/BENCH_9.json XGS_REPS=5 cargo run -p xgs-bench --release --bin bench_suite
 //! ```
 
 use std::sync::Arc;
@@ -23,7 +26,9 @@ use xgs_core::mle::FitOptimizer;
 use xgs_core::{fit, krige, FitOptions, ModelFamily, PsoOptions};
 use xgs_covariance::{jittered_grid, morton_order, Matern, MaternParams};
 use xgs_kernels::{gemm, gemm_naive, Trans};
-use xgs_server::{build_plan, loadgen, serve, LoadgenConfig, ModelRegistry, ServerConfig};
+use xgs_server::{
+    build_plan, loadgen, serve, Frontend, LoadgenConfig, ModelRegistry, ServerConfig,
+};
 use xgs_tile::{SymTileMatrix, TlrConfig, Variant};
 
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -34,7 +39,7 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let reps = env_usize("XGS_REPS", 3);
-    let out = std::env::var("XGS_BENCH_OUT").unwrap_or_else(|_| "results/BENCH_8.json".into());
+    let out = std::env::var("XGS_BENCH_OUT").unwrap_or_else(|_| "results/BENCH_9.json".into());
     let pool0 = rayon::global_pool_stats();
     println!(
         "-- bench suite: {} pool workers, {reps} reps, out = {out} --",
@@ -133,7 +138,9 @@ fn main() {
     );
 
     // 4. Serve: in-process server + loadgen, the same loop the CI smoke
-    // step drives across a process boundary.
+    // step drives across a process boundary — once per frontend, over one
+    // shared registry, with the same seeded stream. Identical checksums
+    // prove the frontends return bitwise-identical predictions.
     let (plan, _llh) = build_plan(
         ModelFamily::MaternSpace,
         &[1.0, 0.1, 0.5],
@@ -146,41 +153,54 @@ fn main() {
     .expect("plan builds");
     let registry = Arc::new(ModelRegistry::new());
     registry.insert("default", plan);
-    let handle = serve(
-        &ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
-            solvers: 2,
-            ..ServerConfig::default()
-        },
-        registry,
-    )
-    .expect("bind loopback");
-    let report = loadgen::run(&LoadgenConfig {
-        addr: handle.addr().to_string(),
-        requests: env_usize("XGS_SERVE_REQS", 300),
-        conns: 4,
-        points: 4,
-        uncertainty: true,
-        seed: 42,
-        connect_timeout: Duration::from_secs(5),
-        shutdown: true,
-        ..LoadgenConfig::default()
-    })
-    .expect("loadgen");
-    assert_eq!(report.errors, 0, "{}", report.summary());
-    handle.join();
-    println!("serve: {}", report.summary());
+    let serve_bench = |frontend: Frontend| {
+        let handle = serve(
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                solvers: 2,
+                frontend,
+                ..ServerConfig::default()
+            },
+            registry.clone(),
+        )
+        .expect("bind loopback");
+        let report = loadgen::run(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            requests: env_usize("XGS_SERVE_REQS", 300),
+            conns: 4,
+            points: 4,
+            uncertainty: true,
+            seed: 42,
+            connect_timeout: Duration::from_secs(5),
+            shutdown: true,
+            ..LoadgenConfig::default()
+        })
+        .expect("loadgen");
+        assert_eq!(report.errors, 0, "{}", report.summary());
+        handle.join();
+        report
+    };
+    let report = serve_bench(Frontend::Threaded);
+    println!("serve (threaded): {}", report.summary());
+    let reactor_report = serve_bench(Frontend::Reactor);
+    println!("serve (reactor):  {}", reactor_report.summary());
+    assert_eq!(
+        report.checksum, reactor_report.checksum,
+        "frontends disagree on response payloads"
+    );
 
     let pool = rayon::global_pool_stats().since(&pool0);
     let json = format!(
         concat!(
-            "{{\"pr\":8,",
+            "{{\"pr\":9,",
             "\"pool\":{{\"workers\":{},\"jobs\":{},\"inline_jobs\":{},\"steals\":{}}},",
             "\"gemm\":{{\"n\":{},\"naive_s\":{:.6},\"blocked_s\":{:.6},",
             "\"naive_gflops\":{:.3},\"blocked_gflops\":{:.3},\"speedup\":{:.3}}},",
             "\"fit\":{{\"n\":{},\"median_s\":{:.4}}},",
             "\"predict\":{{\"points\":{},\"median_s\":{:.4},\"points_per_s\":{:.1}}},",
-            "\"serve\":{{\"requests\":{},\"throughput_rps\":{:.1},",
+            "\"serve\":{{\"frontend\":\"threaded\",\"requests\":{},\"throughput_rps\":{:.1},",
+            "\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"checksum\":\"{:016x}\"}},",
+            "\"serve_reactor\":{{\"frontend\":\"reactor\",\"requests\":{},\"throughput_rps\":{:.1},",
             "\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"checksum\":\"{:016x}\"}}}}"
         ),
         pool0.threads,
@@ -203,6 +223,11 @@ fn main() {
         report.p50_ms,
         report.p99_ms,
         report.checksum,
+        reactor_report.sent,
+        reactor_report.throughput,
+        reactor_report.p50_ms,
+        reactor_report.p99_ms,
+        reactor_report.checksum,
     );
     if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).expect("create results dir");

@@ -35,6 +35,13 @@
 //! holds a fault-injected run to its recovery contract — exactly one
 //! `worker_death`, at least one `panel_replay` — without needing a
 //! baseline that also lost a worker. Exit code 1 on any miss.
+//!
+//! `--assert-checksum-equal` compares the `loadgen.checksum` field of two
+//! **loadgen** report files (the order-independent FNV fold over every
+//! response payload). Two replays of the same seeded stream must agree —
+//! this is how CI proves the threaded and reactor frontends return
+//! bitwise-identical predictions. Exit code 1 when the checksums differ
+//! or either file lacks one.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -72,11 +79,16 @@ fn main() -> ExitCode {
     let mut assert_counts: Vec<String> = Vec::new();
     let mut assert_wire_equal: Vec<String> = Vec::new();
     let mut assert_wire_below: Vec<String> = Vec::new();
+    let mut assert_checksum_equal = false;
     // (kind, n, exact): candidate-only count assertions.
     let mut expect: Vec<(String, u64, bool)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--assert-checksum-equal" => {
+                assert_checksum_equal = true;
+                i += 1;
+            }
             "--assert-counts" => {
                 let Some(list) = args.get(i + 1) else {
                     eprintln!("metrics_diff: --assert-counts needs a kind list (e.g. potrf,gemm)");
@@ -130,7 +142,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: metrics_diff [--assert-counts k1,k2,..] [--assert-wire-equal k1,k2,..] \
              [--assert-wire-below k1,..] [--expect-count kind=N] [--expect-min kind=N] \
-             <baseline.json> <candidate.json>"
+             [--assert-checksum-equal] <baseline.json> <candidate.json>"
         );
         return ExitCode::from(2);
     }
@@ -305,6 +317,36 @@ fn main() -> ExitCode {
                 "metrics_diff: {kind} wire bytes not reduced: {bb} (candidate) >= {ab} (baseline)"
             );
             mismatches += 1;
+        }
+    }
+    if assert_checksum_equal {
+        // Loadgen reports, not MetricsReports: read the raw documents and
+        // pull `loadgen.checksum` from each.
+        let checksum = |path: &str| -> Option<String> {
+            let text = std::fs::read_to_string(path).ok()?;
+            xgs_runtime::parse_json(&text)
+                .ok()?
+                .get("loadgen")?
+                .get("checksum")?
+                .as_str()
+                .map(str::to_string)
+        };
+        match (checksum(paths[0]), checksum(paths[1])) {
+            (Some(a), Some(b)) if a == b => {
+                println!("checksum   {a} == {b}");
+            }
+            (Some(a), Some(b)) => {
+                eprintln!("metrics_diff: response checksum mismatch: {a} != {b}");
+                mismatches += 1;
+            }
+            (a, b) => {
+                for (path, side) in [(paths[0], a), (paths[1], b)] {
+                    if side.is_none() {
+                        eprintln!("metrics_diff: {path}: no loadgen.checksum field");
+                    }
+                }
+                mismatches += 1;
+            }
         }
     }
     if mismatches > 0 {

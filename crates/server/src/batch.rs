@@ -42,22 +42,49 @@ pub(crate) struct Reply {
     pub err: bool,
 }
 
-/// Where a job's answer goes: the owning connection's writer channel.
-/// Consuming `send_*` enforces exactly-one-response per accepted request.
+/// Where finished [`Reply`]s go — the frontend-specific half of response
+/// routing. The threaded frontend hands replies to the connection's
+/// dedicated writer thread over an mpsc channel; the reactor frontend
+/// posts them to the event loop's completion hub (tagged with the
+/// connection key) and wakes the loop via the poller's eventfd.
+#[derive(Clone)]
+pub(crate) enum ReplySink {
+    Thread(mpsc::Sender<Reply>),
+    Reactor {
+        hub: Arc<crate::reactor::CompletionHub>,
+        conn: u64,
+    },
+}
+
+impl ReplySink {
+    /// Deliver one finished reply. A vanished receiver (threaded) or a
+    /// closed-and-reaped connection (reactor) means the client hung up
+    /// mid-flight; the reactor hub still records the reply for latency
+    /// and drain accounting, matching the threaded writer loop.
+    pub fn send(&self, reply: Reply) {
+        match self {
+            ReplySink::Thread(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Reactor { hub, conn } => hub.push(*conn, reply),
+        }
+    }
+}
+
+/// Where a job's answer goes: the owning connection's reply sink.
+/// Consuming `send` enforces exactly-one-response per accepted request.
 pub(crate) struct Responder {
     /// Serialized id to echo (`None` = request carried no id).
     pub id: Option<String>,
-    pub tx: mpsc::Sender<Reply>,
+    pub tx: ReplySink,
     pub t0: Instant,
 }
 
 impl Responder {
-    /// Send a response body (a JSON object literal). A vanished receiver
-    /// means the client hung up mid-flight; the response is dropped on the
-    /// floor, which is the only thing left to do.
+    /// Send a response body (a JSON object literal).
     pub fn send(self, body: String, err: bool) {
         let line = with_id(self.id.as_deref(), body);
-        let _ = self.tx.send(Reply {
+        self.tx.send(Reply {
             line,
             t0: self.t0,
             err,
@@ -285,7 +312,7 @@ mod tests {
                 deadline: None,
                 resp: Responder {
                     id: None,
-                    tx,
+                    tx: ReplySink::Thread(tx),
                     t0: now,
                 },
             },

@@ -6,13 +6,17 @@
 //!     --addr 127.0.0.1:4741 --requests 1000 --conns 8 --points 16 \
 //!     [--rate 500] [--uncertainty] [--model default] [--seed 1] \
 //!     [--concurrency-per-conn 8] [--deadline-ms 250] [--overload] \
-//!     [--metrics out.json] [--shutdown]
+//!     [--connections 10000] [--metrics out.json] [--shutdown]
 //! ```
 //!
 //! `--concurrency-per-conn` pipelines that many requests per connection
 //! (responses are correlated by id, so out-of-order completion is fine);
 //! `--deadline-ms` attaches a per-request deadline; `--overload` runs an
 //! overload drill in which shed responses (`retry_after_ms`) are expected.
+//! `--connections N` switches to open-loop mode: one epoll-driven thread
+//! holds N concurrent connections (ignoring `--conns`), ramping connects in
+//! batches and counting-and-retrying failures — the concurrency soak for
+//! the reactor frontend.
 //!
 //! Exit status: 0 when every request succeeded (shed responses count as
 //! failures unless `--overload`, deadline expiries unless `--deadline-ms`),
@@ -77,6 +81,11 @@ fn parse_args(argv: &[String]) -> Result<(loadgen::LoadgenConfig, Option<String>
                 cfg.deadline_ms = value("deadline-ms")?
                     .parse()
                     .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--connections" => {
+                cfg.connections = value("connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
             }
             "--uncertainty" => cfg.uncertainty = true,
             "--overload" => cfg.overload = true,

@@ -10,9 +10,12 @@
 //! into multi-RHS solves ([`batch`]) for throughput.
 //!
 //! Requests may carry a client-assigned `"id"` (echoed in the response)
-//! and a `"deadline_ms"`; each connection has its own writer thread, so
-//! responses complete out of order and a slow `predict` never blocks a
-//! `ping` on the same connection. The batch queue carries a points budget:
+//! and a `"deadline_ms"`; responses complete out of order, so a slow
+//! `predict` never blocks a `ping` on the same connection. Two frontends
+//! implement the connection handling behind one protocol
+//! ([`server::Frontend`]): the original thread-per-connection layout, and
+//! an epoll [`reactor`] that multiplexes every socket from one event
+//! loop. The batch queue carries a points budget:
 //! past it, `predict` is shed with a `retry_after_ms` hint instead of
 //! queueing unboundedly, and request lines / JSON nesting are hard-capped
 //! so hostile clients cannot exhaust memory or the stack.
@@ -41,10 +44,11 @@
 pub mod batch;
 pub mod loadgen;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 
 pub use loadgen::{connect_with_retry, LoadgenConfig, LoadgenReport};
 pub use protocol::{parse_request, Envelope, LoadRequest, ParseFailure, PredictRequest, Request};
 pub use registry::{build_plan, build_plan_engine, ModelRegistry};
-pub use server::{serve, ServerConfig, ServerHandle, MAX_LINE_BYTES};
+pub use server::{serve, Frontend, ServerConfig, ServerHandle, MAX_LINE_BYTES};

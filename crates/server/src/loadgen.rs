@@ -17,15 +17,28 @@
 //! The generator never panics on server misbehaviour: refused (shed),
 //! expired (deadline) and failed requests are counted separately and the
 //! binary turns unexpected ones into a nonzero exit.
+//!
+//! Two drive modes:
+//!
+//! * **Closed loop** (default): `conns` worker threads, each a pipelined
+//!   blocking connection with up to `concurrency_per_conn` in flight.
+//! * **Open loop** (`connections > 0`): one thread multiplexes that many
+//!   nonblocking sockets through the same epoll shim the server's reactor
+//!   uses, connecting in ramped batches. Connect failures (`EMFILE`,
+//!   `ECONNREFUSED` from a full backlog, timeouts) are counted and
+//!   retried until the connect budget runs out — a high-concurrency run
+//!   reports instead of aborting. This is the mode that proves the
+//!   reactor frontend holds 10k+ concurrent connections.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use polling::{Event, Events, Poller};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use xgs_runtime::parse_json;
+use xgs_runtime::{parse_json, JsonValue};
 
 /// Load-generation parameters.
 #[derive(Clone, Debug)]
@@ -60,6 +73,12 @@ pub struct LoadgenConfig {
     /// Overload drill: shed responses (`retry_after_ms`) are expected and
     /// do not fail the run.
     pub overload: bool,
+    /// Open-loop mode: when > 0, hold this many concurrent connections
+    /// from a single epoll-driven thread (ignoring `conns` and
+    /// `concurrency_per_conn`), spreading `requests` across them. Extra
+    /// connections beyond the request count sit idle but open — the
+    /// concurrency soak the reactor frontend is gated on.
+    pub connections: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -79,6 +98,7 @@ impl Default for LoadgenConfig {
             concurrency_per_conn: 1,
             deadline_ms: 0,
             overload: false,
+            connections: 0,
         }
     }
 }
@@ -105,6 +125,11 @@ pub struct LoadgenReport {
     pub max_ms: f64,
     /// Order-independent checksum over all response means (and variances).
     pub checksum: u64,
+    /// Failed connect attempts that were retried (open-loop mode; always 0
+    /// in closed-loop mode, whose per-worker retry loop has no counter).
+    pub connect_failures: usize,
+    /// Most connections simultaneously established (open-loop mode).
+    pub peak_conns: usize,
     /// The server's metrics JSON, fetched after the request phase.
     pub server_metrics: Option<String>,
 }
@@ -112,9 +137,17 @@ pub struct LoadgenReport {
 impl LoadgenReport {
     /// Human-oriented multi-line summary.
     pub fn summary(&self) -> String {
+        let open_loop = if self.peak_conns > 0 {
+            format!(
+                " | {} peak conns, {} connect retries",
+                self.peak_conns, self.connect_failures
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{} requests in {:.2}s: {:.0} req/s | latency p50 {:.2} ms, p95 {:.2} ms, \
-             p99 {:.2} ms, max {:.2} ms | {} errors, {} shed, {} expired | checksum {:016x}",
+             p99 {:.2} ms, max {:.2} ms | {} errors, {} shed, {} expired | checksum {:016x}{}",
             self.sent,
             self.elapsed,
             self.throughput,
@@ -125,7 +158,8 @@ impl LoadgenReport {
             self.errors,
             self.shed,
             self.expired,
-            self.checksum
+            self.checksum,
+            open_loop
         )
     }
 
@@ -137,7 +171,8 @@ impl LoadgenReport {
             concat!(
                 "{{\"sent\":{},\"errors\":{},\"shed\":{},\"expired\":{},",
                 "\"elapsed_seconds\":{},\"throughput_rps\":{},",
-                "\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},\"checksum\":\"{:016x}\"}}"
+                "\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"max_ms\":{},",
+                "\"connect_failures\":{},\"peak_conns\":{},\"checksum\":\"{:016x}\"}}"
             ),
             self.sent,
             self.errors,
@@ -149,6 +184,8 @@ impl LoadgenReport {
             self.p95_ms,
             self.p99_ms,
             self.max_ms,
+            self.connect_failures,
+            self.peak_conns,
             self.checksum
         );
         match &self.server_metrics {
@@ -208,6 +245,44 @@ struct Tally {
     shed: usize,
     expired: usize,
     checksum: u64,
+}
+
+impl Tally {
+    /// Classify one attributed response (its send time already looked up)
+    /// into the ok/shed/expired/error census, folding successful results
+    /// into the latency list and checksum. Shared by both drive modes.
+    fn record(&mut self, v: &JsonValue, t_send: Instant) {
+        if v.get("ok").and_then(|o| o.as_bool()) == Some(true) {
+            let mut h = 0xcbf29ce484222325u64;
+            let mut numeric = true;
+            for field in ["mean", "uncertainty"] {
+                if let Some(values) = v.get(field).and_then(|m| m.as_array()) {
+                    for x in values {
+                        match x.as_f64() {
+                            Some(f) => h = hash_bits(h, f),
+                            None => numeric = false,
+                        }
+                    }
+                }
+            }
+            if numeric {
+                self.latencies_ms.push(t_send.elapsed().as_secs_f64() * 1e3);
+                self.checksum ^= h;
+            } else {
+                self.errors += 1;
+            }
+        } else if v.get("retry_after_ms").is_some() {
+            self.shed += 1;
+        } else if v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .is_some_and(|e| e.contains("deadline"))
+        {
+            self.expired += 1;
+        } else {
+            self.errors += 1;
+        }
+    }
 }
 
 /// One pipelined connection: keep up to `window` requests in flight,
@@ -284,44 +359,81 @@ fn run_conn(cfg: &LoadgenConfig, conn_id: usize, share: usize, interval: Duratio
             return tally;
         };
         done += 1;
-        if v.get("ok").and_then(|o| o.as_bool()) == Some(true) {
-            let mut h = 0xcbf29ce484222325u64;
-            let mut numeric = true;
-            for field in ["mean", "uncertainty"] {
-                if let Some(values) = v.get(field).and_then(|m| m.as_array()) {
-                    for x in values {
-                        match x.as_f64() {
-                            Some(f) => h = hash_bits(h, f),
-                            None => numeric = false,
-                        }
-                    }
-                }
-            }
-            if numeric {
-                tally
-                    .latencies_ms
-                    .push(t_send.elapsed().as_secs_f64() * 1e3);
-                tally.checksum ^= h;
-            } else {
-                tally.errors += 1;
-            }
-        } else if v.get("retry_after_ms").is_some() {
-            tally.shed += 1;
-        } else if v
-            .get("error")
-            .and_then(|e| e.as_str())
-            .is_some_and(|e| e.contains("deadline"))
-        {
-            tally.expired += 1;
-        } else {
-            tally.errors += 1;
-        }
+        tally.record(&v, t_send);
     }
     tally
 }
 
+/// Post-run control traffic on a fresh connection: fetch the server's
+/// metrics export and, when configured, ask it to drain.
+fn fetch_metrics_and_shutdown(cfg: &LoadgenConfig) -> Option<String> {
+    let mut server_metrics = None;
+    if let Ok(mut ctl) = connect_with_retry(&cfg.addr, Duration::from_secs(2)) {
+        if let Ok(clone) = ctl.try_clone() {
+            let mut reader = BufReader::new(clone);
+            if ctl.write_all(b"{\"op\":\"metrics\"}\n").is_ok() {
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    if let Ok(v) = parse_json(&line) {
+                        server_metrics = v.get("metrics").map(|m| m.to_json_string());
+                    }
+                }
+            }
+            if cfg.shutdown {
+                let _ = ctl.write_all(b"{\"op\":\"shutdown\"}\n");
+                let mut line = String::new();
+                let _ = reader.read_line(&mut line);
+            }
+        }
+    }
+    server_metrics
+}
+
+/// Latency percentiles + report assembly shared by both drive modes.
+fn build_report(
+    cfg: &LoadgenConfig,
+    mut tally: Tally,
+    elapsed: f64,
+    connect_failures: usize,
+    peak_conns: usize,
+) -> LoadgenReport {
+    tally.latencies_ms.sort_by(f64::total_cmp);
+    let latencies = &tally.latencies_ms;
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+    };
+    let server_metrics = fetch_metrics_and_shutdown(cfg);
+    let sent = latencies.len();
+    LoadgenReport {
+        sent,
+        errors: tally.errors,
+        shed: tally.shed,
+        expired: tally.expired,
+        elapsed,
+        throughput: if elapsed > 0.0 {
+            sent as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        checksum: tally.checksum,
+        connect_failures,
+        peak_conns,
+        server_metrics,
+    }
+}
+
 /// Run the full load-generation session.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.connections > 0 {
+        return run_open_loop(cfg);
+    }
     let conns = cfg.conns.max(1);
     // Fail fast (and wait for a booting server) before spawning workers.
     drop(connect_with_retry(&cfg.addr, cfg.connect_timeout)?);
@@ -343,73 +455,241 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         workers.push((share, worker));
     }
 
-    let mut latencies: Vec<f64> = Vec::with_capacity(cfg.requests);
-    let mut errors = 0usize;
-    let mut shed = 0usize;
-    let mut expired = 0usize;
-    let mut checksum = 0u64;
+    let mut total = Tally::default();
     for (share, w) in workers {
         match w.join() {
             Ok(t) => {
-                latencies.extend(t.latencies_ms);
-                errors += t.errors;
-                shed += t.shed;
-                expired += t.expired;
-                checksum ^= t.checksum;
+                total.latencies_ms.extend(t.latencies_ms);
+                total.errors += t.errors;
+                total.shed += t.shed;
+                total.expired += t.expired;
+                total.checksum ^= t.checksum;
             }
             // A panicked worker answered nothing: its whole share failed.
-            Err(_) => errors += share,
+            Err(_) => total.errors += share,
         }
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    latencies.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        latencies[((latencies.len() - 1) as f64 * p).round() as usize]
-    };
+    Ok(build_report(cfg, total, elapsed, 0, 0))
+}
 
-    // Post-run control traffic on a fresh connection.
-    let mut server_metrics = None;
-    if let Ok(mut ctl) = connect_with_retry(&cfg.addr, Duration::from_secs(2)) {
-        if let Ok(clone) = ctl.try_clone() {
-            let mut reader = BufReader::new(clone);
-            if ctl.write_all(b"{\"op\":\"metrics\"}\n").is_ok() {
-                let mut line = String::new();
-                if reader.read_line(&mut line).is_ok() {
-                    if let Ok(v) = parse_json(&line) {
-                        server_metrics = v.get("metrics").map(|m| m.to_json_string());
+/// Connect attempts per ramp tick in open-loop mode. Matched to typical
+/// listener backlogs so a tick cannot by itself overflow the accept queue
+/// it is also racing the server to drain.
+const RAMP_BATCH: usize = 128;
+
+/// One open-loop connection: nonblocking socket, queue of unsent request
+/// lines, in-flight send times keyed by id.
+struct OpenConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    /// Request lines not yet (fully) written; the front one is written
+    /// from offset `woff`.
+    unsent: VecDeque<(usize, Vec<u8>)>,
+    woff: usize,
+    pending: HashMap<usize, Instant>,
+    /// Requests this connection still owes the tally (unsent + pending).
+    outstanding: usize,
+}
+
+impl OpenConn {
+    /// Flush queued request lines. Returns false when the socket died.
+    fn flush(&mut self) -> bool {
+        while let Some((id, bytes)) = self.unsent.front() {
+            match self.stream.write(&bytes[self.woff..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.woff += n;
+                    if self.woff == bytes.len() {
+                        self.pending.insert(*id, Instant::now());
+                        self.unsent.pop_front();
+                        self.woff = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+/// The open-loop engine: every connection multiplexed from this thread
+/// through the `polling` epoll shim, mirroring the server's reactor.
+fn run_open_loop(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let n_conns = cfg.connections;
+    let addr: SocketAddr = cfg
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address {}: {e}", cfg.addr))?
+        .next()
+        .ok_or_else(|| format!("address {} resolved to nothing", cfg.addr))?;
+    let poller = Poller::new().map_err(|e| format!("epoll setup failed: {e}"))?;
+    let mut events = Events::new();
+    let mut tally = Tally::default();
+    let mut connect_failures = 0usize;
+    let mut peak_conns = 0usize;
+
+    // Slots still to connect (their index decides the request share) and
+    // established connections, keyed by slot for poller events.
+    let mut to_connect: VecDeque<usize> = (0..n_conns).collect();
+    let mut conns: HashMap<usize, OpenConn> = HashMap::new();
+    let share = |slot: usize| cfg.requests / n_conns + usize::from(slot < cfg.requests % n_conns);
+    let connect_deadline = Instant::now() + cfg.connect_timeout;
+    let mut answered = 0usize; // responses attributed or written off
+    let total_requests = cfg.requests;
+
+    let t0 = Instant::now();
+    let mut chunk = vec![0u8; 64 * 1024];
+    while answered < total_requests || !to_connect.is_empty() {
+        // Ramp: a bounded batch of connect attempts per iteration, each
+        // failure counted and the slot requeued until the budget is spent.
+        let mut attempts = RAMP_BATCH.min(to_connect.len());
+        while attempts > 0 {
+            attempts -= 1;
+            let Some(slot) = to_connect.pop_front() else {
+                break;
+            };
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Ok(stream) => {
+                    if stream.set_nonblocking(true).is_err()
+                        || poller.add(&stream, Event::all(slot)).is_err()
+                    {
+                        connect_failures += 1;
+                        to_connect.push_back(slot);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(7919 * slot as u64));
+                    let unsent: VecDeque<(usize, Vec<u8>)> = (0..share(slot))
+                        .map(|seq| (seq, build_request(cfg, &mut rng, seq).into_bytes()))
+                        .collect();
+                    let outstanding = unsent.len();
+                    conns.insert(
+                        slot,
+                        OpenConn {
+                            stream,
+                            rbuf: Vec::new(),
+                            unsent,
+                            woff: 0,
+                            pending: HashMap::new(),
+                            outstanding,
+                        },
+                    );
+                    peak_conns = peak_conns.max(conns.len());
+                }
+                // EMFILE, ECONNREFUSED (full backlog), timeout: count,
+                // retry until the connect budget runs out, then write the
+                // slot's share off as errors — report, don't abort.
+                Err(_) => {
+                    connect_failures += 1;
+                    if Instant::now() >= connect_deadline {
+                        tally.errors += share(slot);
+                        answered += share(slot);
+                    } else {
+                        to_connect.push_back(slot);
                     }
                 }
             }
-            if cfg.shutdown {
-                let _ = ctl.write_all(b"{\"op\":\"shutdown\"}\n");
-                let mut line = String::new();
-                let _ = reader.read_line(&mut line);
+        }
+        if answered >= total_requests && to_connect.is_empty() {
+            break;
+        }
+        if conns.is_empty() && to_connect.is_empty() {
+            break;
+        }
+
+        let _ = poller.wait(&mut events, Some(Duration::from_millis(20)));
+        let mut dead: Vec<usize> = Vec::new();
+        for ev in events.iter() {
+            let Some(conn) = conns.get_mut(&ev.key) else {
+                continue;
+            };
+            if ev.writable && !conn.flush() {
+                dead.push(ev.key);
+                continue;
+            }
+            if ev.readable {
+                let mut conn_dead = false;
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            conn_dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.rbuf.extend_from_slice(&chunk[..n]);
+                            while let Some(p) = conn.rbuf.iter().position(|&b| b == b'\n') {
+                                let line: Vec<u8> = conn.rbuf.drain(..=p).collect();
+                                let Ok(v) =
+                                    parse_json(&String::from_utf8_lossy(&line[..line.len() - 1]))
+                                else {
+                                    tally.errors += 1;
+                                    answered += 1;
+                                    conn.outstanding = conn.outstanding.saturating_sub(1);
+                                    continue;
+                                };
+                                let Some(t_send) = v
+                                    .get("id")
+                                    .and_then(|i| i.as_usize())
+                                    .and_then(|seq| conn.pending.remove(&seq))
+                                else {
+                                    tally.errors += 1;
+                                    answered += 1;
+                                    conn.outstanding = conn.outstanding.saturating_sub(1);
+                                    continue;
+                                };
+                                tally.record(&v, t_send);
+                                answered += 1;
+                                conn.outstanding -= 1;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn_dead = true;
+                            break;
+                        }
+                    }
+                }
+                if conn_dead {
+                    dead.push(ev.key);
+                }
+            }
+        }
+        for key in dead {
+            if let Some(conn) = conns.remove(&key) {
+                let _ = poller.delete(&conn.stream);
+                // Everything unanswered on a dead socket is an error.
+                tally.errors += conn.outstanding;
+                answered += conn.outstanding;
+            }
+        }
+        // Drop write interest on fully-sent connections so idle sockets
+        // stop reporting writability (which would busy-spin the loop).
+        let fully_sent: Vec<usize> = conns
+            .iter()
+            .filter(|(_, c)| c.unsent.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        for key in fully_sent {
+            if let Some(conn) = conns.get(&key) {
+                let _ = poller.modify(&conn.stream, Event::readable(key));
             }
         }
     }
-
-    let sent = latencies.len();
-    Ok(LoadgenReport {
-        sent,
-        errors,
-        shed,
-        expired,
+    let elapsed = t0.elapsed().as_secs_f64();
+    // Connections close here, en masse — the drain the reactor smoke
+    // implicitly exercises.
+    drop(conns);
+    Ok(build_report(
+        cfg,
+        tally,
         elapsed,
-        throughput: if elapsed > 0.0 {
-            sent as f64 / elapsed
-        } else {
-            0.0
-        },
-        p50_ms: pct(0.50),
-        p95_ms: pct(0.95),
-        p99_ms: pct(0.99),
-        max_ms: latencies.last().copied().unwrap_or(0.0),
-        checksum,
-        server_metrics,
-    })
+        connect_failures,
+        peak_conns,
+    ))
 }
 
 #[cfg(test)]
@@ -430,6 +710,8 @@ mod tests {
             p99_ms: 3.0,
             max_ms: 4.0,
             checksum: 0xdeadbeef,
+            connect_failures: 3,
+            peak_conns: 7,
             server_metrics: Some("{\"tasks\":10}".to_string()),
         };
         let v = parse_json(&r.to_json()).unwrap();
@@ -445,8 +727,36 @@ mod tests {
             v.get("server").unwrap().get("tasks").unwrap().as_usize(),
             Some(10)
         );
+        assert_eq!(
+            v.get("loadgen")
+                .unwrap()
+                .get("connect_failures")
+                .unwrap()
+                .as_usize(),
+            Some(3)
+        );
         assert!(r.summary().contains("10 requests"));
         assert!(r.summary().contains("2 shed"));
+        assert!(r.summary().contains("7 peak conns"));
+    }
+
+    #[test]
+    fn open_loop_counts_connect_failures_without_aborting() {
+        // Nothing listens on port 1: every connect attempt fails. The run
+        // must still return a report — failures counted, the whole request
+        // budget written off as errors — rather than an Err or a panic.
+        let cfg = LoadgenConfig {
+            addr: "127.0.0.1:1".to_string(),
+            requests: 6,
+            connections: 3,
+            connect_timeout: Duration::from_millis(150),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&cfg).expect("open loop reports instead of aborting");
+        assert_eq!(report.sent, 0);
+        assert_eq!(report.errors, 6);
+        assert!(report.connect_failures >= 3, "{}", report.connect_failures);
+        assert_eq!(report.peak_conns, 0);
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! The TCP prediction server.
 //!
-//! Thread layout:
+//! Two interchangeable connection frontends sit in front of one solver
+//! pool ([`Frontend`]): the thread-per-connection layout below, and the
+//! single-threaded epoll event loop in [`crate::reactor`]. Both speak the
+//! same protocol, share [`handle_request`] dispatch, and uphold the same
+//! invariants (every accepted request answered, bounded lines, deadlines,
+//! shedding) — proven by running the adversarial suite against both.
+//!
+//! Threaded frontend layout:
 //!
 //! * **acceptor** — owns the listener, spawns one handler thread per
 //!   connection, exits when the shutdown flag rises (a self-connection
@@ -45,7 +52,7 @@ use xgs_cholesky::ShardBackend;
 use xgs_core::FactorEngine;
 use xgs_runtime::{KernelStats, MetricsReport, QueueDepthStats, WorkerStats};
 
-use crate::batch::{solve_batch, BatchQueue, Job, PushError, Reply, Responder};
+use crate::batch::{solve_batch, BatchQueue, Job, PushError, Reply, ReplySink, Responder};
 use crate::protocol::{
     error_response, load_response, models_response, parse_request, shed_response, with_id, Request,
 };
@@ -56,11 +63,42 @@ use crate::registry::{build_plan_from_request, ModelRegistry};
 /// answered with one error and disconnected (OOM guard).
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
+/// Which connection-handling frontend [`serve`] boots. Both speak the
+/// identical wire protocol; the choice is an operational one (threads per
+/// connection vs. one event loop for tens of thousands of connections).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// One handler + one writer thread per connection (the original
+    /// layout; robust, simple, ~2 threads per client).
+    #[default]
+    Threaded,
+    /// A single epoll event loop multiplexing every connection on
+    /// nonblocking sockets ([`crate::reactor`]); solver threads hand
+    /// completions back through an eventfd-woken hub.
+    Reactor,
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Frontend, String> {
+        match s {
+            "threaded" => Ok(Frontend::Threaded),
+            "reactor" => Ok(Frontend::Reactor),
+            other => Err(format!(
+                "unknown frontend '{other}' (expected 'threaded' or 'reactor')"
+            )),
+        }
+    }
+}
+
 /// Tuning knobs of [`serve`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
     pub addr: String,
+    /// Connection frontend (threaded vs. epoll reactor).
+    pub frontend: Frontend,
     /// Batch-solver threads.
     pub solvers: usize,
     /// Coalescing stops adding requests once a batch reaches this many
@@ -76,16 +114,24 @@ pub struct ServerConfig {
     /// supervisor here: one persistent warm fleet across every `load`,
     /// instead of paying a fresh fleet spawn per factorization.
     pub shard: Option<Arc<dyn ShardBackend>>,
+    /// Reactor only: per-connection outbound queue cap in bytes. A client
+    /// that stops reading while responses accumulate past this budget has
+    /// its socket closed (the threaded frontend's `WRITE_TIMEOUT`
+    /// equivalent — there a blocked writer thread absorbs the backpressure,
+    /// here the buffer is explicit and must be bounded).
+    pub max_conn_outbound: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            frontend: Frontend::Threaded,
             solvers: 2,
             max_batch_points: 4096,
             max_queued_points: 1 << 16,
             shard: None,
+            max_conn_outbound: 8 << 20,
         }
     }
 }
@@ -108,7 +154,14 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// refusals, the "duration" being the advertised retry_after), `deadline`
 /// (requests expired at dequeue, the "duration" being how late they were),
 /// `evict` (registry evictions, count only).
-struct ServerMetrics {
+///
+/// Reactor-frontend runs additionally export count-only kinds:
+/// `ready_event` (epoll readiness events processed), `wakeup` (eventfd
+/// notifies from solver completions), `partial_write` (flushes that hit
+/// `EAGAIN` with bytes still queued), `open_conns_hwm` (high-water mark of
+/// concurrently open connections). All four stay zero — and are therefore
+/// omitted from the report — under the threaded frontend.
+pub(crate) struct ServerMetrics {
     started: Instant,
     request: KernelStats,
     solve: KernelStats,
@@ -120,6 +173,16 @@ struct ServerMetrics {
     queue_depth: QueueDepthStats,
     solver_stats: Vec<WorkerStats>,
     errors: u64,
+    pub(crate) reactor: ReactorCounters,
+}
+
+/// Event-loop health counters (see [`ServerMetrics`] docs).
+#[derive(Default)]
+pub(crate) struct ReactorCounters {
+    pub ready_events: u64,
+    pub wakeups: u64,
+    pub partial_writes: u64,
+    pub conns_hwm: u64,
 }
 
 impl ServerMetrics {
@@ -136,13 +199,27 @@ impl ServerMetrics {
             queue_depth: QueueDepthStats::default(),
             solver_stats: vec![WorkerStats::default(); solvers],
             errors: 0,
+            reactor: ReactorCounters::default(),
+        }
+    }
+
+    /// Record one finished response: end-to-end latency plus the error
+    /// census. Called by the threaded writer loop and the reactor's
+    /// completion drain — the two places replies funnel through.
+    pub(crate) fn record_reply(&mut self, seconds: f64, err: bool) {
+        self.request.record(seconds);
+        if err {
+            self.errors += 1;
         }
     }
 
     fn report(&self, evictions: u64) -> MetricsReport {
-        let mut evict = KernelStats::new("evict");
-        evict.count = evictions;
-        evict.min_seconds = 0.0;
+        let count_only = |kind: &'static str, n: u64| {
+            let mut k = KernelStats::new(kind);
+            k.count = n;
+            k.min_seconds = 0.0;
+            k
+        };
         let kernels: Vec<KernelStats> = [
             self.request,
             self.solve,
@@ -151,7 +228,11 @@ impl ServerMetrics {
             self.load,
             self.shed,
             self.deadline,
-            evict,
+            count_only("evict", evictions),
+            count_only("ready_event", self.reactor.ready_events),
+            count_only("wakeup", self.reactor.wakeups),
+            count_only("partial_write", self.reactor.partial_writes),
+            count_only("open_conns_hwm", self.reactor.conns_hwm),
         ]
         .into_iter()
         .filter(|k| k.count > 0)
@@ -168,12 +249,12 @@ impl ServerMetrics {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     registry: Arc<ModelRegistry>,
     queue: BatchQueue,
-    shutdown: AtomicBool,
-    open_conns: AtomicUsize,
-    metrics: Mutex<ServerMetrics>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) open_conns: AtomicUsize,
+    pub(crate) metrics: Mutex<ServerMetrics>,
     max_batch_points: usize,
     /// Engine for `load`-request factorizations (sharded when configured).
     load_engine: FactorEngine,
@@ -234,7 +315,7 @@ impl ServerHandle {
     }
 }
 
-fn request_shutdown(shared: &Shared, addr: SocketAddr) {
+pub(crate) fn request_shutdown(shared: &Shared, addr: SocketAddr) {
     if !shared.shutdown.swap(true, Ordering::SeqCst) {
         // Unblock the acceptor's blocking accept().
         let _ = TcpStream::connect(addr);
@@ -265,22 +346,31 @@ pub fn serve(config: &ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Re
         solver_handles.push(std::thread::spawn(move || solver_loop(&shared, id)));
     }
 
-    let acceptor = {
-        let shared = shared.clone();
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+    // Both frontends park their I/O thread in the `acceptor` slot; `join`
+    // does not care which one it is (reactor exit implies every connection
+    // drained, same as the acceptor + open_conns handshake).
+    let acceptor = match config.frontend {
+        Frontend::Threaded => {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = shared.clone();
+                    shared.open_conns.fetch_add(1, Ordering::AcqRel);
+                    std::thread::spawn(move || {
+                        handle_connection(&shared, stream, addr);
+                        shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+                    });
                 }
-                let Ok(stream) = stream else { continue };
-                let shared = shared.clone();
-                shared.open_conns.fetch_add(1, Ordering::AcqRel);
-                std::thread::spawn(move || {
-                    handle_connection(&shared, stream, addr);
-                    shared.open_conns.fetch_sub(1, Ordering::AcqRel);
-                });
-            }
-        })
+            })
+        }
+        Frontend::Reactor => {
+            let reactor = crate::reactor::Reactor::bind(shared.clone(), listener, addr, config)?;
+            std::thread::spawn(move || reactor.run())
+        }
     };
 
     Ok(ServerHandle {
@@ -419,13 +509,10 @@ fn discard_rest_of_line(reader: &mut BufReader<TcpStream>) {
 fn writer_loop(shared: &Shared, mut stream: TcpStream, rx: mpsc::Receiver<Reply>) {
     let mut socket_dead = false;
     for reply in rx {
-        {
-            let mut m = shared.metrics.lock();
-            m.request.record(reply.t0.elapsed().as_secs_f64());
-            if reply.err {
-                m.errors += 1;
-            }
-        }
+        shared
+            .metrics
+            .lock()
+            .record_reply(reply.t0.elapsed().as_secs_f64(), reply.err);
         if !socket_dead
             && stream
                 .write_all(reply.line.as_bytes())
@@ -453,6 +540,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, addr: SocketAddr) 
         let shared = shared.clone();
         std::thread::spawn(move || writer_loop(&shared, writer, rx))
     };
+    let sink = ReplySink::Thread(tx.clone());
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
     loop {
@@ -485,19 +573,22 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, addr: SocketAddr) 
         if line.trim().is_empty() {
             continue;
         }
-        handle_request(shared, &line, addr, Instant::now(), &tx);
+        handle_request(shared, &line, addr, Instant::now(), &sink);
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
     }
     // Joining the writer keeps the connection "open" (for the drain
-    // accounting) until every response it is owed has been flushed.
+    // accounting) until every response it is owed has been flushed. Both
+    // sender handles must drop first — the writer drains until the last
+    // one (here or inside a still-queued job's responder) is gone.
+    drop(sink);
     drop(tx);
     let _ = writer_thread.join();
 }
 
-fn send_reply(tx: &mpsc::Sender<Reply>, id: Option<&str>, body: String, t0: Instant, err: bool) {
-    let _ = tx.send(Reply {
+fn send_reply(sink: &ReplySink, id: Option<&str>, body: String, t0: Instant, err: bool) {
+    sink.send(Reply {
         line: with_id(id, body),
         t0,
         err,
@@ -518,17 +609,24 @@ fn retry_after_ms(m: &ServerMetrics, queued_points: usize) -> u64 {
     ((queued_points as f64 * per_point_seconds * 1e3).ceil() as u64).clamp(1, 10_000)
 }
 
-fn handle_request(
-    shared: &Shared,
+/// Parse and dispatch one request line, routing the response (or the
+/// eventual solver response) through `sink`. Frontend-agnostic: the
+/// threaded frontend calls this from the connection's handler thread, the
+/// reactor from the event loop. The one asymmetry is `load` — a
+/// factorization blocks for seconds, which a handler thread can afford but
+/// the event loop cannot, so under a reactor sink it runs on a spawned
+/// thread that answers through its own sink clone.
+pub(crate) fn handle_request(
+    shared: &Arc<Shared>,
     line: &str,
     addr: SocketAddr,
     t0: Instant,
-    tx: &mpsc::Sender<Reply>,
+    sink: &ReplySink,
 ) {
     let envelope = match parse_request(line) {
         Ok(e) => e,
         Err(f) => {
-            send_reply(tx, f.id.as_deref(), error_response(&f.error), t0, true);
+            send_reply(sink, f.id.as_deref(), error_response(&f.error), t0, true);
             return;
         }
     };
@@ -537,7 +635,7 @@ fn handle_request(
         Request::Ping => {
             let up = shared.metrics.lock().started.elapsed().as_secs_f64();
             send_reply(
-                tx,
+                sink,
                 id.as_deref(),
                 format!("{{\"ok\":true,\"uptime_seconds\":{up}}}"),
                 t0,
@@ -545,14 +643,14 @@ fn handle_request(
             );
         }
         Request::Models => send_reply(
-            tx,
+            sink,
             id.as_deref(),
             models_response(&shared.registry.list()),
             t0,
             false,
         ),
         Request::Metrics => send_reply(
-            tx,
+            sink,
             id.as_deref(),
             format!("{{\"ok\":true,\"metrics\":{}}}", shared.report().to_json()),
             t0,
@@ -561,7 +659,7 @@ fn handle_request(
         Request::Shutdown => {
             request_shutdown(shared, addr);
             send_reply(
-                tx,
+                sink,
                 id.as_deref(),
                 "{\"ok\":true,\"draining\":true}".to_string(),
                 t0,
@@ -569,31 +667,45 @@ fn handle_request(
             );
         }
         Request::Load(load) => {
-            let t_load = Instant::now();
-            match build_plan_from_request(&load, &shared.load_engine) {
-                Ok((plan, llh)) => {
-                    let n = plan.n_train();
-                    shared.registry.insert(&load.name, plan);
-                    shared
-                        .metrics
-                        .lock()
-                        .load
-                        .record(t_load.elapsed().as_secs_f64());
-                    send_reply(
-                        tx,
-                        id.as_deref(),
-                        load_response(&load.name, n, llh),
-                        t0,
-                        false,
-                    );
+            let shared = shared.clone();
+            // A factorization blocks for seconds; the event loop must not.
+            // The reactor sink keeps the connection's pending count raised
+            // until the spawned load answers, so the drain invariant is
+            // unaffected by the thread hop.
+            let spawn = matches!(sink, ReplySink::Reactor { .. });
+            let sink = sink.clone();
+            let run_load = move || {
+                let t_load = Instant::now();
+                match build_plan_from_request(&load, &shared.load_engine) {
+                    Ok((plan, llh)) => {
+                        let n = plan.n_train();
+                        shared.registry.insert(&load.name, plan);
+                        shared
+                            .metrics
+                            .lock()
+                            .load
+                            .record(t_load.elapsed().as_secs_f64());
+                        send_reply(
+                            &sink,
+                            id.as_deref(),
+                            load_response(&load.name, n, llh),
+                            t0,
+                            false,
+                        );
+                    }
+                    Err(e) => send_reply(&sink, id.as_deref(), error_response(&e), t0, true),
                 }
-                Err(e) => send_reply(tx, id.as_deref(), error_response(&e), t0, true),
+            };
+            if spawn {
+                std::thread::spawn(run_load);
+            } else {
+                run_load();
             }
         }
         Request::Predict(p) => {
             let Some(plan) = shared.registry.get(&p.model) else {
                 let msg = format!("unknown model '{}'", p.model);
-                send_reply(tx, id.as_deref(), error_response(&msg), t0, true);
+                send_reply(sink, id.as_deref(), error_response(&msg), t0, true);
                 return;
             };
             let deadline = p.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
@@ -606,7 +718,7 @@ fn handle_request(
                 deadline,
                 resp: Responder {
                     id,
-                    tx: tx.clone(),
+                    tx: sink.clone(),
                     t0,
                 },
             };

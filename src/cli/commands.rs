@@ -85,6 +85,7 @@ COMMANDS:
   serve     long-lived prediction service with a cached factor
             --data <csv> --theta <θ,..> [--kernel ...] [--variant ...] [--tile <nb>]
             [--name <model>] [--addr <host:port>] [--solvers <k>] [--max-batch <points>]
+            [--frontend threaded|reactor]  (thread-per-connection vs epoll event loop)
             [--queue-points <budget>]  (shed predicts past this backlog)
             [--max-models <k>] [--model-ttl <seconds>]  (registry LRU/TTL eviction)
             [--shards <k>] [--standbys <k>]  (persistent warm worker fleet)
@@ -544,12 +545,18 @@ pub fn cmd_serve(args: &Args) -> Result<String, CmdError> {
     ));
     registry.insert(&name, plan);
 
+    let frontend: xgs_server::Frontend = args
+        .str_or("frontend", "threaded")
+        .parse()
+        .map_err(|e: String| ArgError(format!("--frontend: {e}")))?;
     let server_cfg = xgs_server::ServerConfig {
         addr: args.str_or("addr", "127.0.0.1:4741"),
+        frontend,
         solvers: args.usize_or("solvers", 2)?,
         max_batch_points: args.usize_or("max-batch", 4096)?,
         max_queued_points: args.usize_or("queue-points", 1 << 16)?,
         shard,
+        ..xgs_server::ServerConfig::default()
     };
     let handle = xgs_server::serve(&server_cfg, registry)
         .map_err(|e| CmdError::Run(format!("could not bind {}: {e}", server_cfg.addr)))?;

@@ -7,6 +7,12 @@
 //! The common thread: **the server stays up and every accepted request is
 //! answered** — misbehaving clients get one error (or a closed socket),
 //! never a wedged or crashed service.
+//!
+//! Every scenario runs against BOTH frontends — the thread-per-connection
+//! layout and the epoll reactor — through one parameterized harness, so
+//! the wire-visible contract cannot drift between them. Reactor-only
+//! scenarios (outbound backpressure, mass idle connections) live in
+//! `reactor_adversarial.rs`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -40,6 +46,14 @@ fn started_server(cfg: ServerConfig) -> exageostat_rs::server::ServerHandle {
     serve(&cfg, registry).expect("bind loopback")
 }
 
+/// Default config for one frontend under test.
+fn cfg_for(frontend: Frontend) -> ServerConfig {
+    ServerConfig {
+        frontend,
+        ..ServerConfig::default()
+    }
+}
+
 fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
     let stream = TcpStream::connect(addr).unwrap();
     let reader = BufReader::new(stream.try_clone().unwrap());
@@ -66,9 +80,8 @@ fn assert_alive(addr: std::net::SocketAddr) {
     assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
 }
 
-#[test]
-fn hostile_clients_get_errors_not_a_dead_server() {
-    let handle = started_server(ServerConfig::default());
+fn hostile_clients_get_errors_not_a_dead_server(frontend: Frontend) {
+    let handle = started_server(cfg_for(frontend));
     let addr = handle.addr();
 
     // (a) Oversized request line: one error response, then disconnect —
@@ -184,13 +197,22 @@ fn hostile_clients_get_errors_not_a_dead_server() {
 }
 
 #[test]
-fn ping_is_not_blocked_behind_queued_predicts() {
+fn hostile_clients_threaded() {
+    hostile_clients_get_errors_not_a_dead_server(Frontend::Threaded);
+}
+
+#[test]
+fn hostile_clients_reactor() {
+    hostile_clients_get_errors_not_a_dead_server(Frontend::Reactor);
+}
+
+fn ping_is_not_blocked_behind_queued_predicts(frontend: Frontend) {
     // One solver and small batches: the predict backlog stays queued long
     // enough for the ping to overtake it.
     let handle = started_server(ServerConfig {
         solvers: 1,
         max_batch_points: 64,
-        ..ServerConfig::default()
+        ..cfg_for(frontend)
     });
     let (mut s, mut r) = connect(handle.addr());
 
@@ -243,8 +265,17 @@ fn ping_is_not_blocked_behind_queued_predicts() {
 }
 
 #[test]
-fn expired_deadlines_are_answered_not_dropped() {
-    let handle = started_server(ServerConfig::default());
+fn ping_overtakes_predicts_threaded() {
+    ping_is_not_blocked_behind_queued_predicts(Frontend::Threaded);
+}
+
+#[test]
+fn ping_overtakes_predicts_reactor() {
+    ping_is_not_blocked_behind_queued_predicts(Frontend::Reactor);
+}
+
+fn expired_deadlines_are_answered_not_dropped(frontend: Frontend) {
+    let handle = started_server(cfg_for(frontend));
     let (mut s, mut r) = connect(handle.addr());
 
     // deadline_ms:0 is already expired by the time a solver dequeues it —
@@ -292,13 +323,22 @@ fn expired_deadlines_are_answered_not_dropped() {
 }
 
 #[test]
-fn overload_sheds_with_a_retry_hint_and_answers_everything() {
+fn expired_deadlines_threaded() {
+    expired_deadlines_are_answered_not_dropped(Frontend::Threaded);
+}
+
+#[test]
+fn expired_deadlines_reactor() {
+    expired_deadlines_are_answered_not_dropped(Frontend::Reactor);
+}
+
+fn overload_sheds_with_a_retry_hint_and_answers_everything(frontend: Frontend) {
     // A one-point budget: the moment anything is queued, further predicts
     // are shed.
     let handle = started_server(ServerConfig {
         solvers: 1,
         max_queued_points: 1,
-        ..ServerConfig::default()
+        ..cfg_for(frontend)
     });
     let (mut s, mut r) = connect(handle.addr());
 
@@ -343,8 +383,17 @@ fn overload_sheds_with_a_retry_hint_and_answers_everything() {
 }
 
 #[test]
-fn slow_loris_writer_cannot_stall_other_clients() {
-    let handle = started_server(ServerConfig::default());
+fn overload_sheds_threaded() {
+    overload_sheds_with_a_retry_hint_and_answers_everything(Frontend::Threaded);
+}
+
+#[test]
+fn overload_sheds_reactor() {
+    overload_sheds_with_a_retry_hint_and_answers_everything(Frontend::Reactor);
+}
+
+fn slow_loris_writer_cannot_stall_other_clients(frontend: Frontend) {
+    let handle = started_server(cfg_for(frontend));
     let addr = handle.addr();
 
     // A client dribbling one byte at a time holds its own connection open…
@@ -376,11 +425,20 @@ fn slow_loris_writer_cannot_stall_other_clients() {
 }
 
 #[test]
-fn loadgen_survives_a_mid_run_shutdown() {
+fn slow_loris_threaded() {
+    slow_loris_writer_cannot_stall_other_clients(Frontend::Threaded);
+}
+
+#[test]
+fn slow_loris_reactor() {
+    slow_loris_writer_cannot_stall_other_clients(Frontend::Reactor);
+}
+
+fn loadgen_survives_a_mid_run_shutdown(frontend: Frontend) {
     // Kill the server while the generator is mid-stream: loadgen must
     // report failures, not panic (exercised through the public API the
     // binary wraps).
-    let handle = started_server(ServerConfig::default());
+    let handle = started_server(cfg_for(frontend));
     let addr = handle.addr().to_string();
 
     let gen = {
@@ -415,4 +473,14 @@ fn loadgen_survives_a_mid_run_shutdown() {
         report.sent + report.errors + report.shed + report.expired,
         20_000
     );
+}
+
+#[test]
+fn loadgen_mid_run_shutdown_threaded() {
+    loadgen_survives_a_mid_run_shutdown(Frontend::Threaded);
+}
+
+#[test]
+fn loadgen_mid_run_shutdown_reactor() {
+    loadgen_survives_a_mid_run_shutdown(Frontend::Reactor);
 }

@@ -1,0 +1,415 @@
+//! Offline stand-in for the `polling` crate: a readiness poller over raw
+//! Linux `epoll`, with an `eventfd` wake channel behind [`Poller::notify`].
+//!
+//! Exposes the subset of the upstream API the workspace uses — `Poller`
+//! (`new`/`add`/`modify`/`delete`/`wait`/`notify`), `Event`, `Events` —
+//! with one deliberate semantic divergence: registrations are
+//! **level-triggered and persistent** (upstream defaults to oneshot, so
+//! upstream callers re-arm after every event; ours keep firing while the
+//! fd stays ready and never need re-arming). Both the xgs-server reactor
+//! and the loadgen open-loop client are written against level-triggered
+//! semantics.
+//!
+//! No libc crate: std already links the platform C library, so the
+//! handful of syscall wrappers are declared directly. Linux-only, which
+//! is the only platform this workspace targets (see vendor/README.md).
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+use std::os::raw::{c_int, c_uint, c_void};
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// packs it so 32- and 64-bit layouts agree); on other architectures the
+/// natural C layout already matches because there is no trailing padding
+/// the kernel cares about — but this shim only targets Linux/x86-64
+/// anyway (vendor/README.md).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Interest in (or readiness of) a poll source, identified by `key`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    pub fn writable(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    pub fn none(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn to_mask(self) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if self.readable {
+            mask |= EPOLLIN;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// Buffer of events filled by [`Poller::wait`].
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    list: Vec<Event>,
+}
+
+impl Events {
+    /// Capacity of the raw kernel buffer per `wait` call. Level-triggered
+    /// registration means anything beyond this is simply re-reported by
+    /// the next `wait`, so the cap bounds memory, not correctness.
+    const CAPACITY: usize = 1024;
+
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Events {
+            raw: vec![EpollEvent { events: 0, data: 0 }; Self::CAPACITY],
+            list: Vec::with_capacity(Self::CAPACITY),
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.list.iter().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+}
+
+/// Key reserved for the internal eventfd notifier; user registrations
+/// with this key are rejected.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// An epoll instance plus an eventfd wake channel. `wait` never reports
+/// the notifier itself — a `notify` from another thread just makes the
+/// current (or next) `wait` return early.
+pub struct Poller {
+    epfd: RawFd,
+    wakefd: RawFd,
+}
+
+// Safety: epoll and eventfd file descriptors are thread-safe kernel
+// objects; every method takes `&self` and performs a single syscall.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wakefd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if wakefd < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { close(epfd) };
+            return Err(err);
+        }
+        let poller = Poller { epfd, wakefd };
+        let mut ev = EpollEvent {
+            events: EPOLLIN,
+            data: NOTIFY_KEY as u64,
+        };
+        let rc = unsafe { epoll_ctl(poller.epfd, EPOLL_CTL_ADD, poller.wakefd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+        if let Some(ev) = interest {
+            if ev.key == NOTIFY_KEY {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key usize::MAX is reserved for the notifier",
+                ));
+            }
+        }
+        let mut raw = EpollEvent {
+            events: interest.map_or(0, Event::to_mask),
+            data: interest.map_or(0, |ev| ev.key as u64),
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut raw) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Register `source` with level-triggered interest. The registration
+    /// persists until `delete` — no re-arming after events.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Replace the interest set of an already-registered `source`.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Remove `source` from the poller.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Block until at least one registered source is ready, `notify` is
+    /// called, or `timeout` elapses (`None` blocks indefinitely). Returns
+    /// the number of events delivered into `events`; a wake via `notify`
+    /// or an interrupted syscall can return `Ok(0)`.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a nonzero timeout never becomes a busy-spin 0.
+            Some(d) => d
+                .as_millis()
+                .max(u128::from(!d.is_zero()))
+                .min(c_int::MAX as u128) as c_int,
+        };
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.raw.as_mut_ptr(),
+                events.raw.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for raw in &events.raw[..n as usize] {
+            let mask = raw.events;
+            let key = raw.data as usize;
+            if key == NOTIFY_KEY {
+                // Drain the eventfd counter so the notifier goes quiet
+                // until the next notify(); never reported to the caller.
+                let mut buf = [0u8; 8];
+                unsafe { read(self.wakefd, buf.as_mut_ptr().cast::<c_void>(), 8) };
+                continue;
+            }
+            let err = mask & (EPOLLERR | EPOLLHUP) != 0;
+            events.list.push(Event {
+                key,
+                // Errors/hangups surface as readable+writable so callers
+                // discover them from the failing read()/write().
+                readable: mask & (EPOLLIN | EPOLLRDHUP) != 0 || err,
+                writable: mask & EPOLLOUT != 0 || err,
+            });
+        }
+        Ok(events.list.len())
+    }
+
+    /// Wake a concurrent (or the next) `wait` call. Safe from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let rc = unsafe { write(self.wakefd, (&one as *const u64).cast::<c_void>(), 8) };
+        // EAGAIN means the counter is already saturated — the wake is
+        // pending, which is all notify promises.
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.wakefd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn readable_event_fires_when_bytes_arrive() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+        let mut events = Events::new();
+
+        // Nothing readable yet: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        // Level-triggered: unread bytes keep the event firing.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 16];
+        let got = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"ping");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn modify_to_writable_and_delete() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let _server = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&client, Event::none(3)).unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "no interest registered, no events");
+
+        poller.modify(&client, Event::writable(3)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.writable && ev.key == 3);
+
+        poller.delete(&client).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "deleted source must not report");
+    }
+
+    #[test]
+    fn notify_wakes_a_blocking_wait_without_an_event() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "notify is not an event");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "wait should have been woken early"
+        );
+        t.join().unwrap();
+
+        // A queued notify (before wait) also wakes immediately.
+        poller.notify().unwrap();
+        let t0 = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        assert!(poller.add(&listener, Event::readable(NOTIFY_KEY)).is_err());
+    }
+}
