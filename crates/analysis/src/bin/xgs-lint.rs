@@ -1,29 +1,43 @@
 //! `xgs-lint` — walk every workspace source file and enforce the project
-//! rule set (see `xgs_analysis::rules`).
+//! rule set (see `xgs_analysis::rules`), then build the whole-workspace
+//! lock-acquisition graph (see `xgs_analysis::lockgraph`) and report any
+//! cycle or declared-order inversion with its witness path.
 //!
 //! ```text
-//! xgs-lint [--json] [--root <dir>] [paths...]
+//! xgs-lint [--json] [--format text|json|sarif] [--root <dir>] [paths...]
 //! ```
 //!
 //! With no paths, lints every `.rs` file under the workspace root
-//! (default `.`), skipping `target/` build output and the `vendor/`
-//! dependency shims (which mirror external crates; the path-scoped rules
-//! wouldn't apply there and the shims are linted by `clippy` like
-//! everything else). Exit status is nonzero when any finding — including
-//! an unjustified allow — survives.
+//! (default `.`), skipping only `target/` build output. The `vendor/`
+//! dependency shims are linted like first-party code: they hold most of
+//! the workspace's `unsafe` and raw syscalls, which is exactly the
+//! surface the unsafe-audit rules exist for. Exit status is nonzero when
+//! any finding — including an unjustified allow — survives.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use xgs_analysis::rules::{lint_file, report_json, Finding, RULES};
+use xgs_analysis::lockgraph::analyze_files;
+use xgs_analysis::rules::{lint_file, report_json, report_sarif, Finding, RULES};
 
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = "text".to_string();
     let mut root = PathBuf::from(".");
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = "json".to_string(),
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" || f == "sarif" => format = f,
+                Some(f) => {
+                    eprintln!("--format must be text, json, or sarif (got {f})");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--format needs a value: text, json, or sarif");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(r) => root = PathBuf::from(r),
                 None => {
@@ -32,10 +46,12 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: xgs-lint [--json] [--root <dir>] [paths...]");
+                println!(
+                    "usage: xgs-lint [--json] [--format text|json|sarif] [--root <dir>] [paths...]"
+                );
                 println!("rules:");
                 for (name, summary) in RULES {
-                    println!("  {name:<26} {summary}");
+                    println!("  {name:<34} {summary}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -49,31 +65,43 @@ fn main() -> ExitCode {
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut allows = 0usize;
-    let mut files = 0usize;
+    let mut sources: Vec<(String, Vec<u8>)> = Vec::new();
     for path in &paths {
         let Ok(src) = std::fs::read(path) else {
             eprintln!("xgs-lint: cannot read {}", path.display());
             return ExitCode::from(2);
         };
-        files += 1;
         let rel = workspace_relative(&root, path);
         let lint = lint_file(&rel, &src);
         allows += lint.justified_allows;
         findings.extend(lint.findings);
+        sources.push((rel, src));
     }
 
-    if json {
-        println!("{}", report_json(files, allows, &findings));
-    } else {
-        for f in &findings {
-            println!("{f}");
+    // The lock graph is a whole-workspace property: it only exists once
+    // every file's acquisitions and calls are on the table.
+    let graph = analyze_files(&sources);
+    findings.extend(graph.findings);
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+
+    let files = sources.len();
+    match format.as_str() {
+        "json" => println!("{}", report_json(files, allows, &findings)),
+        "sarif" => println!("{}", report_sarif(&findings)),
+        _ => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "xgs-lint: {} file(s), {} finding(s), {} justified allow(s), {} lock edge(s), {} lock cycle(s)",
+                files,
+                findings.len(),
+                allows,
+                graph.edges.len(),
+                graph.cycles.len(),
+            );
         }
-        println!(
-            "xgs-lint: {} file(s), {} finding(s), {} justified allow(s)",
-            files,
-            findings.len(),
-            allows
-        );
     }
     if findings.is_empty() {
         ExitCode::SUCCESS
@@ -82,8 +110,7 @@ fn main() -> ExitCode {
     }
 }
 
-/// Collect `.rs` files under `dir`, skipping build output and the
-/// vendored dependency shims.
+/// Collect `.rs` files under `dir`, skipping build output.
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -93,7 +120,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == ".git" || name == "vendor" {
+            if name == "target" || name == ".git" {
                 continue;
             }
             walk(&path, out);

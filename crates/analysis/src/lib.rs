@@ -2,12 +2,15 @@
 //!
 //! Two layers, both wired into CI as hard gates:
 //!
-//! * **`xgs-lint`** ([`lexer`] + [`rules`], driven by the `xgs-lint`
-//!   binary): a hand-rolled Rust lexer and a token-stream rule engine
-//!   that enforce the project's written invariants — NaN-safe float
+//! * **`xgs-lint`** ([`lexer`] + [`rules`] + [`lockgraph`], driven by the
+//!   `xgs-lint` binary): a hand-rolled Rust lexer and a token-stream rule
+//!   engine that enforce the project's written invariants — NaN-safe float
 //!   comparisons, panic-free network paths, bounded stream reads,
-//!   justified `unsafe`, exhaustive wire-kind dispatch, and the server
-//!   lock order — as named, individually-suppressible rules.
+//!   justified and SAFETY-commented `unsafe` confined to audited modules,
+//!   checked raw-syscall results, exhaustive wire-kind dispatch — as
+//!   named, individually-suppressible rules, plus a whole-workspace
+//!   lock-acquisition graph whose cycles (and inversions of the declared
+//!   server order) are findings with full witness paths.
 //! * **Pre-execution DAG checking** ([`dag`]): independent
 //!   re-derivations of the runtime's correctness invariants (hazard
 //!   edges, acyclicity, the Cholesky kernel census, and sharded-plan
@@ -22,6 +25,7 @@
 
 pub mod dag;
 pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
 
 pub use dag::{
@@ -30,4 +34,5 @@ pub use dag::{
     PlanError, PlanEvent, PlanSummary, PlanTask, RecoveryEvent, RecoveryPlan, RecoverySummary,
     ShardPlan,
 };
-pub use rules::{lint_file, lint_source, report_json, FileLint, Finding, RULES};
+pub use lockgraph::{analyze_files, Analysis, Cycle, Site};
+pub use rules::{lint_file, lint_source, report_json, report_sarif, FileLint, Finding, RULES};

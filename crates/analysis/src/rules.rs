@@ -43,7 +43,23 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "lock-order",
-        "crates/server locks acquire in the declared order: BatchQueue::inner < ModelRegistry::models < Shared::metrics",
+        "the workspace lock graph respects the declared server order: BatchQueue::inner < ModelRegistry::models < Shared::metrics",
+    ),
+    (
+        "lock-cycle",
+        "the workspace lock-acquisition graph is acyclic; a may-deadlock cycle is reported with its full witness path",
+    ),
+    (
+        "safety-comment-required",
+        "every unsafe site carries a SAFETY comment on the preceding lines saying why it is sound",
+    ),
+    (
+        "no-unsafe-outside-audited-modules",
+        "unsafe is confined to the audited allowlist: vendor/rayon, vendor/polling, crates/kernels/src/gemm.rs",
+    ),
+    (
+        "syscall-ret-checked",
+        "in vendor/polling every raw syscall result must flow into an error check before reuse",
     ),
     (
         "no-unbounded-channel-send",
@@ -84,27 +100,50 @@ impl std::fmt::Display for Finding {
 }
 
 /// A parsed `xgs-lint: allow(rule)` comment.
-struct Allow {
-    rule: String,
-    line: usize,
-    justified: bool,
+pub(crate) struct Allow {
+    pub(crate) rule: String,
+    pub(crate) line: usize,
+    pub(crate) justified: bool,
 }
 
 /// A significant (non-whitespace, non-comment) token with its text.
+/// Shared with the workspace lock-graph pass in [`crate::lockgraph`].
 #[derive(Clone, Copy)]
-struct Sig<'a> {
-    kind: TokenKind,
-    text: &'a [u8],
-    start: usize,
+pub(crate) struct Sig<'a> {
+    pub(crate) kind: TokenKind,
+    pub(crate) text: &'a [u8],
+    pub(crate) start: usize,
 }
 
 impl<'a> Sig<'a> {
-    fn is_punct(&self, b: u8) -> bool {
+    pub(crate) fn is_punct(&self, b: u8) -> bool {
         self.kind == TokenKind::Punct(b)
     }
-    fn is_ident(&self, name: &[u8]) -> bool {
+    pub(crate) fn is_ident(&self, name: &[u8]) -> bool {
         self.kind == TokenKind::Ident && self.text == name
     }
+}
+
+/// Build the significant-token view shared by the per-file rules and the
+/// workspace lock-graph pass: whitespace and comments stripped, import
+/// aliases resolved so renames cannot hide a pattern.
+pub(crate) fn sig_tokens<'a>(src: &'a [u8], toks: &[Token]) -> Vec<Sig<'a>> {
+    let mut sig: Vec<Sig<'a>> = toks
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|t| Sig {
+            kind: t.kind,
+            text: t.text(src),
+            start: t.start,
+        })
+        .collect();
+    resolve_use_aliases(&mut sig);
+    sig
 }
 
 /// [`lint_file`] result: findings plus the justified-allow census (the
@@ -124,22 +163,7 @@ pub fn lint_source(path: &str, src: &[u8]) -> Vec<Finding> {
 pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
     let toks = lex(src);
     let idx = LineIndex::new(src);
-    let mut sig: Vec<Sig<'_>> = toks
-        .iter()
-        .filter(|t| {
-            !matches!(
-                t.kind,
-                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
-            )
-        })
-        .map(|t| Sig {
-            kind: t.kind,
-            text: t.text(src),
-            start: t.start,
-        })
-        .collect();
-    resolve_use_aliases(&mut sig);
-    let sig = sig;
+    let sig = sig_tokens(src, &toks);
     let allows = parse_allows(src, &toks, &idx);
     let tests = test_regions(&sig);
     let in_test = |off: usize| tests.iter().any(|&(s, e)| off >= s && off < e);
@@ -152,12 +176,14 @@ pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
         rule_unbounded_channel(path, &sig, &in_test, &mut raw);
     }
     rule_unsafe(path, &sig, &mut raw);
+    rule_safety_comment(path, src, &toks, &sig, &mut raw);
+    rule_unsafe_audited(path, &sig, &mut raw);
+    if syscall_scoped(path) {
+        rule_syscall_ret(path, &sig, &mut raw);
+    }
     if frame_scoped(path) {
         rule_frame_exhaustive(path, &sig, &in_test, &mut raw);
         rule_heartbeat_hot_loop(path, &sig, &in_test, &mut raw);
-    }
-    if lock_scoped(path) {
-        rule_lock_order(path, &sig, &in_test, &mut raw);
     }
     rule_raw_parallelism_probe(path, &sig, &mut raw);
 
@@ -215,7 +241,9 @@ pub fn lint_file(path: &str, src: &[u8]) -> FileLint {
 
 /// The machine-readable report, in the workspace's hand-rolled JSON
 /// schema (see README "Static analysis"): scanned-file count, justified
-/// allow count, the rule table, and one object per finding.
+/// allow count, the rule table, a per-rule finding histogram (rules with
+/// zero findings are omitted, in [`RULES`] order), and one object per
+/// finding.
 pub fn report_json(files: usize, justified_allows: usize, findings: &[Finding]) -> String {
     let mut s = String::with_capacity(256 + findings.len() * 96);
     s.push_str("{\"files\":");
@@ -231,7 +259,23 @@ pub fn report_json(files: usize, justified_allows: usize, findings: &[Finding]) 
         s.push_str(name);
         s.push('"');
     }
-    s.push_str("],\"findings\":[");
+    s.push_str("],\"histogram\":{");
+    let mut first = true;
+    for (name, _) in RULES {
+        let n = findings.iter().filter(|f| f.rule == *name).count();
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push('"');
+        s.push_str(name);
+        s.push_str("\":");
+        s.push_str(&n.to_string());
+    }
+    s.push_str("},\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -249,6 +293,46 @@ pub fn report_json(files: usize, justified_allows: usize, findings: &[Finding]) 
         s.push('}');
     }
     s.push_str("]}");
+    s
+}
+
+/// Minimal SARIF 2.1.0 report: one run, one `xgs-lint` driver with every
+/// rule in [`RULES`], one result per finding. Enough for the standard
+/// ingestion paths (code-scanning uploads, SARIF viewers) without pulling
+/// a serializer into the zero-dependency crate.
+pub fn report_sarif(findings: &[Finding]) -> String {
+    let mut s = String::with_capacity(1024 + findings.len() * 192);
+    s.push_str(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"xgs-lint\",\"rules\":[",
+    );
+    for (i, (name, summary)) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"id\":\"");
+        s.push_str(name);
+        s.push_str("\",\"shortDescription\":{\"text\":");
+        json_string(summary, &mut s);
+        s.push_str("}}");
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"ruleId\":\"");
+        s.push_str(f.rule);
+        s.push_str("\",\"level\":\"error\",\"message\":{\"text\":");
+        json_string(&f.message, &mut s);
+        s.push_str("},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
+        json_string(&f.path, &mut s);
+        s.push_str("},\"region\":{\"startLine\":");
+        s.push_str(&f.line.to_string());
+        s.push_str(",\"startColumn\":");
+        s.push_str(&f.col.to_string());
+        s.push_str("}}}]}");
+    }
+    s.push_str("]}]}");
     s
 }
 
@@ -294,10 +378,21 @@ fn frame_scoped(path: &str) -> bool {
         || path.ends_with("crates/fleet/src/lib.rs")
 }
 
-/// The server crate's lock-order discipline (see `crates/server/src/lib.rs`).
-fn lock_scoped(path: &str) -> bool {
-    path.contains("crates/server/src/")
+/// Files whose raw syscall results must visibly flow into an error check.
+fn syscall_scoped(path: &str) -> bool {
+    path.starts_with("vendor/polling/") || path.contains("/vendor/polling/")
 }
+
+/// The audited-unsafe allowlist: the only places `unsafe` may appear at
+/// all. Everything here was reviewed line-by-line for this rule pack (the
+/// pool's lifetime erasure, the reactor's raw epoll/eventfd calls, and the
+/// AVX2 microkernels); growing the list is a deliberate review event, not
+/// a side effect of writing new code.
+const AUDITED_UNSAFE: &[&str] = &[
+    "vendor/rayon/",
+    "vendor/polling/",
+    "crates/kernels/src/gemm.rs",
+];
 
 // ---------------------------------------------------------------- aliases
 
@@ -350,7 +445,7 @@ fn resolve_use_aliases(sig: &mut [Sig<'_>]) {
 ///
 /// Only plain `//` comments qualify — doc comments (`///`, `//!`) can
 /// *talk about* the syntax without suppressing anything.
-fn parse_allows(src: &[u8], toks: &[Token], idx: &LineIndex) -> Vec<Allow> {
+pub(crate) fn parse_allows(src: &[u8], toks: &[Token], idx: &LineIndex) -> Vec<Allow> {
     let mut allows = Vec::new();
     for t in toks {
         if t.kind != TokenKind::LineComment {
@@ -413,7 +508,7 @@ fn trim_ascii(mut b: &[u8]) -> &[u8] {
 /// the panic/read rules don't apply there. Detected as the token sequence
 /// `# [ cfg ( test ) ]` / `# [ test ]` followed by an item whose body is
 /// the next brace-balanced block (or a `;`-terminated item).
-fn test_regions(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < sig.len() {
@@ -819,104 +914,224 @@ fn rule_raw_parallelism_probe(_path: &str, sig: &[Sig<'_>], out: &mut Raw) {
     }
 }
 
-/// The declared server lock order, least to greatest. Acquisitions must
-/// strictly increase in rank while any lock is held.
-const LOCK_ORDER: &[(&[u8], &str)] = &[
-    (b"inner", "BatchQueue::inner"),
-    (b"models", "ModelRegistry::models"),
-    (b"metrics", "Shared::metrics"),
+/// `safety-comment-required`: every `unsafe` keyword must be preceded —
+/// between the previous `{`, `}`, or `;` and the keyword itself — by a
+/// comment naming SAFETY. Accepts the conventional spellings: a
+/// `// SAFETY: ...` line above the block, a `/// # Safety` doc section on
+/// an unsafe fn, or a shared `/* Safety: ... */`. This is deliberately a
+/// *separate* obligation from `no-unjustified-unsafe`: the allow justifies
+/// why the site exists at all; the SAFETY comment states the invariant the
+/// unsafe code relies on, next to the code, for the reviewer who edits it.
+fn rule_safety_comment(_path: &str, src: &[u8], toks: &[Token], sig: &[Sig<'_>], out: &mut Raw) {
+    for s in sig {
+        if !s.is_ident(b"unsafe") {
+            continue;
+        }
+        // Raw-token index of this keyword (token spans tile the file, so
+        // the partition point lands exactly on it).
+        let ri = toks.partition_point(|t| t.start < s.start);
+        let mut documented = false;
+        let mut k = ri;
+        while k > 0 {
+            k -= 1;
+            let t = &toks[k];
+            match t.kind {
+                TokenKind::LineComment | TokenKind::BlockComment
+                    if find(&t.text(src).to_ascii_lowercase(), b"safety").is_some() =>
+                {
+                    documented = true;
+                    break;
+                }
+                // Statement/item boundary: the comment must sit with the
+                // unsafe site, not anywhere earlier in the file.
+                TokenKind::Punct(b'{') | TokenKind::Punct(b'}') | TokenKind::Punct(b';') => break,
+                _ => {}
+            }
+        }
+        if !documented {
+            out.push((
+                s.start,
+                "safety-comment-required",
+                "unsafe without a `// SAFETY:` comment on the preceding lines; state the invariant this site relies on"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `no-unsafe-outside-audited-modules`: `unsafe` anywhere outside
+/// [`AUDITED_UNSAFE`] is a finding regardless of comments or allows for
+/// the *other* unsafe rules — extending the audited surface means
+/// extending the allowlist in a reviewed diff.
+fn rule_unsafe_audited(path: &str, sig: &[Sig<'_>], out: &mut Raw) {
+    if AUDITED_UNSAFE
+        .iter()
+        .any(|p| path.starts_with(p) || path.ends_with(p) || path.contains(&format!("/{p}")))
+    {
+        return;
+    }
+    for s in sig {
+        if s.is_ident(b"unsafe") {
+            out.push((
+                s.start,
+                "no-unsafe-outside-audited-modules",
+                "unsafe outside the audited allowlist (vendor/rayon, vendor/polling, crates/kernels/src/gemm.rs); move the code there or extend the allowlist in a reviewed change"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Raw syscalls whose return value encodes failure as `-1`/negative.
+const SYSCALLS: &[&[u8]] = &[
+    b"epoll_create1",
+    b"epoll_ctl",
+    b"epoll_wait",
+    b"eventfd",
+    b"read",
+    b"write",
+    b"close",
 ];
 
-/// `lock-order`: intra-procedural check that `.lock()` receivers in
-/// `crates/server` respect [`LOCK_ORDER`]. Lock identity is the last path
-/// segment before `.lock()`; a guard bound with `let` is held to the end
-/// of its block (or an explicit `drop(guard)`), an unbound `.lock()`
-/// temporary to the end of its statement.
-fn rule_lock_order(_path: &str, sig: &[Sig<'_>], in_test: &dyn Fn(usize) -> bool, out: &mut Raw) {
-    struct Held {
-        rank: usize,
-        name: &'static str,
-        depth: i32,
-        var: Option<Vec<u8>>,
-    }
-    let mut w = 0;
-    while w < sig.len() {
-        if !sig[w].is_ident(b"fn") || in_test(sig[w].start) {
-            w += 1;
+/// `syscall-ret-checked` (vendor/polling only): a raw syscall's result
+/// must visibly flow into an error check — a comparison right after the
+/// call (`< 0`, `== -1`, `?`), a `match` on the call, or a `let` binding
+/// whose name later appears next to a comparison. Discarding the result
+/// (`unsafe { close(fd) };`) needs a justified allow saying why best-effort
+/// is correct there.
+fn rule_syscall_ret(_path: &str, sig: &[Sig<'_>], out: &mut Raw) {
+    for w in 0..sig.len() {
+        let s = &sig[w];
+        if !SYSCALLS.iter().any(|n| s.is_ident(n)) {
             continue;
         }
-        // Find the body opening brace (skipping the signature).
+        if !sig.get(w + 1).is_some_and(|n| n.is_punct(b'(')) {
+            continue;
+        }
+        // Not a call: extern declarations (`fn read(...)`) and method
+        // position (`stream.read(...)` is std::io, not the raw syscall).
+        if w > 0 && (sig[w - 1].is_punct(b'.') || sig[w - 1].is_ident(b"fn")) {
+            continue;
+        }
+        // Span of the argument list.
+        let mut depth = 0i32;
         let mut j = w + 1;
-        while j < sig.len() && !sig[j].is_punct(b'{') && !sig[j].is_punct(b';') {
-            j += 1;
-        }
-        if j >= sig.len() || sig[j].is_punct(b';') {
-            w = j + 1;
-            continue;
-        }
-        let mut depth = 1i32;
-        let mut held: Vec<Held> = Vec::new();
-        // `let` binding name of the statement in progress, if any.
-        let mut stmt_let: Option<Vec<u8>> = None;
-        j += 1;
-        while j < sig.len() && depth > 0 {
-            let s = &sig[j];
-            if s.is_punct(b'{') {
+        let mut close = None;
+        while j < sig.len() {
+            if sig[j].is_punct(b'(') {
                 depth += 1;
-            } else if s.is_punct(b'}') {
+            } else if sig[j].is_punct(b')') {
                 depth -= 1;
-                held.retain(|h| h.depth <= depth);
-            } else if s.is_punct(b';') {
-                held.retain(|h| h.var.is_some() || h.depth < depth);
-                stmt_let = None;
-            } else if s.is_ident(b"let") {
-                // `let [mut] name = ...`
-                let mut k = j + 1;
-                if sig.get(k).is_some_and(|s| s.is_ident(b"mut")) {
-                    k += 1;
-                }
-                stmt_let = sig
-                    .get(k)
-                    .filter(|s| s.kind == TokenKind::Ident)
-                    .map(|s| s.text.to_vec());
-            } else if s.is_ident(b"drop")
-                && sig.get(j + 1).is_some_and(|n| n.is_punct(b'('))
-                && sig.get(j + 3).is_some_and(|n| n.is_punct(b')'))
-            {
-                if let Some(v) = sig.get(j + 2) {
-                    held.retain(|h| h.var.as_deref() != Some(v.text));
-                }
-            } else if s.is_ident(b"lock")
-                && j >= 2
-                && sig[j - 1].is_punct(b'.')
-                && sig.get(j + 1).is_some_and(|n| n.is_punct(b'('))
-            {
-                let recv = &sig[j - 2];
-                if let Some(rank) = LOCK_ORDER.iter().position(|(n, _)| recv.is_ident(n)) {
-                    let name = LOCK_ORDER[rank].1;
-                    if let Some(h) = held.iter().find(|h| h.rank >= rank) {
-                        out.push((
-                            s.start,
-                            "lock-order",
-                            format!(
-                                "acquired {} while holding {}; the declared order is {}",
-                                name,
-                                h.name,
-                                "BatchQueue::inner < ModelRegistry::models < Shared::metrics"
-                            ),
-                        ));
-                    }
-                    held.push(Held {
-                        rank,
-                        name,
-                        depth,
-                        var: stmt_let.clone(),
-                    });
+                if depth == 0 {
+                    close = Some(j);
+                    break;
                 }
             }
             j += 1;
         }
-        w = j;
+        let Some(close) = close else { continue };
+
+        // (a) The result flows directly into a comparison or `?` after the
+        // call (skipping `}` from a wrapping `unsafe { ... }`).
+        let mut k = close + 1;
+        while sig.get(k).is_some_and(|t| t.is_punct(b'}')) {
+            k += 1;
+        }
+        if sig.get(k).is_some_and(|t| {
+            t.is_punct(b'<')
+                || t.is_punct(b'>')
+                || t.is_punct(b'?')
+                || (t.is_punct(b'=') && sig.get(k + 1).is_some_and(|n| n.is_punct(b'=')))
+                || (t.is_punct(b'!') && sig.get(k + 1).is_some_and(|n| n.is_punct(b'=')))
+        }) {
+            continue;
+        }
+
+        // Walk back over `unsafe {` wrappers to see the binding context.
+        let mut b = w;
+        while b > 0 && (sig[b - 1].is_punct(b'{') || sig[b - 1].is_ident(b"unsafe")) {
+            b -= 1;
+        }
+        // (b) The whole call is a match scrutinee.
+        if b > 0 && sig[b - 1].is_ident(b"match") {
+            continue;
+        }
+        // (c) `let [mut] name = [unsafe {] call(..)` and `name` later sits
+        // next to a comparison operator.
+        let mut checked = false;
+        if b > 0 && sig[b - 1].is_punct(b'=') {
+            let mut t = b - 1;
+            let mut let_idx = None;
+            let mut guard = 0;
+            while t > 0 && guard < 16 {
+                t -= 1;
+                guard += 1;
+                let x = &sig[t];
+                if x.is_punct(b';') || x.is_punct(b'{') || x.is_punct(b'}') {
+                    break;
+                }
+                if x.is_ident(b"let") {
+                    let_idx = Some(t);
+                    break;
+                }
+            }
+            if let Some(li) = let_idx {
+                let mut ni = li + 1;
+                if sig.get(ni).is_some_and(|x| x.is_ident(b"mut")) {
+                    ni += 1;
+                }
+                if let Some(name) = sig
+                    .get(ni)
+                    .filter(|x| x.kind == TokenKind::Ident && x.text != b"_")
+                    .map(|x| x.text)
+                {
+                    let is_cmp_at = |m: usize| {
+                        sig.get(m).is_some_and(|t| {
+                            t.is_punct(b'<')
+                                || t.is_punct(b'>')
+                                || (t.is_punct(b'=')
+                                    && sig.get(m + 1).is_some_and(|n| n.is_punct(b'=')))
+                                || (t.is_punct(b'!')
+                                    && sig.get(m + 1).is_some_and(|n| n.is_punct(b'=')))
+                        })
+                    };
+                    let cmp_before = |m: usize| {
+                        m >= 1
+                            && sig.get(m - 1).is_some_and(|t| {
+                                t.is_punct(b'<')
+                                    || t.is_punct(b'>')
+                                    || (t.is_punct(b'=')
+                                        && m >= 2
+                                        && sig.get(m - 2).is_some_and(|p| {
+                                            p.is_punct(b'=')
+                                                || p.is_punct(b'!')
+                                                || p.is_punct(b'<')
+                                                || p.is_punct(b'>')
+                                        }))
+                            })
+                    };
+                    for (m, t) in sig.iter().enumerate().take(close + 4000).skip(close) {
+                        if t.kind == TokenKind::Ident
+                            && t.text == name
+                            && (is_cmp_at(m + 1) || cmp_before(m))
+                        {
+                            checked = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !checked {
+            out.push((
+                s.start,
+                "syscall-ret-checked",
+                format!(
+                    "result of raw {}() is never error-checked; compare it (or justify the allow for best-effort sites)",
+                    String::from_utf8_lossy(s.text)
+                ),
+            ));
+        }
     }
 }
 
@@ -1015,30 +1230,6 @@ mod tests {
     }
 
     #[test]
-    fn lock_order_violations() {
-        let bad = "fn f(&self) { let m = self.metrics.lock(); let q = self.inner.lock(); }";
-        assert_eq!(rules_hit("crates/server/src/batch.rs", bad), ["lock-order"]);
-        let good = "fn f(&self) { let q = self.inner.lock(); let m = self.metrics.lock(); }";
-        assert!(rules_hit("crates/server/src/batch.rs", good).is_empty());
-        // Dropping the guard releases it.
-        let dropped =
-            "fn f(&self) { let m = self.metrics.lock(); drop(m); let q = self.inner.lock(); }";
-        assert!(rules_hit("crates/server/src/batch.rs", dropped).is_empty());
-        // Scoped guard released at end of block.
-        let scoped = "fn f(&self) { { let m = self.metrics.lock(); } let q = self.inner.lock(); }";
-        assert!(rules_hit("crates/server/src/batch.rs", scoped).is_empty());
-        // Unbound temporary released at end of statement.
-        let stmt = "fn f(&self) { self.metrics.lock().bump(); self.inner.lock().push(1); }";
-        assert!(rules_hit("crates/server/src/batch.rs", stmt).is_empty());
-        // Same-rank reacquisition (self-deadlock) is also a violation.
-        let twice = "fn f(&self) { let a = self.inner.lock(); let b = self.inner.lock(); }";
-        assert_eq!(
-            rules_hit("crates/server/src/batch.rs", twice),
-            ["lock-order"]
-        );
-    }
-
-    #[test]
     fn bounded_read_and_wire_index() {
         let src =
             "fn f(r: &mut R, payload: &[u8]) -> Res { r.read_line(&mut s); decode(&payload[8..]) }";
@@ -1122,13 +1313,70 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_needs_justified_allow() {
+    fn unsafe_needs_allow_safety_comment_and_audited_module() {
+        // A bare unsafe outside the allowlist trips all three unsafe rules.
         let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }";
-        assert_eq!(
-            rules_hit("crates/x/src/lib.rs", bad),
-            ["no-unjustified-unsafe"]
+        let hit = rules_hit("crates/x/src/lib.rs", bad);
+        assert!(hit.contains(&"no-unjustified-unsafe"), "{hit:?}");
+        assert!(hit.contains(&"safety-comment-required"), "{hit:?}");
+        assert!(
+            hit.contains(&"no-unsafe-outside-audited-modules"),
+            "{hit:?}"
         );
-        let good = "fn f() {\n    // xgs-lint: allow(no-unjustified-unsafe): checked invariant above\n    unsafe { core::hint::unreachable_unchecked() }\n}";
-        assert!(rules_hit("crates/x/src/lib.rs", good).is_empty());
+        // Inside an audited module, with a SAFETY comment and a justified
+        // allow, the site is clean.
+        let good = "fn f() {\n    // SAFETY: caller upholds the aliasing invariant checked above.\n    // xgs-lint: allow(no-unjustified-unsafe): checked invariant above\n    unsafe { core::hint::unreachable_unchecked() }\n}";
+        assert!(rules_hit("vendor/rayon/src/lib.rs", good).is_empty());
+        // The audited path alone is not enough: the SAFETY comment and the
+        // allow are still owed there.
+        let hit = rules_hit("vendor/rayon/src/lib.rs", bad);
+        assert!(hit.contains(&"safety-comment-required"), "{hit:?}");
+        assert!(
+            !hit.contains(&"no-unsafe-outside-audited-modules"),
+            "{hit:?}"
+        );
+    }
+
+    #[test]
+    fn safety_comment_stops_at_statement_boundary() {
+        // A SAFETY comment on a *previous* statement does not cover this
+        // unsafe; the boundary `;` cuts the backward scan.
+        let far = "fn f() {\n    // SAFETY: about something else entirely.\n    a();\n    unsafe { b() }\n}";
+        let hit = rules_hit("vendor/rayon/src/lib.rs", far);
+        assert!(hit.contains(&"safety-comment-required"), "{hit:?}");
+        // `let _ = unsafe { ... }` keeps the comment and binding together.
+        let bound = "fn f() {\n    // SAFETY: len was checked against capacity.\n    // xgs-lint: allow(no-unjustified-unsafe): bounds proven above\n    let x = unsafe { b() };\n    use_it(x);\n}";
+        assert!(rules_hit("vendor/rayon/src/lib.rs", bound).is_empty());
+        // A doc-comment `# Safety` section on an unsafe fn counts.
+        let docfn = "/// Does a thing.\n///\n/// # Safety\n/// Caller must pin the buffer.\n// xgs-lint: allow(no-unjustified-unsafe): contract documented above\npub unsafe fn g() {}";
+        assert!(rules_hit("vendor/rayon/src/lib.rs", docfn).is_empty());
+    }
+
+    #[test]
+    fn syscall_results_must_flow_into_checks() {
+        // Discarded result: flagged.
+        let bad = "fn f(fd: i32) { unsafe { close(fd) }; }";
+        let hit = rules_hit("vendor/polling/src/lib.rs", bad);
+        assert!(hit.contains(&"syscall-ret-checked"), "{hit:?}");
+        // Direct comparison after the call: fine.
+        let cmp = "fn f(fd: i32) -> bool { unsafe { close(fd) } < 0 }";
+        assert!(!rules_hit("vendor/polling/src/lib.rs", cmp).contains(&"syscall-ret-checked"));
+        // Bound then compared later: fine.
+        let bound = "fn f() -> io::Result<i32> { let rc = unsafe { eventfd(0, 0) }; if rc < 0 { return Err(last()); } Ok(rc) }";
+        assert!(!rules_hit("vendor/polling/src/lib.rs", bound).contains(&"syscall-ret-checked"));
+        // Bound and never compared: flagged.
+        let unused = "fn f() { let rc = unsafe { eventfd(0, 0) }; stash(rc); }";
+        assert!(rules_hit("vendor/polling/src/lib.rs", unused).contains(&"syscall-ret-checked"));
+        // Match on the call is a check.
+        let matched = "fn f(fd: i32) { match unsafe { close(fd) } { 0 => (), e => log(e), } }";
+        assert!(!rules_hit("vendor/polling/src/lib.rs", matched).contains(&"syscall-ret-checked"));
+        // Method-position read is std::io, not the raw syscall.
+        let io = "fn f(s: &mut S, buf: &mut [u8]) { s.read(buf); }";
+        assert!(!rules_hit("vendor/polling/src/lib.rs", io).contains(&"syscall-ret-checked"));
+        // Outside vendor/polling the rule does not apply.
+        assert!(!rules_hit("crates/x/src/lib.rs", bad).contains(&"syscall-ret-checked"));
+        // A justified allow is the sanctioned escape for best-effort sites.
+        let allowed = "fn f(fd: i32) {\n    // xgs-lint: allow(syscall-ret-checked): best-effort close on the error path\n    unsafe { close(fd) };\n}";
+        assert!(!rules_hit("vendor/polling/src/lib.rs", allowed).contains(&"syscall-ret-checked"));
     }
 }

@@ -4,8 +4,11 @@
 //! Sweeps the parallel factorization with the schedule validator off,
 //! sampled (`validate_every` ∈ {64, 8}), and exhaustive (`1`), plus one
 //! run with the pre-execution graph checker (`XGS_PRECHECK`-style) forced
-//! on, all over the same generated matrix. The validator's cost is per
-//! task-*endpoint* recording (two atomic ticks) plus a post-run edge walk,
+//! on and one with the dynamic vector-clock race checker
+//! (`xgs_runtime::race`, normally debug-only / `XGS_RACE=1`) forced on,
+//! all over the same generated matrix. The validator's cost is per
+//! task-*endpoint* recording (two atomic ticks) plus a post-run edge walk;
+//! the race checker's is a global-mutex clock join per declared access —
 //! so overhead is expected to be flat in stride until the edge walk
 //! dominates — that expectation is what this binary measures.
 //!
@@ -40,8 +43,8 @@ fn main() {
         precheck: false,
         ..ExecOptions::default()
     };
-    let configs: [(&str, ExecOptions); 5] = [
-        ("validate off", base),
+    let configs: [(&str, ExecOptions, bool); 6] = [
+        ("validate off", base, false),
         (
             "validate every 64",
             ExecOptions {
@@ -49,6 +52,7 @@ fn main() {
                 validate_every: 64,
                 ..base
             },
+            false,
         ),
         (
             "validate every 8",
@@ -57,6 +61,7 @@ fn main() {
                 validate_every: 8,
                 ..base
             },
+            false,
         ),
         (
             "validate every 1",
@@ -65,6 +70,7 @@ fn main() {
                 validate_every: 1,
                 ..base
             },
+            false,
         ),
         (
             "precheck only",
@@ -72,7 +78,9 @@ fn main() {
                 precheck: true,
                 ..base
             },
+            false,
         ),
+        ("race check on", base, true),
     ];
 
     println!(
@@ -80,7 +88,11 @@ fn main() {
         "config", "median s", "edges chk", "edges skip", "vs off"
     );
     let mut baseline = 0.0f64;
-    for (label, opts) in configs {
+    for (label, opts, race_on) in configs {
+        // Pin the race checker per config so the release-build default
+        // (off) cannot leak an `XGS_RACE` environment setting into the
+        // baseline rows.
+        xgs_runtime::race::set_enabled(Some(race_on));
         let mut secs = Vec::with_capacity(reps);
         let mut checked = 0u64;
         let mut skipped = 0u64;
@@ -110,8 +122,12 @@ fn main() {
         };
         println!("{label:>18} | {median:>10.3} {checked:>12} {skipped:>12} {delta:>10}");
     }
+    xgs_runtime::race::set_enabled(None);
+    let races = xgs_runtime::race::race_count();
     println!(
         "\nrecording = two relaxed-ordering ticks per sampled task; the edge walk\n\
-         runs once post-factorization on the coordinator thread.\n"
+         runs once post-factorization on the coordinator thread. The race-check\n\
+         row pays a global-mutex vector-clock join per declared task access\n\
+         ({races} race(s) detected — expected 0).\n"
     );
 }

@@ -295,6 +295,11 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
     };
     let n = graph.len();
     let conversions_before = conversion_counts();
+    // Dynamic race checking (vector clocks over the declared dependency
+    // edges): on in debug builds / under XGS_RACE=1. Each run namespaces
+    // its per-datum edges and cells under a fresh scope id, retired after
+    // the pool joins.
+    let race_scope = crate::race::enabled().then(crate::race::new_scope);
 
     // Unpack the graph into shared, lock-free-readable structures.
     let mut closures: Vec<Option<Box<dyn FnOnce() + Send>>> = Vec::with_capacity(n);
@@ -303,7 +308,7 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
     let mut coords: Vec<Option<(u32, u32)>> = Vec::with_capacity(n);
     let mut priorities: Vec<i64> = Vec::with_capacity(n);
     let mut dep_counts: Vec<AtomicUsize> = Vec::with_capacity(n);
-    let keep_accesses = opts.validate || opts.precheck;
+    let keep_accesses = opts.validate || opts.precheck || race_scope.is_some();
     let mut accesses = Vec::with_capacity(if keep_accesses { n } else { 0 });
     let mut initial_ready: Vec<ReadyTask> = Vec::new();
     for (idx, mut t) in graph.tasks.into_iter().enumerate() {
@@ -375,6 +380,7 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
             let kinds = &kinds;
             let coords = &coords;
             let order = &order;
+            let accesses = &accesses;
             handles.push(scope.spawn(move || {
                 let mut scratch = WorkerScratch {
                     busy: 0.0,
@@ -409,11 +415,40 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
                     } else {
                         UNRECORDED
                     };
+                    // Race model: inherit the per-datum edges this task's
+                    // predecessors released, then declare the accesses.
+                    // Acquires must precede the access checks — the edge
+                    // is what orders this task after its predecessors.
+                    if let Some(rs) = race_scope {
+                        use crate::graph::AccessMode;
+                        for a in &accesses[task.id.0] {
+                            crate::race::acquire(crate::race::SPACE_EXEC, rs, a.data.0);
+                        }
+                        for a in &accesses[task.id.0] {
+                            match a.mode {
+                                AccessMode::Read => {
+                                    crate::race::read(crate::race::SPACE_EXEC, rs, a.data.0)
+                                }
+                                AccessMode::Write => {
+                                    crate::race::write(crate::race::SPACE_EXEC, rs, a.data.0)
+                                }
+                            }
+                        }
+                    }
                     let t0 = start.elapsed().as_secs_f64();
                     if let Some(f) = closures[task.id.0].lock().take() {
                         f();
                     }
                     let t1 = start.elapsed().as_secs_f64();
+                    // Publish this task's effects on its data *before* any
+                    // dependent can be released below — a successor that
+                    // starts without this edge in its clock is exactly the
+                    // race the checker exists to catch.
+                    if let Some(rs) = race_scope {
+                        for a in &accesses[task.id.0] {
+                            crate::race::release(crate::race::SPACE_EXEC, rs, a.data.0);
+                        }
+                    }
                     // The end tick must be drawn before dependents are
                     // released, or a successor could legitimately start
                     // "before" its predecessor finished.
@@ -485,6 +520,10 @@ pub fn execute_opts(graph: TaskGraph, workers: usize, opts: ExecOptions) -> Exec
     });
 
     let wall = start.elapsed().as_secs_f64();
+
+    if let Some(rs) = race_scope {
+        crate::race::retire(crate::race::SPACE_EXEC, rs);
+    }
 
     let validation = if opts.validate {
         let order: Vec<TaskOrder> = order

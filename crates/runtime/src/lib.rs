@@ -24,6 +24,7 @@ pub mod exec;
 pub mod graph;
 pub mod json;
 pub mod metrics;
+pub mod race;
 pub mod shard;
 pub mod stats;
 pub mod validate;
@@ -42,6 +43,7 @@ pub use metrics::{
     KernelStats, MetricsReport, PoolCounters, QueueDepthStats, TimeHistogram, WireStats,
     WorkerStats,
 };
+pub use race::{race_count, take_races, Race};
 pub use shard::{
     read_frame, task_census, write_frame, FrameError, WireReader, WireWriter, FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,

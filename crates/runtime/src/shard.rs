@@ -85,6 +85,13 @@ impl From<std::io::Error> for FrameError {
 }
 
 /// Write one frame (header + payload) and flush.
+///
+/// Race model: a successful send is a release on the per-kind frame
+/// channel — everything the sender did before the frame happens-before
+/// whatever a receiver of the same kind does after reading one. The
+/// channel is coarse (keyed by kind, not by stream), so it can only *add*
+/// happens-before edges, never invent a race; and it is process-local, so
+/// frames crossing to a real peer process simply leave the model.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME_BYTES);
     let mut header = [0u8; 5];
@@ -92,7 +99,9 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Res
     header[4] = kind;
     w.write_all(&header)?;
     w.write_all(payload)?;
-    w.flush()
+    w.flush()?;
+    crate::race::release(crate::race::SPACE_FRAME, 0, kind as u64);
+    Ok(())
 }
 
 /// Fill `buf` from the stream, polling every [`READ_POLL`] so the read can
@@ -169,6 +178,8 @@ pub fn read_frame(
     }
     let mut payload = vec![0u8; len];
     read_exact_polled(stream, &mut payload, false, stall, stop)?;
+    // Acquire half of the per-kind frame channel (see `write_frame`).
+    crate::race::acquire(crate::race::SPACE_FRAME, 0, header[4] as u64);
     Ok((header[4], payload))
 }
 

@@ -1,0 +1,89 @@
+//! Mutation test for the dynamic race checker: the checker must stay
+//! silent on the pool's real synchronization and must fire when one
+//! declared edge is deliberately dropped.
+//!
+//! A detector that has only ever been observed silent is indistinguishable
+//! from one that checks nothing, so this test drives the same workload
+//! three times: clean (must be silent), with the pool's chunk-completion
+//! release edge removed from the model via
+//! [`xgs_runtime::race::set_mutation_drop_completion_edge`] (must report a
+//! `write-read` race — the caller's post-join read of a pool-run chunk has
+//! no happens-before chain), and clean again (must be silent again).
+
+use rayon::prelude::*;
+
+/// One parallel round on a private pool: enough items that pool workers
+/// reliably claim chunks while the caller claims inline.
+fn run_round(pool: &rayon::ThreadPool, items: &[u64]) -> u64 {
+    let out: Vec<u64> = pool.install(|| {
+        items
+            .par_iter()
+            .map(|&x| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                x.wrapping_mul(0x9E37_79B9).rotate_left(7)
+            })
+            .collect()
+    });
+    out.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+}
+
+#[test]
+fn checker_fires_exactly_when_the_completion_edge_is_dropped() {
+    xgs_runtime::race::set_enabled(Some(true));
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("private pool");
+    let items: Vec<u64> = (0..512).collect();
+    let _ = xgs_runtime::race::take_races();
+
+    // Phase 1: the real protocol is race-free and the model must agree.
+    let base = xgs_runtime::race::race_count();
+    let clean: Vec<u64> = (0..5).map(|_| run_round(&pool, &items)).collect();
+    assert_eq!(
+        xgs_runtime::race::race_count(),
+        base,
+        "clean rounds must not report races: {:?}",
+        xgs_runtime::race::take_races()
+    );
+
+    // Phase 2: drop the chunk-completion release edge from the model. The
+    // computation itself is untouched (results stay correct) — only the
+    // checker's view loses the edge, and it must notice.
+    xgs_runtime::race::set_mutation_drop_completion_edge(true);
+    let mut mutated = Vec::new();
+    for _ in 0..20 {
+        mutated.push(run_round(&pool, &items));
+        if xgs_runtime::race::race_count() > base {
+            break;
+        }
+    }
+    xgs_runtime::race::set_mutation_drop_completion_edge(false);
+    assert!(
+        xgs_runtime::race::race_count() > base,
+        "dropping the completion edge must be detected within 20 rounds"
+    );
+    let races = xgs_runtime::race::take_races();
+    assert!(
+        races.iter().any(|r| r.kind == "write-read"),
+        "the missing edge manifests as an unordered write-then-read: {races:?}"
+    );
+
+    // The mutation only blinds the checker; results must be unaffected.
+    for m in &mutated {
+        assert_eq!(*m, clean[0], "mutation must not change computed results");
+    }
+
+    // Phase 3: with the edge restored the checker is silent again.
+    let after = xgs_runtime::race::race_count();
+    for _ in 0..5 {
+        run_round(&pool, &items);
+    }
+    assert_eq!(
+        xgs_runtime::race::race_count(),
+        after,
+        "restored edge must be silent: {:?}",
+        xgs_runtime::race::take_races()
+    );
+    xgs_runtime::race::set_enabled(None);
+}

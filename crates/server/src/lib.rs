@@ -37,9 +37,13 @@
 //! 3. `server::Shared` `metrics` — the counters, innermost because every
 //!    path increments something on the way out.
 //!
-//! The order is machine-checked: `xgs-lint`'s `lock-order` rule walks
-//! every function in this crate and flags any `.lock()` acquisition whose
-//! rank is ≤ a rank already held (see `crates/analysis/src/rules.rs`).
+//! The order is machine-checked as a consequence of the workspace lock
+//! graph: `xgs-lint` builds one call-graph-propagated lock-acquisition
+//! graph over every crate (`crates/analysis/src/lockgraph.rs`), so an
+//! acquisition of a lower rank while a higher rank is held — even
+//! indirectly, through a helper the direct caller never sees — is a
+//! `lock-order` finding, and any cycle anywhere in the graph is a
+//! `lock-cycle` finding with its full witness path.
 
 pub mod batch;
 pub mod loadgen;

@@ -80,6 +80,10 @@ pub(crate) struct CompletionHub {
     /// empty→nonempty transition notifies, so a burst of completions
     /// between two loop iterations costs one wakeup.
     notifies: AtomicU64,
+    /// Key of this hub's edge in the runtime race checker: a push is a
+    /// release, a drain an acquire, so everything a solver thread did
+    /// before handing a reply over happens-before the reactor using it.
+    race_key: u64,
 }
 
 impl CompletionHub {
@@ -90,6 +94,7 @@ impl CompletionHub {
             q.push((conn, reply));
             was_empty
         };
+        xgs_runtime::race::release(xgs_runtime::race::SPACE_HUB, self.race_key, 0);
         if was_empty {
             self.notifies.fetch_add(1, Ordering::Relaxed);
             let _ = self.poller.notify();
@@ -97,6 +102,7 @@ impl CompletionHub {
     }
 
     fn drain(&self) -> Vec<(u64, Reply)> {
+        xgs_runtime::race::acquire(xgs_runtime::race::SPACE_HUB, self.race_key, 0);
         std::mem::take(&mut *self.done.lock())
     }
 }
@@ -173,6 +179,7 @@ impl Reactor {
             done: Mutex::new(Vec::new()),
             poller: poller.clone(),
             notifies: AtomicU64::new(0),
+            race_key: xgs_runtime::race::new_scope(),
         });
         Ok(Reactor {
             shared,

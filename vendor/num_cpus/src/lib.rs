@@ -3,6 +3,7 @@
 
 /// Logical CPUs available to this process (at least 1).
 pub fn get() -> usize {
+    // xgs-lint: allow(no-raw-parallelism-probe): this shim is the sanctioned probe the rule funnels callers toward
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

@@ -40,6 +40,51 @@ pub mod prelude {
     pub use super::{IntoParallelRefIterator, ParallelSliceMut};
 }
 
+// ------------------------------------------------------------ event hook
+
+/// Synchronization edges of one parallel batch, exposed so an external
+/// checker (the runtime's vector-clock race detector) can mirror the
+/// pool's happens-before graph without the pool depending on it.
+///
+/// The emission points bracket every real edge: the caller *sends* the
+/// batch before any ticket is visible (`InjectSend`), a worker *observes*
+/// it when it steals a ticket (`TicketSteal`) or claims a chunk
+/// (`ChunkStart`), publishes its chunk's effects (`ChunkDone`, emitted
+/// just before the `Release` increment of the done counter), and the
+/// caller *joins* all of them after its final `Acquire` load
+/// (`BatchJoin`).
+#[derive(Clone, Copy, Debug)]
+pub enum PoolEvent {
+    /// Caller is about to make batch tickets visible to the pool.
+    InjectSend { batch: u64 },
+    /// A worker stole a ticket of this batch from a sibling deque.
+    TicketSteal { batch: u64 },
+    /// The current thread claimed chunk `chunk` and is about to run it.
+    ChunkStart { batch: u64, chunk: u64 },
+    /// The current thread finished chunk `chunk`; emitted before the
+    /// `Release` store that publishes it.
+    ChunkDone { batch: u64, chunk: u64 },
+    /// The caller observed the whole batch finished (after its `Acquire`
+    /// load); `chunks` is the batch's total chunk count.
+    BatchJoin { batch: u64, chunks: u64 },
+}
+
+static POOL_HOOK: OnceLock<fn(&PoolEvent)> = OnceLock::new();
+
+/// Install the process-wide pool event hook. First caller wins; returns
+/// whether this call installed it. The hook runs on pool workers and
+/// callers alike and must not call back into the pool.
+pub fn set_pool_hook(hook: fn(&PoolEvent)) -> bool {
+    POOL_HOOK.set(hook).is_ok()
+}
+
+#[inline]
+fn emit(ev: PoolEvent) {
+    if let Some(hook) = POOL_HOOK.get() {
+        hook(&ev);
+    }
+}
+
 // ------------------------------------------------------------------ pool
 
 /// Cumulative counters of one pool (monotone; diff two snapshots to get a
@@ -71,6 +116,8 @@ impl PoolStats {
 /// One parallel call: a chunk counter shared by the caller and however
 /// many pool workers pick its tickets up.
 struct BatchCore {
+    /// Process-unique batch id, keying this batch's [`PoolEvent`]s.
+    id: u64,
     /// The work, one call per chunk index. Lifetime-erased by `run_batch`,
     /// which guarantees no dereference can happen after it returns: every
     /// use is preceded by a successful claim (`next < total`), and
@@ -90,7 +137,9 @@ struct BatchCore {
 
 impl BatchCore {
     fn new(run: &'static (dyn Fn(usize) + Sync), total: usize) -> BatchCore {
+        static BATCH_IDS: AtomicU64 = AtomicU64::new(0);
         BatchCore {
+            id: BATCH_IDS.fetch_add(1, Ordering::Relaxed),
             run,
             total,
             next: AtomicUsize::new(0),
@@ -111,6 +160,10 @@ impl BatchCore {
             if i >= self.total {
                 return ran;
             }
+            emit(PoolEvent::ChunkStart {
+                batch: self.id,
+                chunk: i as u64,
+            });
             if !self.poisoned.load(Ordering::Relaxed) {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.run)(i))) {
                     self.poisoned.store(true, Ordering::Relaxed);
@@ -121,6 +174,10 @@ impl BatchCore {
                 }
             }
             ran += 1;
+            emit(PoolEvent::ChunkDone {
+                batch: self.id,
+                chunk: i as u64,
+            });
             // Release pairs with the caller's Acquire when it observes the
             // batch finished: chunk writes happen-before result reads.
             if self.done.fetch_add(1, Ordering::Release) + 1 == self.total {
@@ -292,6 +349,7 @@ fn find_job(registry: &Registry, me: usize) -> Option<Job> {
                 .pop_front()
             {
                 shared.steals.fetch_add(1, Ordering::Relaxed);
+                emit(PoolEvent::TicketSteal { batch: j.id });
                 return Some(j);
             }
         }
@@ -335,6 +393,7 @@ fn global_registry() -> Arc<Registry> {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0)
+            // xgs-lint: allow(no-raw-parallelism-probe): this IS the pool-sizing source logical_cores() wraps
             .unwrap_or_else(num_cpus::get);
         Registry::new(threads)
     }))
@@ -373,8 +432,10 @@ fn run_batch(total: usize, run: &(dyn Fn(usize) + Sync)) {
     // touching `run`. A leftover ticket is an Arc'd counter probe, nothing
     // more.
     let run_static: &'static (dyn Fn(usize) + Sync) =
+        // xgs-lint: allow(no-unjustified-unsafe): lifetime erasure justified by the SAFETY note above
         unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(run) };
     let core: Job = Arc::new(BatchCore::new(run_static, total));
+    emit(PoolEvent::InjectSend { batch: core.id });
     // The caller claims chunks too, so only `total - 1` tickets can ever
     // be useful; completion does not depend on any of them running.
     let tickets = registry.num_threads().min(total.saturating_sub(1));
@@ -393,6 +454,10 @@ fn run_batch(total: usize, run: &(dyn Fn(usize) + Sync)) {
     }
     // Acquire pairs with the Release on the final `done` increment.
     core.done.load(Ordering::Acquire);
+    emit(PoolEvent::BatchJoin {
+        batch: core.id,
+        chunks: total as u64,
+    });
     let payload = core.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
     if let Some(p) = payload {
         resume_unwind(p);
@@ -439,6 +504,7 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
+            // xgs-lint: allow(no-raw-parallelism-probe): builder default mirrors the global pool's sizing source
             num_cpus::get()
         } else {
             self.num_threads
@@ -652,6 +718,7 @@ impl<'a, T: Send> EnumChunksMut<'a, T> {
             // `&mut` borrow outlives the batch because `run_batch` blocks
             // until every chunk is done.
             let sub =
+                // xgs-lint: allow(no-unjustified-unsafe): disjoint chunk ranges per the SAFETY note above
                 unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
             f((ci, sub));
         });
